@@ -1,0 +1,36 @@
+"""Shared helpers for the figure-regeneration benchmark suite.
+
+Each benchmark runs one of the paper's experiments (Figures 1-8 plus
+ablations), prints the regenerated table, and asserts the paper's
+*shape* claims on deterministic work counters.  Wall-clock numbers are
+reported for context but never asserted (CI hardware is noisy).
+
+Scale with REPRO_BENCH_SCALE (default 1.0); e.g.::
+
+    REPRO_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.bench.harness import Measurement
+
+
+def cost_by(measurements, query: str) -> Dict[str, int]:
+    """Work cost per system for one query."""
+    return {
+        m.system: m.cost for m in measurements if m.query == query
+    }
+
+
+def run_figure(benchmark, figure_fn, **kwargs):
+    """Run a figure once under pytest-benchmark and print its table."""
+    report = benchmark.pedantic(
+        lambda: figure_fn(**kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(report.table)
+    return report

@@ -1,0 +1,48 @@
+"""Figure 1: six system configurations on the Q1-Q8 suite.
+
+Paper's shape: the all-techniques configuration yields a "tremendous
+speedup — consistently over PostgreSQL"; pruning gives the largest
+isolated speedups on selective queries; memoization alone gives big
+wins on Q1-Q3; a-priori gives the smallest isolated speedups but
+composes; a-priori does not apply to Q1-Q3 and Q8.
+"""
+
+from conftest import cost_by, run_figure
+
+from repro.bench.figures import figure_1
+
+
+def test_figure_1(benchmark):
+    report = run_figure(benchmark, figure_1)
+    measurements = report.measurements
+
+    skybands = ("Q1", "Q2", "Q3")
+    for name in [f"Q{i}" for i in range(1, 9)]:
+        costs = cost_by(measurements, name)
+        # All techniques together always beat the PostgreSQL baseline.
+        assert costs["all"] < costs["postgres"], (name, costs)
+
+    for name in skybands:
+        costs = cost_by(measurements, name)
+        # Pruning dominates on selective skybands (paper: up to >300x).
+        assert costs["pruning"] * 10 < costs["postgres"], (name, costs)
+        # Memoization alone also wins clearly on Q1-Q3 (paper: >20x).
+        assert costs["memo"] * 2 < costs["postgres"], (name, costs)
+
+    # A-priori applies to the pairs queries (Q4-Q7).  Its isolated
+    # speedup is the smallest of the three techniques (paper's own
+    # observation): at the looser c=3 thresholds (Q4/Q5) it is close to
+    # neutral, while the stricter c=5 reducer (Q6/Q7) filters enough to
+    # win outright.
+    for name in ("Q4", "Q5"):
+        costs = cost_by(measurements, name)
+        assert costs["apriori"] <= 1.1 * costs["postgres"], (name, costs)
+    for name in ("Q6", "Q7"):
+        costs = cost_by(measurements, name)
+        assert costs["apriori"] < costs["postgres"], (name, costs)
+
+    # A-priori does NOT apply to Q1-Q3/Q8: its numbers equal baseline
+    # work (no rewrite happened).
+    for name in ("Q1", "Q2", "Q3", "Q8"):
+        costs = cost_by(measurements, name)
+        assert costs["apriori"] == costs["postgres"], (name, costs)

@@ -1,0 +1,28 @@
+"""Figure 4: Q1 under PK / PK+BT / PK+BT+CI index configurations.
+
+Paper's shape: the baseline gains ~2x from the secondary B-tree (BT);
+Smart-Iceberg beats the best baseline configuration even with only the
+primary key (paper: 64x), and the cache index (CI) buys a further
+improvement (paper: ~6x).
+"""
+
+from conftest import run_figure
+
+from repro.bench.figures import figure_4
+
+
+def test_figure_4(benchmark):
+    report = run_figure(benchmark, figure_4)
+    cost = {name: entry["cost"] for name, entry in report.series.items()}
+
+    # BT helps the baseline.
+    assert cost["base PK+BT"] < cost["base PK"]
+
+    # Even index-starved Smart-Iceberg beats the fully indexed baseline.
+    assert cost["smart PK"] < cost["base PK+BT"]
+
+    # BT helps Smart-Iceberg's inner query too.
+    assert cost["smart PK+BT"] < cost["smart PK"]
+
+    # The cache index narrows pruning probes further.
+    assert cost["smart PK+BT+CI"] <= cost["smart PK+BT"]

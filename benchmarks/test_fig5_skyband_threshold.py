@@ -1,0 +1,34 @@
+"""Figure 5: skyband running times vs the HAVING threshold k.
+
+Paper's shape: baselines are insensitive to k (they apply HAVING last);
+Smart-Iceberg exploits selectivity, so its advantage is largest at
+small k and gradually diminishes as the query becomes less "picky" —
+while still winning even at the largest threshold tested.
+"""
+
+from conftest import cost_by, run_figure
+
+from repro.bench.figures import figure_5
+
+
+def test_figure_5(benchmark):
+    report = run_figure(benchmark, figure_5)
+    measurements = report.measurements
+    points = sorted(
+        {m.query for m in measurements}, key=lambda p: int(p.split("=")[1])
+    )
+
+    base_costs = [cost_by(measurements, p)["postgres"] for p in points]
+    smart_costs = [cost_by(measurements, p)["all"] for p in points]
+
+    # Baseline work is essentially flat across thresholds (<20% spread).
+    assert max(base_costs) < 1.2 * min(base_costs), base_costs
+
+    # Smart-Iceberg wins at every threshold...
+    for point, base, smart in zip(points, base_costs, smart_costs):
+        assert smart < base, (point, smart, base)
+
+    # ...and its advantage shrinks as k grows (first vs last point).
+    first_ratio = base_costs[0] / smart_costs[0]
+    last_ratio = base_costs[-1] / smart_costs[-1]
+    assert first_ratio > last_ratio, (first_ratio, last_ratio)

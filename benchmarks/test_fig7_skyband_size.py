@@ -1,0 +1,35 @@
+"""Figure 7: skyband running times vs input table size.
+
+Paper's shape: every system slows with n, but Smart-Iceberg stays the
+fastest throughout and scales best (the baselines' join work grows
+quadratically; pruning caps the inner evaluations).
+"""
+
+from conftest import cost_by, run_figure
+
+from repro.bench.figures import figure_7
+
+
+def test_figure_7(benchmark):
+    report = run_figure(benchmark, figure_7)
+    measurements = report.measurements
+    points = sorted(
+        {m.query for m in measurements}, key=lambda p: int(p.split("=")[1])
+    )
+
+    base_costs = [cost_by(measurements, p)["postgres"] for p in points]
+    smart_costs = [cost_by(measurements, p)["all"] for p in points]
+
+    # Work grows with input size for both systems.
+    assert base_costs == sorted(base_costs)
+    assert smart_costs == sorted(smart_costs)
+
+    # Smart-Iceberg wins at every size.
+    for point, base, smart in zip(points, base_costs, smart_costs):
+        assert smart < base, (point, smart, base)
+
+    # And scales no worse: its largest/smallest growth factor does not
+    # exceed the baseline's.
+    base_growth = base_costs[-1] / base_costs[0]
+    smart_growth = smart_costs[-1] / smart_costs[0]
+    assert smart_growth <= base_growth * 1.2, (smart_growth, base_growth)

@@ -1,0 +1,64 @@
+"""Inspecting the machinery: derived predicates and static rewrites.
+
+Shows the pieces the optimizer generates, without executing anything
+big: the automatic subsumption derivation for the skyband condition
+(Section 5.2 / Appendix B), the monotonicity classification (Table 2),
+and the Appendix C static memoization rewrite (Listing 8).
+
+Run:  python examples/rewrite_inspection.py
+"""
+
+from repro.sql import render
+from repro.sql.parser import parse, parse_expression
+from repro.core import classify, derive_subsumption, memoization_rewrite
+from repro.core.iceberg import IcebergBlock
+from repro.storage import Database, SqlType, TableSchema
+
+
+def main() -> None:
+    print("== Table 2: monotonicity classification ==")
+    for condition in (
+        "COUNT(*) >= 20",
+        "COUNT(*) <= 50",
+        "SUM(a) >= 100",          # unknown without domain knowledge
+        "MAX(a) >= 10 AND COUNT(*) >= 2",
+        "MIN(a) >= 10",           # anti-monotone (Table 2 erratum)
+    ):
+        result = classify(parse_expression(condition), lambda e: True)
+        print(f"  {condition:35s} -> {result.value}")
+    print()
+
+    print("== Section 5.2: automatic subsumption derivation ==")
+    theta = [
+        parse_expression("L.x <= R.x"),
+        parse_expression("L.y <= R.y"),
+        parse_expression("L.x < R.x OR L.y < R.y"),
+    ]
+    predicate = derive_subsumption(theta, ["l.x", "l.y"], ["r.x", "r.y"])
+    print("  join condition: strict 2-d dominance (Listing 2)")
+    print(f"  derived p(w, w'): {predicate.formula}")
+    print(f"  i.e. w joins a superset of R-tuples iff w.x<=w'.x and w.y<=w'.y")
+    print()
+
+    print("== Appendix C: static memoization rewrite (Listing 8) ==")
+    db = Database()
+    db.create_table(
+        "object",
+        TableSchema.of(
+            ("id", SqlType.INTEGER), ("x", SqlType.INTEGER), ("y", SqlType.INTEGER)
+        ),
+        primary_key=("id",),
+    )
+    sql = (
+        "SELECT L.id, COUNT(*) FROM object L, object R "
+        "WHERE L.x <= R.x AND L.y <= R.y "
+        "GROUP BY L.id HAVING COUNT(*) <= 50"
+    )
+    block = IcebergBlock(parse(sql).body, db)
+    rewritten = memoization_rewrite(block.partition(["l"]))
+    print("  original :", sql.replace("\n", " "))
+    print("  rewritten:", render(rewritten))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel``
+package, so PEP 517 editable installs (which must build a wheel) fail.
+Providing a ``setup.py`` lets ``pip install -e .`` fall back to the
+legacy ``setup.py develop`` code path, which works offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Smart-Iceberg: optimizing iceberg queries with complex joins "
+        "(SIGMOD 2017 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,41 @@
+"""Benchmark harness and per-figure experiment runners."""
+
+from repro.bench.figures import (
+    FigureReport,
+    bench_scale,
+    figure_1,
+    figure_2,
+    figure_3,
+    figure_4,
+    figure_5,
+    figure_6,
+    figure_7,
+    figure_8,
+)
+from repro.bench.harness import (
+    Measurement,
+    comparison_table,
+    format_table,
+    make_systems,
+    run_comparison,
+    speedup_over,
+)
+
+__all__ = [
+    "FigureReport",
+    "Measurement",
+    "bench_scale",
+    "comparison_table",
+    "figure_1",
+    "figure_2",
+    "figure_3",
+    "figure_4",
+    "figure_5",
+    "figure_6",
+    "figure_7",
+    "figure_8",
+    "format_table",
+    "make_systems",
+    "run_comparison",
+    "speedup_over",
+]

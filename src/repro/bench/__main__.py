@@ -1,0 +1,35 @@
+"""Command-line runner for the figure experiments.
+
+Usage::
+
+    python -m repro.bench                # run every figure
+    python -m repro.bench 1 4 5         # run figures 1, 4, 5
+    REPRO_BENCH_SCALE=4 python -m repro.bench 1
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench import figures
+
+
+def main(argv: list[str]) -> int:
+    wanted = argv or [str(i) for i in range(1, 9)]
+    for number in wanted:
+        runner = getattr(figures, f"figure_{number}", None)
+        if runner is None:
+            print(f"no such figure: {number}", file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        report = runner()
+        elapsed = time.perf_counter() - start
+        print(report.table)
+        print(f"[figure {number} regenerated in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,14 @@
+"""Constraint reasoning: functional dependencies and equivalences."""
+
+from repro.constraints.equivalence import EquivalenceClasses
+from repro.constraints.fd import FDSet, FunctionalDependency, attrs
+from repro.constraints.inference import grouped_output_fds, join_fds
+
+__all__ = [
+    "EquivalenceClasses",
+    "FDSet",
+    "FunctionalDependency",
+    "attrs",
+    "grouped_output_fds",
+    "join_fds",
+]

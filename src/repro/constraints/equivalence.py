@@ -1,0 +1,53 @@
+"""Attribute equivalence classes induced by equality predicates.
+
+Equality join conjuncts like ``S1.id = S2.id`` make attributes
+interchangeable for FD reasoning; the optimizer uses these classes when
+inferring dependencies over join results (Appendix D needs, e.g., that
+``S2.category = T2.category`` follows from ``id → category`` plus the
+equality conjuncts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+
+class EquivalenceClasses:
+    """Union-find over attribute names (strings)."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+
+    def _find(self, item: str) -> str:
+        parent = self._parent.setdefault(item, item)
+        if parent != item:
+            root = self._find(parent)
+            self._parent[item] = root
+            return root
+        return item
+
+    def merge(self, a: str, b: str) -> None:
+        root_a, root_b = self._find(a.lower()), self._find(b.lower())
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+    def same(self, a: str, b: str) -> bool:
+        return self._find(a.lower()) == self._find(b.lower())
+
+    def members(self, item: str) -> Set[str]:
+        root = self._find(item.lower())
+        return {x for x in self._parent if self._find(x) == root}
+
+    def classes(self) -> List[Set[str]]:
+        by_root: Dict[str, Set[str]] = {}
+        for item in self._parent:
+            by_root.setdefault(self._find(item), set()).add(item)
+        return [group for group in by_root.values() if len(group) > 1]
+
+    def pairs(self) -> Iterable[Tuple[str, str]]:
+        """All (representative, member) pairs across nontrivial classes."""
+        for group in self.classes():
+            ordered = sorted(group)
+            representative = ordered[0]
+            for member in ordered[1:]:
+                yield (representative, member)

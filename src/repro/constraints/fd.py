@@ -1,0 +1,136 @@
+"""Functional dependencies and attribute-set closure.
+
+The Smart-Iceberg safety checks (Theorems 2 and 3) are phrased in terms
+of functional dependencies and superkeys, so this module is the
+workhorse behind the optimizer's applicability tests:
+
+* monotone a-priori needs ``G_R ∪ J_R^= → A_R`` (superkey of R),
+* anti-monotone a-priori needs ``G_L → J_L``,
+* safe pruning needs ``G_L → A_L`` (superkey of L).
+
+Attributes are plain strings.  At the storage level they are bare
+column names; the optimizer qualifies them as ``alias.column`` when
+reasoning about a join of table instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+AttributeSet = FrozenSet[str]
+
+
+def attrs(*names: str) -> AttributeSet:
+    """Convenience constructor for attribute sets (lowercased)."""
+    return frozenset(name.lower() for name in names)
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A functional dependency ``lhs → rhs``."""
+
+    lhs: AttributeSet
+    rhs: AttributeSet
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lhs", frozenset(a.lower() for a in self.lhs))
+        object.__setattr__(self, "rhs", frozenset(a.lower() for a in self.rhs))
+
+    @classmethod
+    def of(cls, lhs: Iterable[str], rhs: Iterable[str]) -> "FunctionalDependency":
+        return cls(frozenset(lhs), frozenset(rhs))
+
+    def is_trivial(self) -> bool:
+        """A dependency is trivial when ``rhs ⊆ lhs``."""
+        return self.rhs <= self.lhs
+
+    def rename(self, prefix: str) -> "FunctionalDependency":
+        """Qualify every attribute with ``prefix.``, e.g. for join aliases."""
+        return FunctionalDependency(
+            frozenset(f"{prefix}.{a}" for a in self.lhs),
+            frozenset(f"{prefix}.{a}" for a in self.rhs),
+        )
+
+    def __repr__(self) -> str:
+        lhs = ",".join(sorted(self.lhs)) or "∅"
+        rhs = ",".join(sorted(self.rhs))
+        return f"{{{lhs}}} -> {{{rhs}}}"
+
+
+class FDSet:
+    """A set of functional dependencies with closure-based reasoning."""
+
+    def __init__(self, dependencies: Iterable[FunctionalDependency] = ()) -> None:
+        self._deps: List[FunctionalDependency] = []
+        for dep in dependencies:
+            self.add(dep)
+
+    def add(self, dependency: FunctionalDependency) -> None:
+        if dependency not in self._deps:
+            self._deps.append(dependency)
+
+    def add_key(self, key: Iterable[str], all_attributes: Iterable[str]) -> None:
+        """Declare ``key`` as a (super)key determining ``all_attributes``."""
+        self.add(FunctionalDependency.of(key, all_attributes))
+
+    def __iter__(self) -> Iterator[FunctionalDependency]:
+        return iter(self._deps)
+
+    def __len__(self) -> int:
+        return len(self._deps)
+
+    def __repr__(self) -> str:
+        return f"FDSet({self._deps!r})"
+
+    def closure(self, attributes: Iterable[str]) -> AttributeSet:
+        """Attribute-set closure under this FD set (textbook fixpoint)."""
+        result: Set[str] = {a.lower() for a in attributes}
+        changed = True
+        while changed:
+            changed = False
+            for dep in self._deps:
+                if dep.lhs <= result and not dep.rhs <= result:
+                    result |= dep.rhs
+                    changed = True
+        return frozenset(result)
+
+    def implies(self, dependency: FunctionalDependency) -> bool:
+        """Does this FD set entail ``lhs → rhs``?"""
+        return dependency.rhs <= self.closure(dependency.lhs)
+
+    def determines(self, lhs: Iterable[str], rhs: Iterable[str]) -> bool:
+        """Shorthand for ``implies(lhs → rhs)``."""
+        return self.implies(FunctionalDependency.of(lhs, rhs))
+
+    def is_superkey(self, attributes: Iterable[str], all_attributes: Iterable[str]) -> bool:
+        """Does ``attributes`` functionally determine every attribute?"""
+        return frozenset(a.lower() for a in all_attributes) <= self.closure(attributes)
+
+    def renamed(self, prefix: str) -> "FDSet":
+        """A copy with every attribute qualified by ``prefix.``."""
+        return FDSet(dep.rename(prefix) for dep in self._deps)
+
+    def union(self, other: "FDSet") -> "FDSet":
+        merged = FDSet(self._deps)
+        for dep in other:
+            merged.add(dep)
+        return merged
+
+    def minimal_cover_keys(
+        self, all_attributes: Sequence[str]
+    ) -> List[Tuple[str, ...]]:
+        """Candidate keys found by greedy shrinking from the full set.
+
+        Exhaustive candidate-key enumeration is exponential; the
+        optimizer only needs *some* keys for superkey tests, and the
+        closure test above is what actually gates safety.  This helper
+        exists for diagnostics and tests.
+        """
+        universe = [a.lower() for a in all_attributes]
+        key = list(universe)
+        for attribute in list(key):
+            trial = [a for a in key if a != attribute]
+            if trial and self.is_superkey(trial, universe):
+                key = trial
+        return [tuple(key)]

@@ -1,0 +1,101 @@
+"""FD inference over join results and derived tables.
+
+Appendix D's optimization procedure needs functional dependencies that
+hold on *join results* (e.g. that ``G_R ∪ J_R`` is a superkey of
+``Q⋈[S2, T2]``) and on *derived tables* (e.g. that the ``pair`` CTE of
+Listing 4 is keyed by its GROUP BY columns).  This module derives both
+from declared per-table FDs plus the query's equality predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sql import ast
+from repro.constraints.equivalence import EquivalenceClasses
+from repro.constraints.fd import FDSet, FunctionalDependency
+
+
+def equality_conjuncts(
+    conjuncts: Iterable[ast.Expr],
+) -> List[Tuple[ast.ColumnRef, ast.ColumnRef]]:
+    """Column-to-column equality conjuncts (``a.x = b.y``)."""
+    pairs = []
+    for conjunct in conjuncts:
+        if (
+            isinstance(conjunct, ast.BinaryOp)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ast.ColumnRef)
+            and isinstance(conjunct.right, ast.ColumnRef)
+        ):
+            pairs.append((conjunct.left, conjunct.right))
+    return pairs
+
+
+def join_fds(
+    per_alias_fds: Dict[str, FDSet],
+    conjuncts: Iterable[ast.Expr],
+) -> FDSet:
+    """FDs holding on the join of the given aliased relations.
+
+    * each relation's FDs hold with attributes qualified ``alias.col``;
+    * each equality conjunct ``a.x = b.y`` adds ``a.x → b.y`` and
+      ``b.y → a.x``;
+    * constant conjuncts ``a.x = literal`` add ``∅ → a.x``.
+
+    This is sound for inner joins: every joined tuple satisfies the
+    equalities, and component FDs are preserved because a joined tuple
+    projects to component tuples.
+    """
+    result = FDSet()
+    for alias, fds in per_alias_fds.items():
+        for dep in fds.renamed(alias):
+            result.add(dep)
+    for left, right in equality_conjuncts(conjuncts):
+        if left.table is None or right.table is None:
+            continue
+        left_name = f"{left.table}.{left.column}".lower()
+        right_name = f"{right.table}.{right.column}".lower()
+        result.add(FunctionalDependency.of([left_name], [right_name]))
+        result.add(FunctionalDependency.of([right_name], [left_name]))
+    for conjunct in conjuncts:
+        constant_column = _constant_equality(conjunct)
+        if constant_column is not None:
+            result.add(FunctionalDependency.of([], [constant_column]))
+    return result
+
+
+def _constant_equality(conjunct: ast.Expr) -> Optional[str]:
+    """``a.x = literal`` (either side) makes ``a.x`` constant."""
+    if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+        return None
+    for ref, other in (
+        (conjunct.left, conjunct.right),
+        (conjunct.right, conjunct.left),
+    ):
+        if isinstance(ref, ast.ColumnRef) and isinstance(other, ast.Literal):
+            if ref.table is not None:
+                return f"{ref.table}.{ref.column}".lower()
+    return None
+
+
+def grouped_output_fds(
+    group_exprs: Sequence[ast.Expr],
+    output_items: Sequence[Tuple[str, ast.Expr]],
+) -> FDSet:
+    """FDs on the output of a GROUP BY query.
+
+    The grouping expressions identify a group uniquely, so the output
+    columns that project grouping expressions jointly form a key of the
+    result.  ``output_items`` is a list of ``(output_name, expr)``.
+    """
+    fds = FDSet()
+    group_set = {expr for expr in group_exprs}
+    key_columns = [
+        name for name, expr in output_items if expr in group_set
+    ]
+    # Only a key if *every* grouping expression is projected.
+    projected_exprs = {expr for _, expr in output_items}
+    if all(expr in projected_exprs for expr in group_exprs):
+        fds.add_key(key_columns, [name for name, _ in output_items])
+    return fds

@@ -1,0 +1,266 @@
+"""Generalized a-priori (Section 4): safety checks and reducer rewrite.
+
+Theorem 2 (schema-based safety): a-priori is safe to apply to L when Φ
+is applicable to L and
+
+* Φ is monotone and ``𝔾_R ∪ 𝕁_R^=`` is a superkey of R, or
+* Φ is anti-monotone and ``𝔾_L → 𝕁_L``.
+
+The rewrite replaces L with::
+
+    L' = SELECT * FROM L WHERE 𝔾_L IN
+         (SELECT 𝔾_L FROM L GROUP BY 𝔾_L HAVING Φ)
+
+This module also provides Theorem 1's *instance-based* conditions
+(non-inflationary / non-deflationary), used by tests to validate the
+schema-based checks against brute-force ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import OptimizationError
+from repro.sql import ast
+from repro.core.iceberg import IcebergBlock, PartitionView
+from repro.core.monotonicity import Monotonicity
+
+
+@dataclass(frozen=True)
+class AprioriDecision:
+    """Outcome of the Theorem 2 safety check for one side."""
+
+    applicable: bool
+    side_aliases: Tuple[str, ...]
+    reason: str
+    monotonicity: Monotonicity = Monotonicity.UNKNOWN
+
+    def __bool__(self) -> bool:
+        return self.applicable
+
+
+def check_apriori(view: PartitionView, left: bool = True) -> AprioriDecision:
+    """Theorem 2: is a-priori safe for the given side of ``view``?"""
+    block = view.block
+    side_aliases = tuple(sorted(view._side(left)))
+    if block.having is None:
+        return AprioriDecision(False, side_aliases, "no HAVING condition")
+    if not view.phi_applicable_to(left):
+        return AprioriDecision(
+            False, side_aliases, "HAVING is not applicable to this side"
+        )
+    monotonicity = block.phi_monotonicity()
+    g_side = view.g_left if left else view.g_right
+    if not g_side:
+        return AprioriDecision(
+            False,
+            side_aliases,
+            "side has no GROUP BY attributes to reduce on",
+            monotonicity,
+        )
+
+    if monotonicity is Monotonicity.MONOTONE:
+        # Need G_other ∪ J_other^= to be a superkey of the other side.
+        other_fds = view.fds(not left)
+        g_other = view.g_right if left else view.g_left
+        j_other_eq = view.j_right_eq if left else view.j_left_eq
+        other_attributes = view.attributes(not left)
+        if other_fds.is_superkey(g_other | j_other_eq, other_attributes):
+            return AprioriDecision(
+                True,
+                side_aliases,
+                "monotone HAVING and G_R ∪ J_R^= is a superkey of R "
+                "(query is non-inflationary)",
+                monotonicity,
+            )
+        return AprioriDecision(
+            False,
+            side_aliases,
+            "monotone HAVING but G_R ∪ J_R^= is not a superkey of R",
+            monotonicity,
+        )
+
+    if monotonicity is Monotonicity.ANTI_MONOTONE:
+        # Need G_side → J_side on this side.
+        fds = view.fds(left)
+        g_side_set = view.g_left if left else view.g_right
+        j_side = view.j_left if left else view.j_right
+        if fds.determines(g_side_set, j_side):
+            return AprioriDecision(
+                True,
+                side_aliases,
+                "anti-monotone HAVING and G_L → J_L "
+                "(query is non-deflationary)",
+                monotonicity,
+            )
+        return AprioriDecision(
+            False,
+            side_aliases,
+            "anti-monotone HAVING but G_L does not determine J_L",
+            monotonicity,
+        )
+
+    return AprioriDecision(
+        False,
+        side_aliases,
+        f"HAVING monotonicity is {monotonicity.value}; a-priori needs "
+        "a (anti-)monotone condition",
+        monotonicity,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reducer construction
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Reducer:
+    """A reducer subquery for a set of relation instances.
+
+    ``query`` is the ``SELECT 𝔾_L FROM L GROUP BY 𝔾_L HAVING Φ``
+    subquery; ``target_aliases`` are the instances it filters (the
+    subset Ť_L of T_L contributing output attributes, per Appendix D);
+    ``key_columns`` are the (alias-qualified) attributes matched by the
+    IN predicate.
+    """
+
+    query: ast.Select
+    target_aliases: Tuple[str, ...]
+    key_columns: Tuple[str, ...]
+
+
+def build_reducer(view: PartitionView, left: bool = True) -> Reducer:
+    """Construct the reducer subquery for one side of the partition.
+
+    The reducer runs over the side's internal join ``Q⋈[T_L]``: its
+    FROM lists the side's relation instances, its WHERE carries the
+    side-internal conjuncts, and it groups on the side's GROUP BY
+    attributes with the original HAVING.
+    """
+    block = view.block
+    side_aliases = sorted(view._side(left))
+    g_side = sorted(view.g_left if left else view.g_right)
+    if not g_side:
+        raise OptimizationError("cannot build a reducer without GROUP BY attributes")
+    if block.having is None:
+        raise OptimizationError("cannot build a reducer without HAVING")
+
+    group_refs = tuple(
+        ast.ColumnRef(*attribute.split(".", 1)) for attribute in g_side
+    )
+    from_items = tuple(
+        _relation_table_ref(block, alias) for alias in side_aliases
+    )
+    internal = view.left_internal if left else view.right_internal
+    where = ast.conjoin(internal)
+    query = ast.Select(
+        items=tuple(ast.SelectItem(ref) for ref in group_refs),
+        from_items=from_items,
+        where=where,
+        group_by=group_refs,
+        having=block.having,
+    )
+    # Ť_L: instances contributing at least one output attribute.
+    target = tuple(
+        sorted({attribute.partition(".")[0] for attribute in g_side})
+    )
+    return Reducer(query=query, target_aliases=target, key_columns=tuple(g_side))
+
+
+def _relation_table_ref(block: IcebergBlock, alias: str) -> ast.TableExpr:
+    relation = block.relation(alias)
+    name = relation.table_name or relation.cte_name
+    assert name is not None
+    return ast.NamedTable(name=name, alias=alias)
+
+
+def apply_reducer_to_select(select: ast.Select, reducer: Reducer) -> ast.Select:
+    """Rewrite ``select`` so the reducer filters its target instances.
+
+    The reducer's key columns gate the query through an IN predicate
+    added to WHERE::
+
+        (S1.id, S1.attr) IN (SELECT ... reducer ...)
+
+    Adding the predicate to WHERE (rather than wrapping the table in a
+    derived table) keeps the FROM shape — and therefore index
+    availability — unchanged, which is how our executor benefits most;
+    the two forms are equivalent.
+    """
+    needle_items = tuple(
+        ast.ColumnRef(*attribute.split(".", 1))
+        for attribute in reducer.key_columns
+    )
+    needle: ast.Expr = (
+        needle_items[0] if len(needle_items) == 1 else ast.TupleExpr(needle_items)
+    )
+    predicate = ast.InSubquery(needle=needle, subquery=reducer.query)
+    where = ast.conjoin(tuple(ast.conjuncts(select.where)) + (predicate,))
+    return ast.Select(
+        items=select.items,
+        from_items=select.from_items,
+        where=where,
+        group_by=select.group_by,
+        having=select.having,
+        order_by=select.order_by,
+        limit=select.limit,
+        distinct=select.distinct,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1: instance-based checks (used to validate Theorem 2 in tests)
+# ---------------------------------------------------------------------------
+
+
+def is_non_inflationary(
+    rows_left: Sequence[Tuple],
+    rows_right: Sequence[Tuple],
+    joins,
+    group_left,
+    group_right,
+) -> bool:
+    """Brute-force Definition 3 check (non-inflationary w.r.t. L).
+
+    ``joins(l, r) -> bool``; ``group_left(l)`` / ``group_right(r)``
+    give group identities.  Each L-tuple must contribute at most one
+    tuple to each LR-group.
+    """
+    from collections import Counter
+
+    contributions: Counter = Counter()
+    for index, l in enumerate(rows_left):
+        for r in rows_right:
+            if joins(l, r):
+                contributions[(index, group_left(l), group_right(r))] += 1
+    return all(count <= 1 for count in contributions.values())
+
+
+def is_non_deflationary(
+    rows_left: Sequence[Tuple],
+    rows_right: Sequence[Tuple],
+    joins,
+    group_left,
+    group_right,
+) -> bool:
+    """Brute-force Definition 3 check (non-deflationary w.r.t. L).
+
+    For every candidate LR-group (u, v), every L-tuple with group u
+    must contribute at least one joined tuple to the group.
+    """
+    groups = set()
+    for l in rows_left:
+        for r in rows_right:
+            if joins(l, r):
+                groups.add((group_left(l), group_right(r)))
+    for u, v in groups:
+        for index, l in enumerate(rows_left):
+            if group_left(l) != u:
+                continue
+            if not any(
+                joins(l, r) and group_right(r) == v for r in rows_right
+            ):
+                return False
+    return True

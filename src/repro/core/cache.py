@@ -1,0 +1,219 @@
+"""The NLJP operator's cache (Section 5.1, Section 6, Section 7).
+
+The cache maps a *binding* (the tuple of 𝕁_L values) to the memoized
+inner-query results for that binding, plus an *unpromising* flag
+(Definition 5: Φ fails for every 𝔾_R-partition of the joining
+R-tuples).  It serves two distinct reads:
+
+* **memoization** — exact-match lookup by binding (``get``), and
+* **pruning** — search for an unpromising cached binding that
+  subsumes/is subsumed by a new binding (``prune_candidates``).
+
+The paper implements the cache as a PostgreSQL table, optionally with
+a primary-key index (the "CI" configuration of Figure 4).  Here the
+exact-match path is a dict, and the pruning path either scans all
+unpromising entries (no CI) or only the bucket agreeing on the
+equality-constrained attributes of the derived subsumption predicate
+(CI).  ``prune_checks`` counts candidate comparisons either way, so
+benchmarks see the index's effect.
+
+Replacement policies (the paper's future work, implemented here):
+``"none"`` (unbounded), ``"lru"``, and ``"utility"`` (evict the entry
+with the fewest hits).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+Binding = Tuple[Any, ...]
+
+#: Payload rows: one per 𝔾_R group of the joining R-tuples, as
+#: (group_values, aggregate_values).  Empty list = binding joins nothing.
+PayloadRows = Tuple[Tuple[Binding, Tuple[Any, ...]], ...]
+
+
+@dataclass
+class CacheEntry:
+    binding: Binding
+    payload: PayloadRows
+    unpromising: bool
+    hits: int = 0
+
+
+class NLJPCache:
+    """Binding-keyed cache with optional equality-bucket index."""
+
+    def __init__(
+        self,
+        equality_positions: Sequence[int] = (),
+        use_index: bool = True,
+        max_entries: Optional[int] = None,
+        policy: str = "none",
+        order_position: Optional[int] = None,
+    ) -> None:
+        if policy not in ("none", "lru", "utility"):
+            raise ValueError(f"unknown cache policy {policy!r}")
+        if policy != "none" and max_entries is None:
+            raise ValueError(f"policy {policy!r} requires max_entries")
+        self.equality_positions = tuple(equality_positions)
+        self.use_index = use_index and bool(self.equality_positions)
+        self.order_position = order_position if use_index else None
+        self.max_entries = max_entries
+        self.policy = policy
+        self._entries: "OrderedDict[Binding, CacheEntry]" = OrderedDict()
+        self._unpromising_buckets: Dict[Binding, List[CacheEntry]] = {}
+        self._unpromising_all: List[CacheEntry] = []
+        # Unpromising entries sorted by binding[order_position]:
+        # parallel arrays maintained with bisect for range narrowing.
+        self._order_keys: List[Any] = []
+        self._order_entries: List[CacheEntry] = []
+        self._order_seq = 0
+        self.lookups = 0
+        self.hits = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _bucket_key(self, binding: Binding) -> Binding:
+        return tuple(binding[position] for position in self.equality_positions)
+
+    # ------------------------------------------------------------------
+    def get(self, binding: Binding) -> Optional[CacheEntry]:
+        """Memoization lookup; refreshes LRU order on hit."""
+        self.lookups += 1
+        entry = self._entries.get(binding)
+        if entry is None:
+            return None
+        self.hits += 1
+        entry.hits += 1
+        if self.policy == "lru":
+            self._entries.move_to_end(binding)
+        return entry
+
+    def put(
+        self, binding: Binding, payload: PayloadRows, unpromising: bool
+    ) -> CacheEntry:
+        entry = CacheEntry(binding=binding, payload=payload, unpromising=unpromising)
+        if binding not in self._entries and self.max_entries is not None:
+            while len(self._entries) >= self.max_entries:
+                self._evict_one()
+        self._entries[binding] = entry
+        if unpromising:
+            self._unpromising_all.append(entry)
+            if self.use_index:
+                self._unpromising_buckets.setdefault(
+                    self._bucket_key(binding), []
+                ).append(entry)
+            if self.order_position is not None:
+                import bisect
+
+                key = binding[self.order_position]
+                if key is not None:
+                    position = bisect.bisect_right(self._order_keys, key)
+                    self._order_keys.insert(position, key)
+                    self._order_entries.insert(position, entry)
+        return entry
+
+    def _evict_one(self) -> None:
+        if not self._entries:
+            return
+        if self.policy == "utility":
+            victim_binding = min(
+                self._entries, key=lambda b: self._entries[b].hits
+            )
+        else:  # lru (or none, which never gets here)
+            victim_binding = next(iter(self._entries))
+        victim = self._entries.pop(victim_binding)
+        self.evictions += 1
+        if victim.unpromising:
+            self._unpromising_all = [
+                e for e in self._unpromising_all if e is not victim
+            ]
+            if self.use_index:
+                key = self._bucket_key(victim_binding)
+                bucket = self._unpromising_buckets.get(key, [])
+                self._unpromising_buckets[key] = [
+                    e for e in bucket if e is not victim
+                ]
+            if self.order_position is not None:
+                for position, entry in enumerate(self._order_entries):
+                    if entry is victim:
+                        del self._order_entries[position]
+                        del self._order_keys[position]
+                        break
+
+    # ------------------------------------------------------------------
+    def prune_candidates(
+        self,
+        binding: Binding,
+        low: Optional[Any] = None,
+        high: Optional[Any] = None,
+        low_strict: bool = False,
+        high_strict: bool = False,
+    ) -> Iterator[CacheEntry]:
+        """Unpromising entries that *could* subsume this binding.
+
+        With the equality index, only the bucket matching the
+        equality-constrained attributes is scanned.  With an order
+        index (``order_position``), ``low``/``high`` bound the
+        candidate's value at that position and only the qualifying
+        range is scanned.  Otherwise all unpromising entries are
+        candidates.
+        """
+        if self.use_index:
+            yield from self._unpromising_buckets.get(self._bucket_key(binding), ())
+            return
+        if self.order_position is not None and (low is not None or high is not None):
+            import bisect
+
+            start = 0
+            stop = len(self._order_keys)
+            if low is not None:
+                cut = bisect.bisect_right if low_strict else bisect.bisect_left
+                start = cut(self._order_keys, low)
+            if high is not None:
+                cut = bisect.bisect_left if high_strict else bisect.bisect_right
+                stop = cut(self._order_keys, high)
+            yield from self._order_entries[start:stop]
+            return
+        yield from self._unpromising_all
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        """Number of cached bindings (the paper's Figure 3 row counts)."""
+        return len(self._entries)
+
+    def estimated_bytes(self) -> int:
+        """Approximate footprint charged like a PostgreSQL heap table.
+
+        Matches :meth:`repro.storage.table.Table.estimated_bytes` so
+        cache sizes are comparable with input-table sizes (Figure 3).
+        """
+        per_row_overhead = 24
+
+        def value_bytes(value: Any) -> int:
+            if value is None or isinstance(value, bool):
+                return 1
+            if isinstance(value, str):
+                return len(value)
+            return 8
+
+        total = 0
+        for entry in self._entries.values():
+            total += per_row_overhead
+            total += sum(value_bytes(v) for v in entry.binding)
+            total += 1  # unpromising flag
+            for group_values, aggregate_values in entry.payload:
+                total += sum(value_bytes(v) for v in group_values)
+                for value in aggregate_values:
+                    if isinstance(value, tuple):  # algebraic partial state
+                        total += sum(value_bytes(v) for v in value)
+                    else:
+                        total += value_bytes(value)
+        return total

@@ -1,0 +1,162 @@
+"""Monotonicity classification of HAVING conditions (Definition 1, Table 2).
+
+A condition Φ over a set of tuples is *monotone* when ``T ⊆ T'``
+implies ``Φ(T) ⇒ Φ(T')`` (growing the input preserves truth), and
+*anti-monotone* when shrinking preserves truth.  The classifier
+recognizes the paper's Table 2 atoms:
+
+====================================  ============  ==============
+condition                             monotone      anti-monotone
+====================================  ============  ==============
+``COUNT(*)        >= c`` / ``<= c``   yes / -       - / yes
+``COUNT(A)        >= c`` / ``<= c``   yes / -       - / yes
+``COUNT(DISTINCT A) >= c / <= c``     yes / -       - / yes
+``SUM(A) >= c / <= c`` (A ≥ 0)        yes / -       - / yes
+``MAX(A)          >= c`` / ``<= c``   yes / -       - / yes
+``MIN(A)          <= c`` / ``>= c``   yes* / -      - / yes*
+====================================  ============  ==============
+
+(*) The paper's Table 2 lists ``MIN(A) >= c`` as monotone; over
+multisets with the convention that Φ is evaluated on *non-empty*
+groups, ``MIN(A) >= c`` is in fact **anti-monotone** (adding tuples
+can only lower the minimum) and ``MIN(A) <= c`` is monotone — the same
+convention that makes ``MAX(A) >= c`` monotone.  We implement the
+mathematically consistent classification and cover it with tests
+(:mod:`tests/core/test_monotonicity.py` verifies every row
+exhaustively against Definition 1 on enumerated instances).
+
+Strict comparisons (``>``, ``<``) classify like their non-strict
+counterparts.  Conjunctions/disjunctions of same-class conditions keep
+the class; mixing classes yields UNKNOWN, which disables the dependent
+optimizations (safe default).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sql import ast
+
+
+class Monotonicity(enum.Enum):
+    MONOTONE = "monotone"
+    ANTI_MONOTONE = "anti-monotone"
+    BOTH = "both"  # constant conditions (e.g. TRUE)
+    UNKNOWN = "unknown"
+
+    def flip(self) -> "Monotonicity":
+        if self is Monotonicity.MONOTONE:
+            return Monotonicity.ANTI_MONOTONE
+        if self is Monotonicity.ANTI_MONOTONE:
+            return Monotonicity.MONOTONE
+        return self
+
+    def combine(self, other: "Monotonicity") -> "Monotonicity":
+        """Class of a conjunction/disjunction of two conditions."""
+        if self is Monotonicity.BOTH:
+            return other
+        if other is Monotonicity.BOTH:
+            return self
+        if self is other:
+            return self
+        return Monotonicity.UNKNOWN
+
+
+#: Callback answering "is this aggregate argument known nonnegative?".
+NonnegativeOracle = Callable[[ast.Expr], bool]
+
+
+def _always_unknown(_: ast.Expr) -> bool:
+    return False
+
+
+_GE_OPS = (">=", ">")
+_LE_OPS = ("<=", "<")
+
+
+def classify(
+    phi: ast.Expr, nonnegative: Optional[NonnegativeOracle] = None
+) -> Monotonicity:
+    """Classify a HAVING condition per Definition 1.
+
+    ``nonnegative`` tells the classifier whether a SUM argument is
+    known to be ≥ 0 (from catalog domain declarations); without it,
+    SUM thresholds are UNKNOWN, which is the safe answer.
+    """
+    oracle = nonnegative or _always_unknown
+    if isinstance(phi, ast.Literal):
+        if phi.value in (True, False, None):
+            return Monotonicity.BOTH
+        return Monotonicity.UNKNOWN
+    if isinstance(phi, ast.BinaryOp):
+        if phi.op in ("AND", "OR"):
+            return classify(phi.left, oracle).combine(classify(phi.right, oracle))
+        if phi.op in _GE_OPS + _LE_OPS:
+            return _classify_threshold(phi, oracle)
+        return Monotonicity.UNKNOWN
+    if isinstance(phi, ast.UnaryOp) and phi.op == "NOT":
+        return classify(phi.operand, oracle).flip()
+    if isinstance(phi, ast.Between):
+        # BETWEEN is a conjunction of >= and <=: monotone ∧ anti-monotone.
+        low = _classify_threshold(
+            ast.BinaryOp(">=", phi.needle, phi.low), oracle
+        )
+        high = _classify_threshold(
+            ast.BinaryOp("<=", phi.needle, phi.high), oracle
+        )
+        combined = low.combine(high)
+        return combined.flip() if phi.negated else combined
+    return Monotonicity.UNKNOWN
+
+
+def _classify_threshold(
+    phi: ast.BinaryOp, oracle: NonnegativeOracle
+) -> Monotonicity:
+    """Classify ``aggregate OP constant`` (either operand order)."""
+    aggregate, op = None, phi.op
+    if isinstance(phi.left, ast.FuncCall) and phi.left.is_aggregate:
+        if not _is_constant(phi.right):
+            return Monotonicity.UNKNOWN
+        aggregate = phi.left
+    elif isinstance(phi.right, ast.FuncCall) and phi.right.is_aggregate:
+        if not _is_constant(phi.left):
+            return Monotonicity.UNKNOWN
+        aggregate = phi.right
+        flip = {">=": "<=", ">": "<", "<=": ">=", "<": ">"}
+        op = flip[op]
+    if aggregate is None:
+        return Monotonicity.UNKNOWN
+
+    name = aggregate.name
+    ge = op in _GE_OPS
+    if name == "COUNT":
+        # COUNT(*), COUNT(A), COUNT(DISTINCT A) all grow with the input.
+        return Monotonicity.MONOTONE if ge else Monotonicity.ANTI_MONOTONE
+    if name == "MAX":
+        return Monotonicity.MONOTONE if ge else Monotonicity.ANTI_MONOTONE
+    if name == "MIN":
+        # MIN only decreases as tuples are added (non-empty convention).
+        return Monotonicity.ANTI_MONOTONE if ge else Monotonicity.MONOTONE
+    if name == "SUM":
+        if aggregate.distinct:
+            # SUM(DISTINCT A): adding tuples can only add distinct values,
+            # so with A >= 0 it is still monotone in the input set.
+            pass
+        if aggregate.args and oracle(aggregate.args[0]):
+            return Monotonicity.MONOTONE if ge else Monotonicity.ANTI_MONOTONE
+        return Monotonicity.UNKNOWN
+    # AVG is neither monotone nor anti-monotone.
+    return Monotonicity.UNKNOWN
+
+
+def _is_constant(expr: ast.Expr) -> bool:
+    """Is the expression constant (literals/parameters and arithmetic)?"""
+    if isinstance(expr, (ast.Literal, ast.Parameter)):
+        return True
+    if isinstance(expr, ast.BinaryOp):
+        return _is_constant(expr.left) and _is_constant(expr.right)
+    if isinstance(expr, ast.UnaryOp):
+        return _is_constant(expr.operand)
+    return False

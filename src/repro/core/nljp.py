@@ -1,0 +1,651 @@
+"""The NLJP physical operator (Section 7): nested loop join with
+pruning and memoization.
+
+An NLJP instance is specified by four (generated) queries:
+
+* **Q_B** — the binding query: executes L (driver side, with pushed
+  selections/projections) and yields tuples whose 𝕁_L values form the
+  *binding*;
+* **Q_R(b)** — the inner query: a select-aggregate query over R
+  parameterized by a binding, computing every aggregate subexpression
+  of Φ and Λ per 𝔾_R group (plus a support count);
+* **Q_C(b')** — the pruning query: a lookup over the cache for an
+  unpromising entry whose binding subsumes (or is subsumed by) ``b'``
+  under the automatically derived predicate;
+* **Q_P** — post-processing: assembles final result tuples, filtering
+  by Φ; evaluated incrementally when ``𝔾_L → 𝔸_L`` holds (the
+  non-blocking case the paper points out), and by combining algebraic
+  partial states per (𝔾_L, 𝔾_R) group otherwise (Appendix C).
+
+The operator plugs into the engine as a
+:class:`~repro.engine.operators.PhysicalOperator`, so EXPLAIN output,
+stats accounting, and post-steps (ORDER BY/LIMIT) compose normally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import OptimizationError
+from repro.sql import ast
+from repro.sql.render import render
+from repro.engine import operators as ops
+from repro.engine.aggregates import algebraic_form, is_algebraic
+from repro.engine.expressions import ExpressionCompiler
+from repro.engine.layout import Layout
+from repro.engine.planner import PlanEnv, plan_select
+from repro.core.cache import NLJPCache, PayloadRows
+from repro.core.iceberg import PartitionView
+from repro.core.memo import collect_aggregates
+from repro.core.pruning import PruningDecision
+
+
+def _ref(attribute: str) -> ast.ColumnRef:
+    alias, _, column = attribute.partition(".")
+    return ast.ColumnRef(alias, column)
+
+
+def _flat(attribute: str) -> str:
+    return attribute.replace(".", "_")
+
+
+@dataclass
+class AggSlot:
+    """One aggregate of Φ/Λ and its inner-query realization.
+
+    ``pieces`` are the SQL aggregate expressions computed by Q_R for
+    this slot (two for AVG in partial mode, one otherwise);
+    ``from_row`` extracts the slot's state from those piece values;
+    ``combine``/``finalize`` implement the algebraic (f^i, f^o) pair.
+    In *direct* mode (``𝔾_L → 𝔸_L``) the state is the final value and
+    ``combine`` is unused.
+    """
+
+    call: ast.FuncCall
+    pieces: Tuple[ast.FuncCall, ...]
+    from_row: Callable[[Sequence[Any]], Any]
+    combine: Callable[[Any, Any], Any]
+    finalize: Callable[[Any], Any]
+
+
+def _direct_slot(call: ast.FuncCall) -> AggSlot:
+    return AggSlot(
+        call=call,
+        pieces=(call,),
+        from_row=lambda values: values[0],
+        combine=lambda a, b: _unsupported_combine(call),
+        finalize=lambda state: state,
+    )
+
+
+def _unsupported_combine(call: ast.FuncCall) -> Any:
+    raise OptimizationError(
+        f"cannot combine non-algebraic aggregate {call.name} across bindings"
+    )
+
+
+def _algebraic_slot(call: ast.FuncCall) -> AggSlot:
+    """Partial-state slot using the (f^i, f^o) decomposition."""
+    name = call.name
+    if name == "AVG":
+        argument = call.args[0]
+        pieces = (
+            ast.FuncCall("SUM", (argument,)),
+            ast.FuncCall("COUNT", (argument,)),
+        )
+        return AggSlot(
+            call=call,
+            pieces=pieces,
+            from_row=lambda values: (values[0] if values[0] is not None else 0, values[1]),
+            combine=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+            finalize=lambda state: state[0] / state[1] if state[1] else None,
+        )
+    if name in ("COUNT",):
+        return AggSlot(
+            call=call,
+            pieces=(call,),
+            from_row=lambda values: values[0],
+            combine=lambda a, b: a + b,
+            finalize=lambda state: state,
+        )
+    if name == "SUM":
+        return AggSlot(
+            call=call,
+            pieces=(call,),
+            from_row=lambda values: values[0],
+            combine=lambda a, b: b if a is None else (a if b is None else a + b),
+            finalize=lambda state: state,
+        )
+    if name == "MIN":
+        return AggSlot(
+            call=call,
+            pieces=(call,),
+            from_row=lambda values: values[0],
+            combine=lambda a, b: b if a is None else (a if b is None else min(a, b)),
+            finalize=lambda state: state,
+        )
+    if name == "MAX":
+        return AggSlot(
+            call=call,
+            pieces=(call,),
+            from_row=lambda values: values[0],
+            combine=lambda a, b: b if a is None else (a if b is None else max(a, b)),
+            finalize=lambda state: state,
+        )
+    raise OptimizationError(f"no algebraic decomposition for {name}")
+
+
+class NLJPOperator(ops.PhysicalOperator):
+    """Nested-Loop Join with Pruning, built from a partition view.
+
+    Parameters
+    ----------
+    view:
+        The Listing 5 view of the query (driver = left side).
+    env:
+        Planning environment shared with the enclosing statement, so
+        CTE materializations are shared between Q_B and Q_R.
+    pruning:
+        A :class:`PruningDecision`; pruning is active when it is
+        applicable and ``enable_pruning``.
+    enable_memo / enable_pruning:
+        Feature toggles (the paper's Figure 1 enables each in
+        isolation).
+    cache_index:
+        Model the cache's equality index ("CI" in Figure 4).
+    cache_max_entries / cache_policy:
+        Optional replacement policy (paper future work).
+    binding_order:
+        Optional ORDER BY items for Q_B (exploration-order control).
+    """
+
+    def __init__(
+        self,
+        view: PartitionView,
+        env: PlanEnv,
+        pruning: PruningDecision,
+        enable_memo: bool = True,
+        enable_pruning: bool = True,
+        cache_index: bool = True,
+        cache_max_entries: Optional[int] = None,
+        cache_policy: str = "none",
+        binding_order: Tuple[ast.OrderItem, ...] = (),
+    ) -> None:
+        self.view = view
+        self.env = env
+        self.pruning = pruning if (enable_pruning and pruning.applicable) else None
+        self.enable_memo = enable_memo
+        self.cache_index = cache_index
+        self.cache_max_entries = cache_max_entries
+        self.cache_policy = cache_policy
+        self.binding_order = binding_order
+        self.cache: Optional[NLJPCache] = None  # last execution's cache
+
+        block = view.block
+        if block.having is None:
+            raise OptimizationError("NLJP requires a HAVING condition")
+        if not view.phi_applicable_to(left=False):
+            raise OptimizationError("NLJP requires Φ applicable to the inner side")
+        if not view.lambda_aggregates_applicable_to(left=False):
+            raise OptimizationError(
+                "NLJP requires all SELECT aggregates over the inner side"
+            )
+
+        self.g_left = tuple(sorted(view.g_left))
+        self.g_right = tuple(sorted(view.g_right))
+        self.j_left = tuple(sorted(view.j_left))
+        self.direct_mode = view.fds(True).is_superkey(
+            view.g_left, view.attributes(True)
+        )
+
+        calls = collect_aggregates(view)
+        if not self.direct_mode:
+            bad = [call.name for call in calls if not is_algebraic(call)]
+            if bad:
+                raise OptimizationError(
+                    f"non-algebraic aggregates {bad} need G_L -> A_L"
+                )
+        self.slots: List[AggSlot] = [
+            _direct_slot(call) if self.direct_mode else _algebraic_slot(call)
+            for call in calls
+        ]
+
+        self._build_binding_query()
+        self._build_inner_query()
+        self._build_output()
+
+    # ------------------------------------------------------------------
+    # Q_B
+    # ------------------------------------------------------------------
+    def _build_binding_query(self) -> None:
+        view, block = self.view, self.view.block
+        needed: List[str] = []
+        for attribute in self.g_left + self.j_left:
+            if attribute not in needed:
+                needed.append(attribute)
+        # L attributes referenced by Λ outside aggregates; references to
+        # the other side are localized through equated attributes
+        # (OptimizationError here rejects the partition).
+        self.localized_items = tuple(
+            ast.SelectItem(
+                item.expr
+                if isinstance(item.expr, ast.Star)
+                else view.localize(item.expr, left=True),
+                item.alias,
+            )
+            for item in block.items
+        )
+        for item in self.localized_items:
+            if isinstance(item.expr, ast.Star):
+                continue
+            for attribute in sorted(block.attributes_of(item.expr)):
+                alias = attribute.partition(".")[0]
+                if alias in view.left_aliases and attribute not in needed:
+                    needed.append(attribute)
+        self.qb_attributes = tuple(needed)
+        self.binding_positions = tuple(
+            self.qb_attributes.index(attribute) for attribute in self.j_left
+        )
+        items = tuple(
+            ast.SelectItem(_ref(attribute), alias=_flat(attribute))
+            for attribute in self.qb_attributes
+        )
+        from_items = tuple(
+            ast.NamedTable(
+                name=(
+                    block.relation(alias).table_name
+                    or block.relation(alias).cte_name
+                ),
+                alias=alias,
+            )
+            for alias in sorted(view.left_aliases)
+        )
+        self.qb_select = ast.Select(
+            items=items,
+            from_items=from_items,
+            where=ast.conjoin(view.left_internal),
+            order_by=self.binding_order,
+        )
+        self.qb_plan, _ = plan_select(self.qb_select, self.env)
+        # Re-expose Q_B outputs under their original alias.column names.
+        self.qb_layout = Layout(
+            [tuple(attribute.split(".", 1)) for attribute in self.qb_attributes]
+        )
+
+    # ------------------------------------------------------------------
+    # Q_R(b)
+    # ------------------------------------------------------------------
+    def _build_inner_query(self) -> None:
+        view, block = self.view, self.view.block
+        self.param_names = tuple(
+            f"b_{_flat(attribute)}" for attribute in self.j_left
+        )
+        param_of = dict(zip(self.j_left, self.param_names))
+
+        def parameterize(expr: ast.Expr) -> ast.Expr:
+            def visit(node):
+                if isinstance(node, ast.ColumnRef) and node.table in view.left_aliases:
+                    return ast.Parameter(param_of[f"{node.table}.{node.column}"])
+                return node
+
+            return ast.transform(expr, visit)
+
+        theta_parameterized = tuple(parameterize(c) for c in view.theta)
+
+        items: List[ast.SelectItem] = [
+            ast.SelectItem(_ref(attribute), alias=f"_grp{i}")
+            for i, attribute in enumerate(self.g_right)
+        ]
+        self.slot_piece_positions: List[Tuple[int, ...]] = []
+        position = len(self.g_right)
+        for slot in self.slots:
+            positions = []
+            for piece in slot.pieces:
+                items.append(ast.SelectItem(piece, alias=f"_p{position}"))
+                positions.append(position)
+                position += 1
+            self.slot_piece_positions.append(tuple(positions))
+        self.support_position = position
+        items.append(
+            ast.SelectItem(ast.FuncCall("COUNT", (ast.Star(),)), alias="_support")
+        )
+
+        from_items = tuple(
+            ast.NamedTable(
+                name=(
+                    block.relation(alias).table_name
+                    or block.relation(alias).cte_name
+                ),
+                alias=alias,
+            )
+            for alias in sorted(view.right_aliases)
+        )
+        self.qr_select = ast.Select(
+            items=tuple(items),
+            from_items=from_items,
+            where=ast.conjoin(tuple(view.right_internal) + theta_parameterized),
+            group_by=tuple(_ref(a) for a in self.g_right),
+        )
+        self.qr_plan, _ = plan_select(self.qr_select, self.env)
+
+    # ------------------------------------------------------------------
+    # Q_P / output
+    # ------------------------------------------------------------------
+    def _build_output(self) -> None:
+        view, block = self.view, self.view.block
+        grp_slots = [tuple(attribute.split(".", 1)) for attribute in self.g_right]
+        agg_slots = [(None, f"_agg{i}") for i in range(len(self.slots))]
+        self.combined_layout = Layout(
+            list(self.qb_layout.slots) + grp_slots + agg_slots
+        )
+
+        calls = [slot.call for slot in self.slots]
+        replacements = {
+            call: ast.ColumnRef(None, f"_agg{i}") for i, call in enumerate(calls)
+        }
+
+        def rewrite(expr: ast.Expr) -> ast.Expr:
+            def visit(node):
+                if isinstance(node, ast.FuncCall) and node.is_aggregate:
+                    replaced = replacements.get(node)
+                    if replaced is None:
+                        raise OptimizationError(
+                            f"aggregate {render(node)} not covered by NLJP slots"
+                        )
+                    return replaced
+                return node
+
+            return ast.transform(expr, visit)
+
+        combined_compiler = ExpressionCompiler(
+            self.combined_layout, self.env.subquery_executor
+        )
+        payload_layout = Layout(grp_slots + agg_slots)
+        payload_compiler = ExpressionCompiler(
+            payload_layout, self.env.subquery_executor
+        )
+        assert block.having is not None
+        self.phi_fn = payload_compiler.compile(rewrite(block.having))
+
+        # How to treat a binding whose joining set is *empty*.  Such a
+        # binding produces no LR-group, so the flag only matters for
+        # pruning: under a monotone Φ a subsumed binding joins a subset
+        # of ∅ (i.e. nothing) and pruning it is always safe; under an
+        # anti-monotone Φ the empty set says nothing about supersets
+        # (e.g. COUNT(*) <= k and SUM(A) <= c both hold "in the limit"
+        # on ∅), so the binding must never seed pruning.
+        from repro.core.monotonicity import Monotonicity
+
+        self._empty_is_unpromising = (
+            view.block.phi_monotonicity() is Monotonicity.MONOTONE
+        )
+
+        self.output_fns = []
+        output_names = []
+        for index, item in enumerate(self.localized_items):
+            if isinstance(item.expr, ast.Star):
+                raise OptimizationError("SELECT * is not supported with NLJP")
+            self.output_fns.append(combined_compiler.compile(rewrite(item.expr)))
+            if item.alias:
+                output_names.append(item.alias.lower())
+            elif isinstance(item.expr, ast.ColumnRef):
+                output_names.append(item.expr.column.lower())
+            elif isinstance(item.expr, ast.FuncCall):
+                output_names.append(item.expr.name.lower())
+            else:
+                output_names.append(f"col{index}")
+        self.output_names = tuple(output_names)
+        self.layout = Layout([(None, name) for name in self.output_names])
+
+        # Positions of G_L attributes in Q_B output (general-mode keys).
+        self.g_left_positions = tuple(
+            self.qb_attributes.index(attribute) for attribute in self.g_left
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _new_cache(self) -> NLJPCache:
+        equality_positions = ()
+        order_position = None
+        self._order_bound = None  # (position, is_low_bound, strict)
+        if self.pruning is not None and self.pruning.predicate is not None:
+            predicate = self.pruning.predicate
+            equality_positions = predicate.equality_attributes()
+            ordered = predicate.ordered_attribute() if self.cache_index else None
+            if ordered is not None and not equality_positions:
+                position, op = ordered
+                # The predicate requires w[position] OP v[position].  In
+                # should_prune, (w, v) are instantiated per direction:
+                from repro.core.pruning import PruneDirection
+
+                if self.pruning.direction is PruneDirection.NEW_SUBSUMES_CACHED:
+                    # w = new, v = cached: cached must satisfy
+                    # new OP cached -> a bound on the cached value.
+                    if op in ("<", "<="):
+                        self._order_bound = (position, True, op == "<")
+                    else:
+                        self._order_bound = (position, False, op == ">")
+                else:
+                    # w = cached, v = new: cached OP new.
+                    if op in ("<", "<="):
+                        self._order_bound = (position, False, op == "<")
+                    else:
+                        self._order_bound = (position, True, op == ">")
+                order_position = position
+        return NLJPCache(
+            equality_positions=equality_positions,
+            use_index=self.cache_index,
+            max_entries=self.cache_max_entries,
+            policy=self.cache_policy,
+            order_position=order_position,
+        )
+
+    def _run_inner(self, ctx: ops.ExecutionContext, binding) -> PayloadRows:
+        ctx.stats.inner_evaluations += 1
+        saved = dict(ctx.params)
+        ctx.params.update(zip(self.param_names, binding))
+        try:
+            raw_rows = list(self.qr_plan.execute(ctx))
+        finally:
+            ctx.params.clear()
+            ctx.params.update(saved)
+        n_grp = len(self.g_right)
+        payload: List[Tuple[Tuple[Any, ...], Tuple[Any, ...]]] = []
+        for row in raw_rows:
+            if not row[self.support_position]:
+                continue  # no joining R-tuples: not a group
+            states = tuple(
+                slot.from_row([row[p] for p in positions])
+                for slot, positions in zip(self.slots, self.slot_piece_positions)
+            )
+            payload.append((tuple(row[:n_grp]), states))
+        return tuple(payload)
+
+    def _finalized(self, group: Tuple[Any, ...], states: Tuple[Any, ...]):
+        return group + tuple(
+            slot.finalize(state) for slot, state in zip(self.slots, states)
+        )
+
+    def _is_unpromising(self, payload: PayloadRows, params: Dict[str, Any]) -> bool:
+        """Definition 5: Φ fails for every G_R-partition of R⋉w.
+
+        The empty-payload case is settled by Φ's monotonicity (see
+        ``_empty_is_unpromising``): a monotone Φ lets a binding that
+        joins nothing prune everything it subsumes (they join nothing
+        either), while an anti-monotone Φ on the empty set gives no
+        leverage over supersets, so the binding must not seed pruning.
+        """
+        if not payload:
+            return self._empty_is_unpromising
+        for group, states in payload:
+            if self.phi_fn(self._finalized(group, states), params) is True:
+                return False
+        return True
+
+    def execute(self, ctx: ops.ExecutionContext) -> Iterator[Tuple[Any, ...]]:
+        self.env.ctx_holder.setdefault("ctx", ctx)
+        cache = self._new_cache()
+        self.cache = cache
+        params = ctx.params
+        stats = ctx.stats
+
+        if self.direct_mode:
+            yield from self._execute_direct(ctx, cache)
+        else:
+            yield from self._execute_combining(ctx, cache)
+
+        stats.cache_rows += cache.rows
+        stats.cache_bytes += cache.estimated_bytes()
+        stats.cache_hits += cache.hits
+        stats.cache_misses += cache.lookups - cache.hits
+
+    def _lookup_or_compute(self, ctx: ops.ExecutionContext, cache: NLJPCache, binding):
+        """The per-binding core of Listing 6 / Section 7's pseudocode.
+
+        Returns the cache entry, or None when the binding was pruned.
+        """
+        entry = cache.get(binding) if self.enable_memo else None
+        if entry is not None:
+            return entry
+        if self.pruning is not None:
+            low = high = None
+            low_strict = high_strict = False
+            if self._order_bound is not None:
+                position, is_low, strict = self._order_bound
+                value = binding[position]
+                if is_low:
+                    low, low_strict = value, strict
+                else:
+                    high, high_strict = value, strict
+            pruned = False
+            for candidate in cache.prune_candidates(
+                binding, low=low, high=high,
+                low_strict=low_strict, high_strict=high_strict,
+            ):
+                ctx.stats.prune_checks += 1
+                if self.pruning.should_prune(binding, candidate.binding):
+                    pruned = True
+                    break
+            if pruned:
+                ctx.stats.pruned_bindings += 1
+                return None
+        payload = self._run_inner(ctx, binding)
+        unpromising = self._is_unpromising(payload, ctx.params)
+        if self.enable_memo or (self.pruning is not None and unpromising):
+            return cache.put(binding, payload, unpromising)
+        from repro.core.cache import CacheEntry
+
+        return CacheEntry(binding=binding, payload=payload, unpromising=unpromising)
+
+    def _execute_direct(
+        self, ctx: ops.ExecutionContext, cache: NLJPCache
+    ) -> Iterator[Tuple[Any, ...]]:
+        """𝔾_L → 𝔸_L: each binding's groups are complete; stream output."""
+        params = ctx.params
+        for qb_row in self.qb_plan.execute(ctx):
+            binding = tuple(qb_row[p] for p in self.binding_positions)
+            entry = self._lookup_or_compute(ctx, cache, binding)
+            if entry is None or entry.unpromising:
+                continue
+            for group, states in entry.payload:
+                finalized = self._finalized(group, states)
+                if self.phi_fn(finalized, params) is not True:
+                    continue
+                combined = tuple(qb_row) + finalized
+                yield tuple(fn(combined, params) for fn in self.output_fns)
+
+    def _execute_combining(
+        self, ctx: ops.ExecutionContext, cache: NLJPCache
+    ) -> Iterator[Tuple[Any, ...]]:
+        """General case: combine algebraic partials per (𝔾_L, 𝔾_R) group."""
+        params = ctx.params
+        groups: Dict[Tuple, List[Any]] = {}
+        representative: Dict[Tuple, Tuple[Any, ...]] = {}
+        for qb_row in self.qb_plan.execute(ctx):
+            binding = tuple(qb_row[p] for p in self.binding_positions)
+            entry = self._lookup_or_compute(ctx, cache, binding)
+            if entry is None:
+                continue
+            left_key = tuple(qb_row[p] for p in self.g_left_positions)
+            for group, states in entry.payload:
+                key = (left_key, group)
+                existing = groups.get(key)
+                if existing is None:
+                    groups[key] = list(states)
+                    representative[key] = tuple(qb_row)
+                else:
+                    groups[key] = [
+                        slot.combine(a, b)
+                        for slot, a, b in zip(self.slots, existing, states)
+                    ]
+        for key, states in groups.items():
+            left_key, group = key
+            finalized = self._finalized(group, tuple(states))
+            if self.phi_fn(finalized, params) is not True:
+                continue
+            combined = representative[key] + finalized
+            yield tuple(fn(combined, params) for fn in self.output_fns)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> List[str]:
+        features = []
+        if self.pruning is not None:
+            features.append("pruning")
+        if self.enable_memo:
+            features.append("memo")
+        lines = [
+            f"NLJP [{'+'.join(features) or 'plain'}] "
+            f"mode={'direct' if self.direct_mode else 'combining'}"
+        ]
+        lines += ["  Q_B: " + render(self.qb_select)]
+        lines += ["  Q_R: " + render(self.qr_select)]
+        if self.pruning is not None and self.pruning.predicate is not None:
+            lines += ["  Q_C: " + render(self.pruning_query_sql())]
+        return lines
+
+    def pruning_query_sql(self) -> ast.Expr:
+        """The Q_C predicate as SQL (over cache columns + parameters)."""
+        assert self.pruning is not None and self.pruning.predicate is not None
+        predicate = self.pruning.predicate
+        from repro.core.pruning import PruneDirection
+
+        if self.pruning.direction is PruneDirection.NEW_SUBSUMED_BY_CACHED:
+            # cached ⪰ new: w = cached columns, w' = parameters.
+            return predicate.to_sql(
+                new_binding=lambda i: ast.ColumnRef(
+                    "c", _flat(predicate.attributes[i])
+                ),
+                cached_binding=lambda i: ast.Parameter(
+                    f"b_{_flat(predicate.attributes[i])}"
+                ),
+            )
+        return predicate.to_sql(
+            new_binding=lambda i: ast.Parameter(
+                f"b_{_flat(predicate.attributes[i])}"
+            ),
+            cached_binding=lambda i: ast.ColumnRef(
+                "c", _flat(predicate.attributes[i])
+            ),
+        )
+
+    def sql_listing(self) -> Dict[str, str]:
+        """Generated query texts, in the spirit of Listings 7 and 10."""
+        listing = {
+            "Q_B": render(self.qb_select),
+            "Q_R": render(self.qr_select),
+            "Q_P": (
+                "incremental Φ-filter over concatenated tuples"
+                if self.direct_mode
+                else "combine algebraic partials per (G_L, G_R), then Φ-filter"
+            ),
+        }
+        if self.pruning is not None and self.pruning.predicate is not None:
+            listing["Q_C"] = (
+                "SELECT 1 FROM cache c WHERE c.unpromising AND "
+                + render(self.pruning_query_sql())
+            )
+        return listing

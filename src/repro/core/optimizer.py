@@ -1,0 +1,566 @@
+"""The Smart-Iceberg optimization procedure (Section 7, Appendix D).
+
+Given a statement, the optimizer:
+
+1. analyzes each CTE block; iceberg-shaped CTEs get the generalized
+   a-priori rewrite (this is how the "pairs" query's WITH block is
+   optimized);
+2. on the main block, runs the Appendix D loop: repeatedly
+   ``pick_gapriori`` over subsets of the joined relation instances,
+   collecting reducers, then ``pick_memprune`` to select an NLJP
+   partition compatible with the reducers;
+3. emits an :class:`OptimizedQuery`: reducers applied as IN-subquery
+   filters (Listing 11 composes them into Q_B/Q_R automatically), and
+   the join+aggregation pipeline replaced by an NLJP operator when
+   memoization/pruning apply.
+
+Every decision — applied or not, and why — is recorded in the
+:class:`OptimizationReport` so ``explain()`` shows the full reasoning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import OptimizationError, PlanningError
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.sql.render import render
+from repro.engine import operators as ops
+from repro.engine.executor import Result, run_planned
+from repro.engine.layout import Layout
+from repro.engine.planner import (
+    EngineConfig,
+    PlanEnv,
+    PlannedQuery,
+    plan_select,
+)
+from repro.constraints.fd import FDSet
+from repro.constraints.inference import grouped_output_fds
+from repro.core.apriori import (
+    AprioriDecision,
+    Reducer,
+    apply_reducer_to_select,
+    build_reducer,
+    check_apriori,
+)
+from repro.core.iceberg import IcebergBlock, PartitionView
+from repro.core.memo import MemoizationDecision, check_memoization
+from repro.core.monotonicity import Monotonicity
+from repro.core.nljp import NLJPOperator
+from repro.core.pruning import PruningDecision, check_pruning
+from repro.storage.catalog import Database
+
+CteInfo = Tuple[Tuple[str, ...], FDSet, FrozenSet[str]]
+
+
+@dataclass
+class OptimizationReport:
+    """Everything the optimizer decided, with reasons."""
+
+    apriori: List[Tuple[str, Reducer, AprioriDecision]] = field(default_factory=list)
+    apriori_rejected: List[Tuple[str, str]] = field(default_factory=list)
+    pruning: Optional[PruningDecision] = None
+    memoization: Optional[MemoizationDecision] = None
+    nljp_partition: Optional[Tuple[str, ...]] = None
+    notes: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines: List[str] = []
+        for scope, reducer, decision in self.apriori:
+            lines.append(
+                f"a-priori[{scope}]: reduce {','.join(reducer.target_aliases)} "
+                f"({decision.reason})"
+            )
+        for scope, reason in self.apriori_rejected:
+            lines.append(f"a-priori[{scope}] not applied: {reason}")
+        if self.nljp_partition:
+            lines.append(f"NLJP driver: {','.join(self.nljp_partition)}")
+        if self.pruning is not None:
+            state = "ON" if self.pruning.applicable else "off"
+            lines.append(f"pruning {state}: {self.pruning.reason}")
+        if self.memoization is not None:
+            state = "ON" if bool(self.memoization) else "off"
+            lines.append(f"memoization {state}: {self.memoization.reason}")
+        lines.extend(self.notes)
+        return "\n".join(lines)
+
+
+@dataclass
+class OptimizedQuery:
+    """A statement after Smart-Iceberg optimization, ready to run."""
+
+    original_sql: str
+    rewritten: ast.Query
+    planned: PlannedQuery
+    report: OptimizationReport
+    nljp: Optional[NLJPOperator] = None
+
+    def execute(self, params: Optional[Dict] = None) -> Result:
+        return run_planned(self.planned, params)
+
+    def explain(self) -> str:
+        return self.report.summary() + "\n---\n" + self.planned.explain()
+
+    def rewritten_sql(self) -> str:
+        return render(self.rewritten)
+
+
+class SmartIcebergOptimizer:
+    """The paper's optimizer: a pre-compiler over SQL statements.
+
+    Feature toggles mirror the paper's Figure 1 configurations:
+    ``enable_apriori``, ``enable_pruning``, ``enable_memo``.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        enable_apriori: bool = True,
+        enable_pruning: bool = True,
+        enable_memo: bool = True,
+        config: Optional[EngineConfig] = None,
+        cache_index: bool = True,
+        cache_max_entries: Optional[int] = None,
+        cache_policy: str = "none",
+        max_partition_size: int = 3,
+        binding_order: str = "none",
+    ) -> None:
+        if binding_order not in ("none", "auto"):
+            raise OptimizationError(
+                f"binding_order must be 'none' or 'auto', got {binding_order!r}"
+            )
+        self.db = db
+        self.enable_apriori = enable_apriori
+        self.enable_pruning = enable_pruning
+        self.enable_memo = enable_memo
+        self.config = config or EngineConfig.smart()
+        self.cache_index = cache_index
+        self.cache_max_entries = cache_max_entries
+        self.cache_policy = cache_policy
+        self.max_partition_size = max_partition_size
+        self.binding_order = binding_order
+
+    # ------------------------------------------------------------------
+    def optimize(self, statement) -> OptimizedQuery:
+        query = parse(statement) if isinstance(statement, str) else statement
+        if isinstance(query, ast.Select):
+            query = ast.Query.of(query)
+        report = OptimizationReport()
+
+        # Phase 1: per-CTE a-priori.
+        cte_infos: Dict[str, CteInfo] = {}
+        new_ctes: List[ast.CommonTableExpr] = []
+        for cte in query.ctes:
+            select = cte.query
+            if self.enable_apriori:
+                select = self._apriori_phase(
+                    select, cte_infos, report, scope=f"with:{cte.name}"
+                )
+            new_ctes.append(
+                ast.CommonTableExpr(name=cte.name, query=select, columns=cte.columns)
+            )
+            cte_infos[cte.name.lower()] = self._cte_info(cte, select)
+
+        # Phase 2: main block a-priori.
+        body = query.body
+        if self.enable_apriori:
+            body = self._apriori_phase(body, cte_infos, report, scope="main")
+
+        rewritten = ast.Query(body=body, ctes=tuple(new_ctes))
+
+        # Phase 3: memoization/pruning via NLJP.
+        env = PlanEnv(db=self.db, config=self.config)
+        for cte in rewritten.ctes:
+            plan, columns = plan_select(cte.query, env)
+            from repro.engine.planner import _SharedMaterialize
+
+            env.ctes[cte.name.lower()] = (
+                _SharedMaterialize(plan, label=cte.name),
+                tuple(columns),
+            )
+
+        nljp = None
+        if self.enable_pruning or self.enable_memo:
+            nljp = self._memprune_phase(body, cte_infos, env, report)
+
+        if nljp is not None:
+            planned = self._finalize_nljp_plan(body, nljp, env)
+        else:
+            plan, columns = plan_select(body, env)
+            planned = PlannedQuery(
+                root=ops.CountOutput(plan), columns=tuple(columns), env=env
+            )
+
+        return OptimizedQuery(
+            original_sql=(
+                statement if isinstance(statement, str) else render(query)
+            ),
+            rewritten=rewritten,
+            planned=planned,
+            report=report,
+            nljp=nljp,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase helpers
+    # ------------------------------------------------------------------
+    def _analyze(
+        self, select: ast.Select, cte_infos: Dict[str, CteInfo]
+    ) -> Optional[IcebergBlock]:
+        if select.having is None or len(select.from_items) == 0:
+            return None
+        try:
+            return IcebergBlock(select, self.db, cte_infos)
+        except OptimizationError:
+            return None
+
+    def _apriori_phase(
+        self,
+        select: ast.Select,
+        cte_infos: Dict[str, CteInfo],
+        report: OptimizationReport,
+        scope: str,
+    ) -> ast.Select:
+        """Listing 9's gapriori loop over one block."""
+        block = self._analyze(select, cte_infos)
+        if block is None:
+            return select
+        remaining = set(block.aliases)
+        result = select
+        found_any = False
+        while len(remaining) > 0:
+            picked = self._pick_gapriori(block, remaining, report, scope)
+            if picked is None:
+                break
+            reducer, used_aliases = picked
+            result = apply_reducer_to_select(result, reducer)
+            remaining -= used_aliases
+            found_any = True
+        if not found_any and not report.apriori_rejected:
+            report.apriori_rejected.append(
+                (scope, "no subset passed the Theorem 2 checks")
+            )
+        return result
+
+    def _pick_gapriori(
+        self,
+        block: IcebergBlock,
+        remaining: set,
+        report: OptimizationReport,
+        scope: str,
+    ) -> Optional[Tuple[Reducer, FrozenSet[str]]]:
+        """Find one applicable reducer among subsets of ``remaining``."""
+        aliases = sorted(remaining)
+        all_aliases = frozenset(block.aliases)
+        max_size = min(len(aliases), self.max_partition_size, len(all_aliases) - 1)
+        # Rank candidate subsets by the *fineness* of the reducer's
+        # grouping (more G_L attributes = finer groups = more filtering
+        # power), then by subset size.  This makes the search find the
+        # paper's {S1,T1}/{S2,T2} reducers for Example 13 instead of a
+        # coarse single-instance reducer that happens to pass the check.
+        candidates = []
+        for size in range(1, max_size + 1):
+            for subset in combinations(aliases, size):
+                left = frozenset(subset)
+                if left == all_aliases:
+                    continue
+                view = block.partition(sorted(left))
+                candidates.append((-len(view.g_left), size, subset, view))
+        candidates.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+        for _, __, subset, view in candidates:
+            if not view.g_left:
+                continue
+            # Ť_L (the instances carrying the reducer's key columns)
+            # must be a single instance: the IN predicate then stays a
+            # single-alias conjunct that pushes into scans and never
+            # pollutes Θ of a later NLJP partition.  Both of the
+            # paper's worked reducers (Example 13) have this shape.
+            target_aliases = {a.partition(".")[0] for a in view.g_left}
+            if len(target_aliases) > 1:
+                continue
+            decision = check_apriori(view, left=True)
+            if not decision.applicable:
+                continue
+            if self._reducer_is_trivial(view):
+                report.apriori_rejected.append(
+                    (
+                        scope,
+                        f"reducer on {sorted(subset)} is trivial "
+                        "(G_L is a superkey, Φ holds on singleton groups)",
+                    )
+                )
+                continue
+            reducer = build_reducer(view, left=True)
+            report.apriori.append((scope, reducer, decision))
+            return reducer, frozenset(subset)
+        return None
+
+    def _reducer_is_trivial(self, view: PartitionView) -> bool:
+        """Would the reducer keep every group (and thus be useless)?
+
+        When 𝔾_L is a superkey of L, every L-group is a single tuple;
+        if Φ only involves COUNT(*) thresholds, evaluate Φ with
+        COUNT(*) = 1 — if it holds, the reducer filters nothing.  This
+        is the cost heuristic that makes "a-priori does not apply" come
+        out the same way the paper reports for the skyband queries.
+        """
+        fds = view.fds(True)
+        if not fds.is_superkey(view.g_left, view.attributes(True)):
+            return False
+        having = view.block.having
+        assert having is not None
+        calls = ast.aggregate_calls(having)
+        if not all(
+            call.name == "COUNT"
+            and len(call.args) == 1
+            and isinstance(call.args[0], ast.Star)
+            for call in calls
+        ):
+            return False
+
+        def substitute(node):
+            if isinstance(node, ast.FuncCall) and node.is_aggregate:
+                return ast.Literal(1)
+            return node
+
+        substituted = ast.transform(having, substitute)
+        from repro.engine.expressions import ExpressionCompiler
+
+        try:
+            value = ExpressionCompiler(Layout([(None, "_x")])).compile(substituted)(
+                (None,), {}
+            )
+        except PlanningError:
+            return False
+        return value is True
+
+    # ------------------------------------------------------------------
+    def _memprune_phase(
+        self,
+        body: ast.Select,
+        cte_infos: Dict[str, CteInfo],
+        env: PlanEnv,
+        report: OptimizationReport,
+    ) -> Optional[NLJPOperator]:
+        """Listing 9's pick_memprune: choose an NLJP partition."""
+        block = self._analyze(body, cte_infos)
+        if block is None:
+            report.notes.append("NLJP not applicable: block is not an iceberg join")
+            return None
+        if body.distinct:
+            report.notes.append("NLJP not applicable: SELECT DISTINCT")
+            return None
+
+        try:
+            group_aliases = frozenset(
+                attribute.partition(".")[0]
+                for attribute in block.group_by_attributes()
+            )
+        except OptimizationError as error:
+            report.notes.append(f"NLJP not applicable: {error}")
+            return None
+        having_aliases = block.aliases_of(block.having) if block.having is not None else frozenset()
+        all_aliases = frozenset(block.aliases)
+
+        candidates: List[FrozenSet[str]] = []
+        base = group_aliases or frozenset()
+        # Minimal partitions first: GROUP BY aliases, then grow, never
+        # swallowing the aliases Φ needs on the inner side.
+        if base and base != all_aliases and not (base & having_aliases):
+            candidates.append(base)
+        others = sorted(all_aliases - base - having_aliases)
+        for extra in range(1, len(others) + 1):
+            for combo in combinations(others, extra):
+                candidate = base | frozenset(combo)
+                if candidate and candidate != all_aliases:
+                    candidates.append(candidate)
+
+        best: Optional[NLJPOperator] = None
+        for candidate in candidates:
+            view = block.partition(sorted(candidate))
+            pruning = check_pruning(view, outer_left=True)
+            memo = check_memoization(view, outer_left=True)
+            use_pruning = self.enable_pruning and pruning.applicable
+            use_memo = self.enable_memo and bool(memo)
+            if not use_pruning and not use_memo:
+                continue
+            binding_order = ()
+            if (
+                self.binding_order == "auto"
+                and use_pruning
+                and pruning.predicate is not None
+            ):
+                binding_order = self._auto_binding_order(pruning)
+            try:
+                nljp = NLJPOperator(
+                    view,
+                    env,
+                    pruning=pruning,
+                    enable_memo=use_memo,
+                    enable_pruning=use_pruning,
+                    cache_index=self.cache_index,
+                    cache_max_entries=self.cache_max_entries,
+                    cache_policy=self.cache_policy,
+                    binding_order=binding_order,
+                )
+            except OptimizationError as error:
+                report.notes.append(
+                    f"NLJP on {sorted(candidate)} rejected: {error}"
+                )
+                continue
+            report.pruning = pruning
+            report.memoization = memo
+            report.nljp_partition = tuple(sorted(candidate))
+            best = nljp
+            break
+        if best is None:
+            report.notes.append(
+                "NLJP not applied: no partition passed the memo/pruning checks"
+            )
+        return best
+
+    @staticmethod
+    def _auto_binding_order(pruning: PruningDecision) -> Tuple[ast.OrderItem, ...]:
+        """Pick a Q_B ordering that maximizes pruning opportunities.
+
+        The paper leaves the exploration order unspecified and flags
+        intelligent ordering as future work (Section 7).  Our heuristic
+        uses the derived predicate's ordered attribute ``w_i OP v_i``:
+        a new binding can only be pruned by a cached candidate on the
+        favourable side of that attribute, so process bindings so that
+        *every* earlier (hence cacheable) binding lies on that side —
+        e.g. for the anti-monotone skyband (prune when new ≤ cached),
+        explore in descending coordinate order.
+        """
+        from repro.core.pruning import PruneDirection
+
+        predicate = pruning.predicate
+        assert predicate is not None
+        ordered = predicate.ordered_attribute()
+        if ordered is None:
+            return ()
+        position, op = ordered
+        attribute = predicate.attributes[position]
+        # The predicate requires w OP v with w the subsumer.  If the new
+        # binding plays w (NEW_SUBSUMES_CACHED), candidates must satisfy
+        # new OP cached — for OP "<=" cache the large values first, i.e.
+        # descending order.  With roles swapped, mirror the direction.
+        if pruning.direction is PruneDirection.NEW_SUBSUMES_CACHED:
+            ascending = op in (">", ">=")
+        else:
+            ascending = op in ("<", "<=")
+        alias, _, column = attribute.partition(".")
+        return (ast.OrderItem(ast.ColumnRef(alias, column), ascending=ascending),)
+
+    def _finalize_nljp_plan(
+        self, body: ast.Select, nljp: NLJPOperator, env: PlanEnv
+    ) -> PlannedQuery:
+        """Wrap the NLJP operator with ORDER BY / LIMIT if present."""
+        plan: ops.PhysicalOperator = nljp
+        if body.order_by:
+            from repro.engine.expressions import ExpressionCompiler
+
+            compiler = ExpressionCompiler(nljp.layout, env.subquery_executor)
+            key_fns = []
+            ascending = []
+            for item in body.order_by:
+                rewritten = item.expr
+                if isinstance(rewritten, ast.FuncCall) and rewritten.is_aggregate:
+                    raise OptimizationError(
+                        "ORDER BY on an aggregate requires it in the SELECT list"
+                    )
+                key_fns.append(compiler.compile(self._strip_aliases(rewritten)))
+                ascending.append(item.ascending)
+            plan = ops.Sort(plan, key_fns, ascending)
+        if body.limit is not None:
+            plan = ops.Limit(plan, body.limit)
+        return PlannedQuery(
+            root=ops.CountOutput(plan), columns=nljp.output_names, env=env
+        )
+
+    @staticmethod
+    def _strip_aliases(expr: ast.Expr) -> ast.Expr:
+        """NLJP output columns are unqualified; drop table qualifiers."""
+
+        def visit(node):
+            if isinstance(node, ast.ColumnRef) and node.table is not None:
+                return ast.ColumnRef(None, node.column)
+            return node
+
+        return ast.transform(expr, visit)
+
+    # ------------------------------------------------------------------
+    def _cte_info(self, cte: ast.CommonTableExpr, select: ast.Select) -> CteInfo:
+        """Columns, FDs, and nonnegativity facts for a CTE's output."""
+        names: List[str] = []
+        for index, item in enumerate(select.items):
+            if cte.columns:
+                continue
+            if item.alias:
+                names.append(item.alias.lower())
+            elif isinstance(item.expr, ast.ColumnRef):
+                names.append(item.expr.column.lower())
+            elif isinstance(item.expr, ast.FuncCall):
+                names.append(item.expr.name.lower())
+            else:
+                names.append(f"col{index}")
+        if cte.columns:
+            names = [c.lower() for c in cte.columns]
+        fds = grouped_output_fds(
+            select.group_by, list(zip(names, (item.expr for item in select.items)))
+        )
+        nonnegative = self._nonnegative_outputs(select, names)
+        return tuple(names), fds, nonnegative
+
+    def _nonnegative_outputs(
+        self, select: ast.Select, names: Sequence[str]
+    ) -> FrozenSet[str]:
+        """Output columns provably ≥ 0 (COUNT, or agg of a ≥0 column)."""
+        alias_to_table: Dict[str, str] = {}
+
+        def collect(item: ast.TableExpr) -> None:
+            if isinstance(item, ast.NamedTable) and self.db.has_table(item.name):
+                alias_to_table[(item.alias or item.name).lower()] = item.name.lower()
+            elif isinstance(item, ast.JoinedTable):
+                collect(item.left)
+                collect(item.right)
+
+        for item in select.from_items:
+            collect(item)
+
+        def column_nonnegative(ref: ast.ColumnRef) -> bool:
+            if ref.table is None:
+                tables = list(alias_to_table.values())
+                return len(tables) >= 1 and all(
+                    self.db.has_table(t)
+                    and ref.column in self.db.table(t).schema.column_names
+                    and self.db.is_nonnegative(t, ref.column)
+                    for t in tables
+                    if ref.column in self.db.table(t).schema.column_names
+                )
+            table = alias_to_table.get(ref.table.lower())
+            return table is not None and self.db.is_nonnegative(table, ref.column)
+
+        def expr_nonnegative(expr: ast.Expr) -> bool:
+            if isinstance(expr, ast.ColumnRef):
+                return column_nonnegative(expr)
+            if isinstance(expr, ast.Literal):
+                return isinstance(expr.value, (int, float)) and expr.value >= 0
+            if isinstance(expr, ast.FuncCall) and expr.is_aggregate:
+                if expr.name == "COUNT":
+                    return True
+                if expr.args and not isinstance(expr.args[0], ast.Star):
+                    return expr_nonnegative(expr.args[0])
+                return False
+            if isinstance(expr, ast.BinaryOp) and expr.op in ("+", "*"):
+                return expr_nonnegative(expr.left) and expr_nonnegative(expr.right)
+            return False
+
+        return frozenset(
+            name
+            for name, item in zip(names, select.items)
+            if expr_nonnegative(item.expr)
+        )

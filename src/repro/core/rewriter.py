@@ -1,0 +1,238 @@
+"""Static SQL-to-SQL rewrites: a-priori reducers and Listing 8 memoization.
+
+The generalized a-priori rewrite lives mostly in
+:mod:`repro.core.apriori` (reducer construction); this module adds the
+*memoization through static query rewriting* of Appendix C, which
+avoids the NLJP operator entirely::
+
+    WITH ljt AS (SELECT DISTINCT 𝕁_L FROM L),
+         ljr AS (SELECT 𝕁_L, 𝔾_R, f^i(...) ... FROM ljt, R
+                 WHERE Θ GROUP BY 𝕁_L, 𝔾_R [HAVING Φ])
+    SELECT 𝔾_L, 𝔾_R, Λ(f^o(...))
+    FROM L JOIN ljr ON 𝕁_L
+    GROUP BY 𝔾_L, 𝔾_R [HAVING Φ(f^o(...))]
+
+Listing 8's first form applies when ``𝔾_L → 𝔸_L`` (each LR-group comes
+from one L-tuple, so LJR's HAVING already settles Φ); the second form
+handles the general case by computing algebraic partial states in LJR
+and combining them with the outer aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import OptimizationError
+from repro.sql import ast
+from repro.engine.aggregates import is_algebraic
+from repro.core.iceberg import PartitionView
+from repro.core.memo import collect_aggregates
+
+
+def _ref(attribute: str) -> ast.ColumnRef:
+    alias, _, column = attribute.partition(".")
+    return ast.ColumnRef(alias, column)
+
+
+def _flat(attribute: str) -> str:
+    return attribute.replace(".", "_")
+
+
+def memoization_rewrite(view: PartitionView) -> ast.Query:
+    """Appendix C's static memoization rewrite for ``view``.
+
+    Requirements checked here: Φ applicable to R, Λ's aggregates over R
+    (or ``*``), and — when ``𝔾_L → 𝔸_L`` does not hold — algebraic
+    aggregates only.
+    """
+    block = view.block
+    if block.having is None:
+        raise OptimizationError("memoization rewrite requires HAVING")
+    if not view.phi_applicable_to(left=False):
+        raise OptimizationError("Φ must be applicable to R")
+    if not view.lambda_aggregates_applicable_to(left=False):
+        raise OptimizationError("Λ aggregates must be over R")
+
+    direct = view.fds(True).is_superkey(view.g_left, view.attributes(True))
+    calls = collect_aggregates(view)
+    if not direct:
+        bad = [c.name for c in calls if not is_algebraic(c)]
+        if bad:
+            raise OptimizationError(
+                f"general-case rewrite needs algebraic aggregates; got {bad}"
+            )
+
+    j_left = tuple(sorted(view.j_left))
+    g_right = tuple(sorted(view.g_right))
+
+    # -- ljt: distinct binding values ---------------------------------
+    left_from = tuple(
+        ast.NamedTable(
+            name=(
+                block.relation(alias).table_name or block.relation(alias).cte_name
+            ),
+            alias=alias,
+        )
+        for alias in sorted(view.left_aliases)
+    )
+    ljt = ast.Select(
+        items=tuple(
+            ast.SelectItem(_ref(attribute), alias=_flat(attribute))
+            for attribute in j_left
+        ),
+        from_items=left_from,
+        where=ast.conjoin(view.left_internal),
+        distinct=True,
+    )
+
+    # -- ljr: per-binding aggregates ----------------------------------
+    def theta_via_ljt(expr: ast.Expr) -> ast.Expr:
+        def visit(node):
+            if isinstance(node, ast.ColumnRef) and node.table in view.left_aliases:
+                return ast.ColumnRef("ljt", _flat(f"{node.table}.{node.column}"))
+            return node
+
+        return ast.transform(expr, visit)
+
+    right_from = tuple(
+        ast.NamedTable(
+            name=(
+                block.relation(alias).table_name or block.relation(alias).cte_name
+            ),
+            alias=alias,
+        )
+        for alias in sorted(view.right_aliases)
+    )
+    ljr_items: List[ast.SelectItem] = [
+        ast.SelectItem(ast.ColumnRef("ljt", _flat(a)), alias=_flat(a))
+        for a in j_left
+    ] + [
+        ast.SelectItem(_ref(a), alias=f"_grp_{_flat(a)}") for a in g_right
+    ]
+    # One LJR column per aggregate piece.
+    piece_columns: Dict[ast.FuncCall, Tuple[str, ...]] = {}
+    for index, call in enumerate(calls):
+        if direct or call.name != "AVG":
+            column = f"_a{index}"
+            ljr_items.append(ast.SelectItem(call, alias=column))
+            piece_columns[call] = (column,)
+        else:
+            argument = call.args[0]
+            sum_column, count_column = f"_a{index}_sum", f"_a{index}_cnt"
+            ljr_items.append(
+                ast.SelectItem(ast.FuncCall("SUM", (argument,)), alias=sum_column)
+            )
+            ljr_items.append(
+                ast.SelectItem(ast.FuncCall("COUNT", (argument,)), alias=count_column)
+            )
+            piece_columns[call] = (sum_column, count_column)
+
+    ljr_group = tuple(
+        ast.ColumnRef("ljt", _flat(a)) for a in j_left
+    ) + tuple(_ref(a) for a in g_right)
+    ljr_where = ast.conjoin(
+        tuple(theta_via_ljt(c) for c in view.theta) + tuple(view.right_internal)
+    )
+
+    def replace_direct(expr: ast.Expr) -> ast.Expr:
+        """f(E) -> MIN(ljr.A): pick the single LJR value per outer group.
+
+        In the 𝔾_L → 𝔸_L case every outer (𝔾_L, 𝔾_R) group joins
+        exactly one LJR row, so any "pick one" aggregate is exact; MIN
+        keeps the outer query valid SQL under its GROUP BY.
+        """
+
+        def visit(node):
+            if isinstance(node, ast.FuncCall) and node.is_aggregate:
+                columns = piece_columns.get(node)
+                if columns is None:
+                    raise OptimizationError(
+                        f"aggregate {node.name} not collected for rewrite"
+                    )
+                return ast.FuncCall("MIN", (ast.ColumnRef("ljr", columns[0]),))
+            return node
+
+        return ast.transform(expr, visit)
+
+    def replace_outer(expr: ast.Expr) -> ast.Expr:
+        """f(E) -> f^o over LJR partial columns (general case)."""
+
+        def visit(node):
+            if isinstance(node, ast.FuncCall) and node.is_aggregate:
+                columns = piece_columns[node]
+                if node.name == "AVG":
+                    return ast.BinaryOp(
+                        "/",
+                        ast.FuncCall("SUM", (ast.ColumnRef("ljr", columns[0]),)),
+                        ast.FuncCall("SUM", (ast.ColumnRef("ljr", columns[1]),)),
+                    )
+                outer_name = "SUM" if node.name == "COUNT" else node.name
+                return ast.FuncCall(
+                    outer_name, (ast.ColumnRef("ljr", columns[0]),)
+                )
+            return node
+
+        return ast.transform(expr, visit)
+
+    # LJR computes the aggregates itself, so in the direct case Φ can be
+    # applied right there (Listing 8's first form) with its original text.
+    ljr_having = block.having if direct else None
+    ljr = ast.Select(
+        items=tuple(ljr_items),
+        from_items=(ast.NamedTable("ljt"),) + right_from,
+        where=ljr_where,
+        group_by=ljr_group,
+        having=ljr_having,
+    )
+
+    # -- outer query ---------------------------------------------------
+    join_condition = ast.conjoin(
+        tuple(
+            ast.BinaryOp("=", _ref(a), ast.ColumnRef("ljr", _flat(a)))
+            for a in j_left
+        )
+    )
+    outer_where = ast.conjoin(
+        tuple(view.left_internal) + tuple(ast.conjuncts(join_condition))
+    )
+    replace = replace_direct if direct else replace_outer
+    outer_items = tuple(
+        ast.SelectItem(replace(item.expr), item.alias) for item in block.items
+    )
+    group_refs: List[ast.Expr] = [_ref(a) for a in sorted(view.g_left)]
+    group_refs += [ast.ColumnRef("ljr", f"_grp_{_flat(a)}") for a in g_right]
+
+    def fix_group_refs(expr: ast.Expr) -> ast.Expr:
+        """Point Λ's references to R group attributes at LJR columns."""
+
+        def visit(node):
+            if isinstance(node, ast.ColumnRef) and node.table in view.right_aliases:
+                attribute = f"{node.table}.{node.column}"
+                if attribute in view.g_right:
+                    return ast.ColumnRef("ljr", f"_grp_{_flat(attribute)}")
+            return node
+
+        return ast.transform(expr, visit)
+
+    outer_items = tuple(
+        ast.SelectItem(fix_group_refs(item.expr), item.alias)
+        for item in outer_items
+    )
+    outer_having = None if direct else fix_group_refs(replace_outer(block.having))
+    outer = ast.Select(
+        items=outer_items,
+        from_items=left_from + (ast.NamedTable("ljr"),),
+        where=outer_where,
+        group_by=tuple(group_refs),
+        having=outer_having,
+        order_by=view.block.select.order_by,
+        limit=view.block.select.limit,
+        distinct=view.block.select.distinct,
+    )
+    return ast.Query(
+        body=outer,
+        ctes=(
+            ast.CommonTableExpr(name="ljt", query=ljt),
+            ast.CommonTableExpr(name="ljr", query=ljr),
+        ),
+    )

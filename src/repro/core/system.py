@@ -1,0 +1,84 @@
+"""The Smart-Iceberg facade: the library's main entry point.
+
+Typical use::
+
+    from repro import Database, SmartIceberg
+
+    system = SmartIceberg(db)
+    result = system.execute(sql)              # optimized execution
+    optimized = system.optimize(sql)          # inspect the rewrite
+    print(optimized.explain())
+
+Feature toggles reproduce the paper's Figure 1 configurations::
+
+    SmartIceberg(db)                                        # "all"
+    SmartIceberg(db, memo=False, apriori=False)             # "pruning"
+    SmartIceberg(db, pruning=False, apriori=False)          # "memo"
+    SmartIceberg(db, pruning=False, memo=False)             # "apriori"
+
+Baseline systems (no Smart-Iceberg rewrites) are plain engine configs:
+``EngineConfig.postgres()`` and ``EngineConfig.vendor()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.sql import ast
+from repro.engine.executor import Result, execute as engine_execute
+from repro.engine.planner import EngineConfig
+from repro.core.optimizer import OptimizedQuery, SmartIcebergOptimizer
+from repro.storage.catalog import Database
+
+Statement = Union[str, ast.Query, ast.Select]
+
+
+class SmartIceberg:
+    """Optimizing executor for iceberg queries with complex joins."""
+
+    def __init__(
+        self,
+        db: Database,
+        apriori: bool = True,
+        pruning: bool = True,
+        memo: bool = True,
+        config: Optional[EngineConfig] = None,
+        cache_index: bool = True,
+        cache_max_entries: Optional[int] = None,
+        cache_policy: str = "none",
+        binding_order: str = "none",
+    ) -> None:
+        self.db = db
+        self.config = config or EngineConfig.smart()
+        self.optimizer = SmartIcebergOptimizer(
+            db,
+            enable_apriori=apriori,
+            enable_pruning=pruning,
+            enable_memo=memo,
+            config=self.config,
+            cache_index=cache_index,
+            cache_max_entries=cache_max_entries,
+            cache_policy=cache_policy,
+            binding_order=binding_order,
+        )
+
+    def optimize(self, statement: Statement) -> OptimizedQuery:
+        """Analyze and rewrite a statement without executing it."""
+        return self.optimizer.optimize(statement)
+
+    def execute(
+        self, statement: Statement, params: Optional[Dict] = None
+    ) -> Result:
+        """Optimize and execute a statement."""
+        return self.optimize(statement).execute(params)
+
+    def execute_baseline(
+        self,
+        statement: Statement,
+        config: Optional[EngineConfig] = None,
+    ) -> Result:
+        """Execute without any Smart-Iceberg optimization (for comparison)."""
+        return engine_execute(self.db, statement, config or EngineConfig.postgres())
+
+    def explain(self, statement: Statement) -> str:
+        return self.optimize(statement).explain()

@@ -1,0 +1,16 @@
+"""Query engine: planner, physical operators, executor, work counters."""
+
+from repro.engine.executor import Result, execute, explain, run_planned
+from repro.engine.planner import EngineConfig, PlannedQuery, plan_query
+from repro.engine.stats import ExecutionStats
+
+__all__ = [
+    "EngineConfig",
+    "ExecutionStats",
+    "PlannedQuery",
+    "Result",
+    "execute",
+    "explain",
+    "plan_query",
+    "run_planned",
+]

@@ -1,0 +1,100 @@
+"""Top-level query execution: SQL/AST in, result rows + stats out."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.engine.operators import ExecutionContext
+from repro.engine.planner import EngineConfig, PlannedQuery, plan_query
+from repro.engine.stats import ExecutionStats
+from repro.storage.catalog import Database
+
+Row = Tuple[Any, ...]
+
+
+@dataclass
+class Result:
+    """The result of executing one statement."""
+
+    columns: Tuple[str, ...]
+    rows: List[Row]
+    stats: ExecutionStats
+    elapsed_seconds: float
+    plan: Optional[PlannedQuery] = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def sorted_rows(self) -> List[Row]:
+        """Rows in a canonical order (for set comparisons in tests)."""
+        return sorted(self.rows, key=lambda row: tuple(
+            (value is None, str(type(value)), value) for value in row
+        ))
+
+    def __repr__(self) -> str:
+        return f"Result({len(self.rows)} rows, cols={self.columns})"
+
+
+def _as_query(statement: Union[str, ast.Query, ast.Select]) -> ast.Query:
+    if isinstance(statement, str):
+        return parse(statement)
+    if isinstance(statement, ast.Select):
+        return ast.Query.of(statement)
+    return statement
+
+
+def execute(
+    db: Database,
+    statement: Union[str, ast.Query, ast.Select],
+    config: Optional[EngineConfig] = None,
+    params: Optional[Dict[str, Any]] = None,
+) -> Result:
+    """Parse (if needed), plan, and execute a statement."""
+    query = _as_query(statement)
+    planned = plan_query(db, query, config)
+    return run_planned(planned, params)
+
+
+def run_planned(
+    planned: PlannedQuery, params: Optional[Dict[str, Any]] = None
+) -> Result:
+    """Execute a previously planned query (prepared-statement style).
+
+    NLJP generates parameterized inner/pruning queries that are planned
+    once and executed many times — the same pattern the paper leans on
+    PostgreSQL's prepared statements for.
+    """
+    ctx = ExecutionContext(params=dict(params or {}))
+    planned.env.ctx_holder["ctx"] = ctx
+    start = time.perf_counter()
+    try:
+        rows = list(planned.root.execute(ctx))
+    finally:
+        planned.env.ctx_holder.pop("ctx", None)
+    elapsed = time.perf_counter() - start
+    return Result(
+        columns=planned.columns,
+        rows=rows,
+        stats=ctx.stats,
+        elapsed_seconds=elapsed,
+        plan=planned,
+    )
+
+
+def explain(
+    db: Database,
+    statement: Union[str, ast.Query, ast.Select],
+    config: Optional[EngineConfig] = None,
+) -> str:
+    """Plan a statement and return its EXPLAIN-style tree."""
+    return plan_query(db, _as_query(statement), config).explain()

@@ -1,0 +1,337 @@
+"""Compilation of AST expressions into Python closures.
+
+Every expression is compiled once per plan into a closure
+``fn(row, params) -> value`` where ``row`` is a flat tuple positioned
+per a :class:`~repro.engine.layout.Layout` and ``params`` is the
+binding dictionary for :class:`~repro.sql.ast.Parameter` nodes (NLJP's
+inner/pruning queries are parameterized this way).
+
+NULL semantics follow SQL: arithmetic propagates NULL, comparisons
+yield unknown (``None``), AND/OR/NOT use Kleene three-valued logic, and
+filters keep only rows where the predicate is *true*.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError, PlanningError
+from repro.sql import ast
+from repro.engine.layout import Layout
+from repro.storage.types import sql_and, sql_not, sql_or
+
+Compiled = Callable[[Sequence[Any], Dict[str, Any]], Any]
+
+#: Rows produced by evaluating a subquery: list of tuples.
+SubqueryExecutor = Callable[[ast.Select], List[Tuple[Any, ...]]]
+
+
+def _arith(op: str) -> Callable[[Any, Any], Any]:
+    if op == "+":
+        return lambda a, b: a + b
+    if op == "-":
+        return lambda a, b: a - b
+    if op == "*":
+        return lambda a, b: a * b
+    if op == "/":
+
+        def divide(a: Any, b: Any) -> Any:
+            if b == 0:
+                raise ExecutionError("division by zero")
+            if isinstance(a, int) and isinstance(b, int) and a % b == 0:
+                return a // b
+            return a / b
+
+        return divide
+    if op == "%":
+
+        def modulo(a: Any, b: Any) -> Any:
+            if b == 0:
+                raise ExecutionError("division by zero")
+            return a % b
+
+        return modulo
+    if op == "||":
+        return lambda a, b: str(a) + str(b)
+    raise PlanningError(f"unsupported arithmetic operator {op!r}")
+
+
+_COMPARATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_SCALAR_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "ABS": abs,
+    "FLOOR": lambda x: math.floor(x),
+    "CEIL": lambda x: math.ceil(x),
+    "CEILING": lambda x: math.ceil(x),
+    "ROUND": lambda x, digits=0: round(x, int(digits)),
+    "SQRT": math.sqrt,
+    "LOWER": lambda s: s.lower(),
+    "UPPER": lambda s: s.upper(),
+    "LENGTH": len,
+    "POWER": lambda x, y: x**y,
+    "MOD": lambda a, b: a % b,
+    "SIGN": lambda x: (x > 0) - (x < 0),
+}
+
+
+class ExpressionCompiler:
+    """Compiles expressions against a fixed row layout.
+
+    ``subquery_executor`` evaluates uncorrelated subqueries (IN /
+    EXISTS); results are memoized per AST node so a subquery inside a
+    join predicate runs once, not once per probe.
+    """
+
+    def __init__(
+        self,
+        layout: Layout,
+        subquery_executor: Optional[SubqueryExecutor] = None,
+    ) -> None:
+        self._layout = layout
+        self._subquery_executor = subquery_executor
+        self._subquery_cache: Dict[int, List[Tuple[Any, ...]]] = {}
+
+    # ------------------------------------------------------------------
+    def compile(self, expr: ast.Expr) -> Compiled:
+        """Compile ``expr`` to a closure; aggregates are rejected here."""
+        if isinstance(expr, ast.Literal):
+            value = expr.value
+            return lambda row, params: value
+        if isinstance(expr, ast.ColumnRef):
+            position = self._layout.resolve(expr.table, expr.column)
+            return lambda row, params: row[position]
+        if isinstance(expr, ast.Parameter):
+            name = expr.name
+            return lambda row, params: params[name]
+        if isinstance(expr, ast.BinaryOp):
+            return self._compile_binary(expr)
+        if isinstance(expr, ast.UnaryOp):
+            return self._compile_unary(expr)
+        if isinstance(expr, ast.FuncCall):
+            return self._compile_call(expr)
+        if isinstance(expr, ast.TupleExpr):
+            parts = [self.compile(item) for item in expr.items]
+            return lambda row, params: tuple(part(row, params) for part in parts)
+        if isinstance(expr, ast.InList):
+            return self._compile_in_list(expr)
+        if isinstance(expr, ast.InSubquery):
+            return self._compile_in_subquery(expr)
+        if isinstance(expr, ast.ExistsSubquery):
+            return self._compile_exists(expr)
+        if isinstance(expr, ast.Between):
+            return self._compile_between(expr)
+        if isinstance(expr, ast.IsNull):
+            operand = self.compile(expr.operand)
+            if expr.negated:
+                return lambda row, params: operand(row, params) is not None
+            return lambda row, params: operand(row, params) is None
+        if isinstance(expr, ast.CaseExpr):
+            return self._compile_case(expr)
+        if isinstance(expr, ast.Star):
+            raise PlanningError("'*' is only valid in SELECT lists and COUNT(*)")
+        raise PlanningError(f"cannot compile expression {expr!r}")
+
+    # ------------------------------------------------------------------
+    def _compile_binary(self, expr: ast.BinaryOp) -> Compiled:
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        op = expr.op
+        if op == "AND":
+            return lambda row, params: sql_and(left(row, params), right(row, params))
+        if op == "OR":
+            return lambda row, params: sql_or(left(row, params), right(row, params))
+        if op in _COMPARATORS:
+            compare = _COMPARATORS[op]
+
+            def compiled_compare(row: Sequence[Any], params: Dict[str, Any]) -> Any:
+                a = left(row, params)
+                b = right(row, params)
+                if a is None or b is None:
+                    return None
+                return compare(a, b)
+
+            return compiled_compare
+        apply = _arith(op)
+
+        def compiled_arith(row: Sequence[Any], params: Dict[str, Any]) -> Any:
+            a = left(row, params)
+            b = right(row, params)
+            if a is None or b is None:
+                return None
+            return apply(a, b)
+
+        return compiled_arith
+
+    def _compile_unary(self, expr: ast.UnaryOp) -> Compiled:
+        operand = self.compile(expr.operand)
+        if expr.op == "NOT":
+            return lambda row, params: sql_not(operand(row, params))
+        if expr.op == "-":
+
+            def negate(row: Sequence[Any], params: Dict[str, Any]) -> Any:
+                value = operand(row, params)
+                return None if value is None else -value
+
+            return negate
+        raise PlanningError(f"unsupported unary operator {expr.op!r}")
+
+    def _compile_call(self, expr: ast.FuncCall) -> Compiled:
+        if expr.is_aggregate:
+            raise PlanningError(
+                f"aggregate {expr.name} is not allowed in this context"
+            )
+        name = expr.name.upper()
+        if name == "COALESCE":
+            parts = [self.compile(arg) for arg in expr.args]
+
+            def coalesce(row: Sequence[Any], params: Dict[str, Any]) -> Any:
+                for part in parts:
+                    value = part(row, params)
+                    if value is not None:
+                        return value
+                return None
+
+            return coalesce
+        if name in ("LEAST", "GREATEST"):
+            parts = [self.compile(arg) for arg in expr.args]
+            pick = min if name == "LEAST" else max
+
+            def extremum(row: Sequence[Any], params: Dict[str, Any]) -> Any:
+                values = [part(row, params) for part in parts]
+                if any(value is None for value in values):
+                    return None
+                return pick(values)
+
+            return extremum
+        function = _SCALAR_FUNCTIONS.get(name)
+        if function is None:
+            raise PlanningError(f"unknown function {expr.name!r}")
+        parts = [self.compile(arg) for arg in expr.args]
+
+        def call(row: Sequence[Any], params: Dict[str, Any]) -> Any:
+            values = [part(row, params) for part in parts]
+            if any(value is None for value in values):
+                return None
+            return function(*values)
+
+        return call
+
+    def _compile_in_list(self, expr: ast.InList) -> Compiled:
+        needle = self.compile(expr.needle)
+        items = [self.compile(item) for item in expr.items]
+        negated = expr.negated
+
+        def membership(row: Sequence[Any], params: Dict[str, Any]) -> Any:
+            value = needle(row, params)
+            if value is None:
+                return None
+            saw_null = False
+            for item in items:
+                candidate = item(row, params)
+                if candidate is None:
+                    saw_null = True
+                elif candidate == value:
+                    return sql_not(True) if negated else True
+            result: Optional[bool] = None if saw_null else False
+            return sql_not(result) if negated else result
+
+        return membership
+
+    def _subquery_rows(self, subquery: ast.Select) -> List[Tuple[Any, ...]]:
+        if self._subquery_executor is None:
+            raise PlanningError("subqueries are not supported in this context")
+        key = id(subquery)
+        if key not in self._subquery_cache:
+            self._subquery_cache[key] = self._subquery_executor(subquery)
+        return self._subquery_cache[key]
+
+    def _compile_in_subquery(self, expr: ast.InSubquery) -> Compiled:
+        needle = self.compile(expr.needle)
+        negated = expr.negated
+        wrap_single = not isinstance(expr.needle, ast.TupleExpr)
+        state: Dict[str, Any] = {}
+
+        def membership(row: Sequence[Any], params: Dict[str, Any]) -> Any:
+            if "values" not in state:
+                rows = self._subquery_rows(expr.subquery)
+                values = set()
+                saw_null = False
+                for candidate in rows:
+                    key = candidate[0] if wrap_single and len(candidate) == 1 else candidate
+                    if key is None or (isinstance(key, tuple) and None in key):
+                        saw_null = True
+                    else:
+                        values.add(key)
+                state["values"] = values
+                state["saw_null"] = saw_null
+            value = needle(row, params)
+            if value is None or (isinstance(value, tuple) and None in value):
+                return None
+            if value in state["values"]:
+                return sql_not(True) if negated else True
+            result: Optional[bool] = None if state["saw_null"] else False
+            return sql_not(result) if negated else result
+
+        return membership
+
+    def _compile_exists(self, expr: ast.ExistsSubquery) -> Compiled:
+        negated = expr.negated
+        state: Dict[str, Any] = {}
+
+        def exists(row: Sequence[Any], params: Dict[str, Any]) -> Any:
+            if "value" not in state:
+                state["value"] = bool(self._subquery_rows(expr.subquery))
+            return (not state["value"]) if negated else state["value"]
+
+        return exists
+
+    def _compile_between(self, expr: ast.Between) -> Compiled:
+        needle = self.compile(expr.needle)
+        low = self.compile(expr.low)
+        high = self.compile(expr.high)
+        negated = expr.negated
+
+        def between(row: Sequence[Any], params: Dict[str, Any]) -> Any:
+            value = needle(row, params)
+            lo = low(row, params)
+            hi = high(row, params)
+            if value is None or lo is None or hi is None:
+                return None
+            result = lo <= value <= hi
+            return (not result) if negated else result
+
+        return between
+
+    def _compile_case(self, expr: ast.CaseExpr) -> Compiled:
+        branches = [
+            (self.compile(condition), self.compile(value))
+            for condition, value in expr.whens
+        ]
+        default = self.compile(expr.default) if expr.default is not None else None
+
+        def case(row: Sequence[Any], params: Dict[str, Any]) -> Any:
+            for condition, value in branches:
+                if condition(row, params) is True:
+                    return value(row, params)
+            if default is not None:
+                return default(row, params)
+            return None
+
+        return case
+
+
+def compile_predicate(
+    expr: ast.Expr,
+    layout: Layout,
+    subquery_executor: Optional[SubqueryExecutor] = None,
+) -> Compiled:
+    """Convenience: compile a boolean expression against ``layout``."""
+    return ExpressionCompiler(layout, subquery_executor).compile(expr)

@@ -1,0 +1,94 @@
+"""Row layouts: mapping column references to tuple positions.
+
+During execution a row is a flat Python tuple.  A :class:`Layout`
+records, for each position, the binding alias (FROM alias) and column
+name, and resolves qualified and unqualified references with SQL's
+ambiguity rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanningError
+
+
+class Layout:
+    """An ordered list of ``(alias, column)`` slots with name resolution."""
+
+    def __init__(self, slots: Sequence[Tuple[Optional[str], str]]) -> None:
+        self._slots: Tuple[Tuple[Optional[str], str], ...] = tuple(
+            (alias.lower() if alias else None, column.lower())
+            for alias, column in slots
+        )
+        self._qualified: Dict[Tuple[str, str], int] = {}
+        self._unqualified: Dict[str, List[int]] = {}
+        for position, (alias, column) in enumerate(self._slots):
+            if alias is not None:
+                key = (alias, column)
+                # Keep the first occurrence; duplicates within one alias
+                # cannot happen for base tables.
+                self._qualified.setdefault(key, position)
+            self._unqualified.setdefault(column, []).append(position)
+
+    @property
+    def slots(self) -> Tuple[Tuple[Optional[str], str], ...]:
+        return self._slots
+
+    @property
+    def width(self) -> int:
+        return len(self._slots)
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __repr__(self) -> str:
+        names = ", ".join(
+            f"{alias}.{column}" if alias else column for alias, column in self._slots
+        )
+        return f"Layout({names})"
+
+    def concat(self, other: "Layout") -> "Layout":
+        return Layout(self._slots + other._slots)
+
+    def resolve(self, table: Optional[str], column: str) -> int:
+        """Resolve a reference to a slot position.
+
+        Qualified references must match exactly; unqualified references
+        must be unambiguous across all slots.
+        """
+        column = column.lower()
+        if table is not None:
+            table = table.lower()
+            position = self._qualified.get((table, column))
+            if position is None:
+                raise PlanningError(f"unknown column {table}.{column}")
+            return position
+        positions = self._unqualified.get(column)
+        if not positions:
+            raise PlanningError(f"unknown column {column}")
+        if len(positions) > 1:
+            raise PlanningError(f"ambiguous column reference {column!r}")
+        return positions[0]
+
+    def try_resolve(self, table: Optional[str], column: str) -> Optional[int]:
+        """Like :meth:`resolve` but returns None instead of raising."""
+        try:
+            return self.resolve(table, column)
+        except PlanningError:
+            return None
+
+    def positions_for_alias(self, alias: str) -> List[int]:
+        alias = alias.lower()
+        return [
+            position
+            for position, (slot_alias, _) in enumerate(self._slots)
+            if slot_alias == alias
+        ]
+
+    def aliases(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for alias, _ in self._slots:
+            if alias is not None and alias not in seen:
+                seen.append(alias)
+        return tuple(seen)

@@ -1,0 +1,601 @@
+"""Physical operators.
+
+Each operator exposes ``layout`` (the shape of the tuples it yields),
+``execute(ctx)`` (an iterator of flat tuples), and ``describe()`` for
+EXPLAIN-style plan dumps.  Operators charge their work to
+``ctx.stats`` so benchmarks can compare machine-independent work.
+
+The operator set mirrors what the paper's two baseline systems used for
+its queries (Appendix E): table scans, indexed nested-loop joins, hash
+joins, nested-loop joins, hash aggregation, sort, limit.  The NLJP
+operator — the paper's contribution — lives in :mod:`repro.core.nljp`
+and composes with these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.aggregates import AggregateSpec
+from repro.engine.expressions import Compiled
+from repro.engine.layout import Layout
+from repro.engine.stats import ExecutionStats
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.table import Table
+
+Row = Tuple[Any, ...]
+
+
+@dataclass
+class ExecutionContext:
+    """Per-execution state threaded through the operator tree."""
+
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+class PhysicalOperator:
+    """Base class for physical operators."""
+
+    layout: Layout
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def describe(self) -> List[str]:
+        """One line per node, children indented (EXPLAIN-style)."""
+        raise NotImplementedError
+
+    def explain(self) -> str:
+        return "\n".join(self.describe())
+
+
+def _indent(lines: List[str]) -> List[str]:
+    return ["  " + line for line in lines]
+
+
+class TableScan(PhysicalOperator):
+    """Sequential scan of a base table, with an optional pushed filter."""
+
+    def __init__(
+        self, table: Table, alias: str, predicate: Optional[Compiled] = None
+    ) -> None:
+        self.table = table
+        self.alias = alias
+        self.predicate = predicate
+        self.layout = Layout([(alias, name) for name in table.schema.column_names])
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        predicate = self.predicate
+        params = ctx.params
+        stats = ctx.stats
+        for row in self.table.rows:
+            stats.rows_scanned += 1
+            if predicate is None or predicate(row, params) is True:
+                yield row
+
+    def describe(self) -> List[str]:
+        suffix = " (filtered)" if self.predicate else ""
+        return [f"TableScan {self.table.name} AS {self.alias}{suffix}"]
+
+
+class RowsSource(PhysicalOperator):
+    """Scan of a materialized row list (CTE or derived table)."""
+
+    def __init__(
+        self,
+        rows: Sequence[Row],
+        columns: Sequence[str],
+        alias: str,
+        predicate: Optional[Compiled] = None,
+        label: str = "materialized",
+    ) -> None:
+        self.rows = rows
+        self.alias = alias
+        self.predicate = predicate
+        self.label = label
+        self.layout = Layout([(alias, name) for name in columns])
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        predicate = self.predicate
+        params = ctx.params
+        stats = ctx.stats
+        for row in self.rows:
+            stats.rows_scanned += 1
+            if predicate is None or predicate(row, params) is True:
+                yield row
+
+    def describe(self) -> List[str]:
+        return [f"RowsSource {self.label} AS {self.alias} ({len(self.rows)} rows)"]
+
+
+class Filter(PhysicalOperator):
+    """Row filter; keeps rows where the predicate is true."""
+
+    def __init__(self, child: PhysicalOperator, predicate: Compiled, label: str = "") -> None:
+        self.child = child
+        self.predicate = predicate
+        self.label = label
+        self.layout = child.layout
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        predicate = self.predicate
+        params = ctx.params
+        for row in self.child.execute(ctx):
+            if predicate(row, params) is True:
+                yield row
+
+    def describe(self) -> List[str]:
+        label = f" [{self.label}]" if self.label else ""
+        return [f"Filter{label}"] + _indent(self.child.describe())
+
+
+class NestedLoopJoin(PhysicalOperator):
+    """Plain nested-loop join; the inner input is materialized once."""
+
+    def __init__(
+        self,
+        outer: PhysicalOperator,
+        inner: PhysicalOperator,
+        predicate: Optional[Compiled],
+    ) -> None:
+        self.outer = outer
+        self.inner = inner
+        self.predicate = predicate
+        self.layout = outer.layout.concat(inner.layout)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        inner_rows = list(self.inner.execute(ctx))
+        predicate = self.predicate
+        params = ctx.params
+        stats = ctx.stats
+        for outer_row in self.outer.execute(ctx):
+            for inner_row in inner_rows:
+                stats.join_pairs += 1
+                combined = outer_row + inner_row
+                if predicate is None or predicate(combined, params) is True:
+                    yield combined
+
+    def describe(self) -> List[str]:
+        return (
+            ["NestedLoopJoin"]
+            + _indent(self.outer.describe())
+            + _indent(self.inner.describe())
+        )
+
+
+class HashJoin(PhysicalOperator):
+    """Equi-join via a hash table on the inner input.
+
+    ``outer_key``/``inner_key`` compute the equi-key from each side's
+    rows; ``residual`` is evaluated on the concatenated row for any
+    extra non-equi conjuncts.
+    """
+
+    def __init__(
+        self,
+        outer: PhysicalOperator,
+        inner: PhysicalOperator,
+        outer_key: Compiled,
+        inner_key: Compiled,
+        residual: Optional[Compiled] = None,
+    ) -> None:
+        self.outer = outer
+        self.inner = inner
+        self.outer_key = outer_key
+        self.inner_key = inner_key
+        self.residual = residual
+        self.layout = outer.layout.concat(inner.layout)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        params = ctx.params
+        stats = ctx.stats
+        buckets: Dict[Any, List[Row]] = {}
+        for inner_row in self.inner.execute(ctx):
+            key = self.inner_key(inner_row, params)
+            if key is None or (isinstance(key, tuple) and None in key):
+                continue  # NULL keys never match in SQL
+            buckets.setdefault(key, []).append(inner_row)
+        residual = self.residual
+        for outer_row in self.outer.execute(ctx):
+            key = self.outer_key(outer_row, params)
+            if key is None or (isinstance(key, tuple) and None in key):
+                continue
+            for inner_row in buckets.get(key, ()):
+                stats.join_pairs += 1
+                combined = outer_row + inner_row
+                if residual is None or residual(combined, params) is True:
+                    yield combined
+
+    def describe(self) -> List[str]:
+        suffix = " (+residual)" if self.residual else ""
+        return (
+            [f"HashJoin{suffix}"]
+            + _indent(self.outer.describe())
+            + _indent(self.inner.describe())
+        )
+
+
+class IndexNestedLoopJoin(PhysicalOperator):
+    """Nested-loop join probing a hash index on the inner base table.
+
+    This is the plan PostgreSQL and Vendor A chose for the paper's
+    skyband/pairs queries (Appendix E).  ``probe_key`` computes the key
+    from the outer row; ``residual`` covers remaining conjuncts and is
+    evaluated on outer+inner concatenations.
+    """
+
+    def __init__(
+        self,
+        outer: PhysicalOperator,
+        table: Table,
+        alias: str,
+        index: HashIndex,
+        probe_key: Compiled,
+        residual: Optional[Compiled] = None,
+        inner_filter: Optional[Compiled] = None,
+    ) -> None:
+        self.outer = outer
+        self.table = table
+        self.alias = alias
+        self.index = index
+        self.probe_key = probe_key
+        self.residual = residual
+        self.inner_filter = inner_filter
+        inner_layout = Layout([(alias, n) for n in table.schema.column_names])
+        self.layout = outer.layout.concat(inner_layout)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        params = ctx.params
+        stats = ctx.stats
+        rows = self.table.rows
+        residual = self.residual
+        inner_filter = self.inner_filter
+        for outer_row in self.outer.execute(ctx):
+            key = self.probe_key(outer_row, params)
+            if not isinstance(key, tuple):
+                key = (key,)
+            stats.index_probes += 1
+            for row_id in self.index.lookup(key):
+                inner_row = rows[row_id]
+                if inner_filter is not None and inner_filter(inner_row, params) is not True:
+                    continue
+                stats.join_pairs += 1
+                combined = outer_row + inner_row
+                if residual is None or residual(combined, params) is True:
+                    yield combined
+
+    def describe(self) -> List[str]:
+        return [
+            f"IndexNestedLoopJoin {self.table.name} AS {self.alias} "
+            f"USING {self.index.name}"
+        ] + _indent(self.outer.describe())
+
+
+class SortedIndexRangeJoin(PhysicalOperator):
+    """Nested-loop join using a sorted index for a range probe.
+
+    Handles join conjuncts of the form ``inner.col <op> f(outer)`` with
+    an order comparison, e.g. the skyband condition ``R.h >= L.h``: for
+    each outer row the inner side is narrowed to the index range, and
+    the residual predicate finishes the job.
+    """
+
+    def __init__(
+        self,
+        outer: PhysicalOperator,
+        table: Table,
+        alias: str,
+        index: SortedIndex,
+        low: Optional[Compiled],
+        high: Optional[Compiled],
+        low_strict: bool,
+        high_strict: bool,
+        residual: Optional[Compiled] = None,
+        inner_filter: Optional[Compiled] = None,
+    ) -> None:
+        self.outer = outer
+        self.table = table
+        self.alias = alias
+        self.index = index
+        self.low = low
+        self.high = high
+        self.low_strict = low_strict
+        self.high_strict = high_strict
+        self.residual = residual
+        self.inner_filter = inner_filter
+        inner_layout = Layout([(alias, n) for n in table.schema.column_names])
+        self.layout = outer.layout.concat(inner_layout)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        params = ctx.params
+        stats = ctx.stats
+        rows = self.table.rows
+        residual = self.residual
+        inner_filter = self.inner_filter
+        for outer_row in self.outer.execute(ctx):
+            low = self.low(outer_row, params) if self.low is not None else None
+            high = self.high(outer_row, params) if self.high is not None else None
+            if (self.low is not None and low is None) or (
+                self.high is not None and high is None
+            ):
+                continue  # NULL bound: comparison can never be true
+            stats.index_probes += 1
+            for row_id in self.index.range_scan(
+                low=low, high=high, low_strict=self.low_strict, high_strict=self.high_strict
+            ):
+                inner_row = rows[row_id]
+                if inner_filter is not None and inner_filter(inner_row, params) is not True:
+                    continue
+                stats.join_pairs += 1
+                combined = outer_row + inner_row
+                if residual is None or residual(combined, params) is True:
+                    yield combined
+
+    def describe(self) -> List[str]:
+        return [
+            f"SortedIndexRangeJoin {self.table.name} AS {self.alias} "
+            f"USING {self.index.name}"
+        ] + _indent(self.outer.describe())
+
+
+class IndexPointScan(PhysicalOperator):
+    """Scan of a base table narrowed by a hash-index equality probe.
+
+    The probe key is a row-independent compiled expression (constants
+    or parameters), re-evaluated per execution — the workhorse of the
+    parameterized inner query Q_R(b) when Θ equates inner columns with
+    binding values.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        alias: str,
+        index: HashIndex,
+        probe_key: Compiled,
+        residual: Optional[Compiled] = None,
+    ) -> None:
+        self.table = table
+        self.alias = alias
+        self.index = index
+        self.probe_key = probe_key
+        self.residual = residual
+        self.layout = Layout([(alias, n) for n in table.schema.column_names])
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        params = ctx.params
+        stats = ctx.stats
+        key = self.probe_key((), params)
+        if not isinstance(key, tuple):
+            key = (key,)
+        stats.index_probes += 1
+        rows = self.table.rows
+        residual = self.residual
+        for row_id in self.index.lookup(key):
+            stats.rows_scanned += 1
+            row = rows[row_id]
+            if residual is None or residual(row, params) is True:
+                yield row
+
+    def describe(self) -> List[str]:
+        return [
+            f"IndexPointScan {self.table.name} AS {self.alias} USING {self.index.name}"
+        ]
+
+
+class IndexRangeScan(PhysicalOperator):
+    """Scan of a base table narrowed by a sorted index range.
+
+    Bounds are row-independent compiled expressions (constants or
+    parameters), so this operator serves the parameterized inner query
+    Q_R(b): each execution re-evaluates the bounds against the current
+    binding parameters.  This is the "Index Scan" in the paper's
+    Appendix E plans.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        alias: str,
+        index: SortedIndex,
+        low: Optional[Compiled],
+        high: Optional[Compiled],
+        low_strict: bool,
+        high_strict: bool,
+        residual: Optional[Compiled] = None,
+    ) -> None:
+        self.table = table
+        self.alias = alias
+        self.index = index
+        self.low = low
+        self.high = high
+        self.low_strict = low_strict
+        self.high_strict = high_strict
+        self.residual = residual
+        self.layout = Layout([(alias, n) for n in table.schema.column_names])
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        params = ctx.params
+        stats = ctx.stats
+        low = self.low((), params) if self.low is not None else None
+        high = self.high((), params) if self.high is not None else None
+        if (self.low is not None and low is None) or (
+            self.high is not None and high is None
+        ):
+            return  # NULL bound: no row can satisfy the comparison
+        stats.index_probes += 1
+        rows = self.table.rows
+        residual = self.residual
+        for row_id in self.index.range_scan(
+            low=low, high=high, low_strict=self.low_strict, high_strict=self.high_strict
+        ):
+            stats.rows_scanned += 1
+            row = rows[row_id]
+            if residual is None or residual(row, params) is True:
+                yield row
+
+    def describe(self) -> List[str]:
+        return [
+            f"IndexRangeScan {self.table.name} AS {self.alias} USING {self.index.name}"
+        ]
+
+
+class HashAggregate(PhysicalOperator):
+    """Hash-based GROUP BY with aggregate accumulators.
+
+    Output rows are ``key_values + aggregate_results`` in the layout
+    given by ``output_layout``; the planner rewrites SELECT/HAVING
+    expressions to reference these slots.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        key_fns: Sequence[Compiled],
+        aggregate_specs: Sequence[AggregateSpec],
+        output_layout: Layout,
+    ) -> None:
+        self.child = child
+        self.key_fns = tuple(key_fns)
+        self.aggregate_specs = tuple(aggregate_specs)
+        self.layout = output_layout
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        params = ctx.params
+        stats = ctx.stats
+        groups: Dict[Tuple[Any, ...], List[Any]] = {}
+        for row in self.child.execute(ctx):
+            stats.aggregation_inputs += 1
+            key = tuple(fn(row, params) for fn in self.key_fns)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [spec.new() for spec in self.aggregate_specs]
+                groups[key] = accumulators
+            for spec, accumulator in zip(self.aggregate_specs, accumulators):
+                if spec.argument is None:
+                    accumulator.add(1)
+                else:
+                    accumulator.add(spec.argument(row, params))
+        if not groups and not self.key_fns:
+            # Scalar aggregate over an empty input still yields one row.
+            accumulators = [spec.new() for spec in self.aggregate_specs]
+            yield tuple(acc.result() for acc in accumulators)
+            return
+        for key, accumulators in groups.items():
+            yield key + tuple(acc.result() for acc in accumulators)
+
+    def describe(self) -> List[str]:
+        return [
+            f"HashAggregate keys={len(self.key_fns)} aggs={len(self.aggregate_specs)}"
+        ] + _indent(self.child.describe())
+
+
+class Project(PhysicalOperator):
+    """Compute output expressions; names live in the output layout."""
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        output_fns: Sequence[Compiled],
+        output_layout: Layout,
+    ) -> None:
+        self.child = child
+        self.output_fns = tuple(output_fns)
+        self.layout = output_layout
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        params = ctx.params
+        for row in self.child.execute(ctx):
+            yield tuple(fn(row, params) for fn in self.output_fns)
+
+    def describe(self) -> List[str]:
+        return [f"Project {self.layout!r}"] + _indent(self.child.describe())
+
+
+class Distinct(PhysicalOperator):
+    """Duplicate elimination preserving first-seen order."""
+
+    def __init__(self, child: PhysicalOperator) -> None:
+        self.child = child
+        self.layout = child.layout
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        seen = set()
+        for row in self.child.execute(ctx):
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def describe(self) -> List[str]:
+        return ["Distinct"] + _indent(self.child.describe())
+
+
+class Sort(PhysicalOperator):
+    """Multi-key sort with PostgreSQL NULL placement.
+
+    Implemented as stable passes from the least-significant key to the
+    most significant; ASC puts NULLs last, DESC puts them first (the
+    PostgreSQL defaults).
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        key_fns: Sequence[Compiled],
+        ascending: Sequence[bool],
+    ) -> None:
+        self.child = child
+        self.key_fns = tuple(key_fns)
+        self.ascending = tuple(ascending)
+        self.layout = child.layout
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        params = ctx.params
+        rows = list(self.child.execute(ctx))
+        for fn, asc in reversed(list(zip(self.key_fns, self.ascending))):
+            rows.sort(
+                key=lambda row: ((value := fn(row, params)) is None, value),
+                reverse=not asc,
+            )
+        yield from rows
+
+    def describe(self) -> List[str]:
+        return [f"Sort keys={len(self.key_fns)}"] + _indent(self.child.describe())
+
+
+class Limit(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator, limit: int) -> None:
+        self.child = child
+        self.limit = limit
+        self.layout = child.layout
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        remaining = self.limit
+        if remaining <= 0:
+            return
+        for row in self.child.execute(ctx):
+            yield row
+            remaining -= 1
+            if remaining == 0:
+                return
+
+    def describe(self) -> List[str]:
+        return [f"Limit {self.limit}"] + _indent(self.child.describe())
+
+
+class CountOutput(PhysicalOperator):
+    """Transparent pass-through that counts final output rows."""
+
+    def __init__(self, child: PhysicalOperator) -> None:
+        self.child = child
+        self.layout = child.layout
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        for row in self.child.execute(ctx):
+            ctx.stats.rows_output += 1
+            yield row
+
+    def describe(self) -> List[str]:
+        return self.child.describe()

@@ -1,0 +1,986 @@
+"""Query planner: AST -> physical operator tree.
+
+The planner supports two *policies* that play the roles of the paper's
+two comparison systems:
+
+* ``index-first`` (PostgreSQL-like): prefers indexed nested-loop joins,
+  using a hash index for equality conjuncts or a sorted index for a
+  range conjunct, falling back to hash join then nested loop.  This
+  reproduces the Appendix E plans ("Nested Loop / Index Scan ...
+  followed by HashAggregate and HAVING filter").
+* ``hash-first`` (Vendor A-like): prefers hash joins on any equality
+  conjunct, falling back to indexed/nested loops.
+
+Either way, the baseline planner fully evaluates joins before grouping
+and applies HAVING last — exactly the behaviour the paper's techniques
+improve on.  The Smart-Iceberg optimizer (:mod:`repro.core`) rewrites
+queries *before* they reach this planner and/or replaces the join +
+aggregation pipeline with an NLJP operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanningError
+from repro.sql import ast
+from repro.engine import operators as ops
+from repro.engine.aggregates import AggregateSpec, make_spec
+from repro.engine.expressions import Compiled, ExpressionCompiler
+from repro.engine.layout import Layout
+from repro.storage.catalog import Database
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs selecting the baseline system behaviour.
+
+    ``parallelism`` does not change execution; the bench harness divides
+    wall-clock by it to *simulate* the parallel speedup the paper
+    attributes to Vendor A (4 cores) and PostgreSQL (2 workers).  Work
+    counters are never scaled.
+    """
+
+    join_policy: str = "index-first"  # 'index-first' | 'hash-first' | 'nlj-only'
+    allow_hash_join: bool = True
+    use_secondary_indexes: bool = True
+    parallelism: float = 1.0
+    label: str = "postgres"
+
+    @classmethod
+    def postgres(cls) -> "EngineConfig":
+        """Baseline PostgreSQL-like configuration."""
+        return cls(join_policy="index-first", parallelism=2.0, label="postgres")
+
+    @classmethod
+    def vendor(cls) -> "EngineConfig":
+        """Commercial "Vendor A"-like configuration (simulated)."""
+        return cls(join_policy="hash-first", parallelism=4.0, label="vendor")
+
+    @classmethod
+    def smart(cls) -> "EngineConfig":
+        """Configuration used underneath Smart-Iceberg rewrites.
+
+        The paper's implementation is sequential PostgreSQL, so no
+        simulated parallelism.
+        """
+        return cls(join_policy="index-first", parallelism=1.0, label="smart-iceberg")
+
+
+class _SharedMaterialize:
+    """Execute a subplan once per ExecutionContext and share the rows."""
+
+    def __init__(self, plan: ops.PhysicalOperator, label: str) -> None:
+        self.plan = plan
+        self.label = label
+        self._last: Optional[Tuple[ops.ExecutionContext, List[Tuple[Any, ...]]]] = None
+
+    def rows(self, ctx: ops.ExecutionContext) -> List[Tuple[Any, ...]]:
+        if self._last is None or self._last[0] is not ctx:
+            self._last = (ctx, list(self.plan.execute(ctx)))
+        return self._last[1]
+
+
+class _MaterializedScan(ops.PhysicalOperator):
+    """Scan over a shared materialization (CTE or derived table)."""
+
+    def __init__(
+        self,
+        cell: _SharedMaterialize,
+        alias: str,
+        columns: Sequence[str],
+        predicate: Optional[Compiled] = None,
+    ) -> None:
+        self.cell = cell
+        self.alias = alias
+        self.predicate = predicate
+        self.layout = Layout([(alias, name) for name in columns])
+
+    def execute(self, ctx: ops.ExecutionContext):
+        predicate = self.predicate
+        params = ctx.params
+        stats = ctx.stats
+        for row in self.cell.rows(ctx):
+            stats.rows_scanned += 1
+            if predicate is None or predicate(row, params) is True:
+                yield row
+
+    def describe(self) -> List[str]:
+        lines = [f"MaterializedScan {self.cell.label} AS {self.alias}"]
+        lines += ["  " + line for line in self.cell.plan.describe()]
+        return lines
+
+
+@dataclass
+class PlanEnv:
+    """Planning environment: catalog, config, CTE registry."""
+
+    db: Database
+    config: EngineConfig
+    ctes: Dict[str, Tuple[_SharedMaterialize, Tuple[str, ...]]] = field(
+        default_factory=dict
+    )
+    ctx_holder: Dict[str, Any] = field(default_factory=dict)
+
+    def subquery_executor(self, select: ast.Select) -> List[Tuple[Any, ...]]:
+        """Plan and run an uncorrelated scalar/IN subquery lazily.
+
+        Called at *execution* time from compiled expressions; uses the
+        context installed by the executor so its work is charged to the
+        outer query's stats.
+        """
+        ctx = self.ctx_holder.get("ctx")
+        if ctx is None:
+            ctx = ops.ExecutionContext()
+        plan, _ = plan_select(select, self)
+        return list(plan.execute(ctx))
+
+
+@dataclass
+class PlannedQuery:
+    """A planned statement ready for execution."""
+
+    root: ops.PhysicalOperator
+    columns: Tuple[str, ...]
+    env: PlanEnv
+
+    def explain(self) -> str:
+        return self.root.explain()
+
+
+@dataclass
+class _Relation:
+    """One FROM item after flattening."""
+
+    alias: str
+    columns: Tuple[str, ...]
+    table: Optional[Table]  # base table, probeable by indexes
+    cell: Optional[_SharedMaterialize]  # CTE/derived materialization
+
+    def scan(self, predicate: Optional[Compiled] = None) -> ops.PhysicalOperator:
+        if self.table is not None:
+            return ops.TableScan(self.table, self.alias, predicate)
+        assert self.cell is not None
+        return _MaterializedScan(self.cell, self.alias, self.columns, predicate)
+
+
+def plan_query(db: Database, query: ast.Query, config: Optional[EngineConfig] = None) -> PlannedQuery:
+    """Plan a full statement (WITH + SELECT)."""
+    env = PlanEnv(db=db, config=config or EngineConfig())
+    for cte in query.ctes:
+        plan, columns = plan_select(cte.query, env)
+        if cte.columns:
+            if len(cte.columns) != len(columns):
+                raise PlanningError(
+                    f"CTE {cte.name} declares {len(cte.columns)} columns, "
+                    f"query produces {len(columns)}"
+                )
+            columns = tuple(c.lower() for c in cte.columns)
+        cell = _SharedMaterialize(plan, label=cte.name)
+        env.ctes[cte.name.lower()] = (cell, tuple(columns))
+    root, columns = plan_select(query.body, env)
+    return PlannedQuery(root=ops.CountOutput(root), columns=tuple(columns), env=env)
+
+
+# ---------------------------------------------------------------------------
+# FROM clause
+# ---------------------------------------------------------------------------
+
+
+def _flatten_from(
+    items: Sequence[ast.TableExpr], env: PlanEnv
+) -> Tuple[List[_Relation], List[ast.Expr]]:
+    """Flatten FROM items (incl. explicit joins) into relations + conjuncts."""
+    relations: List[_Relation] = []
+    extra: List[ast.Expr] = []
+
+    def add(item: ast.TableExpr) -> None:
+        if isinstance(item, ast.NamedTable):
+            name = item.name.lower()
+            alias = (item.alias or item.name).lower()
+            if name in env.ctes:
+                cell, columns = env.ctes[name]
+                relations.append(
+                    _Relation(alias=alias, columns=columns, table=None, cell=cell)
+                )
+            else:
+                table = env.db.table(name)
+                relations.append(
+                    _Relation(
+                        alias=alias,
+                        columns=table.schema.column_names,
+                        table=table,
+                        cell=None,
+                    )
+                )
+        elif isinstance(item, ast.DerivedTable):
+            plan, columns = plan_select(item.query, env)
+            cell = _SharedMaterialize(plan, label=f"subquery:{item.alias}")
+            relations.append(
+                _Relation(
+                    alias=item.alias.lower(),
+                    columns=tuple(columns),
+                    table=None,
+                    cell=cell,
+                )
+            )
+        elif isinstance(item, ast.JoinedTable):
+            add(item.left)
+            before = len(relations)
+            add(item.right)
+            right_aliases = [r.alias for r in relations[before:]]
+            if item.natural:
+                extra.extend(_natural_join_conjuncts(relations, right_aliases, item))
+            elif item.condition is not None:
+                extra.extend(ast.conjuncts(item.condition))
+        else:
+            raise PlanningError(f"unsupported FROM item {item!r}")
+
+    for item in items:
+        add(item)
+    if not relations:
+        raise PlanningError("queries without FROM are not supported")
+    duplicate_aliases = {r.alias for r in relations if sum(1 for x in relations if x.alias == r.alias) > 1}
+    if duplicate_aliases:
+        raise PlanningError(f"duplicate FROM aliases: {sorted(duplicate_aliases)}")
+    return relations, extra
+
+
+def _natural_join_conjuncts(
+    relations: List[_Relation], right_aliases: List[str], item: ast.JoinedTable
+) -> List[ast.Expr]:
+    """Equality conjuncts for NATURAL JOIN (optionally with ON col-list)."""
+    right = [r for r in relations if r.alias in right_aliases]
+    left = [r for r in relations if r.alias not in right_aliases]
+    if item.condition is not None:
+        # Paper's "NATURAL JOIN t ON (a, b)" form: explicit column list.
+        if isinstance(item.condition, ast.TupleExpr):
+            names = [c.column for c in item.condition.items if isinstance(c, ast.ColumnRef)]
+        elif isinstance(item.condition, ast.ColumnRef):
+            names = [item.condition.column]
+        else:
+            raise PlanningError("NATURAL JOIN ON expects a column list")
+    else:
+        left_columns = {c for r in left for c in r.columns}
+        names = [c for r in right for c in r.columns if c in left_columns]
+    conjuncts: List[ast.Expr] = []
+    for name in names:
+        left_rel = next((r for r in left if name in r.columns), None)
+        right_rel = next((r for r in right if name in r.columns), None)
+        if left_rel is None or right_rel is None:
+            raise PlanningError(f"NATURAL JOIN column {name!r} missing on one side")
+        conjuncts.append(
+            ast.BinaryOp(
+                "=",
+                ast.ColumnRef(left_rel.alias, name),
+                ast.ColumnRef(right_rel.alias, name),
+            )
+        )
+    return conjuncts
+
+
+# ---------------------------------------------------------------------------
+# Predicate classification
+# ---------------------------------------------------------------------------
+
+
+def _aliases_of(expr: ast.Expr, relations: List[_Relation]) -> frozenset:
+    """The set of FROM aliases an expression references.
+
+    Unqualified references are attributed by unique column-name match;
+    ambiguity raises, matching SQL.
+    """
+    by_column: Dict[str, List[str]] = {}
+    for relation in relations:
+        for column in relation.columns:
+            by_column.setdefault(column, []).append(relation.alias)
+    result = set()
+    for ref in ast.column_refs(expr, into_subqueries=False):
+        if ref.table is not None:
+            result.add(ref.table.lower())
+        else:
+            owners = by_column.get(ref.column.lower(), [])
+            if len(owners) > 1:
+                raise PlanningError(f"ambiguous column reference {ref.column!r}")
+            if owners:
+                result.add(owners[0])
+            # Unknown names may be parameters resolved later; leave out.
+    return frozenset(result)
+
+
+@dataclass
+class _Conjunct:
+    expr: ast.Expr
+    aliases: frozenset
+    placed: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Join planning
+# ---------------------------------------------------------------------------
+
+
+def _equi_parts(
+    conjunct: ast.Expr, new_alias: str, bound: frozenset, relations: List[_Relation]
+) -> Optional[Tuple[str, ast.Expr]]:
+    """If ``conjunct`` is ``new.col = expr(bound)``, return (col, expr)."""
+    if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+        return None
+    for mine, theirs in ((conjunct.left, conjunct.right), (conjunct.right, conjunct.left)):
+        if (
+            isinstance(mine, ast.ColumnRef)
+            and _aliases_of(mine, relations) == frozenset([new_alias])
+            and _aliases_of(theirs, relations) <= bound
+        ):
+            return (mine.column.lower(), theirs)
+    return None
+
+
+_RANGE_OPS = {"<", "<=", ">", ">="}
+
+
+def _range_part(
+    conjunct: ast.Expr, new_alias: str, bound: frozenset, relations: List[_Relation]
+) -> Optional[Tuple[str, str, ast.Expr]]:
+    """If ``conjunct`` bounds ``new.col`` by an outer expression.
+
+    Returns ``(column, op, expr)`` normalized so that ``new.col op expr``.
+    """
+    if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op in _RANGE_OPS):
+        return None
+    flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+    left, right, op = conjunct.left, conjunct.right, conjunct.op
+    if (
+        isinstance(left, ast.ColumnRef)
+        and _aliases_of(left, relations) == frozenset([new_alias])
+        and _aliases_of(right, relations) <= bound
+    ):
+        return (left.column.lower(), op, right)
+    if (
+        isinstance(right, ast.ColumnRef)
+        and _aliases_of(right, relations) == frozenset([new_alias])
+        and _aliases_of(left, relations) <= bound
+    ):
+        return (right.column.lower(), flip[op], left)
+    return None
+
+
+def _plan_joins(
+    relations: List[_Relation],
+    conjuncts: List[_Conjunct],
+    env: PlanEnv,
+) -> ops.PhysicalOperator:
+    """Left-deep join tree in FROM order, honouring the join policy."""
+    config = env.config
+
+    def compiler_for(layout: Layout) -> ExpressionCompiler:
+        return ExpressionCompiler(layout, env.subquery_executor)
+
+    def single_table_exprs(relation: _Relation) -> List[ast.Expr]:
+        mine = [
+            c
+            for c in conjuncts
+            if not c.placed and c.aliases <= frozenset([relation.alias]) and c.aliases
+        ]
+        consts = [c for c in conjuncts if not c.placed and not c.aliases]
+        picked = mine + consts
+        for c in picked:
+            c.placed = True
+        return [c.expr for c in picked]
+
+    def compile_filter(relation: _Relation, exprs: List[ast.Expr]) -> Optional[Compiled]:
+        predicate = ast.conjoin(exprs)
+        if predicate is None:
+            return None
+        layout = Layout([(relation.alias, name) for name in relation.columns])
+        return compiler_for(layout).compile(predicate)
+
+    first = relations[0]
+    first_exprs = single_table_exprs(first)
+    current = _scan_relation(first, first_exprs, env)
+    bound = frozenset([first.alias])
+
+    for relation in relations[1:]:
+        inner_exprs = single_table_exprs(relation)
+        inner_filter = compile_filter(relation, inner_exprs)
+        new_bound = bound | frozenset([relation.alias])
+        available = [
+            c for c in conjuncts if not c.placed and c.aliases <= new_bound
+        ]
+        current = _join_one(
+            current,
+            relation,
+            available,
+            bound,
+            relations,
+            env,
+            inner_filter,
+            inner_exprs,
+        )
+        for c in available:
+            c.placed = True
+        bound = new_bound
+    return current
+
+
+def _constant_range_part(
+    conjunct: ast.Expr, alias: str, relations: List[_Relation]
+) -> Optional[Tuple[str, str, ast.Expr]]:
+    """``alias.col OP expr`` where expr is row-independent (const/param)."""
+    if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op in _RANGE_OPS):
+        return None
+    flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+    for mine, theirs, op in (
+        (conjunct.left, conjunct.right, conjunct.op),
+        (conjunct.right, conjunct.left, flip[conjunct.op]),
+    ):
+        if (
+            isinstance(mine, ast.ColumnRef)
+            and _aliases_of(mine, relations) == frozenset([alias])
+            and not ast.column_refs(theirs)
+        ):
+            return (mine.column.lower(), op, theirs)
+    return None
+
+
+def _scan_relation(
+    relation: _Relation, exprs: List[ast.Expr], env: PlanEnv
+) -> ops.PhysicalOperator:
+    """Scan with pushed filters, using a sorted index range when possible.
+
+    Handles the parameterized inner query Q_R(b): conjuncts like
+    ``R.b_h >= :b_b_h`` bound an index range re-evaluated per binding.
+    """
+    layout = Layout([(relation.alias, name) for name in relation.columns])
+    compiler = ExpressionCompiler(layout, env.subquery_executor)
+
+    def full_scan() -> ops.PhysicalOperator:
+        predicate = ast.conjoin(exprs)
+        return relation.scan(compiler.compile(predicate) if predicate else None)
+
+    if relation.table is None or not env.config.use_secondary_indexes or not exprs:
+        return full_scan()
+
+    # Equality conjuncts with row-independent right-hand sides can probe
+    # a hash index (point scan) — the most selective option.
+    equalities: Dict[str, Tuple[ast.Expr, ast.Expr]] = {}
+    for expr in exprs:
+        if not (isinstance(expr, ast.BinaryOp) and expr.op == "="):
+            continue
+        for mine, theirs in ((expr.left, expr.right), (expr.right, expr.left)):
+            if (
+                isinstance(mine, ast.ColumnRef)
+                and _aliases_of(mine, [relation]) == frozenset([relation.alias])
+                and not ast.column_refs(theirs)
+            ):
+                equalities.setdefault(mine.column.lower(), (expr, theirs))
+                break
+    if equalities:
+        index = relation.table.find_hash_index(sorted(equalities))
+        if index is None and len(equalities) > 1:
+            from itertools import combinations as _combinations
+
+            for size in range(len(equalities) - 1, 0, -1):
+                for subset in _combinations(sorted(equalities), size):
+                    index = relation.table.find_hash_index(subset)
+                    if index is not None:
+                        break
+                if index is not None:
+                    break
+        if index is not None:
+            empty_layout = Layout([(None, "_dummy")])
+            bound_compiler = ExpressionCompiler(empty_layout, env.subquery_executor)
+            ordered_columns = [
+                relation.table.schema.column_names[p] for p in index.column_positions
+            ]
+            probe = bound_compiler.compile(
+                ast.TupleExpr(tuple(equalities[c][1] for c in ordered_columns))
+            )
+            used_exprs = [equalities[c][0] for c in ordered_columns]
+            layout = Layout([(relation.alias, name) for name in relation.columns])
+            residual_predicate = ast.conjoin(
+                [e for e in exprs if e not in used_exprs]
+            )
+            residual = (
+                ExpressionCompiler(layout, env.subquery_executor).compile(
+                    residual_predicate
+                )
+                if residual_predicate
+                else None
+            )
+            return ops.IndexPointScan(
+                relation.table, relation.alias, index, probe, residual
+            )
+
+    candidates: Dict[str, List[Tuple[ast.Expr, str, ast.Expr]]] = {}
+    for expr in exprs:
+        parts = _constant_range_part(expr, relation.alias, [relation])
+        if parts is None:
+            continue
+        column, op, bound_expr = parts
+        if relation.table.find_sorted_index(column) is not None:
+            candidates.setdefault(column, []).append((expr, op, bound_expr))
+    if not candidates:
+        return full_scan()
+    column = max(candidates, key=lambda c: len(candidates[c]))
+    index = relation.table.find_sorted_index(column)
+    assert index is not None
+    empty_layout = Layout([(None, "_dummy")])
+    bound_compiler = ExpressionCompiler(empty_layout, env.subquery_executor)
+    low = high = None
+    low_strict = high_strict = False
+    used: List[ast.Expr] = []
+    for expr, op, bound_expr in candidates[column]:
+        if op in (">", ">=") and low is None:
+            low = bound_compiler.compile(bound_expr)
+            low_strict = op == ">"
+            used.append(expr)
+        elif op in ("<", "<=") and high is None:
+            high = bound_compiler.compile(bound_expr)
+            high_strict = op == "<"
+            used.append(expr)
+    if low is None and high is None:
+        return full_scan()
+    residual_exprs = [e for e in exprs if e not in used]
+    residual_predicate = ast.conjoin(residual_exprs)
+    residual = (
+        compiler.compile(residual_predicate) if residual_predicate else None
+    )
+    return ops.IndexRangeScan(
+        relation.table,
+        relation.alias,
+        index,
+        low=low,
+        high=high,
+        low_strict=low_strict,
+        high_strict=high_strict,
+        residual=residual,
+    )
+
+
+def _join_one(
+    outer: ops.PhysicalOperator,
+    relation: _Relation,
+    available: List[_Conjunct],
+    bound: frozenset,
+    relations: List[_Relation],
+    env: PlanEnv,
+    inner_filter: Optional[Compiled],
+    inner_exprs: Optional[List[ast.Expr]] = None,
+) -> ops.PhysicalOperator:
+    config = env.config
+    joined_layout = outer.layout.concat(
+        Layout([(relation.alias, name) for name in relation.columns])
+    )
+    joined_compiler = ExpressionCompiler(joined_layout, env.subquery_executor)
+    outer_compiler = ExpressionCompiler(outer.layout, env.subquery_executor)
+
+    equi: List[Tuple[_Conjunct, str, ast.Expr]] = []
+    ranges: List[Tuple[_Conjunct, str, str, ast.Expr]] = []
+    for conjunct in available:
+        parts = _equi_parts(conjunct.expr, relation.alias, bound, relations)
+        if parts is not None:
+            equi.append((conjunct, parts[0], parts[1]))
+            continue
+        range_parts = _range_part(conjunct.expr, relation.alias, bound, relations)
+        if range_parts is not None:
+            ranges.append((conjunct, *range_parts))
+
+    def residual_excluding(used: Sequence[_Conjunct]) -> Optional[Compiled]:
+        rest = [c.expr for c in available if c not in used]
+        predicate = ast.conjoin(rest)
+        return joined_compiler.compile(predicate) if predicate is not None else None
+
+    def try_index_equi() -> Optional[ops.PhysicalOperator]:
+        if relation.table is None or not equi:
+            return None
+        columns = [column for _, column, _ in equi]
+        index = relation.table.find_hash_index(columns)
+        chosen = equi
+        if index is None and config.use_secondary_indexes:
+            # Try subsets covered by an existing index (largest first).
+            for size in range(len(equi) - 1, 0, -1):
+                from itertools import combinations
+
+                for subset in combinations(equi, size):
+                    index = relation.table.find_hash_index([c for _, c, _ in subset])
+                    if index is not None:
+                        chosen = list(subset)
+                        break
+                if index is not None:
+                    break
+        if index is None:
+            return None
+        # Probe key must follow the index's column order.
+        by_column = {column: expr for _, column, expr in chosen}
+        ordered = [
+            relation.table.schema.column_names[position]
+            for position in index.column_positions
+        ]
+        probe_exprs = [by_column[column] for column in ordered]
+        probe = outer_compiler.compile(ast.TupleExpr(tuple(probe_exprs)))
+        return ops.IndexNestedLoopJoin(
+            outer,
+            relation.table,
+            relation.alias,
+            index,
+            probe,
+            residual=residual_excluding([c for c, _, _ in chosen]),
+            inner_filter=inner_filter,
+        )
+
+    def try_index_range() -> Optional[ops.PhysicalOperator]:
+        if relation.table is None or not ranges or not config.use_secondary_indexes:
+            return None
+        # Prefer a column with both bounds, else any bounded column.
+        by_column: Dict[str, List[Tuple[_Conjunct, str, ast.Expr]]] = {}
+        for conjunct, column, op, expr in ranges:
+            index = relation.table.find_sorted_index(column)
+            if index is not None:
+                by_column.setdefault(column, []).append((conjunct, op, expr))
+        if not by_column:
+            return None
+        column = max(by_column, key=lambda c: len(by_column[c]))
+        index = relation.table.find_sorted_index(column)
+        assert index is not None
+        low = high = None
+        low_strict = high_strict = False
+        used: List[_Conjunct] = []
+        for conjunct, op, expr in by_column[column]:
+            if op in (">", ">=") and low is None:
+                low = outer_compiler.compile(expr)
+                low_strict = op == ">"
+                used.append(conjunct)
+            elif op in ("<", "<=") and high is None:
+                high = outer_compiler.compile(expr)
+                high_strict = op == "<"
+                used.append(conjunct)
+        return ops.SortedIndexRangeJoin(
+            outer,
+            relation.table,
+            relation.alias,
+            index,
+            low=low,
+            high=high,
+            low_strict=low_strict,
+            high_strict=high_strict,
+            residual=residual_excluding(used),
+            inner_filter=inner_filter,
+        )
+
+    def inner_scan_plan() -> ops.PhysicalOperator:
+        if inner_exprs is not None:
+            return _scan_relation(relation, inner_exprs, env)
+        return relation.scan(inner_filter)
+
+    def try_hash() -> Optional[ops.PhysicalOperator]:
+        if not equi or not config.allow_hash_join:
+            return None
+        inner_scan = inner_scan_plan()
+        inner_layout = inner_scan.layout
+        inner_compiler = ExpressionCompiler(inner_layout, env.subquery_executor)
+        outer_key = outer_compiler.compile(
+            ast.TupleExpr(tuple(expr for _, _, expr in equi))
+        )
+        inner_key = inner_compiler.compile(
+            ast.TupleExpr(
+                tuple(ast.ColumnRef(relation.alias, column) for _, column, _ in equi)
+            )
+        )
+        return ops.HashJoin(
+            outer,
+            inner_scan,
+            outer_key,
+            inner_key,
+            residual=residual_excluding([c for c, _, _ in equi]),
+        )
+
+    def nested_loop() -> ops.PhysicalOperator:
+        predicate = ast.conjoin([c.expr for c in available])
+        compiled = joined_compiler.compile(predicate) if predicate is not None else None
+        return ops.NestedLoopJoin(outer, inner_scan_plan(), compiled)
+
+    if config.join_policy == "hash-first":
+        candidates = (try_hash, try_index_equi, try_index_range)
+    elif config.join_policy == "index-first":
+        candidates = (try_index_equi, try_hash, try_index_range)
+    elif config.join_policy == "nlj-only":
+        candidates = ()
+    else:
+        raise PlanningError(f"unknown join policy {config.join_policy!r}")
+    for candidate in candidates:
+        plan = candidate()
+        if plan is not None:
+            return plan
+    return nested_loop()
+
+
+# ---------------------------------------------------------------------------
+# SELECT planning
+# ---------------------------------------------------------------------------
+
+
+def _output_name(item: ast.SelectItem, position: int) -> str:
+    if item.alias:
+        return item.alias.lower()
+    if isinstance(item.expr, ast.ColumnRef):
+        return item.expr.column.lower()
+    if isinstance(item.expr, ast.FuncCall):
+        return item.expr.name.lower()
+    return f"col{position}"
+
+
+def _expand_stars(
+    items: Sequence[ast.SelectItem], layout: Layout
+) -> List[ast.SelectItem]:
+    expanded: List[ast.SelectItem] = []
+    for item in items:
+        if isinstance(item.expr, ast.Star):
+            for alias, column in layout.slots:
+                if item.expr.table is None or alias == item.expr.table.lower():
+                    expanded.append(ast.SelectItem(ast.ColumnRef(alias, column)))
+        else:
+            expanded.append(item)
+    return expanded
+
+
+def plan_select(
+    select: ast.Select, env: PlanEnv
+) -> Tuple[ops.PhysicalOperator, Tuple[str, ...]]:
+    """Plan one SELECT block; returns (plan, output column names)."""
+    relations, extra_conjuncts = _flatten_from(select.from_items, env)
+    all_conjuncts = [
+        _Conjunct(expr=c, aliases=_aliases_of(c, relations))
+        for c in list(ast.conjuncts(select.where)) + extra_conjuncts
+    ]
+    joined = _plan_joins(relations, all_conjuncts, env)
+    unplaced = [c for c in all_conjuncts if not c.placed]
+    if unplaced:
+        predicate = ast.conjoin([c.expr for c in unplaced])
+        assert predicate is not None
+        compiled = ExpressionCompiler(joined.layout, env.subquery_executor).compile(
+            predicate
+        )
+        joined = ops.Filter(joined, compiled, label="where")
+
+    items = _expand_stars(select.items, joined.layout)
+    output_names = tuple(_output_name(item, i) for i, item in enumerate(items))
+
+    has_aggregates = bool(
+        ast.aggregate_calls(ast.TupleExpr(tuple(item.expr for item in items)))
+        or (select.having is not None and ast.aggregate_calls(select.having))
+        or any(ast.aggregate_calls(o.expr) for o in select.order_by)
+    )
+
+    rewrite_fn = None
+    if select.group_by or has_aggregates:
+        plan, rewritten_items, rewrite_fn = _plan_aggregation(
+            joined, select, items, env
+        )
+    else:
+        if select.having is not None:
+            raise PlanningError("HAVING requires GROUP BY or aggregates")
+        plan, rewritten_items = joined, items
+
+    # Project.
+    output_layout = Layout([(None, name) for name in output_names])
+    compiler = ExpressionCompiler(plan.layout, env.subquery_executor)
+    output_fns = [compiler.compile(item.expr) for item in rewritten_items]
+    projected: ops.PhysicalOperator = ops.Project(plan, output_fns, output_layout)
+    if select.distinct:
+        projected = ops.Distinct(projected)
+
+    # ORDER BY: resolve against output aliases first, then by structural
+    # match with a projected expression, then against the output layout.
+    if select.order_by:
+        key_fns: List[Compiled] = []
+        ascending: List[bool] = []
+        rewritten_by_struct = {}
+        for position, item in enumerate(rewritten_items):
+            key = (
+                item.expr
+                if rewrite_fn is not None
+                else _normalize_refs(item.expr, plan.layout)
+            )
+            rewritten_by_struct.setdefault(key, position)
+        out_compiler = ExpressionCompiler(output_layout, env.subquery_executor)
+        for order_item in select.order_by:
+            expr = order_item.expr
+            fn: Optional[Compiled] = None
+            if isinstance(expr, ast.ColumnRef) and expr.table is None:
+                position = output_layout.try_resolve(None, expr.column)
+                if position is not None:
+                    fn = (lambda p: lambda row, params: row[p])(position)
+            if fn is None:
+                # Structural match against a projected expression
+                # (normalized the same way the projection was).
+                rewritten = (
+                    rewrite_fn(expr)
+                    if rewrite_fn is not None
+                    else _normalize_refs(expr, plan.layout)
+                )
+                position = rewritten_by_struct.get(rewritten)
+                if position is not None:
+                    fn = (lambda p: lambda row, params: row[p])(position)
+            if fn is None:
+                fn = out_compiler.compile(expr)
+            key_fns.append(fn)
+            ascending.append(order_item.ascending)
+        projected = ops.Sort(projected, key_fns, ascending)
+
+    if select.limit is not None:
+        projected = ops.Limit(projected, select.limit)
+    return projected, output_names
+
+
+def _normalize_refs(expr: ast.Expr, layout: Layout) -> ast.Expr:
+    """Qualify every resolvable ColumnRef with its layout slot.
+
+    Makes structural matching robust: ``pid`` and ``s1.pid`` both
+    normalize to ``s1.pid`` when unambiguous, so group-key and
+    aggregate replacement matches regardless of how the user spelled
+    the reference.
+    """
+
+    def visit(node: Any) -> Any:
+        if isinstance(node, ast.ColumnRef):
+            position = layout.try_resolve(node.table, node.column)
+            if position is not None:
+                alias, column = layout.slots[position]
+                return ast.ColumnRef(alias, column)
+        return node
+
+    return ast.transform(expr, visit)
+
+
+def _plan_aggregation(
+    child: ops.PhysicalOperator,
+    select: ast.Select,
+    items: Sequence[ast.SelectItem],
+    env: PlanEnv,
+) -> Tuple[ops.PhysicalOperator, List[ast.SelectItem], Any]:
+    """Plan GROUP BY / scalar aggregation and rewrite dependent exprs.
+
+    Returns the post-aggregation (and post-HAVING) plan, SELECT items
+    rewritten to reference aggregate output slots, and the rewrite
+    function itself (for ORDER BY).
+    """
+    input_compiler = ExpressionCompiler(child.layout, env.subquery_executor)
+
+    # Resolve GROUP BY entries; an unqualified name that matches a SELECT
+    # alias refers to that item's expression (PostgreSQL behaviour).
+    alias_map = {
+        item.alias.lower(): item.expr for item in items if item.alias is not None
+    }
+    group_exprs: List[ast.Expr] = []
+    for expr in select.group_by:
+        if (
+            isinstance(expr, ast.ColumnRef)
+            and expr.table is None
+            and child.layout.try_resolve(None, expr.column) is None
+            and expr.column.lower() in alias_map
+        ):
+            expr = alias_map[expr.column.lower()]
+        group_exprs.append(_normalize_refs(expr, child.layout))
+
+    # Aggregate calls across SELECT, HAVING, ORDER BY (deduplicated),
+    # collected over normalized expressions so matching is structural.
+    normalized_items = [
+        ast.SelectItem(_normalize_refs(item.expr, child.layout), item.alias)
+        for item in items
+    ]
+    normalized_having = (
+        _normalize_refs(select.having, child.layout)
+        if select.having is not None
+        else None
+    )
+    aggregate_nodes: List[ast.FuncCall] = []
+
+    def collect(node: Any) -> None:
+        for call in ast.aggregate_calls(node):
+            if call not in aggregate_nodes:
+                aggregate_nodes.append(call)
+
+    for item in normalized_items:
+        collect(item.expr)
+    if normalized_having is not None:
+        collect(normalized_having)
+    for order_item in select.order_by:
+        collect(_normalize_refs(order_item.expr, child.layout))
+
+    # Output layout: group-key slots (retaining alias.column names for
+    # ColumnRef keys) followed by aggregate slots.
+    slots: List[Tuple[Optional[str], str]] = []
+    key_replacements: Dict[ast.Expr, ast.ColumnRef] = {}
+    for position, expr in enumerate(group_exprs):
+        if isinstance(expr, ast.ColumnRef):
+            resolved = child.layout.slots[
+                child.layout.resolve(expr.table, expr.column)
+            ]
+            slots.append(resolved)
+            key_replacements[expr] = ast.ColumnRef(resolved[0], resolved[1])
+        else:
+            name = f"_key{position}"
+            slots.append((None, name))
+            key_replacements[expr] = ast.ColumnRef(None, name)
+    agg_replacements: Dict[ast.FuncCall, ast.ColumnRef] = {}
+    for position, call in enumerate(aggregate_nodes):
+        name = f"_agg{position}"
+        slots.append((None, name))
+        agg_replacements[call] = ast.ColumnRef(None, name)
+    output_layout = Layout(slots)
+
+    key_fns = [input_compiler.compile(expr) for expr in group_exprs]
+    specs: List[AggregateSpec] = []
+    for call in aggregate_nodes:
+        if len(call.args) == 1 and isinstance(call.args[0], ast.Star):
+            specs.append(make_spec(call, None))
+        else:
+            specs.append(make_spec(call, input_compiler.compile(call.args[0])))
+
+    plan: ops.PhysicalOperator = ops.HashAggregate(
+        child, key_fns, specs, output_layout
+    )
+
+    def rewrite(expr: ast.Expr) -> ast.Expr:
+        normalized = _normalize_refs(expr, child.layout)
+
+        # Pass 1: replace whole aggregate calls (so group-key
+        # replacement never rewrites an aggregate's argument first).
+        def visit_aggs(node: Any) -> Any:
+            if isinstance(node, ast.FuncCall) and node.is_aggregate:
+                return agg_replacements.get(node, node)
+            return node
+
+        # Pass 2: replace group-key expressions.
+        def visit_keys(node: Any) -> Any:
+            if isinstance(node, ast.Expr):
+                try:
+                    return key_replacements.get(node, node)
+                except TypeError:  # unhashable literals cannot be keys
+                    return node
+            return node
+
+        return ast.transform(ast.transform(normalized, visit_aggs), visit_keys)
+
+    post_compiler = ExpressionCompiler(output_layout, env.subquery_executor)
+    if normalized_having is not None:
+        having_rewritten = rewrite(normalized_having)
+        _check_no_aggregates(having_rewritten, "HAVING")
+        plan = ops.Filter(plan, post_compiler.compile(having_rewritten), label="having")
+
+    rewritten_items: List[ast.SelectItem] = []
+    for item in items:
+        rewritten = rewrite(item.expr)
+        _check_no_aggregates(rewritten, "SELECT")
+        rewritten_items.append(ast.SelectItem(rewritten, item.alias))
+    return plan, rewritten_items, rewrite
+
+
+def _check_no_aggregates(expr: ast.Expr, where: str) -> None:
+    if ast.aggregate_calls(expr):
+        raise PlanningError(
+            f"aggregate in {where} does not match the grouping context"
+        )

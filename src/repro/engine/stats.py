@@ -1,0 +1,71 @@
+"""Deterministic work counters for query execution.
+
+The paper reports wall-clock seconds on fixed 2017 hardware.  Wall
+clock on shared machines is noisy, so every benchmark in this repo
+additionally reports *work counters*, which deterministically capture
+the quantities the paper's optimizations actually reduce:
+
+* ``rows_scanned`` — tuples read from base tables / materializations,
+* ``join_pairs`` — tuple pairs for which a join predicate was
+  evaluated (the dominant cost of the baseline plans),
+* ``index_probes`` — index lookups performed,
+* ``inner_evaluations`` — NLJP inner-query executions (what
+  memoization and pruning avoid),
+* ``cache_hits`` / ``pruned_bindings`` — NLJP cache effectiveness,
+* ``rows_output`` — result cardinality.
+
+``cost()`` combines these into a single machine-independent work
+metric used for the shape assertions in benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ExecutionStats:
+    """Mutable counter bundle threaded through one query execution."""
+
+    rows_scanned: int = 0
+    join_pairs: int = 0
+    index_probes: int = 0
+    rows_output: int = 0
+    aggregation_inputs: int = 0
+    inner_evaluations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    pruned_bindings: int = 0
+    prune_checks: int = 0
+    reducer_rows_removed: int = 0
+    cache_rows: int = 0
+    cache_bytes: int = 0
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Accumulate another stats bundle into this one."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def cost(self) -> int:
+        """Machine-independent work estimate.
+
+        Join pair evaluations and scanned rows dominate; index probes
+        are cheaper; cache bookkeeping is charged per check so pruning
+        is never free.
+        """
+        return (
+            self.rows_scanned
+            + 3 * self.join_pairs
+            + self.index_probes
+            + self.aggregation_inputs
+            + 2 * self.prune_checks
+            + self.cache_hits
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    def __repr__(self) -> str:
+        interesting = {k: v for k, v in self.as_dict().items() if v}
+        return f"ExecutionStats({interesting})"

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the Smart-Iceberg reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing parse errors from planning or execution errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SqlError(ReproError):
+    """Base class for errors in the SQL front end."""
+
+
+class LexerError(SqlError):
+    """Raised when the lexer encounters an unrecognized character."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot make sense of a token stream."""
+
+
+class CatalogError(ReproError):
+    """Raised for catalog problems: unknown or duplicate tables/columns."""
+
+
+class SchemaError(ReproError):
+    """Raised when data does not fit a table's declared schema."""
+
+
+class PlanningError(ReproError):
+    """Raised when a query cannot be planned (unsupported feature, etc.)."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a planned query fails at run time."""
+
+
+class TypeCheckError(ExecutionError):
+    """Raised when an expression is applied to values of the wrong type."""
+
+
+class OptimizationError(ReproError):
+    """Raised by the Smart-Iceberg optimizer for malformed inputs.
+
+    Note that *inapplicability* of a technique is not an error; the
+    optimizer reports inapplicability through result objects.  This
+    exception signals genuine misuse, such as asking for a reducer on a
+    relation that is not part of the query.
+    """
+
+
+class QuantifierEliminationError(ReproError):
+    """Raised when the logic subsystem cannot eliminate a variable.
+
+    This happens for non-linear constraints, which are outside the
+    fragment handled by Fourier-Motzkin elimination.
+    """

@@ -1,0 +1,6 @@
+"""SQL front end: lexer, parser, AST, and renderer."""
+
+from repro.sql.parser import parse, parse_expression
+from repro.sql.render import render
+
+__all__ = ["parse", "parse_expression", "render"]

@@ -1,0 +1,153 @@
+"""A hand-written lexer for the SQL subset used by the paper.
+
+Produces a flat list of :class:`Token`.  Keywords are case-insensitive
+and normalized to upper case; identifiers are folded to lower case
+(PostgreSQL behaviour).  Double-quoted identifiers preserve case.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import LexerError
+
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET AS AND OR NOT
+    IN BETWEEN LIKE IS NULL TRUE FALSE DISTINCT ALL JOIN INNER LEFT
+    RIGHT FULL OUTER CROSS NATURAL ON USING WITH UNION EXCEPT INTERSECT
+    CASE WHEN THEN ELSE END ASC DESC EXISTS CAST COUNT SUM AVG MIN MAX
+    """.split()
+)
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "KEYWORD"
+    IDENTIFIER = "IDENTIFIER"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    PUNCTUATION = "PUNCTUATION"
+    PARAMETER = "PARAMETER"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        return self.type is token_type and (value is None or self.value == value)
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r})"
+
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "||", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCTUATION = frozenset("(),.;")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL ``text``; raises :class:`LexerError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            newline = text.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise LexerError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = text[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i + 1 < n and (
+                    text[i + 1].isdigit() or text[i + 1] in "+-"
+                ):
+                    seen_exp = True
+                    i += 2 if text[i + 1] in "+-" else 1
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, text[start:i], start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            pieces: List[str] = []
+            while True:
+                if i >= n:
+                    raise LexerError("unterminated string literal", start)
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":  # escaped quote
+                        pieces.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                pieces.append(text[i])
+                i += 1
+            tokens.append(Token(TokenType.STRING, "".join(pieces), start))
+            continue
+        if ch == '"':
+            start = i
+            end = text.find('"', i + 1)
+            if end < 0:
+                raise LexerError("unterminated quoted identifier", start)
+            tokens.append(Token(TokenType.IDENTIFIER, text[i + 1 : end], start))
+            i = end + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word.lower(), start))
+            continue
+        if ch == ":" and i + 1 < n and (text[i + 1].isalpha() or text[i + 1] == "_"):
+            start = i
+            i += 1
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            tokens.append(Token(TokenType.PARAMETER, text[start + 1 : i].lower(), start))
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token(TokenType.OPERATOR, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, ch, i))
+            i += 1
+            continue
+        raise LexerError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

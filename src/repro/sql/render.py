@@ -1,0 +1,166 @@
+"""Render AST nodes back to SQL text.
+
+The Smart-Iceberg optimizer is a source-to-source rewriter: it takes
+SQL in and emits SQL (plus NLJP operator specs) out.  This module
+produces deterministic, round-trippable text — ``parse(render(q))``
+yields an AST equal to ``q`` (modulo redundant parentheses, which we
+always emit around binary subexpressions to avoid precedence bugs).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sql import ast
+
+
+def render(node: Any) -> str:
+    """Render any query or expression AST node to SQL text."""
+    if isinstance(node, ast.Query):
+        return _render_query(node)
+    if isinstance(node, ast.Select):
+        return _render_select(node)
+    return _render_expr(node)
+
+
+def _render_query(query: ast.Query) -> str:
+    parts = []
+    if query.ctes:
+        rendered = []
+        for cte in query.ctes:
+            columns = f"({', '.join(cte.columns)})" if cte.columns else ""
+            rendered.append(f"{cte.name}{columns} AS ({_render_select(cte.query)})")
+        parts.append("WITH " + ", ".join(rendered))
+    parts.append(_render_select(query.body))
+    return "\n".join(parts)
+
+
+def _render_select(select: ast.Select) -> str:
+    pieces = ["SELECT"]
+    if select.distinct:
+        pieces.append("DISTINCT")
+    pieces.append(", ".join(_render_item(item) for item in select.items))
+    if select.from_items:
+        pieces.append("FROM")
+        pieces.append(", ".join(_render_table(t) for t in select.from_items))
+    if select.where is not None:
+        pieces.append("WHERE")
+        pieces.append(_render_expr(select.where))
+    if select.group_by:
+        pieces.append("GROUP BY")
+        pieces.append(", ".join(_render_expr(e) for e in select.group_by))
+    if select.having is not None:
+        pieces.append("HAVING")
+        pieces.append(_render_expr(select.having))
+    if select.order_by:
+        pieces.append("ORDER BY")
+        pieces.append(
+            ", ".join(
+                _render_expr(item.expr) + ("" if item.ascending else " DESC")
+                for item in select.order_by
+            )
+        )
+    if select.limit is not None:
+        pieces.append(f"LIMIT {select.limit}")
+    return " ".join(pieces)
+
+
+def _render_item(item: ast.SelectItem) -> str:
+    text = _render_expr(item.expr)
+    if item.alias:
+        text += f" AS {item.alias}"
+    return text
+
+
+def _render_table(table: ast.TableExpr) -> str:
+    if isinstance(table, ast.NamedTable):
+        if table.alias:
+            return f"{table.name} {table.alias}"
+        return table.name
+    if isinstance(table, ast.DerivedTable):
+        return f"({_render_select(table.query)}) {table.alias}"
+    if isinstance(table, ast.JoinedTable):
+        left = _render_table(table.left)
+        right = _render_table(table.right)
+        if table.natural:
+            text = f"{left} NATURAL JOIN {right}"
+            if table.condition is not None:
+                text += f" ON {_render_expr(table.condition)}"
+            return text
+        if table.condition is None:
+            return f"{left} CROSS JOIN {right}"
+        return f"{left} JOIN {right} ON {_render_expr(table.condition)}"
+    raise TypeError(f"cannot render table expression {table!r}")
+
+
+def _render_literal(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)
+
+
+def _render_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Literal):
+        return _render_literal(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        return expr.qualified()
+    if isinstance(expr, ast.Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, ast.Parameter):
+        return f":{expr.name}"
+    if isinstance(expr, ast.BinaryOp):
+        left = _render_expr(expr.left)
+        right = _render_expr(expr.right)
+        if isinstance(expr.left, ast.BinaryOp):
+            left = f"({left})"
+        if isinstance(expr.right, ast.BinaryOp):
+            right = f"({right})"
+        return f"{left} {expr.op} {right}"
+    if isinstance(expr, ast.UnaryOp):
+        operand = _render_expr(expr.operand)
+        if isinstance(expr.operand, ast.BinaryOp):
+            operand = f"({operand})"
+        if expr.op == "NOT":
+            return f"NOT {operand}"
+        return f"{expr.op}{operand}"
+    if isinstance(expr, ast.FuncCall):
+        distinct = "DISTINCT " if expr.distinct else ""
+        args = ", ".join(_render_expr(a) for a in expr.args)
+        return f"{expr.name}({distinct}{args})"
+    if isinstance(expr, ast.TupleExpr):
+        return "(" + ", ".join(_render_expr(item) for item in expr.items) + ")"
+    if isinstance(expr, ast.InList):
+        keyword = "NOT IN" if expr.negated else "IN"
+        items = ", ".join(_render_expr(item) for item in expr.items)
+        return f"{_render_expr(expr.needle)} {keyword} ({items})"
+    if isinstance(expr, ast.InSubquery):
+        keyword = "NOT IN" if expr.negated else "IN"
+        return f"{_render_expr(expr.needle)} {keyword} ({_render_select(expr.subquery)})"
+    if isinstance(expr, ast.ExistsSubquery):
+        keyword = "NOT EXISTS" if expr.negated else "EXISTS"
+        return f"{keyword} ({_render_select(expr.subquery)})"
+    if isinstance(expr, ast.Between):
+        keyword = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (
+            f"{_render_expr(expr.needle)} {keyword} "
+            f"{_render_expr(expr.low)} AND {_render_expr(expr.high)}"
+        )
+    if isinstance(expr, ast.IsNull):
+        keyword = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"{_render_expr(expr.operand)} {keyword}"
+    if isinstance(expr, ast.CaseExpr):
+        parts = ["CASE"]
+        for condition, value in expr.whens:
+            parts.append(f"WHEN {_render_expr(condition)} THEN {_render_expr(value)}")
+        if expr.default is not None:
+            parts.append(f"ELSE {_render_expr(expr.default)}")
+        parts.append("END")
+        return " ".join(parts)
+    raise TypeError(f"cannot render expression {expr!r}")

@@ -1,0 +1,25 @@
+"""In-memory relational storage substrate.
+
+This package plays the role PostgreSQL played in the paper's
+implementation: typed tables, hash and sorted secondary indexes, and a
+catalog that records keys and functional dependencies for the
+optimizer's safety checks.
+"""
+
+from repro.storage.catalog import Database
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.schema import Column, TableSchema
+from repro.storage.table import Table
+from repro.storage.types import NULL, SqlType, infer_type
+
+__all__ = [
+    "Column",
+    "Database",
+    "HashIndex",
+    "NULL",
+    "SortedIndex",
+    "SqlType",
+    "Table",
+    "TableSchema",
+    "infer_type",
+]

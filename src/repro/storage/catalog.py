@@ -1,0 +1,139 @@
+"""The database catalog: named tables plus declared constraints.
+
+The catalog is the engine's single entry point.  Besides holding
+tables, it records each table's primary key and any additional
+functional dependencies — the metadata Theorems 2 and 3 of the paper
+consume when deciding whether a-priori or pruning is safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError
+from repro.constraints.fd import FDSet, FunctionalDependency
+from repro.storage.schema import Column, TableSchema
+from repro.storage.table import Table
+
+
+class Database:
+    """A named collection of tables with constraint metadata."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._fds: Dict[str, FDSet] = {}
+        self._primary_keys: Dict[str, Tuple[str, ...]] = {}
+        self._domains: Dict[Tuple[str, str], Tuple[Optional[float], Optional[float]]] = {}
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        schema: TableSchema | Sequence[Column],
+        primary_key: Optional[Sequence[str]] = None,
+    ) -> Table:
+        """Create a table; an optional primary key adds an FD and index."""
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        if not isinstance(schema, TableSchema):
+            schema = TableSchema(schema)
+        table = Table(key, schema)
+        self._tables[key] = table
+        self._fds[key] = FDSet()
+        if primary_key:
+            self.declare_key(key, primary_key)
+            table.create_index(f"{key}_pkey", list(primary_key), kind="hash")
+        return table
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"no table named {name!r}")
+        del self._tables[key]
+        del self._fds[key]
+        self._primary_keys.pop(key, None)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    @property
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+    def declare_key(self, table_name: str, key_columns: Sequence[str]) -> None:
+        """Declare ``key_columns`` as a key of the table.
+
+        Records the FD ``key → all columns``.  The first declared key is
+        remembered as the primary key.
+        """
+        table = self.table(table_name)
+        columns = tuple(column.lower() for column in key_columns)
+        for column in columns:
+            table.schema.index_of(column)  # validates existence
+        self._fds[table.name].add_key(columns, table.schema.column_names)
+        self._primary_keys.setdefault(table.name, columns)
+
+    def declare_fd(
+        self, table_name: str, lhs: Iterable[str], rhs: Iterable[str]
+    ) -> None:
+        """Declare an arbitrary functional dependency on a table."""
+        table = self.table(table_name)
+        dependency = FunctionalDependency.of(lhs, rhs)
+        for column in dependency.lhs | dependency.rhs:
+            table.schema.index_of(column)
+        self._fds[table.name].add(dependency)
+
+    def fds(self, table_name: str) -> FDSet:
+        """The declared FD set of a table (empty set if none declared)."""
+        return self._fds[self.table(table_name).name]
+
+    def primary_key(self, table_name: str) -> Optional[Tuple[str, ...]]:
+        return self._primary_keys.get(self.table(table_name).name)
+
+    def is_superkey(self, table_name: str, columns: Iterable[str]) -> bool:
+        """Is ``columns`` a superkey of the table per declared FDs?"""
+        table = self.table(table_name)
+        return self.fds(table_name).is_superkey(columns, table.schema.column_names)
+
+    # ------------------------------------------------------------------
+    # Value domains (CHECK-style bounds)
+    # ------------------------------------------------------------------
+    def declare_domain(
+        self,
+        table_name: str,
+        column: str,
+        lower: Optional[float] = None,
+        upper: Optional[float] = None,
+    ) -> None:
+        """Declare value bounds for a column (like a CHECK constraint).
+
+        The monotonicity analysis (Table 2) needs to know that a SUM
+        argument is nonnegative before classifying ``SUM(A) >= c`` as
+        monotone; declaring ``lower=0`` provides exactly that fact.
+        """
+        table = self.table(table_name)
+        table.schema.index_of(column)
+        self._domains[(table.name, column.lower())] = (lower, upper)
+
+    def domain(
+        self, table_name: str, column: str
+    ) -> Tuple[Optional[float], Optional[float]]:
+        """Declared (lower, upper) bounds; (None, None) if undeclared."""
+        table = self.table(table_name)
+        return self._domains.get((table.name, column.lower()), (None, None))
+
+    def is_nonnegative(self, table_name: str, column: str) -> bool:
+        lower, _ = self.domain(table_name, column)
+        return lower is not None and lower >= 0

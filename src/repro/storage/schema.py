@@ -1,0 +1,107 @@
+"""Table schemas: ordered, typed columns with name lookup."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.storage.types import SqlType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column.
+
+    ``nullable`` is advisory: the table enforces it on insert.
+    """
+
+    name: str
+    type: SqlType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name {self.name!r}")
+
+
+class TableSchema:
+    """An ordered collection of :class:`Column` with O(1) name lookup.
+
+    Column names are case-insensitive (stored lowercased), matching the
+    SQL front end's identifier folding.
+    """
+
+    def __init__(self, columns: Iterable[Column]) -> None:
+        self._columns: List[Column] = []
+        self._index: Dict[str, int] = {}
+        for column in columns:
+            normalized = Column(column.name.lower(), column.type, column.nullable)
+            if normalized.name in self._index:
+                raise SchemaError(f"duplicate column {normalized.name!r}")
+            self._index[normalized.name] = len(self._columns)
+            self._columns.append(normalized)
+        if not self._columns:
+            raise SchemaError("a table schema needs at least one column")
+
+    @classmethod
+    def of(cls, *specs: Tuple[str, SqlType]) -> "TableSchema":
+        """Shorthand constructor: ``TableSchema.of(("id", INTEGER), ...)``."""
+        return cls(Column(name, sql_type) for name, sql_type in specs)
+
+    @property
+    def columns(self) -> Sequence[Column]:
+        return tuple(self._columns)
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(column.name for column in self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TableSchema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._columns))
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name} {c.type.value}" for c in self._columns)
+        return f"TableSchema({cols})"
+
+    def index_of(self, name: str) -> int:
+        """Return the position of column ``name`` (case-insensitive)."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r}") from None
+
+    def column(self, name: str) -> Column:
+        return self._columns[self.index_of(name)]
+
+    def validate_row(self, row: Sequence[Any]) -> Tuple[Any, ...]:
+        """Validate and normalize one row against this schema."""
+        if len(row) != len(self._columns):
+            raise SchemaError(
+                f"row has {len(row)} values, schema has {len(self._columns)} columns"
+            )
+        values = []
+        for column, value in zip(self._columns, row):
+            normalized = column.type.validate(value)
+            if normalized is None and not column.nullable:
+                raise SchemaError(f"column {column.name!r} is NOT NULL")
+            values.append(normalized)
+        return tuple(values)
+
+    def project(self, names: Sequence[str]) -> "TableSchema":
+        """Schema restricted to ``names``, in the given order."""
+        return TableSchema(self.column(name) for name in names)

@@ -1,0 +1,162 @@
+"""In-memory tables with optional secondary indexes."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError, SchemaError
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.schema import TableSchema
+
+Row = Tuple[Any, ...]
+
+
+class Table:
+    """An append-oriented, schema-validated, in-memory relation.
+
+    Rows are tuples positioned per the schema.  Row ids are stable list
+    positions, which the index layer relies on.  The table is the unit
+    the Smart-Iceberg rewrites operate over: a reducer produces a new
+    (smaller) ``Table``, and NLJP's cache is itself a ``Table``.
+    """
+
+    def __init__(self, name: str, schema: TableSchema) -> None:
+        self.name = name.lower()
+        self.schema = schema
+        self._rows: List[Row] = []
+        self._indexes: Dict[str, HashIndex | SortedIndex] = {}
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self)} rows)"
+
+    @property
+    def rows(self) -> Sequence[Row]:
+        return self._rows
+
+    def row(self, row_id: int) -> Row:
+        return self._rows[row_id]
+
+    def column_values(self, name: str) -> List[Any]:
+        """All values of one column, in row order (useful for stats)."""
+        position = self.schema.index_of(name)
+        return [row[position] for row in self._rows]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: Sequence[Any]) -> int:
+        """Validate and append one row; returns its row id."""
+        validated = self.schema.validate_row(row)
+        row_id = len(self._rows)
+        self._rows.append(validated)
+        for index in self._indexes.values():
+            index.insert(row_id, validated)
+        return row_id
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Append many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def insert_dicts(self, records: Iterable[Dict[str, Any]]) -> int:
+        """Append rows given as ``{column: value}`` mappings."""
+        names = self.schema.column_names
+        return self.insert_many(
+            tuple(record.get(name) for name in names) for record in records
+        )
+
+    def truncate(self) -> None:
+        self._rows.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+    def create_index(
+        self, name: str, columns: Sequence[str], kind: str = "hash"
+    ) -> "HashIndex | SortedIndex":
+        """Create and bulk-load a secondary index.
+
+        ``kind`` is ``"hash"`` (equality) or ``"sorted"`` (range); see
+        :mod:`repro.storage.index`.
+        """
+        key = name.lower()
+        if key in self._indexes:
+            raise CatalogError(f"index {name!r} already exists on {self.name!r}")
+        positions = [self.schema.index_of(column) for column in columns]
+        if kind == "hash":
+            index: HashIndex | SortedIndex = HashIndex(key, positions)
+        elif kind == "sorted":
+            index = SortedIndex(key, positions)
+        else:
+            raise SchemaError(f"unknown index kind {kind!r}")
+        for row_id, row in enumerate(self._rows):
+            index.insert(row_id, row)
+        self._indexes[key] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        try:
+            del self._indexes[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no index {name!r} on {self.name!r}") from None
+
+    @property
+    def indexes(self) -> Dict[str, "HashIndex | SortedIndex"]:
+        return dict(self._indexes)
+
+    def find_hash_index(self, columns: Sequence[str]) -> Optional[HashIndex]:
+        """A hash index exactly covering ``columns`` (order-insensitive)."""
+        wanted = frozenset(self.schema.index_of(column) for column in columns)
+        for index in self._indexes.values():
+            if isinstance(index, HashIndex) and frozenset(index.column_positions) == wanted:
+                return index
+        return None
+
+    def find_sorted_index(self, leading_column: str) -> Optional[SortedIndex]:
+        """A sorted index whose leading key column is ``leading_column``."""
+        wanted = self.schema.index_of(leading_column)
+        for index in self._indexes.values():
+            if isinstance(index, SortedIndex) and index.column_positions[0] == wanted:
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    # Utility
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        names = self.schema.column_names
+        return [dict(zip(names, row)) for row in self._rows]
+
+    def estimated_bytes(self) -> int:
+        """Rough storage footprint, used by the Figure 3 cache-size bench.
+
+        Approximates what a PostgreSQL heap would charge: per-row header
+        plus per-value payload (8 bytes for numerics, string length for
+        text, 1 for bools/NULLs).
+        """
+        per_row_overhead = 24
+        total = 0
+        for row in self._rows:
+            total += per_row_overhead
+            for value in row:
+                if value is None or isinstance(value, bool):
+                    total += 1
+                elif isinstance(value, str):
+                    total += len(value)
+                else:
+                    total += 8
+        return total

@@ -1,0 +1,133 @@
+"""SQL value types and three-valued-logic helpers.
+
+The engine stores values as plain Python objects (``int``, ``float``,
+``str``, ``bool``, ``None``) and uses this module to validate them
+against declared column types and to implement SQL's NULL-aware
+comparison semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from repro.errors import SchemaError
+
+#: Sentinel used in documentation; SQL NULL is represented by ``None``.
+NULL = None
+
+
+class SqlType(enum.Enum):
+    """Column types supported by the storage layer."""
+
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+
+    def validate(self, value: Any) -> Any:
+        """Check ``value`` against this type, returning a normalized copy.
+
+        ``None`` (SQL NULL) is accepted by every type.  Integers are
+        accepted for FLOAT columns and widened; bools are *not* accepted
+        for numeric columns (Python's bool-is-int would otherwise let
+        ``True`` slip into INTEGER columns silently).
+        """
+        if value is None:
+            return None
+        if self is SqlType.INTEGER:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SchemaError(f"expected INTEGER, got {value!r}")
+            return value
+        if self is SqlType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"expected FLOAT, got {value!r}")
+            return float(value)
+        if self is SqlType.TEXT:
+            if not isinstance(value, str):
+                raise SchemaError(f"expected TEXT, got {value!r}")
+            return value
+        if self is SqlType.BOOLEAN:
+            if not isinstance(value, bool):
+                raise SchemaError(f"expected BOOLEAN, got {value!r}")
+            return value
+        raise SchemaError(f"unknown type {self!r}")  # pragma: no cover
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for types on which arithmetic and ordering are defined."""
+        return self in (SqlType.INTEGER, SqlType.FLOAT)
+
+
+def infer_type(value: Any) -> SqlType:
+    """Infer the narrowest :class:`SqlType` for a Python value.
+
+    Raises :class:`SchemaError` for ``None`` (NULL carries no type) and
+    for unsupported Python types.
+    """
+    if isinstance(value, bool):
+        return SqlType.BOOLEAN
+    if isinstance(value, int):
+        return SqlType.INTEGER
+    if isinstance(value, float):
+        return SqlType.FLOAT
+    if isinstance(value, str):
+        return SqlType.TEXT
+    raise SchemaError(f"cannot infer SQL type for {value!r}")
+
+
+def sql_equal(a: Any, b: Any) -> Optional[bool]:
+    """SQL ``=``: returns ``None`` (unknown) if either side is NULL."""
+    if a is None or b is None:
+        return None
+    return a == b
+
+
+def sql_compare(a: Any, b: Any) -> Optional[int]:
+    """Three-valued comparison: -1/0/+1, or ``None`` if either is NULL.
+
+    Mixed int/float comparisons follow Python semantics; comparing
+    incomparable types (e.g. TEXT with INTEGER) raises ``TypeError`` so
+    that bugs surface rather than silently ordering arbitrarily.
+    """
+    if a is None or b is None:
+        return None
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+def sql_and(a: Optional[bool], b: Optional[bool]) -> Optional[bool]:
+    """Three-valued logical AND (Kleene logic)."""
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def sql_or(a: Optional[bool], b: Optional[bool]) -> Optional[bool]:
+    """Three-valued logical OR (Kleene logic)."""
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+def sql_not(a: Optional[bool]) -> Optional[bool]:
+    """Three-valued logical NOT (Kleene logic)."""
+    if a is None:
+        return None
+    return not a
+
+
+def is_true(a: Optional[bool]) -> bool:
+    """Collapse three-valued logic to a WHERE-clause decision.
+
+    SQL keeps a row only when the predicate is *true*; both false and
+    unknown reject it.
+    """
+    return a is True

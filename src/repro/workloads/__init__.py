@@ -1,0 +1,54 @@
+"""Synthetic workloads and the paper's query templates."""
+
+from repro.workloads.baseball import (
+    BaseballConfig,
+    generate_seasons,
+    load_batting,
+    load_unpivoted,
+    make_batting_db,
+    unpivot_careers,
+)
+from repro.workloads.basket import (
+    BasketConfig,
+    generate_baskets,
+    load_baskets,
+    load_discount_schema,
+    make_basket_db,
+)
+from repro.workloads.products import ProductConfig, generate_products, load_products, make_product_db
+from repro.workloads.queries import (
+    PaperQuery,
+    complex_query,
+    discount_query,
+    figure1_queries,
+    market_basket_query,
+    pairs_query,
+    player_skyband_query,
+    skyband_query,
+)
+
+__all__ = [
+    "BaseballConfig",
+    "BasketConfig",
+    "PaperQuery",
+    "ProductConfig",
+    "complex_query",
+    "discount_query",
+    "figure1_queries",
+    "generate_baskets",
+    "generate_products",
+    "generate_seasons",
+    "load_baskets",
+    "load_batting",
+    "load_discount_schema",
+    "load_products",
+    "load_unpivoted",
+    "make_basket_db",
+    "make_batting_db",
+    "make_product_db",
+    "market_basket_query",
+    "pairs_query",
+    "player_skyband_query",
+    "skyband_query",
+    "unpivot_careers",
+]

@@ -1,0 +1,135 @@
+"""Market-basket workload (Listing 1 and Example 7).
+
+Synthetic transaction data with a Zipfian item popularity distribution
+and planted frequent pairs, so the a-priori reduction has measurable
+effect: most items are individually infrequent and get filtered by the
+reducer before the self-join.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.storage.catalog import Database
+from repro.storage.schema import TableSchema
+from repro.storage.types import SqlType
+
+
+@dataclass(frozen=True)
+class BasketConfig:
+    n_baskets: int = 2_000
+    n_items: int = 400
+    mean_basket_size: int = 6
+    zipf_s: float = 1.2
+    n_planted_pairs: int = 10
+    planted_support: int = 40
+    seed: int = 42
+
+
+def _zipf_weights(n: int, s: float) -> List[float]:
+    return [1.0 / (rank**s) for rank in range(1, n + 1)]
+
+
+def generate_baskets(config: BasketConfig = BasketConfig()) -> List[Tuple[int, str]]:
+    """Rows of (bid, item)."""
+    rng = random.Random(config.seed)
+    weights = _zipf_weights(config.n_items, config.zipf_s)
+    items = [f"item{i:04d}" for i in range(config.n_items)]
+    rows: List[Tuple[int, str]] = []
+    seen = set()
+
+    def add(bid: int, item: str) -> None:
+        if (bid, item) not in seen:
+            seen.add((bid, item))
+            rows.append((bid, item))
+
+    for bid in range(config.n_baskets):
+        size = max(1, _approx_poisson(rng, config.mean_basket_size))
+        for item in rng.choices(items, weights=weights, k=size):
+            add(bid, item)
+    # Plant deliberately co-occurring pairs among mid-popularity items.
+    base = min(50, max(0, config.n_items - 2 * config.n_planted_pairs - 1))
+    n_planted = min(
+        config.n_planted_pairs, max(0, (config.n_items - base - 1) // 2)
+    )
+    planted = [
+        (items[base + 2 * pair], items[base + 2 * pair + 1])
+        for pair in range(n_planted)
+    ]
+    for left, right in planted:
+        for _ in range(config.planted_support):
+            bid = rng.randrange(config.n_baskets)
+            add(bid, left)
+            add(bid, right)
+    return rows
+
+
+def _approx_poisson(rng: random.Random, lam: float) -> int:
+    import math
+
+    threshold = math.exp(-lam)
+    k, product = 0, 1.0
+    while True:
+        product *= rng.random()
+        if product <= threshold:
+            return k
+        k += 1
+
+
+BASKET_SCHEMA = TableSchema.of(("bid", SqlType.INTEGER), ("item", SqlType.TEXT))
+
+
+def load_baskets(
+    db: Database,
+    config: BasketConfig = BasketConfig(),
+    table_name: str = "basket",
+    with_indexes: bool = True,
+) -> None:
+    table = db.create_table(table_name, BASKET_SCHEMA, primary_key=("bid", "item"))
+    table.insert_many(generate_baskets(config))
+    if with_indexes:
+        table.create_index(f"{table_name}_bid", ["bid"], kind="hash")
+
+
+def make_basket_db(config: BasketConfig = BasketConfig()) -> Database:
+    db = Database()
+    load_baskets(db, config)
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Example 7's discount schema
+# ---------------------------------------------------------------------------
+
+DISCOUNT_BASKET_SCHEMA = TableSchema.of(
+    ("bid", SqlType.INTEGER), ("item", SqlType.TEXT), ("did", SqlType.INTEGER)
+)
+DISCOUNT_SCHEMA = TableSchema.of(("did", SqlType.INTEGER), ("rate", SqlType.FLOAT))
+
+
+def load_discount_schema(
+    db: Database,
+    n_baskets: int = 500,
+    n_items: int = 60,
+    n_discounts: int = 12,
+    seed: int = 7,
+) -> None:
+    """Tables Basket(bid, item, did) and Discount(did, rate) of Example 7."""
+    rng = random.Random(seed)
+    basket = db.create_table(
+        "dbasket", DISCOUNT_BASKET_SCHEMA, primary_key=("bid", "item", "did")
+    )
+    discount = db.create_table("discount", DISCOUNT_SCHEMA, primary_key=("did",))
+    discount.insert_many(
+        (did, round(0.05 * (1 + did % 5), 2)) for did in range(n_discounts)
+    )
+    rows = set()
+    for bid in range(n_baskets):
+        for _ in range(rng.randint(1, 8)):
+            item = f"item{rng.randrange(n_items):03d}"
+            did = rng.randrange(n_discounts)
+            rows.add((bid, item, did))
+    basket.insert_many(sorted(rows))
+    basket.create_index("dbasket_did", ["did"], kind="hash")

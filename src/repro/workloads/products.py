@@ -1,0 +1,75 @@
+"""Product catalog workload (Listing 3 / Example 1).
+
+A key-value organized Product table: each product contributes one row
+per attribute, ``id → category`` holds, and values are drawn so that a
+controllable fraction of products is heavily dominated within its
+category (the "unexciting products" the query hunts for).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.storage.catalog import Database
+from repro.storage.schema import TableSchema
+from repro.storage.types import SqlType
+
+PRODUCT_SCHEMA = TableSchema.of(
+    ("id", SqlType.INTEGER),
+    ("category", SqlType.TEXT),
+    ("attr", SqlType.TEXT),
+    ("val", SqlType.FLOAT),
+)
+
+DEFAULT_ATTRIBUTES = ("units_sold", "rating", "margin")
+
+
+@dataclass(frozen=True)
+class ProductConfig:
+    n_products: int = 500
+    n_categories: int = 6
+    attributes: Tuple[str, ...] = DEFAULT_ATTRIBUTES
+    laggard_fraction: float = 0.3  # products drawn from a dominated band
+    seed: int = 99
+
+
+def generate_products(
+    config: ProductConfig = ProductConfig(),
+) -> List[Tuple[int, str, str, float]]:
+    """Rows of (id, category, attr, val)."""
+    rng = random.Random(config.seed)
+    rows: List[Tuple[int, str, str, float]] = []
+    for product_id in range(config.n_products):
+        category = f"cat{rng.randrange(config.n_categories)}"
+        laggard = rng.random() < config.laggard_fraction
+        for attribute in config.attributes:
+            if laggard:
+                value = rng.uniform(0, 30)  # dominated band
+            else:
+                value = rng.uniform(20, 100)
+            rows.append((product_id, category, attribute, round(value, 2)))
+    return rows
+
+
+def load_products(
+    db: Database,
+    config: ProductConfig = ProductConfig(),
+    table_name: str = "product",
+    with_indexes: bool = True,
+) -> None:
+    table = db.create_table(table_name, PRODUCT_SCHEMA, primary_key=("id", "attr"))
+    db.declare_fd(table_name, ["id"], ["category"])
+    db.declare_domain(table_name, "val", lower=0)
+    table.insert_many(generate_products(config))
+    if with_indexes:
+        table.create_index(f"{table_name}_cat_attr", ["category", "attr"], kind="hash")
+        table.create_index(f"{table_name}_id", ["id"], kind="hash")
+        table.create_index(f"{table_name}_val", ["val"], kind="sorted")
+
+
+def make_product_db(config: ProductConfig = ProductConfig()) -> Database:
+    db = Database()
+    load_products(db, config)
+    return db

@@ -1,0 +1,192 @@
+"""The paper's query templates, Section 8's Q1-Q8, and friends.
+
+Templates are plain SQL-text builders over the workload schemas
+(:mod:`repro.workloads.baseball` etc.), so every system under
+comparison — baseline engine configs and Smart-Iceberg — consumes the
+identical statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+def skyband_query(
+    attr_a: str = "b_h",
+    attr_b: str = "b_hr",
+    k: int = 50,
+    table: str = "batting",
+    strict_form: str = "weak",
+) -> str:
+    """k-skyband over seasonal records (Listing 2 cast to baseball).
+
+    Objects are seasonal performance records (keyed by playerid, year,
+    round); a record is in the k-skyband if at most ``k`` others weakly
+    dominate it on (``attr_a``, ``attr_b``).  ``strict_form`` picks the
+    dominance flavour: ``"weak"`` (>= with at least one >) as in
+    Listing 2, or ``"strong"`` (both strictly greater).
+    """
+    if strict_form == "weak":
+        condition = (
+            f"L.{attr_a} <= R.{attr_a} AND L.{attr_b} <= R.{attr_b} "
+            f"AND (L.{attr_a} < R.{attr_a} OR L.{attr_b} < R.{attr_b})"
+        )
+    elif strict_form == "strong":
+        condition = f"L.{attr_a} < R.{attr_a} AND L.{attr_b} < R.{attr_b}"
+    else:
+        raise ValueError(f"unknown strict_form {strict_form!r}")
+    return (
+        "SELECT L.playerid, L.year, L.round, COUNT(*)\n"
+        f"FROM {table} L, {table} R\n"
+        f"WHERE {condition}\n"
+        "GROUP BY L.playerid, L.year, L.round\n"
+        f"HAVING COUNT(*) <= {k}"
+    )
+
+
+def pairs_query(
+    c: int = 3,
+    k: int = 20,
+    agg: str = "AVG",
+    table: str = "batting",
+    attr_a: str = "b_h",
+    attr_b: str = "b_hr",
+) -> str:
+    """The "pairs" query (Listing 4) over the batting table.
+
+    ``c`` is the minimum seasons-together threshold (WITH block's
+    HAVING), ``k`` the skyband maximum (main HAVING), and ``agg`` the
+    statistic aggregator (AVG or SUM).
+    """
+    agg = agg.upper()
+    if agg not in ("AVG", "SUM"):
+        raise ValueError(f"agg must be AVG or SUM, got {agg!r}")
+    return (
+        "WITH pair AS (\n"
+        "  SELECT s1.playerid AS pid1, s2.playerid AS pid2,\n"
+        f"         {agg}(s1.{attr_a}) AS hits1, {agg}(s1.{attr_b}) AS hruns1,\n"
+        f"         {agg}(s2.{attr_a}) AS hits2, {agg}(s2.{attr_b}) AS hruns2\n"
+        f"  FROM {table} s1, {table} s2\n"
+        "  WHERE s1.teamid = s2.teamid AND s1.year = s2.year\n"
+        "    AND s1.round = s2.round AND s1.playerid < s2.playerid\n"
+        "  GROUP BY s1.playerid, s2.playerid\n"
+        f"  HAVING COUNT(*) >= {c})\n"
+        "SELECT L.pid1, L.pid2, COUNT(*)\n"
+        "FROM pair L, pair R\n"
+        "WHERE R.hits1 >= L.hits1 AND R.hruns1 >= L.hruns1\n"
+        "  AND R.hits2 >= L.hits2 AND R.hruns2 >= L.hruns2\n"
+        "  AND (R.hits1 > L.hits1 OR R.hruns1 > L.hruns1\n"
+        "    OR R.hits2 > L.hits2 OR R.hruns2 > L.hruns2)\n"
+        "GROUP BY L.pid1, L.pid2\n"
+        f"HAVING COUNT(*) <= {k}"
+    )
+
+
+def complex_query(threshold: int = 10, table: str = "perf") -> str:
+    """The "unexciting products" query (Listing 3) over unpivoted stats."""
+    return (
+        "SELECT S1.id, S1.attr, S2.attr, COUNT(*)\n"
+        f"FROM {table} S1, {table} S2, {table} T1, {table} T2\n"
+        "WHERE S1.id = S2.id AND T1.id = T2.id\n"
+        "  AND S1.category = T1.category\n"
+        "  AND T1.attr = S1.attr AND T2.attr = S2.attr\n"
+        "  AND T1.val > S1.val AND T2.val > S2.val\n"
+        "GROUP BY S1.id, S1.attr, S2.attr\n"
+        f"HAVING COUNT(*) >= {threshold}"
+    )
+
+
+def market_basket_query(support: int = 20, table: str = "basket") -> str:
+    """Frequent item pairs (Listing 1)."""
+    return (
+        "SELECT i1.item, i2.item, COUNT(*)\n"
+        f"FROM {table} i1, {table} i2\n"
+        "WHERE i1.bid = i2.bid AND i1.item < i2.item\n"
+        "GROUP BY i1.item, i2.item\n"
+        f"HAVING COUNT(*) >= {support}"
+    )
+
+
+def discount_query(threshold: int = 25) -> str:
+    """Example 7: discount rates applied to items in many baskets."""
+    return (
+        "SELECT item, rate\n"
+        "FROM dbasket L, discount R\n"
+        "WHERE L.did = R.did\n"
+        "GROUP BY item, rate\n"
+        f"HAVING COUNT(DISTINCT bid) >= {threshold}"
+    )
+
+
+def player_skyband_query(
+    attr_a: str = "b_h", attr_b: str = "b_hr", k: int = 20, table: str = "batting"
+) -> str:
+    """Q8: average stats per player first, then a simple-condition skyband."""
+    return (
+        "WITH avgs AS (\n"
+        f"  SELECT playerid, AVG({attr_a}) AS x, AVG({attr_b}) AS y\n"
+        f"  FROM {table}\n"
+        "  GROUP BY playerid)\n"
+        "SELECT L.playerid, COUNT(*)\n"
+        "FROM avgs L, avgs R\n"
+        "WHERE L.x < R.x AND L.y < R.y\n"
+        "GROUP BY L.playerid\n"
+        f"HAVING COUNT(*) <= {k}"
+    )
+
+
+@dataclass(frozen=True)
+class PaperQuery:
+    """One of the eight queries of Figure 1."""
+
+    name: str
+    sql: str
+    template: str  # 'skyband' | 'pairs' | 'complex'
+    apriori_applies: bool
+    dataset: str  # 'batting' | 'perf'
+
+
+def figure1_queries(
+    skyband_k: Tuple[int, int, int] = (50, 100, 200),
+    pairs_params: Tuple[Tuple[int, int, str], ...] = (
+        (3, 20, "AVG"),
+        (3, 50, "AVG"),
+        (5, 20, "SUM"),
+        (5, 50, "SUM"),
+    ),
+    q8_k: int = 20,
+) -> Dict[str, PaperQuery]:
+    """The Q1-Q8 suite of Section 8.1.
+
+    Q1-Q3: seasonal skybands over different attribute pairs/thresholds;
+    Q4-Q7: pairs queries with varying (c, k) and SUM/AVG;
+    Q8:    per-player averaged skyband with the simpler join condition.
+    The paper notes generalized a-priori does not apply to Q1-Q3, Q8.
+    """
+    queries: Dict[str, PaperQuery] = {}
+    attr_pairs = (("b_h", "b_hr"), ("b_hr", "b_sb"), ("b_h", "b_rbi"))
+    for index, (k, (attr_a, attr_b)) in enumerate(zip(skyband_k, attr_pairs), 1):
+        queries[f"Q{index}"] = PaperQuery(
+            name=f"Q{index}",
+            sql=skyband_query(attr_a, attr_b, k),
+            template="skyband",
+            apriori_applies=False,
+            dataset="batting",
+        )
+    for index, (c, k, agg) in enumerate(pairs_params, 4):
+        queries[f"Q{index}"] = PaperQuery(
+            name=f"Q{index}",
+            sql=pairs_query(c=c, k=k, agg=agg),
+            template="pairs",
+            apriori_applies=True,
+            dataset="batting",
+        )
+    queries["Q8"] = PaperQuery(
+        name="Q8",
+        sql=player_skyband_query(k=q8_k),
+        template="skyband",
+        apriori_applies=False,
+        dataset="batting",
+    )
+    return queries

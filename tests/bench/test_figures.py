@@ -1,0 +1,69 @@
+"""Smoke tests for the figure runners at tiny scale.
+
+The full-size runs (with shape assertions) live in ``benchmarks/``;
+these tests only verify that every figure function executes, returns a
+well-formed report, and keeps its systems in agreement.
+"""
+
+import pytest
+
+from repro.bench import figures
+
+
+class TestFigureRunners:
+    def test_figure_1_tiny(self):
+        report = figures.figure_1(n_rows=150, systems=("base", "all"))
+        assert "Q1" in report.table
+        assert report.measurements
+        systems = {m.system for m in report.measurements}
+        assert systems == {"postgres", "all"}
+
+    def test_figure_2_tiny(self):
+        report = figures.figure_2(n_rows=200, k=20)
+        assert "b_h,b_hr" in report.series
+        entry = report.series["b_h,b_hr"]
+        assert 0 <= entry["skyband_fraction"] <= 1
+
+    def test_figure_3_tiny(self):
+        report = figures.figure_3(n_rows=150)
+        assert set(report.series) >= {f"Q{i}" for i in range(1, 9)}
+        assert report.series["input_kb"] > 0
+
+    def test_figure_4_tiny(self):
+        report = figures.figure_4(n_rows=150, k=10)
+        assert set(report.series) == {
+            "base PK", "base PK+BT", "smart PK", "smart PK+BT", "smart PK+BT+CI",
+        }
+        for entry in report.series.values():
+            assert entry["cost"] > 0
+
+    def test_figure_5_tiny(self):
+        report = figures.figure_5(n_rows=150, thresholds=(2, 10))
+        assert "k=2" in report.series["postgres"]
+        assert "k=10" in report.series["all"]
+
+    def test_figure_6_tiny(self):
+        report = figures.figure_6(n_rows=400, thresholds=(2, 5))
+        assert "t=2" in report.series["all"]
+
+    def test_figure_7_tiny(self):
+        report = figures.figure_7(sizes=(100, 200), k=10)
+        assert "n=100" in report.series["postgres"]
+        assert (
+            report.series["postgres"]["n=200"]
+            > report.series["postgres"]["n=100"]
+        )
+
+    def test_figure_8_tiny(self):
+        report = figures.figure_8(sizes=(200, 400), threshold=3)
+        assert "n=200" in report.series["all"]
+
+    def test_bench_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+        assert figures.bench_scale() == 2.5
+        monkeypatch.delenv("REPRO_BENCH_SCALE")
+        assert figures.bench_scale() == 1.0
+
+    def test_report_str_is_table(self):
+        report = figures.figure_2(n_rows=150, k=10)
+        assert str(report) == report.table

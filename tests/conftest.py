@@ -1,0 +1,112 @@
+"""Shared fixtures: small, deterministic databases for every suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.storage import Database, SqlType, TableSchema
+
+
+@pytest.fixture
+def basket_db() -> Database:
+    """The paper's Listing 1 schema with hand-placed data.
+
+    Items: 'ale' and 'bread' co-occur in 4 baskets; 'cork' appears
+    twice, once with 'ale'; 'date' once.
+    """
+    db = Database()
+    table = db.create_table(
+        "basket",
+        TableSchema.of(("bid", SqlType.INTEGER), ("item", SqlType.TEXT)),
+        primary_key=("bid", "item"),
+    )
+    rows = [
+        (1, "ale"), (1, "bread"),
+        (2, "ale"), (2, "bread"),
+        (3, "ale"), (3, "bread"), (3, "cork"),
+        (4, "ale"), (4, "bread"),
+        (5, "cork"), (5, "date"),
+    ]
+    table.insert_many(rows)
+    table.create_index("basket_bid", ["bid"], kind="hash")
+    return db
+
+
+@pytest.fixture
+def object_db() -> Database:
+    """Listing 2's Object(id, x, y) with 60 deterministic points."""
+    db = Database()
+    table = db.create_table(
+        "object",
+        TableSchema.of(
+            ("id", SqlType.INTEGER), ("x", SqlType.INTEGER), ("y", SqlType.INTEGER)
+        ),
+        primary_key=("id",),
+    )
+    rng = random.Random(17)
+    table.insert_many(
+        (i, rng.randint(0, 30), rng.randint(0, 30)) for i in range(60)
+    )
+    table.create_index("object_xy", ["x", "y"], kind="sorted")
+    return db
+
+
+@pytest.fixture
+def score_db() -> Database:
+    """Listing 4's Score schema with a small deterministic instance."""
+    db = Database()
+    table = db.create_table(
+        "score",
+        TableSchema.of(
+            ("pid", SqlType.INTEGER),
+            ("year", SqlType.INTEGER),
+            ("round", SqlType.INTEGER),
+            ("teamid", SqlType.INTEGER),
+            ("hits", SqlType.INTEGER),
+            ("hruns", SqlType.INTEGER),
+        ),
+        primary_key=("pid", "year", "round"),
+    )
+    db.declare_domain("score", "hits", lower=0)
+    db.declare_domain("score", "hruns", lower=0)
+    rng = random.Random(23)
+    rows = []
+    for pid in range(18):
+        team = pid % 3
+        for year in range(2000, 2000 + rng.randint(2, 6)):
+            rows.append(
+                (pid, year, 1, team, rng.randint(0, 180), rng.randint(0, 40))
+            )
+    table.insert_many(rows)
+    table.create_index("score_team", ["teamid", "year", "round"], kind="hash")
+    return db
+
+
+@pytest.fixture
+def product_db() -> Database:
+    """Listing 3's Product(id, category, attr, val) with id -> category."""
+    db = Database()
+    table = db.create_table(
+        "product",
+        TableSchema.of(
+            ("id", SqlType.INTEGER),
+            ("category", SqlType.TEXT),
+            ("attr", SqlType.TEXT),
+            ("val", SqlType.FLOAT),
+        ),
+        primary_key=("id", "attr"),
+    )
+    db.declare_fd("product", ["id"], ["category"])
+    db.declare_domain("product", "val", lower=0)
+    rng = random.Random(31)
+    rows = []
+    for pid in range(40):
+        category = f"cat{pid % 2}"
+        for attr in ("a", "b"):
+            rows.append((pid, category, attr, float(rng.randint(0, 25))))
+    table.insert_many(rows)
+    table.create_index("product_cat_attr", ["category", "attr"], kind="hash")
+    table.create_index("product_id", ["id"], kind="hash")
+    return db

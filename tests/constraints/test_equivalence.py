@@ -1,0 +1,58 @@
+"""Tests for attribute equivalence classes (union-find)."""
+
+from repro.constraints.equivalence import EquivalenceClasses
+
+
+class TestMergeFind:
+    def test_reflexive(self):
+        classes = EquivalenceClasses()
+        assert classes.same("a", "a")
+
+    def test_merge_two(self):
+        classes = EquivalenceClasses()
+        classes.merge("a", "b")
+        assert classes.same("a", "b")
+        assert classes.same("b", "a")
+
+    def test_transitive(self):
+        classes = EquivalenceClasses()
+        classes.merge("a", "b")
+        classes.merge("b", "c")
+        assert classes.same("a", "c")
+
+    def test_disjoint(self):
+        classes = EquivalenceClasses()
+        classes.merge("a", "b")
+        classes.merge("x", "y")
+        assert not classes.same("a", "x")
+
+    def test_case_insensitive(self):
+        classes = EquivalenceClasses()
+        classes.merge("S1.ID", "s2.id")
+        assert classes.same("s1.id", "S2.ID")
+
+
+class TestInspection:
+    def test_members(self):
+        classes = EquivalenceClasses()
+        classes.merge("a", "b")
+        classes.merge("b", "c")
+        assert classes.members("a") == {"a", "b", "c"}
+
+    def test_members_of_singleton(self):
+        classes = EquivalenceClasses()
+        assert classes.members("lonely") == {"lonely"}
+
+    def test_classes_only_nontrivial(self):
+        classes = EquivalenceClasses()
+        classes.merge("a", "b")
+        classes.members("solo")  # registers but stays singleton
+        groups = classes.classes()
+        assert groups == [{"a", "b"}]
+
+    def test_pairs(self):
+        classes = EquivalenceClasses()
+        classes.merge("a", "b")
+        classes.merge("b", "c")
+        pairs = set(classes.pairs())
+        assert pairs == {("a", "b"), ("a", "c")}

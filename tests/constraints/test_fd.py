@@ -1,0 +1,124 @@
+"""Tests for functional dependencies and closures."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constraints.fd import FDSet, FunctionalDependency, attrs
+
+
+class TestFunctionalDependency:
+    def test_normalizes_case(self):
+        dep = FunctionalDependency.of(["ID"], ["Category"])
+        assert dep.lhs == frozenset({"id"})
+        assert dep.rhs == frozenset({"category"})
+
+    def test_trivial(self):
+        assert FunctionalDependency.of(["a", "b"], ["a"]).is_trivial()
+        assert not FunctionalDependency.of(["a"], ["b"]).is_trivial()
+
+    def test_rename(self):
+        dep = FunctionalDependency.of(["id"], ["cat"]).rename("s1")
+        assert dep.lhs == frozenset({"s1.id"})
+        assert dep.rhs == frozenset({"s1.cat"})
+
+    def test_empty_lhs_allowed(self):
+        dep = FunctionalDependency.of([], ["const"])
+        assert dep.lhs == frozenset()
+
+
+class TestClosure:
+    def test_textbook_closure(self):
+        fds = FDSet(
+            [
+                FunctionalDependency.of(["a"], ["b"]),
+                FunctionalDependency.of(["b"], ["c"]),
+            ]
+        )
+        assert fds.closure(["a"]) == attrs("a", "b", "c")
+        assert fds.closure(["b"]) == attrs("b", "c")
+        assert fds.closure(["c"]) == attrs("c")
+
+    def test_composite_lhs(self):
+        fds = FDSet([FunctionalDependency.of(["a", "b"], ["c"])])
+        assert "c" not in fds.closure(["a"])
+        assert "c" in fds.closure(["a", "b"])
+
+    def test_empty_lhs_fd_always_fires(self):
+        fds = FDSet([FunctionalDependency.of([], ["k"])])
+        assert "k" in fds.closure(["x"])
+
+    def test_implies(self):
+        fds = FDSet([FunctionalDependency.of(["a"], ["b"])])
+        assert fds.implies(FunctionalDependency.of(["a", "x"], ["b"]))
+        assert not fds.implies(FunctionalDependency.of(["b"], ["a"]))
+
+    def test_determines(self):
+        fds = FDSet([FunctionalDependency.of(["a"], ["b", "c"])])
+        assert fds.determines(["a"], ["c"])
+
+
+class TestSuperkey:
+    def test_key_is_superkey(self):
+        fds = FDSet()
+        fds.add_key(["id"], ["id", "name", "val"])
+        assert fds.is_superkey(["id"], ["id", "name", "val"])
+        assert fds.is_superkey(["id", "name"], ["id", "name", "val"])
+        assert not fds.is_superkey(["name"], ["id", "name", "val"])
+
+    def test_transitive_superkey(self):
+        fds = FDSet(
+            [
+                FunctionalDependency.of(["a"], ["b"]),
+                FunctionalDependency.of(["b"], ["c"]),
+            ]
+        )
+        assert fds.is_superkey(["a"], ["a", "b", "c"])
+
+
+class TestSetOperations:
+    def test_add_dedups(self):
+        fds = FDSet()
+        dep = FunctionalDependency.of(["a"], ["b"])
+        fds.add(dep)
+        fds.add(dep)
+        assert len(fds) == 1
+
+    def test_renamed(self):
+        fds = FDSet([FunctionalDependency.of(["id"], ["cat"])])
+        renamed = fds.renamed("t")
+        assert renamed.determines(["t.id"], ["t.cat"])
+        assert not renamed.determines(["id"], ["cat"])
+
+    def test_union(self):
+        left = FDSet([FunctionalDependency.of(["a"], ["b"])])
+        right = FDSet([FunctionalDependency.of(["b"], ["c"])])
+        assert left.union(right).determines(["a"], ["c"])
+
+    def test_minimal_cover_keys(self):
+        fds = FDSet()
+        fds.add_key(["a", "b"], ["a", "b", "c"])
+        fds.add(FunctionalDependency.of(["a"], ["b"]))
+        keys = fds.minimal_cover_keys(["a", "b", "c"])
+        assert keys == [("a",)]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sets(st.sampled_from("abcde"), min_size=1, max_size=2),
+            st.sets(st.sampled_from("abcde"), min_size=1, max_size=2),
+        ),
+        max_size=6,
+    ),
+    st.sets(st.sampled_from("abcde"), min_size=1, max_size=3),
+)
+def test_closure_is_monotone_and_idempotent(dependency_specs, start):
+    """Properties of closure: extensive, monotone, idempotent."""
+    fds = FDSet(
+        FunctionalDependency.of(lhs, rhs) for lhs, rhs in dependency_specs
+    )
+    closure = fds.closure(start)
+    assert frozenset(start) <= closure  # extensive
+    assert fds.closure(closure) == closure  # idempotent
+    bigger = fds.closure(set(start) | {"a"})
+    assert closure <= bigger or "a" in start  # monotone

@@ -1,0 +1,82 @@
+"""Tests for FD inference over joins and grouped outputs."""
+
+from repro.constraints.fd import FDSet, FunctionalDependency
+from repro.constraints.inference import (
+    equality_conjuncts,
+    grouped_output_fds,
+    join_fds,
+)
+from repro.sql.parser import parse_expression
+
+
+class TestEqualityConjuncts:
+    def test_extracts_column_pairs(self):
+        conjuncts = [
+            parse_expression("a.x = b.y"),
+            parse_expression("a.x < b.y"),
+            parse_expression("a.x = 5"),
+        ]
+        pairs = equality_conjuncts(conjuncts)
+        assert len(pairs) == 1
+        assert pairs[0][0].qualified() == "a.x"
+
+
+class TestJoinFds:
+    def test_component_fds_qualified(self):
+        per_alias = {"s1": FDSet([FunctionalDependency.of(["id"], ["cat"])])}
+        fds = join_fds(per_alias, [])
+        assert fds.determines(["s1.id"], ["s1.cat"])
+
+    def test_equality_adds_bidirectional_fds(self):
+        fds = join_fds({}, [parse_expression("a.x = b.y")])
+        assert fds.determines(["a.x"], ["b.y"])
+        assert fds.determines(["b.y"], ["a.x"])
+
+    def test_constant_equality_adds_empty_lhs_fd(self):
+        fds = join_fds({}, [parse_expression("a.x = 5")])
+        assert fds.determines([], ["a.x"])
+        fds2 = join_fds({}, [parse_expression("5 = a.x")])
+        assert fds2.determines([], ["a.x"])
+
+    def test_example_13_superkey_derivation(self):
+        """The Appendix D closure argument for R = {S2, T2}."""
+        product = FDSet()
+        product.add_key(["id", "attr"], ["id", "category", "attr", "val"])
+        per_alias = {"s2": product, "t2": product}
+        conjuncts = [
+            parse_expression("t2.attr = s2.attr"),  # internal to R
+        ]
+        fds = join_fds(per_alias, conjuncts)
+        # G_R ∪ J_R^= = {s2.attr} ∪ {s2.id, t2.id}.
+        attributes = [
+            "s2.id", "s2.category", "s2.attr", "s2.val",
+            "t2.id", "t2.category", "t2.attr", "t2.val",
+        ]
+        assert fds.is_superkey(["s2.attr", "s2.id", "t2.id"], attributes)
+        # Without t2.id it is not a superkey.
+        assert not fds.is_superkey(["s2.attr", "s2.id"], attributes)
+
+
+class TestGroupedOutputFds:
+    def test_group_columns_form_key(self):
+        group = (
+            parse_expression("s1.pid"),
+            parse_expression("s2.pid"),
+        )
+        outputs = [
+            ("pid1", parse_expression("s1.pid")),
+            ("pid2", parse_expression("s2.pid")),
+            ("hits1", parse_expression("AVG(s1.hits)")),
+        ]
+        fds = grouped_output_fds(group, outputs)
+        assert fds.is_superkey(["pid1", "pid2"], ["pid1", "pid2", "hits1"])
+
+    def test_unprojected_group_expr_yields_no_key(self):
+        group = (parse_expression("s1.pid"), parse_expression("s2.pid"))
+        outputs = [
+            ("pid1", parse_expression("s1.pid")),
+            ("hits1", parse_expression("AVG(s1.hits)")),
+        ]
+        fds = grouped_output_fds(group, outputs)
+        # s2.pid is not projected, so pid1 alone must NOT be a key.
+        assert not fds.is_superkey(["pid1"], ["pid1", "hits1"])

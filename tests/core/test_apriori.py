@@ -1,0 +1,229 @@
+"""Tests for generalized a-priori: Theorems 1-2, Examples 4-8."""
+
+import pytest
+
+from repro.sql import render
+from repro.sql.parser import parse
+from repro.storage import Database, SqlType, TableSchema
+from repro.engine import EngineConfig, execute
+from repro.core.apriori import (
+    apply_reducer_to_select,
+    build_reducer,
+    check_apriori,
+    is_non_deflationary,
+    is_non_inflationary,
+)
+from repro.core.iceberg import IcebergBlock
+from repro.core.monotonicity import Monotonicity
+
+
+def analyze(db, sql):
+    return IcebergBlock(parse(sql).body, db)
+
+
+MARKET_BASKET = (
+    "SELECT i1.item, i2.item, COUNT(*) FROM basket i1, basket i2 "
+    "WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item HAVING COUNT(*) >= 2"
+)
+
+
+class TestExample6MarketBasket:
+    def test_apriori_safe_both_sides(self, basket_db):
+        block = analyze(basket_db, MARKET_BASKET)
+        assert check_apriori(block.partition(["i1"]), left=True)
+        assert check_apriori(block.partition(["i2"]), left=True)
+
+    def test_anti_monotone_variant_unsafe(self, basket_db):
+        """COUNT(*) <= 20 requires item -> bid, which fails."""
+        sql = MARKET_BASKET.replace(">= 2", "<= 20")
+        block = analyze(basket_db, sql)
+        decision = check_apriori(block.partition(["i1"]), left=True)
+        assert not decision.applicable
+        assert "does not determine" in decision.reason
+
+    def test_reducer_sql_shape(self, basket_db):
+        block = analyze(basket_db, MARKET_BASKET)
+        reducer = build_reducer(block.partition(["i1"]), left=True)
+        text = render(reducer.query)
+        assert "GROUP BY i1.item" in text
+        assert "HAVING COUNT(*) >= 2" in text
+        assert reducer.target_aliases == ("i1",)
+
+    def test_rewrite_preserves_results(self, basket_db):
+        block = analyze(basket_db, MARKET_BASKET)
+        reducer = build_reducer(block.partition(["i1"]), left=True)
+        original = parse(MARKET_BASKET).body
+        rewritten = apply_reducer_to_select(original, reducer)
+        before = execute(basket_db, original)
+        after = execute(basket_db, rewritten)
+        assert sorted(before.rows) == sorted(after.rows)
+        assert len(before.rows) > 0
+
+
+class TestExample7Discount:
+    SQL = (
+        "SELECT item, rate FROM dbasket L, discount R WHERE L.did = R.did "
+        "GROUP BY item, rate HAVING COUNT(DISTINCT bid) >= 3"
+    )
+
+    @pytest.fixture
+    def db(self):
+        from repro.workloads.basket import load_discount_schema
+
+        database = Database()
+        load_discount_schema(database, n_baskets=60, n_items=10, n_discounts=4)
+        return database
+
+    def test_safe_for_basket_not_discount(self, db):
+        block = analyze(db, self.SQL)
+        assert check_apriori(block.partition(["l"]), left=True)
+        assert not check_apriori(block.partition(["r"]), left=True)
+
+    def test_anti_monotone_with_item_determines_did(self, db):
+        """With item -> did declared, the <= variant is safe via G_L -> J_L."""
+        db.declare_fd("dbasket", ["item"], ["did"])
+        sql = self.SQL.replace(">= 3", "<= 3")
+        block = analyze(db, sql)
+        decision = check_apriori(block.partition(["l"]), left=True)
+        assert decision.applicable
+        assert decision.monotonicity is Monotonicity.ANTI_MONOTONE
+
+    def test_rewrite_correct(self, db):
+        block = analyze(db, self.SQL)
+        reducer = build_reducer(block.partition(["l"]), left=True)
+        rewritten = apply_reducer_to_select(parse(self.SQL).body, reducer)
+        before = execute(db, parse(self.SQL).body)
+        after = execute(db, rewritten)
+        assert sorted(before.rows) == sorted(after.rows)
+
+
+class TestExample5Counterexamples:
+    """The instances showing Theorem 1's conditions are tight."""
+
+    def test_monotone_inflationary_breaks_apriori(self):
+        """L={(u,w)}, R={(w,z1,v),(w,z2,v)}, COUNT(*) >= 2."""
+        db = Database()
+        left = db.create_table(
+            "l", TableSchema.of(("g", SqlType.TEXT), ("j", SqlType.INTEGER))
+        )
+        right = db.create_table(
+            "r",
+            TableSchema.of(
+                ("j", SqlType.INTEGER), ("o", SqlType.INTEGER), ("g", SqlType.TEXT)
+            ),
+        )
+        left.insert(("u", 1))
+        right.insert_many([(1, 1, "v"), (1, 2, "v")])
+        sql = (
+            "SELECT l.g, r.g, COUNT(*) FROM l, r WHERE l.j = r.j "
+            "GROUP BY l.g, r.g HAVING COUNT(*) >= 2"
+        )
+        # The schema-based check refuses (no FD makes G_R ∪ J_R^= a key).
+        block = analyze(db, sql)
+        assert not check_apriori(block.partition(["l"]), left=True)
+        # And indeed the instance is inflationary.
+        assert not is_non_inflationary(
+            list(left.rows),
+            list(right.rows),
+            joins=lambda l, r: l[1] == r[0],
+            group_left=lambda l: l[0],
+            group_right=lambda r: r[2],
+        )
+        # Applying a-priori anyway would lose the only result group.
+        reducer_applied = execute(
+            db,
+            "SELECT l.g, r.g, COUNT(*) FROM l, r WHERE l.j = r.j "
+            "AND l.g IN (SELECT l.g FROM l GROUP BY l.g HAVING COUNT(*) >= 2) "
+            "GROUP BY l.g, r.g HAVING COUNT(*) >= 2",
+        )
+        correct = execute(db, sql)
+        assert len(correct.rows) == 1
+        assert len(reducer_applied.rows) == 0  # wrong: the point of Ex. 5
+
+    def test_anti_monotone_deflationary_breaks_apriori(self):
+        """L={(u,w1),(u,w2)}, R={(w1,v)}, COUNT(*) <= 1."""
+        db = Database()
+        left = db.create_table(
+            "l", TableSchema.of(("g", SqlType.TEXT), ("j", SqlType.INTEGER))
+        )
+        right = db.create_table(
+            "r", TableSchema.of(("j", SqlType.INTEGER), ("g", SqlType.TEXT))
+        )
+        left.insert_many([("u", 1), ("u", 2)])
+        right.insert((1, "v"))
+        sql = (
+            "SELECT l.g, r.g, COUNT(*) FROM l, r WHERE l.j = r.j "
+            "GROUP BY l.g, r.g HAVING COUNT(*) <= 1"
+        )
+        block = analyze(db, sql)
+        assert not check_apriori(block.partition(["l"]), left=True)
+        assert not is_non_deflationary(
+            list(left.rows),
+            list(right.rows),
+            joins=lambda l, r: l[1] == r[0],
+            group_left=lambda l: l[0],
+            group_right=lambda r: r[1],
+        )
+
+
+class TestInstanceChecks:
+    def test_non_inflationary_market_basket(self, basket_db):
+        """Example 4: at most one i2 per (i1 row, i2 group) pair."""
+        rows = list(basket_db.table("basket").rows)
+        assert is_non_inflationary(
+            rows,
+            rows,
+            joins=lambda l, r: l[0] == r[0],
+            group_left=lambda l: l[1],
+            group_right=lambda r: r[1],
+        )
+
+    def test_non_deflationary_when_groups_fix_join(self):
+        rows_left = [("g1", 1), ("g1", 1), ("g2", 2)]
+        rows_right = [(1, "h"), (2, "h")]
+        assert is_non_deflationary(
+            rows_left,
+            rows_right,
+            joins=lambda l, r: l[1] == r[0],
+            group_left=lambda l: l[0],
+            group_right=lambda r: r[1],
+        )
+
+
+class TestSkybandNotApplicable:
+    def test_no_group_attrs_on_reduced_side(self, object_db):
+        sql = (
+            "SELECT L.id, COUNT(*) FROM object L, object R "
+            "WHERE L.x <= R.x AND L.y <= R.y "
+            "GROUP BY L.id HAVING COUNT(*) <= 5"
+        )
+        block = analyze(object_db, sql)
+        decision = check_apriori(block.partition(["r"]), left=True)
+        assert not decision.applicable
+        assert "no GROUP BY attributes" in decision.reason
+
+    def test_unknown_monotonicity_blocks(self, score_db):
+        sql = (
+            "SELECT s1.pid, COUNT(*) FROM score s1, score s2 "
+            "WHERE s1.teamid = s2.teamid GROUP BY s1.pid "
+            "HAVING AVG(s1.hits) >= 10"
+        )
+        block = analyze(score_db, sql)
+        decision = check_apriori(block.partition(["s1"]), left=True)
+        assert not decision.applicable
+        assert "monotonicity" in decision.reason
+
+
+class TestInflationaryGrouping:
+    def test_missing_g_r_makes_query_inflationary(self, basket_db):
+        """Grouping only by i1.item: one i1-row can contribute several
+        joined tuples to the same group (one per basket companion), so
+        the non-inflationary check must fail and a-priori is unsafe."""
+        sql = (
+            "SELECT i1.item, COUNT(*) FROM basket i1, basket i2 "
+            "WHERE i1.bid = i2.bid GROUP BY i1.item HAVING COUNT(*) >= 1"
+        )
+        block = analyze(basket_db, sql)
+        decision = check_apriori(block.partition(["i1"]), left=True)
+        assert not decision.applicable
+        assert "superkey" in decision.reason

@@ -1,0 +1,117 @@
+"""Tests for the NLJP cache: memo lookups, prune candidates, policies."""
+
+import pytest
+
+from repro.core.cache import NLJPCache
+
+
+def payload(*groups):
+    return tuple(groups)
+
+
+class TestMemoPath:
+    def test_miss_then_hit(self):
+        cache = NLJPCache()
+        assert cache.get((1, 2)) is None
+        cache.put((1, 2), payload(((), (5,))), unpromising=False)
+        entry = cache.get((1, 2))
+        assert entry is not None and entry.payload == (((), (5,)),)
+        assert cache.lookups == 2 and cache.hits == 1
+
+    def test_hit_counts_per_entry(self):
+        cache = NLJPCache()
+        cache.put((1,), payload(), unpromising=True)
+        cache.get((1,))
+        cache.get((1,))
+        assert cache.get((1,)).hits == 3
+
+    def test_rows(self):
+        cache = NLJPCache()
+        cache.put((1,), payload(), unpromising=True)
+        cache.put((2,), payload(), unpromising=False)
+        assert cache.rows == 2
+        assert len(cache) == 2
+
+
+class TestPruneCandidates:
+    def test_only_unpromising_entries(self):
+        cache = NLJPCache()
+        cache.put((1,), payload(), unpromising=True)
+        cache.put((2,), payload(((), (1,))), unpromising=False)
+        candidates = list(cache.prune_candidates((9,)))
+        assert [entry.binding for entry in candidates] == [(1,)]
+
+    def test_equality_bucket_index(self):
+        cache = NLJPCache(equality_positions=(0,), use_index=True)
+        cache.put(("a", 1), payload(), unpromising=True)
+        cache.put(("b", 2), payload(), unpromising=True)
+        candidates = list(cache.prune_candidates(("a", 9)))
+        assert [e.binding for e in candidates] == [("a", 1)]
+
+    def test_without_index_scans_all(self):
+        cache = NLJPCache(equality_positions=(0,), use_index=False)
+        cache.put(("a", 1), payload(), unpromising=True)
+        cache.put(("b", 2), payload(), unpromising=True)
+        assert len(list(cache.prune_candidates(("a", 9)))) == 2
+
+    def test_order_index_narrows(self):
+        cache = NLJPCache(order_position=0, use_index=True)
+        for value in (1, 3, 5, 7):
+            cache.put((value,), payload(), unpromising=True)
+        candidates = list(cache.prune_candidates((0,), low=4))
+        assert sorted(e.binding[0] for e in candidates) == [5, 7]
+        candidates = list(cache.prune_candidates((0,), high=3, high_strict=True))
+        assert sorted(e.binding[0] for e in candidates) == [1]
+
+    def test_order_index_unbounded_falls_back(self):
+        cache = NLJPCache(order_position=0, use_index=True)
+        cache.put((1,), payload(), unpromising=True)
+        assert len(list(cache.prune_candidates((0,)))) == 1
+
+
+class TestReplacement:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            NLJPCache(policy="fifo")
+        with pytest.raises(ValueError):
+            NLJPCache(policy="lru")  # needs max_entries
+
+    def test_lru_evicts_oldest(self):
+        cache = NLJPCache(max_entries=2, policy="lru")
+        cache.put((1,), payload(), unpromising=False)
+        cache.put((2,), payload(), unpromising=False)
+        cache.get((1,))  # refresh 1
+        cache.put((3,), payload(), unpromising=False)
+        assert cache.get((1,)) is not None
+        assert cache.get((2,)) is None
+        assert cache.evictions == 1
+
+    def test_utility_evicts_least_hit(self):
+        cache = NLJPCache(max_entries=2, policy="utility")
+        cache.put((1,), payload(), unpromising=False)
+        cache.put((2,), payload(), unpromising=False)
+        cache.get((2,))
+        cache.put((3,), payload(), unpromising=False)
+        assert cache.get((2,)) is not None
+        assert cache.get((1,)) is None
+
+    def test_eviction_cleans_prune_structures(self):
+        cache = NLJPCache(max_entries=1, policy="lru", order_position=0)
+        cache.put((1,), payload(), unpromising=True)
+        cache.put((2,), payload(), unpromising=True)
+        candidates = list(cache.prune_candidates((0,), low=0))
+        assert [e.binding for e in candidates] == [(2,)]
+        assert len(cache._unpromising_all) == 1
+
+
+class TestFootprint:
+    def test_bytes_grow_with_payload(self):
+        small = NLJPCache()
+        small.put((1,), payload(), unpromising=True)
+        big = NLJPCache()
+        big.put(
+            ("some-long-binding-value", 2),
+            payload((("g",), (1, 2.5, (3, 4)))),
+            unpromising=False,
+        )
+        assert big.estimated_bytes() > small.estimated_bytes()

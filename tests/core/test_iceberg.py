@@ -1,0 +1,200 @@
+"""Tests for the iceberg block analysis (Section 3's notation machinery)."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.sql.parser import parse
+from repro.core.iceberg import IcebergBlock
+from repro.core.monotonicity import Monotonicity
+
+
+def analyze(db, sql, cte_infos=None):
+    return IcebergBlock(parse(sql).body, db, cte_infos)
+
+
+MARKET_BASKET = (
+    "SELECT i1.item, i2.item, COUNT(*) FROM basket i1, basket i2 "
+    "WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item HAVING COUNT(*) >= 20"
+)
+
+SKYBAND = (
+    "SELECT L.id, COUNT(*) FROM object L, object R "
+    "WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) "
+    "GROUP BY L.id HAVING COUNT(*) <= 50"
+)
+
+
+class TestExample3Quantities:
+    """Example 3 spells out G, J, Θ, Φ for the pairs query's blocks."""
+
+    def test_market_basket_partition(self, basket_db):
+        block = analyze(basket_db, MARKET_BASKET)
+        view = block.partition(["i1"])
+        assert view.g_left == {"i1.item"}
+        assert view.g_right == {"i2.item"}
+        assert view.j_left == {"i1.bid"}
+        assert view.j_right == {"i2.bid"}
+        assert view.j_left_eq == {"i1.bid"}
+        assert len(view.theta) == 1
+
+    def test_skyband_partition(self, object_db):
+        block = analyze(object_db, SKYBAND)
+        view = block.partition(["l"])
+        assert view.g_left == {"l.id"}
+        assert view.g_right == frozenset()
+        assert view.j_left == {"l.x", "l.y"}
+        assert view.j_right == {"r.x", "r.y"}
+        assert view.j_left_eq == frozenset()  # inequality joins only
+
+    def test_monotonicity_detected(self, basket_db, object_db):
+        assert (
+            analyze(basket_db, MARKET_BASKET).phi_monotonicity()
+            is Monotonicity.MONOTONE
+        )
+        assert (
+            analyze(object_db, SKYBAND).phi_monotonicity()
+            is Monotonicity.ANTI_MONOTONE
+        )
+
+
+class TestApplicability:
+    def test_phi_applicable_both_sides_for_count_star(self, basket_db):
+        view = analyze(basket_db, MARKET_BASKET).partition(["i1"])
+        assert view.phi_applicable_to(left=True)
+        assert view.phi_applicable_to(left=False)
+
+    def test_phi_with_attributes_only_owning_side(self, score_db):
+        sql = (
+            "SELECT s1.pid, COUNT(*) FROM score s1, score s2 "
+            "WHERE s1.teamid = s2.teamid "
+            "GROUP BY s1.pid HAVING MAX(s2.hits) >= 10"
+        )
+        view = analyze(score_db, sql).partition(["s1"])
+        assert not view.phi_applicable_to(left=True)
+        assert view.phi_applicable_to(left=False)
+
+    def test_lambda_aggregates_side(self, score_db):
+        sql = (
+            "SELECT s1.pid, AVG(s2.hits) FROM score s1, score s2 "
+            "WHERE s1.teamid = s2.teamid "
+            "GROUP BY s1.pid HAVING COUNT(*) >= 2"
+        )
+        view = analyze(score_db, sql).partition(["s1"])
+        assert view.lambda_aggregates_applicable_to(left=False)
+        assert not view.lambda_aggregates_applicable_to(left=True)
+
+
+class TestSideFds:
+    def test_base_table_key_becomes_qualified_fd(self, object_db):
+        view = analyze(object_db, SKYBAND).partition(["l"])
+        fds = view.fds(left=True)
+        assert fds.is_superkey(["l.id"], ["l.id", "l.x", "l.y"])
+
+    def test_internal_equalities_enter_fds(self, product_db):
+        sql = (
+            "SELECT s1.id, s1.attr, s2.attr, COUNT(*) "
+            "FROM product s1, product s2, product t1, product t2 "
+            "WHERE s1.id = s2.id AND t1.id = t2.id "
+            "AND s1.category = t1.category "
+            "AND t1.attr = s1.attr AND t2.attr = s2.attr "
+            "AND t1.val > s1.val AND t2.val > s2.val "
+            "GROUP BY s1.id, s1.attr, s2.attr HAVING COUNT(*) >= 10"
+        )
+        view = analyze(product_db, sql).partition(["s1", "s2"])
+        fds = view.fds(left=True)
+        # s1.id = s2.id is internal, so s1.id determines everything.
+        assert fds.is_superkey(
+            ["s1.id", "s1.attr", "s2.attr"], view.attributes(left=True)
+        )
+
+
+class TestEquivalences:
+    def test_congruence_derives_category_equality(self, product_db):
+        sql = (
+            "SELECT s1.id, s1.attr, s2.attr, COUNT(*) "
+            "FROM product s1, product s2, product t1, product t2 "
+            "WHERE s1.id = s2.id AND t1.id = t2.id "
+            "AND s1.category = t1.category "
+            "AND t1.attr = s1.attr AND t2.attr = s2.attr "
+            "AND T1.val > S1.val AND T2.val > S2.val "
+            "GROUP BY s1.id, s1.attr, s2.attr HAVING COUNT(*) >= 10"
+        )
+        block = analyze(product_db, sql)
+        # id -> category plus the id equalities imply the s2/t2 pair.
+        assert block.equivalences.same("s2.category", "t2.category")
+        assert block.equivalences.same("s1.category", "s2.category")
+
+    def test_group_substitution(self, product_db):
+        sql = (
+            "SELECT s1.id, s1.attr, s2.attr, COUNT(*) "
+            "FROM product s1, product s2, product t1, product t2 "
+            "WHERE s1.id = s2.id AND t1.id = t2.id "
+            "AND s1.category = t1.category "
+            "AND t1.attr = s1.attr AND t2.attr = s2.attr "
+            "AND t1.val > s1.val AND t2.val > s2.val "
+            "GROUP BY s1.id, s1.attr, s2.attr HAVING COUNT(*) >= 10"
+        )
+        view = analyze(product_db, sql).partition(["s2", "t2"])
+        # s1.id gets substituted to s2.id on the left side.
+        assert "s2.id" in view.g_left
+        assert view.group_substitutions.get("s1.id") == "s2.id"
+
+
+class TestValidation:
+    def test_single_relation_rejected(self, object_db):
+        with pytest.raises(OptimizationError):
+            analyze(
+                object_db,
+                "SELECT id, COUNT(*) FROM object GROUP BY id HAVING COUNT(*) > 1",
+            )
+
+    def test_unknown_alias_rejected(self, object_db):
+        with pytest.raises(OptimizationError):
+            analyze(
+                object_db,
+                "SELECT L.id FROM object L, object R WHERE Z.x = 1 "
+                "GROUP BY L.id HAVING COUNT(*) <= 5",
+            )
+
+    def test_partition_must_be_proper_subset(self, object_db):
+        block = analyze(object_db, SKYBAND)
+        with pytest.raises(OptimizationError):
+            block.partition(["l", "r"])
+        with pytest.raises(OptimizationError):
+            block.partition([])
+
+    def test_expression_group_by_rejected(self, object_db):
+        block = analyze(
+            object_db,
+            "SELECT L.id % 2, COUNT(*) FROM object L, object R "
+            "WHERE L.x <= R.x GROUP BY L.id % 2 HAVING COUNT(*) <= 5",
+        )
+        with pytest.raises(OptimizationError):
+            block.partition(["l"]).block.group_by_attributes()
+
+    def test_ambiguous_unqualified_rejected(self, object_db):
+        with pytest.raises(OptimizationError):
+            analyze(
+                object_db,
+                "SELECT x FROM object L, object R WHERE x < 1 "
+                "GROUP BY L.id HAVING COUNT(*) <= 5",
+            )
+
+
+class TestCteInfos:
+    def test_cte_relation_uses_provided_fds(self, score_db):
+        from repro.constraints.fd import FDSet
+
+        fds = FDSet()
+        fds.add_key(["pid1", "pid2"], ["pid1", "pid2", "hits1"])
+        infos = {"pair": (("pid1", "pid2", "hits1"), fds, frozenset({"hits1"}))}
+        sql = (
+            "SELECT L.pid1, L.pid2, COUNT(*) FROM pair L, pair R "
+            "WHERE R.hits1 >= L.hits1 GROUP BY L.pid1, L.pid2 "
+            "HAVING COUNT(*) <= 5"
+        )
+        block = analyze(score_db, sql, infos)
+        view = block.partition(["l"])
+        assert view.fds(True).is_superkey(
+            ["l.pid1", "l.pid2"], ["l.pid1", "l.pid2", "l.hits1"]
+        )

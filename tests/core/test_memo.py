@@ -1,0 +1,104 @@
+"""Tests for Section 6's memoization applicability conditions."""
+
+import pytest
+
+from repro.sql.parser import parse
+from repro.core.iceberg import IcebergBlock
+from repro.core.memo import check_memoization, collect_aggregates
+
+
+def view_for(db, sql, left):
+    return IcebergBlock(parse(sql).body, db).partition(left)
+
+
+class TestApplicability:
+    def test_skyband_memoizable(self, object_db):
+        sql = (
+            "SELECT L.id, COUNT(*) FROM object L, object R "
+            "WHERE L.x <= R.x AND L.y <= R.y "
+            "GROUP BY L.id HAVING COUNT(*) <= 5"
+        )
+        decision = check_memoization(view_for(object_db, sql, ["l"]))
+        assert decision.applicable and decision.beneficial
+
+    def test_phi_on_outer_refused(self, score_db):
+        sql = (
+            "SELECT s1.pid, COUNT(*) FROM score s1, score s2 "
+            "WHERE s1.hits <= s2.hits GROUP BY s1.pid "
+            "HAVING MAX(s1.hruns) >= 5"
+        )
+        decision = check_memoization(view_for(score_db, sql, ["s1"]))
+        assert not decision.applicable
+
+    def test_lambda_aggregates_on_outer_refused(self, score_db):
+        sql = (
+            "SELECT s1.pid, AVG(s1.hits), COUNT(*) FROM score s1, score s2 "
+            "WHERE s1.hits <= s2.hits GROUP BY s1.pid "
+            "HAVING COUNT(*) <= 5"
+        )
+        decision = check_memoization(view_for(score_db, sql, ["s1"]))
+        assert not decision.applicable
+        assert "SELECT aggregates" in decision.reason
+
+    def test_j_l_key_means_not_beneficial(self, object_db):
+        """J_L -> A_L: all bindings distinct, cache never hits."""
+        sql = (
+            "SELECT L.id, COUNT(*) FROM object L, object R "
+            "WHERE L.id <= R.x GROUP BY L.id HAVING COUNT(*) <= 5"
+        )
+        decision = check_memoization(view_for(object_db, sql, ["l"]))
+        assert decision.applicable
+        assert not decision.beneficial
+        assert not bool(decision)
+
+
+class TestAlgebraicRequirement:
+    def test_non_algebraic_fine_with_superkey(self, object_db):
+        sql = (
+            "SELECT L.id, COUNT(DISTINCT R.x) FROM object L, object R "
+            "WHERE L.x <= R.x GROUP BY L.id "
+            "HAVING COUNT(DISTINCT R.x) <= 5"
+        )
+        decision = check_memoization(view_for(object_db, sql, ["l"]))
+        assert decision.applicable  # G_L -> A_L holds (id is key)
+
+    def test_non_algebraic_refused_without_superkey(self, basket_db):
+        # Group by item (not a key): COUNT(DISTINCT) cannot be combined.
+        sql = (
+            "SELECT i1.item, COUNT(DISTINCT i2.bid) FROM basket i1, basket i2 "
+            "WHERE i1.bid = i2.bid GROUP BY i1.item "
+            "HAVING COUNT(DISTINCT i2.bid) >= 2"
+        )
+        decision = check_memoization(view_for(basket_db, sql, ["i1"]))
+        assert not decision.applicable
+        assert "algebraic" in decision.reason
+
+    def test_algebraic_allowed_without_superkey(self, basket_db):
+        sql = (
+            "SELECT i1.item, COUNT(*) FROM basket i1, basket i2 "
+            "WHERE i1.bid = i2.bid GROUP BY i1.item "
+            "HAVING COUNT(*) >= 2"
+        )
+        decision = check_memoization(view_for(basket_db, sql, ["i1"]))
+        assert decision.applicable
+
+
+class TestCollectAggregates:
+    def test_dedup_across_phi_and_lambda(self, object_db):
+        sql = (
+            "SELECT L.id, COUNT(*) FROM object L, object R "
+            "WHERE L.x <= R.x GROUP BY L.id HAVING COUNT(*) <= 5"
+        )
+        view = view_for(object_db, sql, ["l"])
+        calls = collect_aggregates(view)
+        assert len(calls) == 1  # COUNT(*) appears in both, counted once
+
+    def test_multiple_distinct_aggregates(self, score_db):
+        sql = (
+            "SELECT s1.pid, AVG(s2.hits), MAX(s2.hruns) "
+            "FROM score s1, score s2 WHERE s1.teamid = s2.teamid "
+            "GROUP BY s1.pid HAVING COUNT(*) >= 2"
+        )
+        view = view_for(score_db, sql, ["s1"])
+        names = sorted(c.name for c in collect_aggregates(view))
+        assert names == ["AVG", "COUNT", "MAX"]

@@ -1,0 +1,184 @@
+"""Exhaustive verification of the Table 2 classification.
+
+Each classified condition is checked against Definition 1 directly: we
+enumerate many multiset pairs ``T ⊆ T'`` and verify the implication in
+the direction the classification promises.  This is also where the
+paper's Table 2 MIN-row erratum is pinned down (see the module
+docstring of :mod:`repro.core.monotonicity`).
+"""
+
+import itertools
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.parser import parse_expression
+from repro.core.monotonicity import Monotonicity, classify
+
+
+def evaluate_condition(sql: str, values) -> bool:
+    """Evaluate a HAVING condition over a multiset of 'a' values."""
+    expr = parse_expression(sql)
+
+    def compute(node):
+        if isinstance(node, ast.FuncCall):
+            name = node.name
+            star = node.args and isinstance(node.args[0], ast.Star)
+            non_null = [v for v in values if v is not None]
+            pool = set(non_null) if node.distinct else non_null
+            if name == "COUNT":
+                return len(values) if star else len(pool)
+            if not pool:
+                return None
+            if name == "SUM":
+                return sum(pool)
+            if name == "MIN":
+                return min(pool)
+            if name == "MAX":
+                return max(pool)
+            if name == "AVG":
+                return sum(pool) / len(pool)
+            raise AssertionError(name)
+        if isinstance(node, ast.Literal):
+            return node.value
+        if isinstance(node, ast.BinaryOp):
+            left, right = compute(node.left), compute(node.right)
+            if node.op == "AND":
+                return bool(left) and bool(right)
+            if node.op == "OR":
+                return bool(left) or bool(right)
+            if left is None or right is None:
+                return False
+            return {
+                ">=": left >= right,
+                "<=": left <= right,
+                ">": left > right,
+                "<": left < right,
+            }[node.op]
+        if isinstance(node, ast.UnaryOp) and node.op == "NOT":
+            return not compute(node.operand)
+        raise AssertionError(node)
+
+    return bool(compute(expr))
+
+
+def verify_definition_1(sql: str, expected: Monotonicity) -> None:
+    """Enumerate small multisets T ⊆ T' and check the implication."""
+    universe = [0, 1, 2, 3]
+    for size in range(1, 4):
+        for bigger in itertools.combinations_with_replacement(universe, size):
+            for keep in range(1, size + 1):
+                for smaller in itertools.combinations(bigger, keep):
+                    small_holds = evaluate_condition(sql, list(smaller))
+                    big_holds = evaluate_condition(sql, list(bigger))
+                    if expected is Monotonicity.MONOTONE and small_holds:
+                        assert big_holds, (sql, smaller, bigger)
+                    if expected is Monotonicity.ANTI_MONOTONE and big_holds:
+                        assert small_holds, (sql, smaller, bigger)
+
+
+NONNEG = lambda expr: True  # noqa: E731 - treat 'a' as nonnegative
+
+TABLE_2 = [
+    ("COUNT(*) >= 2", Monotonicity.MONOTONE),
+    ("COUNT(*) <= 2", Monotonicity.ANTI_MONOTONE),
+    ("COUNT(a) >= 2", Monotonicity.MONOTONE),
+    ("COUNT(a) <= 2", Monotonicity.ANTI_MONOTONE),
+    ("COUNT(DISTINCT a) >= 2", Monotonicity.MONOTONE),
+    ("COUNT(DISTINCT a) <= 2", Monotonicity.ANTI_MONOTONE),
+    ("SUM(a) >= 3", Monotonicity.MONOTONE),
+    ("SUM(a) <= 3", Monotonicity.ANTI_MONOTONE),
+    ("MAX(a) >= 2", Monotonicity.MONOTONE),
+    ("MAX(a) <= 2", Monotonicity.ANTI_MONOTONE),
+    # Erratum: the paper's Table 2 lists MIN >= as monotone; per
+    # Definition 1 it is anti-monotone (adding tuples lowers MIN).
+    ("MIN(a) >= 2", Monotonicity.ANTI_MONOTONE),
+    ("MIN(a) <= 2", Monotonicity.MONOTONE),
+]
+
+
+class TestTable2:
+    @pytest.mark.parametrize("sql,expected", TABLE_2)
+    def test_classification(self, sql, expected):
+        assert classify(parse_expression(sql), NONNEG) is expected
+
+    @pytest.mark.parametrize("sql,expected", TABLE_2)
+    def test_definition_1_holds(self, sql, expected):
+        verify_definition_1(sql, expected)
+
+    @pytest.mark.parametrize("sql,expected", TABLE_2)
+    def test_strict_variant_same_class(self, sql, expected):
+        strict = sql.replace(">=", ">") if ">=" in sql else sql.replace("<=", "<")
+        assert classify(parse_expression(strict), NONNEG) is expected
+        verify_definition_1(strict, expected)
+
+
+class TestCombinations:
+    def test_conjunction_same_class(self):
+        phi = parse_expression("COUNT(*) >= 2 AND MAX(a) >= 5")
+        assert classify(phi, NONNEG) is Monotonicity.MONOTONE
+
+    def test_conjunction_mixed_is_unknown(self):
+        phi = parse_expression("COUNT(*) >= 2 AND COUNT(*) <= 5")
+        assert classify(phi, NONNEG) is Monotonicity.UNKNOWN
+
+    def test_disjunction_same_class(self):
+        phi = parse_expression("COUNT(*) <= 2 OR MAX(a) <= 5")
+        assert classify(phi, NONNEG) is Monotonicity.ANTI_MONOTONE
+
+    def test_not_flips(self):
+        phi = parse_expression("NOT COUNT(*) >= 2")
+        assert classify(phi, NONNEG) is Monotonicity.ANTI_MONOTONE
+
+    def test_constant_is_both(self):
+        assert classify(parse_expression("TRUE"), NONNEG) is Monotonicity.BOTH
+
+    def test_reversed_operand_order(self):
+        phi = parse_expression("2 <= COUNT(*)")
+        assert classify(phi, NONNEG) is Monotonicity.MONOTONE
+
+    def test_between_is_unknown(self):
+        phi = parse_expression("COUNT(*) BETWEEN 2 AND 5")
+        assert classify(phi, NONNEG) is Monotonicity.UNKNOWN
+
+
+class TestSumDomainSensitivity:
+    def test_sum_without_domain_knowledge_unknown(self):
+        phi = parse_expression("SUM(a) >= 3")
+        assert classify(phi) is Monotonicity.UNKNOWN
+        assert classify(phi, lambda expr: False) is Monotonicity.UNKNOWN
+
+    def test_sum_counterexample_with_negatives(self):
+        """SUM >= c over negative values is genuinely not monotone."""
+        assert evaluate_condition("SUM(a) >= 0", [1])
+        # Adding a negative tuple breaks it: T={1} ⊆ T'={1, -5}.
+        values = [1, -5]
+        total = sum(values)
+        assert total < 0  # so SUM >= 0 fails on the superset
+
+
+class TestNonThresholds:
+    def test_avg_is_unknown(self):
+        phi = parse_expression("AVG(a) >= 3")
+        assert classify(phi, NONNEG) is Monotonicity.UNKNOWN
+
+    def test_aggregate_vs_aggregate_unknown(self):
+        phi = parse_expression("SUM(a) >= COUNT(*)")
+        assert classify(phi, NONNEG) is Monotonicity.UNKNOWN
+
+    def test_non_boolean_unknown(self):
+        assert classify(parse_expression("5"), NONNEG) is Monotonicity.UNKNOWN
+
+    def test_equality_threshold_unknown(self):
+        phi = parse_expression("COUNT(*) = 3")
+        assert classify(phi, NONNEG) is Monotonicity.UNKNOWN
+
+
+class TestCombineHelper:
+    def test_both_identity(self):
+        assert Monotonicity.BOTH.combine(Monotonicity.MONOTONE) is Monotonicity.MONOTONE
+        assert Monotonicity.MONOTONE.combine(Monotonicity.BOTH) is Monotonicity.MONOTONE
+
+    def test_flip(self):
+        assert Monotonicity.MONOTONE.flip() is Monotonicity.ANTI_MONOTONE
+        assert Monotonicity.UNKNOWN.flip() is Monotonicity.UNKNOWN

@@ -1,0 +1,208 @@
+"""Tests for the NLJP operator (Section 7)."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.sql.parser import parse
+from repro.engine import EngineConfig, execute
+from repro.engine.operators import ExecutionContext
+from repro.engine.planner import PlanEnv
+from repro.core.iceberg import IcebergBlock
+from repro.core.memo import check_memoization
+from repro.core.nljp import NLJPOperator
+from repro.core.pruning import check_pruning
+
+
+def build_nljp(db, sql, left, **kwargs):
+    block = IcebergBlock(parse(sql).body, db)
+    view = block.partition(left)
+    env = PlanEnv(db=db, config=EngineConfig.smart())
+    pruning = check_pruning(view)
+    return NLJPOperator(view, env, pruning=pruning, **kwargs)
+
+
+def run_nljp(nljp):
+    ctx = ExecutionContext()
+    rows = list(nljp.execute(ctx))
+    return rows, ctx.stats
+
+
+SKYBAND = (
+    "SELECT L.id, COUNT(*) FROM object L, object R "
+    "WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) "
+    "GROUP BY L.id HAVING COUNT(*) <= 5"
+)
+
+
+class TestDirectMode:
+    def test_matches_baseline(self, object_db):
+        nljp = build_nljp(object_db, SKYBAND, ["l"])
+        assert nljp.direct_mode
+        rows, _ = run_nljp(nljp)
+        baseline = execute(object_db, SKYBAND, EngineConfig.postgres())
+        assert sorted(rows) == sorted(baseline.rows)
+
+    def test_pruning_reduces_inner_evaluations(self, object_db):
+        with_pruning = build_nljp(object_db, SKYBAND, ["l"])
+        without = build_nljp(
+            object_db, SKYBAND, ["l"], enable_pruning=False
+        )
+        rows_with, stats_with = run_nljp(with_pruning)
+        rows_without, stats_without = run_nljp(without)
+        assert sorted(rows_with) == sorted(rows_without)
+        assert stats_with.inner_evaluations < stats_without.inner_evaluations
+        assert stats_with.pruned_bindings > 0
+
+    def test_memo_hits_on_duplicate_bindings(self, object_db):
+        # Duplicate (x, y) points exist in the fixture with high odds;
+        # force some to be sure.
+        table = object_db.table("object")
+        table.insert((997, 3, 3))
+        table.insert((998, 3, 3))
+        table.insert((999, 3, 3))
+        nljp = build_nljp(object_db, SKYBAND, ["l"], enable_pruning=False)
+        _, stats = run_nljp(nljp)
+        assert stats.cache_hits >= 2
+
+    def test_memo_disabled_recomputes(self, object_db):
+        table = object_db.table("object")
+        table.insert((999, 3, 3))
+        nljp = build_nljp(
+            object_db, SKYBAND, ["l"], enable_memo=False, enable_pruning=False
+        )
+        _, stats = run_nljp(nljp)
+        assert stats.cache_hits == 0
+        assert stats.inner_evaluations == len(table)
+
+    def test_empty_binding_not_pruned_under_anti_monotone(self, object_db):
+        """A binding joining nothing satisfies COUNT<=k on the empty
+        set, so it must never seed pruning (regression test for the
+        Definition 5 G_R=∅ reduction)."""
+        table = object_db.table("object")
+        table.insert((1000, 31, 31))  # dominates nothing, dominated by nothing
+        nljp = build_nljp(object_db, SKYBAND, ["l"])
+        rows, _ = run_nljp(nljp)
+        baseline = execute(object_db, SKYBAND, EngineConfig.postgres())
+        assert sorted(rows) == sorted(baseline.rows)
+
+    def test_cache_stats_exported(self, object_db):
+        nljp = build_nljp(object_db, SKYBAND, ["l"])
+        _, stats = run_nljp(nljp)
+        assert stats.cache_rows > 0
+        assert stats.cache_bytes > 0
+
+
+class TestCombiningMode:
+    SQL = (
+        "SELECT i1.item, COUNT(*) FROM basket i1, basket i2 "
+        "WHERE i1.bid = i2.bid AND i1.item < i2.item "
+        "GROUP BY i1.item HAVING COUNT(*) >= 2"
+    )
+
+    def test_combining_mode_selected(self, basket_db):
+        nljp = build_nljp(basket_db, self.SQL, ["i1"])
+        assert not nljp.direct_mode
+
+    def test_matches_baseline(self, basket_db):
+        nljp = build_nljp(basket_db, self.SQL, ["i1"])
+        rows, _ = run_nljp(nljp)
+        baseline = execute(basket_db, self.SQL, EngineConfig.postgres())
+        assert sorted(rows) == sorted(baseline.rows)
+
+    def test_avg_combines_algebraically(self, score_db):
+        sql = (
+            "SELECT s1.teamid, AVG(s2.hits), COUNT(*) "
+            "FROM score s1, score s2 "
+            "WHERE s1.hits <= s2.hits "
+            "GROUP BY s1.teamid HAVING COUNT(*) >= 2"
+        )
+        nljp = build_nljp(score_db, sql, ["s1"])
+        assert not nljp.direct_mode
+        rows, _ = run_nljp(nljp)
+        baseline = execute(score_db, sql, EngineConfig.postgres())
+        assert sorted(rows) == sorted(
+            baseline.rows
+        ), "algebraic AVG combination must equal direct evaluation"
+
+
+class TestGroupedInner:
+    SQL = (
+        "SELECT L.id, R.x, COUNT(*) FROM object L, object R "
+        "WHERE L.x <= R.x GROUP BY L.id, R.x HAVING COUNT(*) >= 10"
+    )
+
+    def test_nonempty_g_r_payload_per_group(self, object_db):
+        nljp = build_nljp(object_db, self.SQL, ["l"])
+        rows, _ = run_nljp(nljp)
+        baseline = execute(object_db, self.SQL, EngineConfig.postgres())
+        assert sorted(rows) == sorted(baseline.rows)
+
+
+class TestValidation:
+    def test_rejects_phi_on_outer(self, score_db):
+        sql = (
+            "SELECT s1.pid, COUNT(*) FROM score s1, score s2 "
+            "WHERE s1.hits <= s2.hits GROUP BY s1.pid "
+            "HAVING MAX(s1.hruns) >= 5"
+        )
+        with pytest.raises(OptimizationError):
+            build_nljp(score_db, sql, ["s1"])
+
+    def test_rejects_lambda_on_outer(self, score_db):
+        sql = (
+            "SELECT s1.pid, AVG(s1.hits), COUNT(*) FROM score s1, score s2 "
+            "WHERE s1.hits <= s2.hits GROUP BY s1.pid "
+            "HAVING COUNT(*) <= 5"
+        )
+        with pytest.raises(OptimizationError):
+            build_nljp(score_db, sql, ["s1"])
+
+
+class TestIntrospection:
+    def test_sql_listing_contains_generated_queries(self, object_db):
+        nljp = build_nljp(object_db, SKYBAND, ["l"])
+        listing = nljp.sql_listing()
+        assert "Q_B" in listing and "SELECT" in listing["Q_B"]
+        assert "Q_R" in listing and ":b_" in listing["Q_R"]
+        assert "Q_C" in listing and "unpromising" in listing["Q_C"]
+
+    def test_describe_mentions_features(self, object_db):
+        nljp = build_nljp(object_db, SKYBAND, ["l"])
+        text = nljp.explain()
+        assert "NLJP" in text and "pruning" in text and "memo" in text
+
+
+class TestCachePolicies:
+    def test_bounded_cache_still_correct(self, object_db):
+        nljp = build_nljp(
+            object_db, SKYBAND, ["l"], cache_max_entries=5, cache_policy="lru"
+        )
+        rows, _ = run_nljp(nljp)
+        baseline = execute(object_db, SKYBAND, EngineConfig.postgres())
+        assert sorted(rows) == sorted(baseline.rows)
+
+    def test_utility_policy_still_correct(self, object_db):
+        nljp = build_nljp(
+            object_db, SKYBAND, ["l"], cache_max_entries=3, cache_policy="utility"
+        )
+        rows, _ = run_nljp(nljp)
+        baseline = execute(object_db, SKYBAND, EngineConfig.postgres())
+        assert sorted(rows) == sorted(baseline.rows)
+
+
+class TestBindingOrder:
+    def test_order_by_changes_exploration_not_results(self, object_db):
+        from repro.sql import ast
+
+        ordered = build_nljp(
+            object_db,
+            SKYBAND,
+            ["l"],
+            binding_order=(
+                ast.OrderItem(ast.ColumnRef("l", "x"), ascending=True),
+            ),
+        )
+        rows, stats_asc = run_nljp(ordered)
+        plain = build_nljp(object_db, SKYBAND, ["l"])
+        rows_plain, _ = run_nljp(plain)
+        assert sorted(rows) == sorted(rows_plain)

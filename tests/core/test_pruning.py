@@ -1,0 +1,117 @@
+"""Tests for Theorem 3's safe-pruning conditions."""
+
+import pytest
+
+from repro.sql.parser import parse
+from repro.core.iceberg import IcebergBlock
+from repro.core.pruning import PruneDirection, check_pruning
+
+
+def view_for(db, sql, left):
+    return IcebergBlock(parse(sql).body, db).partition(left)
+
+
+SKYBAND = (
+    "SELECT L.id, COUNT(*) FROM object L, object R "
+    "WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) "
+    "GROUP BY L.id HAVING COUNT(*) <= 5"
+)
+
+
+class TestExample9Skyband:
+    def test_anti_monotone_pruning_applies(self, object_db):
+        decision = check_pruning(view_for(object_db, SKYBAND, ["l"]))
+        assert decision.applicable
+        assert decision.direction is PruneDirection.NEW_SUBSUMES_CACHED
+        assert decision.predicate is not None
+
+    def test_should_prune_direction(self, object_db):
+        decision = check_pruning(view_for(object_db, SKYBAND, ["l"]))
+        # new (1,1) joins a superset of cached (5,5): prune.
+        assert decision.should_prune((1, 1), (5, 5))
+        assert not decision.should_prune((5, 5), (1, 1))
+
+
+class TestMonotoneDirection:
+    SQL = (
+        "SELECT L.id, COUNT(*) FROM object L, object R "
+        "WHERE L.x <= R.x AND L.y <= R.y "
+        "GROUP BY L.id HAVING COUNT(*) >= 5"
+    )
+
+    def test_monotone_pruning_applies(self, object_db):
+        decision = check_pruning(view_for(object_db, self.SQL, ["l"]))
+        assert decision.applicable
+        assert decision.direction is PruneDirection.NEW_SUBSUMED_BY_CACHED
+
+    def test_should_prune_direction(self, object_db):
+        decision = check_pruning(view_for(object_db, self.SQL, ["l"]))
+        # new (5,5) joins a subset of cached (1,1): prune.
+        assert decision.should_prune((5, 5), (1, 1))
+        assert not decision.should_prune((1, 1), (5, 5))
+
+
+class TestRefusals:
+    def test_superkey_required(self, object_db):
+        # Group by x (not a key of object): refuse.
+        sql = (
+            "SELECT L.x, COUNT(*) FROM object L, object R "
+            "WHERE L.y <= R.y GROUP BY L.x HAVING COUNT(*) <= 5"
+        )
+        decision = check_pruning(view_for(object_db, sql, ["l"]))
+        assert not decision.applicable
+        assert "superkey" in decision.reason
+
+    def test_anti_monotone_needs_empty_g_r(self, object_db):
+        # G_L = {L.id} is a superkey, but G_R = {R.x} is nonempty:
+        # the anti-monotone case of Theorem 3 must refuse.
+        sql = (
+            "SELECT L.id, R.x, COUNT(*) FROM object L, object R "
+            "WHERE L.x <= R.x GROUP BY L.id, R.x HAVING COUNT(*) <= 3"
+        )
+        decision = check_pruning(view_for(object_db, sql, ["l"]))
+        assert not decision.applicable
+        assert "G_R" in decision.reason
+
+    def test_phi_must_be_applicable_to_inner(self, score_db):
+        sql = (
+            "SELECT s1.pid, COUNT(*) FROM score s1, score s2 "
+            "WHERE s1.hits <= s2.hits GROUP BY s1.pid "
+            "HAVING MAX(s1.hruns) >= 5"
+        )
+        decision = check_pruning(view_for(score_db, sql, ["s1"]))
+        assert not decision.applicable
+        assert "inner" in decision.reason
+
+    def test_unknown_monotonicity_refused(self, score_db):
+        sql = (
+            "SELECT s1.pid, COUNT(*) FROM score s1, score s2 "
+            "WHERE s1.hits <= s2.hits GROUP BY s1.pid "
+            "HAVING AVG(s2.hits) >= 5"
+        )
+        decision = check_pruning(view_for(score_db, sql, ["s1"]))
+        assert not decision.applicable
+
+    def test_nonlinear_theta_disables_gracefully(self, object_db):
+        sql = (
+            "SELECT L.id, COUNT(*) FROM object L, object R "
+            "WHERE L.x * L.y <= R.x GROUP BY L.id HAVING COUNT(*) <= 5"
+        )
+        decision = check_pruning(view_for(object_db, sql, ["l"]))
+        assert not decision.applicable
+        assert "derivation failed" in decision.reason
+
+
+class TestMonotoneWithGroupedInner:
+    def test_monotone_allows_nonempty_g_r(self, basket_db):
+        """Theorem 3's monotone case has no G_R restriction."""
+        sql = (
+            "SELECT i1.item, i2.item, COUNT(*) FROM basket i1, basket i2 "
+            "WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item "
+            "HAVING COUNT(*) >= 3"
+        )
+        # G_L = {i1.item} must be a superkey of basket: it is not,
+        # so pruning is refused for that reason (not because of G_R).
+        decision = check_pruning(view_for(basket_db, sql, ["i1"]))
+        assert not decision.applicable
+        assert "superkey" in decision.reason

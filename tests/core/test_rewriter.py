@@ -1,0 +1,114 @@
+"""Tests for the static memoization rewrite (Appendix C, Listing 8)."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.sql import render
+from repro.sql.parser import parse
+from repro.engine import EngineConfig, execute
+from repro.core.iceberg import IcebergBlock
+from repro.core.rewriter import memoization_rewrite
+
+
+def rewrite(db, sql, left):
+    view = IcebergBlock(parse(sql).body, db).partition(left)
+    return memoization_rewrite(view)
+
+
+SKYBAND = (
+    "SELECT L.id, COUNT(*) FROM object L, object R "
+    "WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) "
+    "GROUP BY L.id HAVING COUNT(*) <= 5"
+)
+
+
+class TestDirectForm:
+    """Listing 8's first query: G_L -> A_L holds."""
+
+    def test_structure(self, object_db):
+        query = rewrite(object_db, SKYBAND, ["l"])
+        names = [cte.name for cte in query.ctes]
+        assert names == ["ljt", "ljr"]
+        assert query.ctes[0].query.distinct  # SELECT DISTINCT J_L
+        # In the direct form, Φ moves into LJR.
+        assert query.ctes[1].query.having is not None
+        assert query.body.having is None
+
+    def test_equivalence(self, object_db):
+        query = rewrite(object_db, SKYBAND, ["l"])
+        original = execute(object_db, SKYBAND, EngineConfig.postgres())
+        rewritten = execute(object_db, query, EngineConfig.postgres())
+        assert sorted(original.rows) == sorted(rewritten.rows)
+
+    def test_equivalence_with_duplicates(self, object_db):
+        # Duplicate join-attribute values are where memoization matters.
+        table = object_db.table("object")
+        table.insert((900, 3, 3))
+        table.insert((901, 3, 3))
+        query = rewrite(object_db, SKYBAND, ["l"])
+        original = execute(object_db, SKYBAND, EngineConfig.postgres())
+        rewritten = execute(object_db, query, EngineConfig.postgres())
+        assert sorted(original.rows) == sorted(rewritten.rows)
+
+
+class TestGeneralForm:
+    """Listing 8's second query: partial aggregates combined outside."""
+
+    SQL = (
+        "SELECT i1.item, COUNT(*), AVG(i2.bid) FROM basket i1, basket i2 "
+        "WHERE i1.bid = i2.bid AND i1.item < i2.item "
+        "GROUP BY i1.item HAVING COUNT(*) >= 2"
+    )
+
+    def test_structure(self, basket_db):
+        query = rewrite(basket_db, self.SQL, ["i1"])
+        # General form keeps Φ on the outer query (over f^o results).
+        assert query.body.having is not None
+        text = render(query)
+        assert "ljt" in text and "ljr" in text
+
+    def test_equivalence(self, basket_db):
+        query = rewrite(basket_db, self.SQL, ["i1"])
+        original = execute(basket_db, self.SQL, EngineConfig.postgres())
+        rewritten = execute(basket_db, query, EngineConfig.postgres())
+        assert sorted(original.rows) == sorted(rewritten.rows)
+        assert len(original.rows) > 0
+
+    def test_avg_decomposed_into_sum_count(self, basket_db):
+        query = rewrite(basket_db, self.SQL, ["i1"])
+        ljr_text = render(query.ctes[1].query)
+        assert "SUM" in ljr_text and "COUNT" in ljr_text
+
+
+class TestGroupedInnerForm:
+    SQL = (
+        "SELECT L.id, R.x, COUNT(*) FROM object L, object R "
+        "WHERE L.x <= R.x GROUP BY L.id, R.x HAVING COUNT(*) >= 10"
+    )
+
+    def test_g_r_nonempty_supported(self, object_db):
+        """Appendix C notes the rewrite does not assume G_R = ∅."""
+        query = rewrite(object_db, self.SQL, ["l"])
+        original = execute(object_db, self.SQL, EngineConfig.postgres())
+        rewritten = execute(object_db, query, EngineConfig.postgres())
+        assert sorted(original.rows) == sorted(rewritten.rows)
+
+
+class TestRefusals:
+    def test_phi_on_outer_rejected(self, score_db):
+        sql = (
+            "SELECT s1.pid, COUNT(*) FROM score s1, score s2 "
+            "WHERE s1.hits <= s2.hits GROUP BY s1.pid "
+            "HAVING MAX(s1.hruns) >= 5"
+        )
+        with pytest.raises(OptimizationError):
+            rewrite(score_db, sql, ["s1"])
+
+    def test_non_algebraic_without_superkey_rejected(self, basket_db):
+        sql = (
+            "SELECT i1.item, COUNT(DISTINCT i2.bid) FROM basket i1, basket i2 "
+            "WHERE i1.bid = i2.bid GROUP BY i1.item "
+            "HAVING COUNT(DISTINCT i2.bid) >= 2"
+        )
+        with pytest.raises(OptimizationError):
+            rewrite(basket_db, sql, ["i1"])

@@ -1,0 +1,132 @@
+"""Tests for aggregate accumulators and algebraic decomposition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PlanningError
+from repro.sql import ast
+from repro.sql.parser import parse_expression
+from repro.engine.aggregates import (
+    algebraic_form,
+    is_algebraic,
+    make_spec,
+)
+
+
+def call(sql: str) -> ast.FuncCall:
+    expr = parse_expression(sql)
+    assert isinstance(expr, ast.FuncCall)
+    return expr
+
+
+def run(sql: str, values):
+    spec = make_spec(call(sql), argument=lambda row, params: row[0])
+    accumulator = spec.new()
+    for value in values:
+        accumulator.add(value)
+    return accumulator.result()
+
+
+class TestAccumulators:
+    def test_count_star(self):
+        spec = make_spec(call("COUNT(*)"), None)
+        accumulator = spec.new()
+        for _ in range(3):
+            accumulator.add(1)
+        assert accumulator.result() == 3
+
+    def test_count_skips_nulls(self):
+        assert run("COUNT(a)", [1, None, 2]) == 2
+
+    def test_count_distinct(self):
+        assert run("COUNT(DISTINCT a)", [1, 1, 2, None, 2]) == 2
+
+    def test_sum(self):
+        assert run("SUM(a)", [1, 2, None, 3]) == 6
+
+    def test_sum_empty_is_null(self):
+        assert run("SUM(a)", []) is None
+        assert run("SUM(a)", [None]) is None
+
+    def test_sum_distinct(self):
+        assert run("SUM(DISTINCT a)", [2, 2, 3]) == 5
+
+    def test_avg(self):
+        assert run("AVG(a)", [1, 2, None, 3]) == 2.0
+
+    def test_avg_empty_is_null(self):
+        assert run("AVG(a)", [None]) is None
+
+    def test_avg_distinct(self):
+        assert run("AVG(DISTINCT a)", [2, 2, 4]) == 3.0
+
+    def test_min_max(self):
+        assert run("MIN(a)", [3, 1, None, 2]) == 1
+        assert run("MAX(a)", [3, 1, None, 2]) == 3
+        assert run("MIN(a)", []) is None
+        assert run("MAX(a)", [None]) is None
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(PlanningError):
+            make_spec(ast.FuncCall("MEDIAN", (ast.ColumnRef(None, "a"),)), None)
+
+    def test_wrong_arity(self):
+        with pytest.raises(PlanningError):
+            make_spec(
+                ast.FuncCall(
+                    "SUM", (ast.ColumnRef(None, "a"), ast.ColumnRef(None, "b"))
+                ),
+                None,
+            )
+
+
+class TestAlgebraic:
+    def test_classification(self):
+        assert is_algebraic(call("COUNT(*)"))
+        assert is_algebraic(call("SUM(a)"))
+        assert is_algebraic(call("AVG(a)"))
+        assert is_algebraic(call("MIN(a)"))
+        assert is_algebraic(call("MAX(a)"))
+        assert not is_algebraic(call("COUNT(DISTINCT a)"))
+        assert not is_algebraic(call("SUM(DISTINCT a)"))
+
+    def test_non_algebraic_has_no_form(self):
+        with pytest.raises(PlanningError):
+            algebraic_form(call("COUNT(DISTINCT a)"))
+
+    @pytest.mark.parametrize(
+        "sql",
+        ["COUNT(*)", "COUNT(a)", "SUM(a)", "MIN(a)", "MAX(a)", "AVG(a)"],
+    )
+    def test_partition_invariance_on_example(self, sql):
+        """f(S) == f_outer(f_inner applied per partition)."""
+        form = algebraic_form(call(sql))
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        whole = form.finalize(form.partial(values))
+        split = form.finalize(
+            form.combine([form.partial(values[:3]), form.partial(values[3:])])
+        )
+        assert whole == split
+
+    @given(
+        st.lists(st.integers(min_value=-20, max_value=20), min_size=1, max_size=20),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_partition_invariance_property(self, values, cut):
+        """Property: any 2-way split combines to the whole, per aggregate."""
+        cut = min(cut, len(values))
+        left, right = values[:cut], values[cut:]
+        for sql in ("COUNT(*)", "COUNT(a)", "SUM(a)", "MIN(a)", "MAX(a)", "AVG(a)"):
+            form = algebraic_form(call(sql))
+            whole = form.finalize(form.partial(values))
+            split = form.finalize(
+                form.combine([form.partial(left), form.partial(right)])
+            )
+            assert whole == split, sql
+
+    def test_combine_with_nulls(self):
+        form = algebraic_form(call("SUM(a)"))
+        assert form.combine([None, 5, None]) == 5
+        assert form.combine([None, None]) is None
+        min_form = algebraic_form(call("MIN(a)"))
+        assert min_form.combine([None, 3]) == 3

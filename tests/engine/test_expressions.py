@@ -1,0 +1,197 @@
+"""Tests for expression compilation and SQL evaluation semantics."""
+
+import pytest
+
+from repro.errors import ExecutionError, PlanningError
+from repro.sql import ast
+from repro.sql.parser import parse_expression
+from repro.engine.expressions import ExpressionCompiler
+from repro.engine.layout import Layout
+
+
+LAYOUT = Layout([("t", "a"), ("t", "b"), ("t", "s")])
+
+
+def evaluate(sql: str, row=(1, 2, "x"), params=None):
+    compiler = ExpressionCompiler(LAYOUT)
+    return compiler.compile(parse_expression(sql))(row, params or {})
+
+
+class TestBasics:
+    def test_literal(self):
+        assert evaluate("42") == 42
+
+    def test_column_by_position(self):
+        assert evaluate("t.b") == 2
+        assert evaluate("b") == 2
+
+    def test_parameter(self):
+        assert evaluate(":p + 1", params={"p": 10}) == 11
+
+    def test_arithmetic(self):
+        assert evaluate("a + b * 2") == 5
+        assert evaluate("b - a") == 1
+        assert evaluate("-a") == -1
+
+    def test_integer_division_stays_int(self):
+        assert evaluate("4 / 2") == 2
+        assert isinstance(evaluate("4 / 2"), int)
+
+    def test_fractional_division(self):
+        assert evaluate("5 / 2") == 2.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExecutionError):
+            evaluate("a / 0")
+
+    def test_modulo(self):
+        assert evaluate("7 % 3") == 1
+        with pytest.raises(ExecutionError):
+            evaluate("7 % 0")
+
+    def test_concat(self):
+        assert evaluate("s || 'y'") == "xy"
+
+
+class TestNullSemantics:
+    def test_arith_propagates_null(self):
+        assert evaluate("a + b", row=(None, 2, "x")) is None
+
+    def test_comparison_with_null_is_unknown(self):
+        assert evaluate("a < b", row=(None, 2, "x")) is None
+        assert evaluate("a = a", row=(None, 2, "x")) is None
+
+    def test_and_or_kleene(self):
+        assert evaluate("a < b AND s = 'x'", row=(None, 2, "x")) is None
+        assert evaluate("a < b OR s = 'x'", row=(None, 2, "x")) is True
+        assert evaluate("a < b AND 1 = 2", row=(None, 2, "x")) is False
+
+    def test_is_null(self):
+        assert evaluate("a IS NULL", row=(None, 2, "x")) is True
+        assert evaluate("a IS NOT NULL", row=(None, 2, "x")) is False
+
+    def test_between_null(self):
+        assert evaluate("a BETWEEN 0 AND 5", row=(None, 2, "x")) is None
+
+    def test_in_list_null_needle(self):
+        assert evaluate("a IN (1, 2)", row=(None, 2, "x")) is None
+
+    def test_in_list_null_member(self):
+        # 3 IN (1, NULL): unknown, not false.
+        assert evaluate("a IN (1, NULL)", row=(3, 2, "x")) is None
+        assert evaluate("a IN (3, NULL)", row=(3, 2, "x")) is True
+
+    def test_not_in_with_null_member(self):
+        assert evaluate("a NOT IN (1, NULL)", row=(3, 2, "x")) is None
+
+
+class TestComparisons:
+    def test_all_operators(self):
+        assert evaluate("a < b") is True
+        assert evaluate("a <= b") is True
+        assert evaluate("a > b") is False
+        assert evaluate("a >= b") is False
+        assert evaluate("a = b") is False
+        assert evaluate("a <> b") is True
+
+    def test_between(self):
+        assert evaluate("b BETWEEN 1 AND 3") is True
+        assert evaluate("b NOT BETWEEN 1 AND 3") is False
+
+
+class TestFunctions:
+    def test_abs(self):
+        assert evaluate("ABS(a - b)") == 1
+
+    def test_round(self):
+        assert evaluate("ROUND(2.567, 2)") == 2.57
+
+    def test_coalesce(self):
+        assert evaluate("COALESCE(NULL, NULL, b)") == 2
+
+    def test_least_greatest(self):
+        assert evaluate("LEAST(a, b)") == 1
+        assert evaluate("GREATEST(a, b)") == 2
+
+    def test_least_null_propagates(self):
+        assert evaluate("LEAST(a, NULL)") is None
+
+    def test_unknown_function(self):
+        with pytest.raises(PlanningError):
+            evaluate("FROBNICATE(a)")
+
+    def test_aggregate_rejected_in_scalar_context(self):
+        with pytest.raises(PlanningError):
+            evaluate("COUNT(*)")
+
+
+class TestCase:
+    def test_first_matching_branch(self):
+        assert (
+            evaluate("CASE WHEN a > b THEN 'hi' WHEN a < b THEN 'lo' END")
+            == "lo"
+        )
+
+    def test_default(self):
+        assert evaluate("CASE WHEN a > b THEN 1 ELSE 0 END") == 0
+
+    def test_no_match_no_default_is_null(self):
+        assert evaluate("CASE WHEN a > b THEN 1 END") is None
+
+    def test_unknown_condition_skipped(self):
+        assert (
+            evaluate("CASE WHEN a > b THEN 1 ELSE 2 END", row=(None, 2, "x"))
+            == 2
+        )
+
+
+class TestSubqueries:
+    def test_in_subquery(self):
+        select = ast.Select(
+            items=(ast.SelectItem(ast.ColumnRef(None, "v")),),
+            from_items=(ast.NamedTable("dual"),),
+        )
+        calls = []
+
+        def executor(subquery):
+            calls.append(subquery)
+            return [(1,), (2,)]
+
+        compiler = ExpressionCompiler(LAYOUT, executor)
+        expr = ast.InSubquery(ast.ColumnRef("t", "a"), select)
+        fn = compiler.compile(expr)
+        assert fn((1, 2, "x"), {}) is True
+        assert fn((5, 2, "x"), {}) is False
+        assert len(calls) == 1  # memoized across evaluations
+
+    def test_exists_subquery(self):
+        compiler = ExpressionCompiler(LAYOUT, lambda sq: [])
+        select = ast.Select(
+            items=(ast.SelectItem(ast.Literal(1)),),
+            from_items=(ast.NamedTable("dual"),),
+        )
+        assert compiler.compile(ast.ExistsSubquery(select))((1, 2, "x"), {}) is False
+        assert (
+            compiler.compile(ast.ExistsSubquery(select, negated=True))(
+                (1, 2, "x"), {}
+            )
+            is True
+        )
+
+    def test_subquery_without_executor_rejected(self):
+        compiler = ExpressionCompiler(LAYOUT, None)
+        select = ast.Select(items=(ast.SelectItem(ast.Literal(1)),))
+        fn = compiler.compile(ast.ExistsSubquery(select))
+        with pytest.raises(PlanningError):
+            fn((1, 2, "x"), {})
+
+    def test_tuple_in_subquery(self):
+        compiler = ExpressionCompiler(LAYOUT, lambda sq: [(1, 2), (5, 6)])
+        select = ast.Select(items=(ast.SelectItem(ast.Literal(1)),))
+        expr = ast.InSubquery(
+            ast.TupleExpr((ast.ColumnRef("t", "a"), ast.ColumnRef("t", "b"))),
+            select,
+        )
+        fn = compiler.compile(expr)
+        assert fn((1, 2, "x"), {}) is True
+        assert fn((1, 3, "x"), {}) is False

@@ -1,0 +1,187 @@
+"""Unit tests for individual physical operators."""
+
+import pytest
+
+from repro.engine import operators as ops
+from repro.engine.layout import Layout
+from repro.storage import SqlType, Table, TableSchema
+
+
+def make_table(rows):
+    table = Table("t", TableSchema.of(("a", SqlType.INTEGER), ("b", SqlType.INTEGER)))
+    table.insert_many(rows)
+    return table
+
+
+def run(op):
+    ctx = ops.ExecutionContext()
+    return list(op.execute(ctx)), ctx.stats
+
+
+class TestScans:
+    def test_table_scan(self):
+        table = make_table([(1, 10), (2, 20)])
+        rows, stats = run(ops.TableScan(table, "t"))
+        assert rows == [(1, 10), (2, 20)]
+        assert stats.rows_scanned == 2
+
+    def test_table_scan_with_filter(self):
+        table = make_table([(1, 10), (2, 20)])
+        rows, _ = run(ops.TableScan(table, "t", lambda row, p: row[0] > 1))
+        assert rows == [(2, 20)]
+
+    def test_rows_source(self):
+        source = ops.RowsSource([(1,), (2,)], ["x"], "s")
+        rows, stats = run(source)
+        assert rows == [(1,), (2,)]
+        assert stats.rows_scanned == 2
+
+    def test_index_point_scan(self):
+        table = make_table([(1, 10), (2, 20), (2, 21)])
+        index = table.create_index("ix", ["a"], kind="hash")
+        scan = ops.IndexPointScan(table, "t", index, lambda row, p: (p["key"],))
+        ctx = ops.ExecutionContext(params={"key": 2})
+        assert sorted(scan.execute(ctx)) == [(2, 20), (2, 21)]
+        assert ctx.stats.index_probes == 1
+
+    def test_index_range_scan(self):
+        table = make_table([(1, 10), (2, 20), (3, 30)])
+        index = table.create_index("ix", ["a"], kind="sorted")
+        scan = ops.IndexRangeScan(
+            table, "t", index,
+            low=lambda row, p: 2, high=None, low_strict=False, high_strict=False,
+        )
+        rows, _ = run(scan)
+        assert rows == [(2, 20), (3, 30)]
+
+    def test_index_range_scan_null_bound_yields_nothing(self):
+        table = make_table([(1, 10)])
+        index = table.create_index("ix", ["a"], kind="sorted")
+        scan = ops.IndexRangeScan(
+            table, "t", index,
+            low=lambda row, p: None, high=None, low_strict=False, high_strict=False,
+        )
+        rows, _ = run(scan)
+        assert rows == []
+
+
+class TestJoins:
+    def test_nested_loop_counts_pairs(self):
+        left = ops.RowsSource([(1,), (2,)], ["x"], "l")
+        right = ops.RowsSource([(1,), (2,), (3,)], ["y"], "r")
+        join = ops.NestedLoopJoin(left, right, lambda row, p: row[0] == row[1])
+        rows, stats = run(join)
+        assert rows == [(1, 1), (2, 2)]
+        assert stats.join_pairs == 6
+
+    def test_hash_join_null_keys_never_match(self):
+        left = ops.RowsSource([(1,), (None,)], ["x"], "l")
+        right = ops.RowsSource([(1,), (None,)], ["y"], "r")
+        join = ops.HashJoin(
+            left, right,
+            outer_key=lambda row, p: row[0],
+            inner_key=lambda row, p: row[0],
+        )
+        rows, _ = run(join)
+        assert rows == [(1, 1)]
+
+    def test_hash_join_residual(self):
+        left = ops.RowsSource([(1, 5), (1, 50)], ["x", "v"], "l")
+        right = ops.RowsSource([(1, 10)], ["y", "w"], "r")
+        join = ops.HashJoin(
+            left, right,
+            outer_key=lambda row, p: row[0],
+            inner_key=lambda row, p: row[0],
+            residual=lambda row, p: row[1] < row[3],
+        )
+        rows, _ = run(join)
+        assert rows == [(1, 5, 1, 10)]
+
+
+class TestPipeline:
+    def test_filter(self):
+        source = ops.RowsSource([(1,), (2,), (3,)], ["x"], "s")
+        rows, _ = run(ops.Filter(source, lambda row, p: row[0] != 2))
+        assert rows == [(1,), (3,)]
+
+    def test_filter_unknown_rejects(self):
+        source = ops.RowsSource([(None,), (1,)], ["x"], "s")
+        rows, _ = run(ops.Filter(source, lambda row, p: None if row[0] is None else True))
+        assert rows == [(1,)]
+
+    def test_project(self):
+        source = ops.RowsSource([(1, 2)], ["x", "y"], "s")
+        project = ops.Project(
+            source, [lambda row, p: row[1] * 10], Layout([(None, "out")])
+        )
+        rows, _ = run(project)
+        assert rows == [(20,)]
+
+    def test_distinct_preserves_order(self):
+        source = ops.RowsSource([(2,), (1,), (2,), (1,)], ["x"], "s")
+        rows, _ = run(ops.Distinct(source))
+        assert rows == [(2,), (1,)]
+
+    def test_sort_multi_key(self):
+        source = ops.RowsSource([(1, "b"), (2, "a"), (1, "a")], ["n", "s"], "s")
+        sort = ops.Sort(
+            source,
+            [lambda row, p: row[0], lambda row, p: row[1]],
+            [True, False],
+        )
+        rows, _ = run(sort)
+        assert rows == [(1, "b"), (1, "a"), (2, "a")]
+
+    def test_limit(self):
+        source = ops.RowsSource([(i,) for i in range(10)], ["x"], "s")
+        rows, _ = run(ops.Limit(source, 3))
+        assert rows == [(0,), (1,), (2,)]
+
+    def test_limit_zero(self):
+        source = ops.RowsSource([(1,)], ["x"], "s")
+        rows, _ = run(ops.Limit(source, 0))
+        assert rows == []
+
+    def test_count_output(self):
+        source = ops.RowsSource([(1,), (2,)], ["x"], "s")
+        _, stats = run(ops.CountOutput(source))
+        assert stats.rows_output == 2
+
+    def test_describe_produces_tree(self):
+        source = ops.RowsSource([(1,)], ["x"], "s")
+        plan = ops.Limit(ops.Distinct(source), 1)
+        text = plan.explain()
+        assert "Limit" in text and "Distinct" in text
+
+
+class TestHashAggregate:
+    def test_group_and_aggregate(self):
+        from repro.engine.aggregates import make_spec
+        from repro.sql import ast
+
+        source = ops.RowsSource(
+            [("a", 1), ("a", 2), ("b", 3)], ["g", "v"], "s"
+        )
+        spec = make_spec(
+            ast.FuncCall("SUM", (ast.ColumnRef(None, "v"),)),
+            lambda row, p: row[1],
+        )
+        agg = ops.HashAggregate(
+            source,
+            [lambda row, p: row[0]],
+            [spec],
+            Layout([(None, "g"), (None, "s")]),
+        )
+        rows, stats = run(agg)
+        assert sorted(rows) == [("a", 3), ("b", 3)]
+        assert stats.aggregation_inputs == 3
+
+    def test_scalar_aggregate_on_empty(self):
+        from repro.engine.aggregates import make_spec
+        from repro.sql import ast
+
+        source = ops.RowsSource([], ["v"], "s")
+        spec = make_spec(ast.FuncCall("COUNT", (ast.Star(),)), None)
+        agg = ops.HashAggregate(source, [], [spec], Layout([(None, "c")]))
+        rows, _ = run(agg)
+        assert rows == [(0,)]

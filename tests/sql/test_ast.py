@@ -1,0 +1,131 @@
+"""Tests for AST helpers: traversal, transformation, conjunct handling."""
+
+from repro.sql import ast
+from repro.sql.parser import parse, parse_expression
+
+
+class TestWalk:
+    def test_walk_visits_all_columns(self):
+        expr = parse_expression("a + b * c")
+        refs = [n for n in ast.walk(expr) if isinstance(n, ast.ColumnRef)]
+        assert {r.column for r in refs} == {"a", "b", "c"}
+
+    def test_walk_skips_subqueries_when_asked(self):
+        expr = parse_expression("a IN (SELECT b FROM t)")
+        names = {
+            n.column
+            for n in ast.walk(expr, into_subqueries=False)
+            if isinstance(n, ast.ColumnRef)
+        }
+        assert names == {"a"}
+
+    def test_walk_into_subqueries(self):
+        expr = parse_expression("a IN (SELECT b FROM t)")
+        names = {
+            n.column
+            for n in ast.walk(expr, into_subqueries=True)
+            if isinstance(n, ast.ColumnRef)
+        }
+        assert names == {"a", "b"}
+
+    def test_walk_query(self):
+        query = parse("SELECT a FROM t WHERE b = 1 GROUP BY c HAVING COUNT(*) > 0")
+        names = {
+            n.column for n in ast.walk(query) if isinstance(n, ast.ColumnRef)
+        }
+        assert names == {"a", "b", "c"}
+
+
+class TestColumnRefs:
+    def test_column_refs(self):
+        expr = parse_expression("t.a < u.b")
+        refs = ast.column_refs(expr)
+        assert {r.qualified() for r in refs} == {"t.a", "u.b"}
+
+    def test_aggregate_calls(self):
+        expr = parse_expression("COUNT(*) >= 2 AND SUM(a) < 5")
+        calls = ast.aggregate_calls(expr)
+        assert {c.name for c in calls} == {"COUNT", "SUM"}
+
+    def test_aggregate_calls_not_in_subquery(self):
+        expr = parse_expression("a IN (SELECT COUNT(*) FROM t)")
+        assert ast.aggregate_calls(expr) == ()
+
+
+class TestTransform:
+    def test_identity_returns_same_object(self):
+        expr = parse_expression("a + b")
+        assert ast.transform(expr, lambda n: n) is expr
+
+    def test_replace_literal(self):
+        expr = parse_expression("a + 1")
+
+        def bump(node):
+            if isinstance(node, ast.Literal) and node.value == 1:
+                return ast.Literal(2)
+            return node
+
+        assert ast.transform(expr, bump) == parse_expression("a + 2")
+
+    def test_replace_column(self):
+        expr = parse_expression("x < y")
+
+        def qualify(node):
+            if isinstance(node, ast.ColumnRef) and node.table is None:
+                return ast.ColumnRef("t", node.column)
+            return node
+
+        assert ast.transform(expr, qualify) == parse_expression("t.x < t.y")
+
+    def test_transform_rebuilds_tuples(self):
+        query = parse("SELECT a, b FROM t")
+
+        def rename(node):
+            if isinstance(node, ast.ColumnRef):
+                return ast.ColumnRef(node.table, node.column.upper().lower())
+            return node
+
+        assert ast.transform(query, rename) == query
+
+
+class TestConjuncts:
+    def test_split_flat(self):
+        expr = parse_expression("a = 1 AND b = 2 AND c = 3")
+        assert len(ast.conjuncts(expr)) == 3
+
+    def test_or_not_split(self):
+        expr = parse_expression("a = 1 OR b = 2")
+        assert ast.conjuncts(expr) == (expr,)
+
+    def test_none(self):
+        assert ast.conjuncts(None) == ()
+
+    def test_conjoin_empty(self):
+        assert ast.conjoin(()) is None
+
+    def test_conjoin_single(self):
+        expr = parse_expression("a = 1")
+        assert ast.conjoin((expr,)) is expr
+
+    def test_round_trip(self):
+        expr = parse_expression("a = 1 AND (b = 2 OR c = 3) AND d = 4")
+        rebuilt = ast.conjoin(ast.conjuncts(expr))
+        assert ast.conjuncts(rebuilt) == ast.conjuncts(expr)
+
+
+class TestNodeProperties:
+    def test_func_is_aggregate(self):
+        assert ast.FuncCall("COUNT", (ast.Star(),)).is_aggregate
+        assert not ast.FuncCall("ABS", (ast.Literal(1),)).is_aggregate
+
+    def test_column_qualified_name(self):
+        assert ast.ColumnRef("t", "a").qualified() == "t.a"
+        assert ast.ColumnRef(None, "a").qualified() == "a"
+
+    def test_named_table_binding_name(self):
+        assert ast.NamedTable("t").binding_name == "t"
+        assert ast.NamedTable("t", "u").binding_name == "u"
+
+    def test_nodes_hashable(self):
+        seen = {parse_expression("a + 1"), parse_expression("a + 1")}
+        assert len(seen) == 1

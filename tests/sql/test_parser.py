@@ -1,0 +1,282 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse, parse_expression
+
+
+class TestSelectBasics:
+    def test_minimal_select(self):
+        query = parse("SELECT a FROM t")
+        select = query.body
+        assert select.items == (ast.SelectItem(ast.ColumnRef(None, "a")),)
+        assert select.from_items == (ast.NamedTable("t"),)
+
+    def test_star(self):
+        query = parse("SELECT * FROM t")
+        assert isinstance(query.body.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        query = parse("SELECT t.* FROM t")
+        assert query.body.items[0].expr == ast.Star("t")
+
+    def test_aliases(self):
+        query = parse("SELECT a AS x, b y FROM t u")
+        assert query.body.items[0].alias == "x"
+        assert query.body.items[1].alias == "y"
+        assert query.body.from_items[0] == ast.NamedTable("t", "u")
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").body.distinct
+
+    def test_where(self):
+        query = parse("SELECT a FROM t WHERE a > 3")
+        assert query.body.where == ast.BinaryOp(
+            ">", ast.ColumnRef(None, "a"), ast.Literal(3)
+        )
+
+    def test_group_by_having(self):
+        query = parse(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) >= 2"
+        )
+        assert query.body.group_by == (ast.ColumnRef(None, "a"),)
+        having = query.body.having
+        assert isinstance(having, ast.BinaryOp) and having.op == ">="
+
+    def test_order_limit(self):
+        query = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 7")
+        assert query.body.order_by[0].ascending is False
+        assert query.body.order_by[1].ascending is True
+        assert query.body.limit == 7
+
+    def test_trailing_semicolon(self):
+        parse("SELECT a FROM t;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t extra stuff ,")
+
+
+class TestJoins:
+    def test_comma_join(self):
+        query = parse("SELECT 1 FROM a, b, c")
+        assert len(query.body.from_items) == 3
+
+    def test_inner_join_on(self):
+        query = parse("SELECT 1 FROM a JOIN b ON a.x = b.x")
+        joined = query.body.from_items[0]
+        assert isinstance(joined, ast.JoinedTable)
+        assert joined.condition is not None
+
+    def test_inner_keyword(self):
+        parse("SELECT 1 FROM a INNER JOIN b ON a.x = b.x")
+
+    def test_cross_join(self):
+        joined = parse("SELECT 1 FROM a CROSS JOIN b").body.from_items[0]
+        assert isinstance(joined, ast.JoinedTable)
+        assert joined.condition is None
+
+    def test_natural_join(self):
+        joined = parse("SELECT 1 FROM a NATURAL JOIN b").body.from_items[0]
+        assert joined.natural
+
+    def test_join_missing_on_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT 1 FROM a JOIN b")
+
+    def test_derived_table(self):
+        query = parse("SELECT x FROM (SELECT a AS x FROM t) sub")
+        derived = query.body.from_items[0]
+        assert isinstance(derived, ast.DerivedTable)
+        assert derived.alias == "sub"
+
+    def test_derived_table_requires_alias(self):
+        with pytest.raises(ParseError):
+            parse("SELECT x FROM (SELECT a FROM t)")
+
+
+class TestWith:
+    def test_single_cte(self):
+        query = parse("WITH v AS (SELECT a FROM t) SELECT a FROM v")
+        assert len(query.ctes) == 1
+        assert query.ctes[0].name == "v"
+
+    def test_multiple_ctes(self):
+        query = parse(
+            "WITH v AS (SELECT a FROM t), w AS (SELECT a FROM v) "
+            "SELECT a FROM w"
+        )
+        assert [c.name for c in query.ctes] == ["v", "w"]
+
+    def test_cte_column_list(self):
+        query = parse("WITH v(x, y) AS (SELECT a, b FROM t) SELECT x FROM v")
+        assert query.ctes[0].columns == ("x", "y")
+
+
+class TestExpressions:
+    def test_precedence_or_and(self):
+        expr = parse_expression("a OR b AND c")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "OR"
+
+    def test_precedence_arith(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == ast.BinaryOp(
+            "+",
+            ast.Literal(1),
+            ast.BinaryOp("*", ast.Literal(2), ast.Literal(3)),
+        )
+
+    def test_parens_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = b")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "NOT"
+
+    def test_unary_minus_folds_literal(self):
+        assert parse_expression("-5") == ast.Literal(-5)
+
+    def test_unary_minus_on_column(self):
+        expr = parse_expression("-a")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_neq_normalized(self):
+        assert parse_expression("a != b") == parse_expression("a <> b")
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.Between) and not expr.negated
+
+    def test_not_between(self):
+        assert parse_expression("a NOT BETWEEN 1 AND 5").negated
+
+    def test_is_null(self):
+        assert parse_expression("a IS NULL") == ast.IsNull(
+            ast.ColumnRef(None, "a")
+        )
+
+    def test_is_not_null(self):
+        assert parse_expression("a IS NOT NULL").negated
+
+    def test_in_list(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList) and len(expr.items) == 3
+
+    def test_not_in_list(self):
+        assert parse_expression("a NOT IN (1)").negated
+
+    def test_in_subquery(self):
+        expr = parse_expression("a IN (SELECT b FROM t)")
+        assert isinstance(expr, ast.InSubquery)
+
+    def test_tuple_in_subquery(self):
+        expr = parse_expression("(a, b) IN (SELECT x, y FROM t)")
+        assert isinstance(expr.needle, ast.TupleExpr)
+
+    def test_exists(self):
+        expr = parse_expression("EXISTS (SELECT 1 FROM t)")
+        assert isinstance(expr, ast.ExistsSubquery)
+
+    def test_literals(self):
+        assert parse_expression("NULL") == ast.Literal(None)
+        assert parse_expression("TRUE") == ast.Literal(True)
+        assert parse_expression("FALSE") == ast.Literal(False)
+        assert parse_expression("'txt'") == ast.Literal("txt")
+        assert parse_expression("2.5") == ast.Literal(2.5)
+
+    def test_parameter(self):
+        assert parse_expression(":b_x") == ast.Parameter("b_x")
+
+    def test_case(self):
+        expr = parse_expression("CASE WHEN a > 1 THEN 'hi' ELSE 'lo' END")
+        assert isinstance(expr, ast.CaseExpr)
+        assert expr.default == ast.Literal("lo")
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_qualified_column(self):
+        assert parse_expression("t.a") == ast.ColumnRef("t", "a")
+
+
+class TestAggregates:
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert expr == ast.FuncCall("COUNT", (ast.Star(),))
+
+    def test_count_distinct(self):
+        expr = parse_expression("COUNT(DISTINCT a)")
+        assert expr.distinct
+
+    def test_avg(self):
+        expr = parse_expression("AVG(t.a)")
+        assert expr.name == "AVG" and expr.is_aggregate
+
+    def test_scalar_function(self):
+        expr = parse_expression("abs(a)")
+        assert expr.name == "ABS" and not expr.is_aggregate
+
+
+class TestPaperListings:
+    """All of the paper's SQL listings must parse."""
+
+    def test_listing_1_market_basket(self):
+        parse(
+            "SELECT i1.item, i2.item FROM Basket i1, Basket i2 "
+            "WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item "
+            "HAVING COUNT(*) >= 20"
+        )
+
+    def test_listing_2_skyband(self):
+        parse(
+            "SELECT L.id, COUNT(*) FROM Object L, Object R "
+            "WHERE L.x<=R.x AND L.y<=R.y AND (L.x<R.x OR L.y<R.y) "
+            "GROUP BY L.id HAVING COUNT(*) <= 50"
+        )
+
+    def test_listing_3_complex(self):
+        parse(
+            "SELECT S1.id, S1.attr, S2.attr, COUNT(*) "
+            "FROM Product S1, Product S2, Product T1, Product T2 "
+            "WHERE S1.id = S2.id AND T1.id = T2.id "
+            "AND S1.category = T1.category "
+            "AND T1.attr = S1.attr AND T2.attr = S2.attr "
+            "AND T1.val > S1.val AND T2.val > S2.val "
+            "GROUP BY S1.id, S1.attr, S2.attr HAVING COUNT(*) >= 10"
+        )
+
+    def test_listing_4_pairs(self):
+        query = parse(
+            "WITH pair AS (SELECT s1.pid AS pid1, s2.pid AS pid2, "
+            "AVG(s1.hits) as hits1, AVG(s1.hruns) AS hruns1, "
+            "AVG(s2.hits) as hits2, AVG(s2.hruns) AS hruns2 "
+            "FROM Score s1, Score s2 "
+            "WHERE s1.teamid = s2.teamid AND s1.year = s2.year "
+            "AND s1.round = s2.round AND s1.pid < s2.pid "
+            "GROUP BY s1.pid, s2.pid HAVING COUNT(*) >= 3) "
+            "SELECT L.pid1, L.pid2, COUNT(*) FROM pair L, pair R "
+            "WHERE R.hits1 >= L.hits1 AND R.hruns1 >= L.hruns1 "
+            "AND R.hits2 >= L.hits2 AND R.hruns2 >= L.hruns2 "
+            "AND (R.hits1 > L.hits1 OR R.hruns1 > L.hruns1 "
+            "OR R.hits2 > L.hits2 OR R.hruns2 > L.hruns2) "
+            "GROUP BY L.pid1, L.pid2 HAVING COUNT(*) <= 20"
+        )
+        assert len(query.ctes) == 1
+
+    def test_example_7_discount(self):
+        parse(
+            "SELECT item, rate FROM Basket L, Discount R "
+            "WHERE L.did = R.did GROUP BY item, rate "
+            "HAVING COUNT(DISTINCT bid) >= 25"
+        )
+
+    def test_reducer_shape(self):
+        parse(
+            "SELECT * FROM Product WHERE (id, attr) IN "
+            "(SELECT id, attr FROM Product GROUP BY id, attr "
+            "HAVING COUNT(*) >= 10)"
+        )

@@ -1,0 +1,89 @@
+"""Round-trip tests: parse -> render -> parse yields the same AST."""
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.parser import parse, parse_expression
+from repro.sql.render import render
+
+ROUND_TRIP_QUERIES = [
+    "SELECT a FROM t",
+    "SELECT DISTINCT a, b AS x FROM t u WHERE a > 3",
+    "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) >= 2",
+    "SELECT a FROM t ORDER BY a DESC, b LIMIT 5",
+    "SELECT 1 FROM a JOIN b ON a.x = b.x",
+    "SELECT 1 FROM a CROSS JOIN b",
+    "SELECT 1 FROM a NATURAL JOIN b",
+    "SELECT x FROM (SELECT a AS x FROM t) sub",
+    "WITH v AS (SELECT a FROM t) SELECT a FROM v",
+    "WITH v(c1, c2) AS (SELECT a, b FROM t) SELECT c1 FROM v",
+    "SELECT * FROM t WHERE (a, b) IN (SELECT x, y FROM u)",
+    "SELECT a FROM t WHERE a IN (1, 2, 3) AND b NOT IN (4)",
+    "SELECT a FROM t WHERE a BETWEEN 1 AND 2 OR b IS NOT NULL",
+    "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)",
+    "SELECT CASE WHEN a > 0 THEN 'p' ELSE 'n' END FROM t",
+    "SELECT COUNT(DISTINCT a), SUM(b * 2), AVG(c) FROM t",
+    "SELECT a FROM t WHERE NOT (a = 1 OR a = 2)",
+    "SELECT t.* FROM t",
+    "SELECT a FROM t WHERE s = 'it''s'",
+    "SELECT -a, a - -1 FROM t",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_QUERIES)
+def test_query_round_trip(sql):
+    first = parse(sql)
+    text = render(first)
+    second = parse(text)
+    assert first == second, f"round trip changed AST for: {text}"
+
+
+ROUND_TRIP_EXPRS = [
+    "a + b * c",
+    "(a + b) * c",
+    "a <= b AND (c < d OR e >= f)",
+    "x % 2 = 0",
+    "a || b",
+    ":param + 1",
+    "NULL",
+    "TRUE AND FALSE",
+    "LEAST(a, b, c)",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_EXPRS)
+def test_expression_round_trip(sql):
+    first = parse_expression(sql)
+    assert parse_expression(render(first)) == first
+
+
+class TestLiteralRendering:
+    def test_string_escaping(self):
+        assert render(ast.Literal("it's")) == "'it''s'"
+
+    def test_null_true_false(self):
+        assert render(ast.Literal(None)) == "NULL"
+        assert render(ast.Literal(True)) == "TRUE"
+        assert render(ast.Literal(False)) == "FALSE"
+
+    def test_numbers(self):
+        assert render(ast.Literal(5)) == "5"
+        assert render(ast.Literal(2.5)) == "2.5"
+
+
+class TestStructuredRendering:
+    def test_parenthesizes_nested_binops(self):
+        expr = ast.BinaryOp(
+            "*",
+            ast.BinaryOp("+", ast.Literal(1), ast.Literal(2)),
+            ast.Literal(3),
+        )
+        assert render(expr) == "(1 + 2) * 3"
+
+    def test_render_select_item_alias(self):
+        query = parse("SELECT a AS x FROM t")
+        assert "AS x" in render(query)
+
+    def test_render_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            render(object())

@@ -1,0 +1,101 @@
+"""Tests for the database catalog and constraint metadata."""
+
+import pytest
+
+from repro.errors import CatalogError, SchemaError
+from repro.storage.catalog import Database
+from repro.storage.schema import TableSchema
+from repro.storage.types import SqlType
+
+
+SCHEMA = TableSchema.of(
+    ("id", SqlType.INTEGER), ("category", SqlType.TEXT), ("val", SqlType.FLOAT)
+)
+
+
+class TestTables:
+    def test_create_and_get(self):
+        db = Database()
+        table = db.create_table("t", SCHEMA)
+        assert db.table("T") is table
+        assert db.has_table("t")
+        assert db.table_names == ["t"]
+
+    def test_create_from_columns(self):
+        db = Database()
+        db.create_table("t", list(SCHEMA.columns))
+        assert db.table("t").schema == SCHEMA
+
+    def test_duplicate_rejected(self):
+        db = Database()
+        db.create_table("t", SCHEMA)
+        with pytest.raises(CatalogError):
+            db.create_table("T", SCHEMA)
+
+    def test_missing_table(self):
+        with pytest.raises(CatalogError):
+            Database().table("ghost")
+
+    def test_drop(self):
+        db = Database()
+        db.create_table("t", SCHEMA, primary_key=("id",))
+        db.drop_table("t")
+        assert not db.has_table("t")
+        with pytest.raises(CatalogError):
+            db.drop_table("t")
+
+
+class TestKeysAndFds:
+    def test_primary_key_creates_fd_and_index(self):
+        db = Database()
+        table = db.create_table("t", SCHEMA, primary_key=("id",))
+        assert db.primary_key("t") == ("id",)
+        assert db.is_superkey("t", ["id"])
+        assert table.find_hash_index(["id"]) is not None
+
+    def test_declared_fd_participates_in_closure(self):
+        db = Database()
+        db.create_table("t", SCHEMA)
+        db.declare_fd("t", ["id"], ["category"])
+        assert db.fds("t").determines(["id"], ["category"])
+        assert not db.is_superkey("t", ["id"])  # val not determined
+
+    def test_fd_on_unknown_column_rejected(self):
+        db = Database()
+        db.create_table("t", SCHEMA)
+        with pytest.raises(SchemaError):
+            db.declare_fd("t", ["missing"], ["val"])
+
+    def test_key_on_unknown_column_rejected(self):
+        db = Database()
+        db.create_table("t", SCHEMA)
+        with pytest.raises(SchemaError):
+            db.declare_key("t", ["missing"])
+
+    def test_composite_superkey(self):
+        db = Database()
+        db.create_table("t", SCHEMA, primary_key=("id", "category"))
+        assert db.is_superkey("t", ["id", "category", "val"])
+        assert not db.is_superkey("t", ["category"])
+
+
+class TestDomains:
+    def test_declare_and_query_domain(self):
+        db = Database()
+        db.create_table("t", SCHEMA)
+        db.declare_domain("t", "val", lower=0)
+        assert db.domain("t", "val") == (0, None)
+        assert db.is_nonnegative("t", "val")
+        assert not db.is_nonnegative("t", "id")
+
+    def test_negative_lower_bound_is_not_nonnegative(self):
+        db = Database()
+        db.create_table("t", SCHEMA)
+        db.declare_domain("t", "val", lower=-1)
+        assert not db.is_nonnegative("t", "val")
+
+    def test_domain_on_unknown_column_rejected(self):
+        db = Database()
+        db.create_table("t", SCHEMA)
+        with pytest.raises(SchemaError):
+            db.declare_domain("t", "missing", lower=0)

@@ -1,0 +1,127 @@
+"""Tests for hash and sorted indexes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.index import HashIndex, SortedIndex, build_index
+
+
+ROWS = [
+    (1, 10, "a"),
+    (2, 20, "b"),
+    (3, 20, "c"),
+    (4, 30, "a"),
+    (5, None, "d"),
+]
+
+
+def make_hash() -> HashIndex:
+    index = HashIndex("ix", (1,))
+    for row_id, row in enumerate(ROWS):
+        index.insert(row_id, row)
+    return index
+
+
+def make_sorted() -> SortedIndex:
+    index = SortedIndex("ix", (1,))
+    for row_id, row in enumerate(ROWS):
+        index.insert(row_id, row)
+    return index
+
+
+class TestHashIndex:
+    def test_lookup(self):
+        index = make_hash()
+        assert set(index.lookup((20,))) == {1, 2}
+        assert index.lookup((10,)) == (0,)
+        assert index.lookup((99,)) == ()
+
+    def test_null_keys_not_indexed(self):
+        index = make_hash()
+        assert index.lookup((None,)) == ()
+        assert len(index) == 4  # row 4 (NULL) skipped
+
+    def test_distinct_keys(self):
+        assert make_hash().distinct_keys == 3
+
+    def test_composite_key(self):
+        index = HashIndex("ix", (1, 2))
+        for row_id, row in enumerate(ROWS):
+            index.insert(row_id, row)
+        assert index.lookup((20, "b")) == (1,)
+        assert index.lookup((20, "x")) == ()
+
+    def test_clear(self):
+        index = make_hash()
+        index.clear()
+        assert len(index) == 0
+
+
+class TestSortedIndex:
+    def test_equality_lookup(self):
+        index = make_sorted()
+        assert set(index.lookup((20,))) == {1, 2}
+        assert index.lookup((11,)) == ()
+
+    def test_range_inclusive(self):
+        index = make_sorted()
+        assert set(index.range_scan(low=20, high=30)) == {1, 2, 3}
+
+    def test_range_strict(self):
+        index = make_sorted()
+        assert set(index.range_scan(low=20, low_strict=True)) == {3}
+        assert set(index.range_scan(high=20, high_strict=True)) == {0}
+
+    def test_range_unbounded(self):
+        index = make_sorted()
+        assert set(index.range_scan()) == {0, 1, 2, 3}
+
+    def test_null_keys_not_indexed(self):
+        index = make_sorted()
+        assert 4 not in set(index.range_scan())
+
+    def test_incremental_inserts_stay_sorted(self):
+        index = SortedIndex("ix", (0,))
+        for value in (5, 1, 3, 2, 4):
+            index.insert(value, (value,))
+        assert list(index.range_scan(low=2, high=4)) == [2, 3, 4]
+
+    def test_len_flushes_pending(self):
+        index = make_sorted()
+        assert len(index) == 4
+
+
+class TestBuildIndex:
+    def test_build_hash(self):
+        index = build_index("hash", "ix", (0,), ROWS)
+        assert isinstance(index, HashIndex)
+        assert index.lookup((3,)) == (2,)
+
+    def test_build_sorted(self):
+        index = build_index("sorted", "ix", (0,), ROWS)
+        assert isinstance(index, SortedIndex)
+
+    def test_build_unknown_kind(self):
+        with pytest.raises(ValueError):
+            build_index("btree", "ix", (0,), ROWS)
+
+
+@given(
+    st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=60),
+    st.integers(min_value=-50, max_value=50),
+    st.integers(min_value=-50, max_value=50),
+)
+def test_sorted_range_matches_bruteforce(values, low, high):
+    """Property: range_scan returns exactly the ids of in-range values."""
+    index = SortedIndex("ix", (0,))
+    for row_id, value in enumerate(values):
+        index.insert(row_id, (value,))
+    got = set(index.range_scan(low=low, high=high))
+    expected = {i for i, v in enumerate(values) if low <= v <= high}
+    assert got == expected
+
+    got_strict = set(
+        index.range_scan(low=low, high=high, low_strict=True, high_strict=True)
+    )
+    expected_strict = {i for i, v in enumerate(values) if low < v < high}
+    assert got_strict == expected_strict

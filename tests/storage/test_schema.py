@@ -1,0 +1,95 @@
+"""Tests for table schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import SqlType
+
+
+def make_schema() -> TableSchema:
+    return TableSchema.of(
+        ("id", SqlType.INTEGER), ("name", SqlType.TEXT), ("score", SqlType.FLOAT)
+    )
+
+
+class TestConstruction:
+    def test_column_names_lowercased(self):
+        schema = TableSchema([Column("ID", SqlType.INTEGER)])
+        assert schema.column_names == ("id",)
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema.of(("a", SqlType.INTEGER), ("A", SqlType.TEXT))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema([])
+
+    def test_invalid_column_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("not a name", SqlType.TEXT)
+
+    def test_len_and_iter(self):
+        schema = make_schema()
+        assert len(schema) == 3
+        assert [c.name for c in schema] == ["id", "name", "score"]
+
+    def test_equality_and_hash(self):
+        assert make_schema() == make_schema()
+        assert hash(make_schema()) == hash(make_schema())
+        other = TableSchema.of(("id", SqlType.INTEGER))
+        assert make_schema() != other
+
+
+class TestLookup:
+    def test_index_of_case_insensitive(self):
+        schema = make_schema()
+        assert schema.index_of("NAME") == 1
+
+    def test_index_of_missing(self):
+        with pytest.raises(SchemaError):
+            make_schema().index_of("missing")
+
+    def test_contains(self):
+        schema = make_schema()
+        assert "score" in schema
+        assert "SCORE" in schema
+        assert "other" not in schema
+
+    def test_column_accessor(self):
+        assert make_schema().column("id").type is SqlType.INTEGER
+
+
+class TestRows:
+    def test_validate_row_normalizes(self):
+        schema = make_schema()
+        row = schema.validate_row((1, "x", 2))
+        assert row == (1, "x", 2.0)
+        assert isinstance(row[2], float)
+
+    def test_validate_row_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            make_schema().validate_row((1, "x"))
+
+    def test_validate_row_wrong_type(self):
+        with pytest.raises(SchemaError):
+            make_schema().validate_row(("x", "x", 1.0))
+
+    def test_not_null_enforced(self):
+        schema = TableSchema([Column("id", SqlType.INTEGER, nullable=False)])
+        with pytest.raises(SchemaError):
+            schema.validate_row((None,))
+
+    def test_nullable_allows_none(self):
+        assert make_schema().validate_row((None, None, None)) == (None, None, None)
+
+
+class TestProject:
+    def test_project_reorders(self):
+        projected = make_schema().project(["score", "id"])
+        assert projected.column_names == ("score", "id")
+
+    def test_project_missing_column(self):
+        with pytest.raises(SchemaError):
+            make_schema().project(["nope"])

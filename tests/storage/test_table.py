@@ -1,0 +1,117 @@
+"""Tests for the Table container."""
+
+import pytest
+
+from repro.errors import CatalogError, SchemaError
+from repro.storage.schema import TableSchema
+from repro.storage.table import Table
+from repro.storage.types import SqlType
+
+
+def make_table() -> Table:
+    return Table(
+        "t", TableSchema.of(("id", SqlType.INTEGER), ("name", SqlType.TEXT))
+    )
+
+
+class TestRows:
+    def test_insert_returns_row_id(self):
+        table = make_table()
+        assert table.insert((1, "a")) == 0
+        assert table.insert((2, "b")) == 1
+        assert len(table) == 2
+
+    def test_insert_validates(self):
+        with pytest.raises(SchemaError):
+            make_table().insert(("x", "a"))
+
+    def test_insert_many(self):
+        table = make_table()
+        assert table.insert_many([(1, "a"), (2, "b")]) == 2
+
+    def test_insert_dicts(self):
+        table = make_table()
+        table.insert_dicts([{"name": "a", "id": 1}, {"id": 2}])
+        assert table.rows[0] == (1, "a")
+        assert table.rows[1] == (2, None)
+
+    def test_row_access(self):
+        table = make_table()
+        table.insert((7, "x"))
+        assert table.row(0) == (7, "x")
+
+    def test_column_values(self):
+        table = make_table()
+        table.insert_many([(1, "a"), (2, "b")])
+        assert table.column_values("name") == ["a", "b"]
+
+    def test_iteration(self):
+        table = make_table()
+        table.insert_many([(1, "a"), (2, "b")])
+        assert list(table) == [(1, "a"), (2, "b")]
+
+    def test_to_dicts(self):
+        table = make_table()
+        table.insert((1, "a"))
+        assert table.to_dicts() == [{"id": 1, "name": "a"}]
+
+    def test_truncate(self):
+        table = make_table()
+        table.insert((1, "a"))
+        table.create_index("ix", ["id"])
+        table.truncate()
+        assert len(table) == 0
+        assert table.find_hash_index(["id"]).lookup((1,)) == ()
+
+
+class TestIndexes:
+    def test_index_maintained_on_insert(self):
+        table = make_table()
+        index = table.create_index("ix", ["id"])
+        table.insert((5, "x"))
+        assert index.lookup((5,)) == (0,)
+
+    def test_index_bulk_loaded(self):
+        table = make_table()
+        table.insert_many([(1, "a"), (2, "b")])
+        index = table.create_index("ix", ["id"])
+        assert index.lookup((2,)) == (1,)
+
+    def test_duplicate_index_name_rejected(self):
+        table = make_table()
+        table.create_index("ix", ["id"])
+        with pytest.raises(CatalogError):
+            table.create_index("IX", ["name"])
+
+    def test_drop_index(self):
+        table = make_table()
+        table.create_index("ix", ["id"])
+        table.drop_index("ix")
+        assert table.find_hash_index(["id"]) is None
+
+    def test_drop_missing_index(self):
+        with pytest.raises(CatalogError):
+            make_table().drop_index("nope")
+
+    def test_unknown_kind(self):
+        with pytest.raises(SchemaError):
+            make_table().create_index("ix", ["id"], kind="gist")
+
+    def test_find_hash_index_order_insensitive(self):
+        table = make_table()
+        table.create_index("ix", ["name", "id"], kind="hash")
+        assert table.find_hash_index(["id", "name"]) is not None
+
+    def test_find_sorted_index_by_leading_column(self):
+        table = make_table()
+        table.create_index("ix", ["id", "name"], kind="sorted")
+        assert table.find_sorted_index("id") is not None
+        assert table.find_sorted_index("name") is None
+
+
+class TestFootprint:
+    def test_estimated_bytes_grows_with_rows(self):
+        table = make_table()
+        empty = table.estimated_bytes()
+        table.insert((1, "abcdef"))
+        assert table.estimated_bytes() > empty

@@ -1,0 +1,127 @@
+"""Tests for SQL types and three-valued logic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchemaError
+from repro.storage.types import (
+    SqlType,
+    infer_type,
+    is_true,
+    sql_and,
+    sql_compare,
+    sql_equal,
+    sql_not,
+    sql_or,
+)
+
+
+class TestValidation:
+    def test_integer_accepts_int(self):
+        assert SqlType.INTEGER.validate(5) == 5
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            SqlType.INTEGER.validate(True)
+
+    def test_integer_rejects_float(self):
+        with pytest.raises(SchemaError):
+            SqlType.INTEGER.validate(1.5)
+
+    def test_float_widens_int(self):
+        value = SqlType.FLOAT.validate(3)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_float_rejects_text(self):
+        with pytest.raises(SchemaError):
+            SqlType.FLOAT.validate("3.0")
+
+    def test_text_accepts_str(self):
+        assert SqlType.TEXT.validate("abc") == "abc"
+
+    def test_text_rejects_number(self):
+        with pytest.raises(SchemaError):
+            SqlType.TEXT.validate(3)
+
+    def test_boolean_accepts_bool(self):
+        assert SqlType.BOOLEAN.validate(False) is False
+
+    def test_boolean_rejects_int(self):
+        with pytest.raises(SchemaError):
+            SqlType.BOOLEAN.validate(0)
+
+    @pytest.mark.parametrize("sql_type", list(SqlType))
+    def test_null_accepted_everywhere(self, sql_type):
+        assert sql_type.validate(None) is None
+
+    def test_is_numeric(self):
+        assert SqlType.INTEGER.is_numeric
+        assert SqlType.FLOAT.is_numeric
+        assert not SqlType.TEXT.is_numeric
+        assert not SqlType.BOOLEAN.is_numeric
+
+
+class TestInference:
+    def test_infer_each_type(self):
+        assert infer_type(1) is SqlType.INTEGER
+        assert infer_type(1.0) is SqlType.FLOAT
+        assert infer_type("x") is SqlType.TEXT
+        assert infer_type(True) is SqlType.BOOLEAN
+
+    def test_infer_null_fails(self):
+        with pytest.raises(SchemaError):
+            infer_type(None)
+
+    def test_infer_unsupported_fails(self):
+        with pytest.raises(SchemaError):
+            infer_type([1, 2])
+
+
+class TestThreeValuedLogic:
+    def test_equal_null_is_unknown(self):
+        assert sql_equal(None, 1) is None
+        assert sql_equal(1, None) is None
+        assert sql_equal(None, None) is None
+
+    def test_equal_values(self):
+        assert sql_equal(1, 1) is True
+        assert sql_equal(1, 2) is False
+
+    def test_compare(self):
+        assert sql_compare(1, 2) == -1
+        assert sql_compare(2, 1) == 1
+        assert sql_compare(2, 2) == 0
+        assert sql_compare(None, 1) is None
+
+    def test_and_truth_table(self):
+        assert sql_and(True, True) is True
+        assert sql_and(True, False) is False
+        assert sql_and(False, None) is False
+        assert sql_and(None, True) is None
+        assert sql_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert sql_or(False, False) is False
+        assert sql_or(True, None) is True
+        assert sql_or(None, False) is None
+        assert sql_or(None, None) is None
+
+    def test_not(self):
+        assert sql_not(True) is False
+        assert sql_not(False) is True
+        assert sql_not(None) is None
+
+    def test_is_true_collapses(self):
+        assert is_true(True)
+        assert not is_true(False)
+        assert not is_true(None)
+
+    @given(st.sampled_from([True, False, None]), st.sampled_from([True, False, None]))
+    def test_de_morgan(self, a, b):
+        """Kleene logic satisfies De Morgan's laws."""
+        assert sql_not(sql_and(a, b)) == sql_or(sql_not(a), sql_not(b))
+        assert sql_not(sql_or(a, b)) == sql_and(sql_not(a), sql_not(b))
+
+    @given(st.sampled_from([True, False, None]))
+    def test_double_negation(self, a):
+        assert sql_not(sql_not(a)) == a

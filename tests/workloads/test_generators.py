@@ -1,0 +1,151 @@
+"""Tests for the synthetic data generators."""
+
+import pytest
+
+from repro.storage import Database
+from repro.workloads.baseball import (
+    BaseballConfig,
+    STAT_COLUMNS,
+    generate_seasons,
+    load_batting,
+    load_unpivoted,
+    make_batting_db,
+    unpivot_careers,
+)
+from repro.workloads.basket import (
+    BasketConfig,
+    generate_baskets,
+    load_discount_schema,
+    make_basket_db,
+)
+from repro.workloads.products import ProductConfig, generate_products, make_product_db
+
+
+class TestBaseball:
+    def test_deterministic(self):
+        config = BaseballConfig(n_rows=500, seed=5)
+        assert generate_seasons(config) == generate_seasons(config)
+
+    def test_different_seeds_differ(self):
+        a = generate_seasons(BaseballConfig(n_rows=500, seed=1))
+        b = generate_seasons(BaseballConfig(n_rows=500, seed=2))
+        assert a != b
+
+    def test_row_count_exact(self):
+        assert len(generate_seasons(BaseballConfig(n_rows=777))) == 777
+
+    def test_stats_nonnegative(self):
+        for row in generate_seasons(BaseballConfig(n_rows=300)):
+            assert all(value >= 0 for value in row[4:])
+
+    def test_composite_key_unique(self):
+        rows = generate_seasons(BaseballConfig(n_rows=1000))
+        keys = [(r[0], r[1], r[2]) for r in rows]
+        assert len(set(keys)) == len(keys)
+
+    def test_correlation_structure(self):
+        """(h, hr) strongly correlated; (hr, sb) weakly (Figure 2)."""
+        import math
+
+        rows = generate_seasons(BaseballConfig(n_rows=3000))
+
+        def pearson(i, j):
+            xs = [r[i] for r in rows]
+            ys = [r[j] for r in rows]
+            mx, my = sum(xs) / len(xs), sum(ys) / len(ys)
+            cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+            vx = sum((x - mx) ** 2 for x in xs)
+            vy = sum((y - my) ** 2 for y in ys)
+            return cov / math.sqrt(vx * vy)
+
+        h_hr = pearson(4, 5)
+        hr_sb = pearson(5, 7)
+        assert h_hr > 0.5
+        assert abs(hr_sb) < h_hr - 0.2
+
+    def test_load_batting_declares_metadata(self):
+        db = make_batting_db(BaseballConfig(n_rows=200))
+        assert db.is_superkey("batting", ["playerid", "year", "round"])
+        for column in STAT_COLUMNS:
+            assert db.is_nonnegative("batting", column)
+        assert db.table("batting").find_sorted_index("b_h") is not None
+
+    def test_unpivot_preserves_totals(self):
+        seasons = generate_seasons(BaseballConfig(n_rows=200))
+        rows = unpivot_careers(seasons)
+        total_h_direct = sum(r[4] for r in seasons)
+        total_h_unpivot = sum(r[3] for r in rows if r[2] == "b_h")
+        assert total_h_direct == total_h_unpivot
+
+    def test_unpivot_category_fd(self):
+        rows = unpivot_careers(generate_seasons(BaseballConfig(n_rows=200)))
+        by_id = {}
+        for pid, category, _, _ in rows:
+            assert by_id.setdefault(pid, category) == category
+
+    def test_load_unpivoted(self):
+        db = Database()
+        load_unpivoted(db, BaseballConfig(n_rows=200))
+        assert db.fds("perf").determines(["id"], ["category"])
+        assert len(db.table("perf")) > 0
+
+
+class TestBasket:
+    def test_deterministic(self):
+        config = BasketConfig(n_baskets=100, seed=9)
+        assert generate_baskets(config) == generate_baskets(config)
+
+    def test_no_duplicate_items_per_basket(self):
+        rows = generate_baskets(BasketConfig(n_baskets=200))
+        assert len(set(rows)) == len(rows)
+
+    def test_planted_pairs_frequent(self):
+        config = BasketConfig(
+            n_baskets=400, n_planted_pairs=2, planted_support=50, seed=3
+        )
+        rows = generate_baskets(config)
+        from collections import Counter
+
+        per_basket = {}
+        for bid, item in rows:
+            per_basket.setdefault(bid, set()).add(item)
+        pair_counts = Counter()
+        for items in per_basket.values():
+            for a in items:
+                for b in items:
+                    if a < b:
+                        pair_counts[(a, b)] += 1
+        assert pair_counts.most_common(1)[0][1] >= 25
+
+    def test_make_basket_db(self):
+        db = make_basket_db(BasketConfig(n_baskets=50))
+        assert db.has_table("basket")
+        assert db.primary_key("basket") == ("bid", "item")
+
+    def test_discount_schema(self):
+        db = Database()
+        load_discount_schema(db, n_baskets=40)
+        assert db.has_table("dbasket") and db.has_table("discount")
+        assert db.is_superkey("discount", ["did"])
+
+
+class TestProducts:
+    def test_deterministic(self):
+        config = ProductConfig(n_products=50, seed=2)
+        assert generate_products(config) == generate_products(config)
+
+    def test_one_row_per_attribute(self):
+        config = ProductConfig(n_products=50)
+        rows = generate_products(config)
+        assert len(rows) == 50 * len(config.attributes)
+
+    def test_category_functionally_determined(self):
+        rows = generate_products(ProductConfig(n_products=80))
+        by_id = {}
+        for pid, category, _, _ in rows:
+            assert by_id.setdefault(pid, category) == category
+
+    def test_make_product_db_metadata(self):
+        db = make_product_db(ProductConfig(n_products=30))
+        assert db.fds("product").determines(["id"], ["category"])
+        assert db.is_nonnegative("product", "val")

@@ -1,0 +1,72 @@
+"""Tests for the paper's query templates."""
+
+import pytest
+
+from repro.sql.parser import parse
+from repro.workloads.queries import (
+    complex_query,
+    discount_query,
+    figure1_queries,
+    market_basket_query,
+    pairs_query,
+    player_skyband_query,
+    skyband_query,
+)
+
+
+class TestTemplatesParse:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            skyband_query(),
+            skyband_query(strict_form="strong"),
+            pairs_query(),
+            pairs_query(agg="SUM"),
+            complex_query(),
+            market_basket_query(),
+            discount_query(),
+            player_skyband_query(),
+        ],
+    )
+    def test_parses(self, sql):
+        parse(sql)
+
+    def test_skyband_parameters_embedded(self):
+        sql = skyband_query("b_hr", "b_sb", k=123)
+        assert "b_hr" in sql and "<= 123" in sql
+
+    def test_skyband_bad_form_rejected(self):
+        with pytest.raises(ValueError):
+            skyband_query(strict_form="odd")
+
+    def test_pairs_bad_agg_rejected(self):
+        with pytest.raises(ValueError):
+            pairs_query(agg="MEDIAN")
+
+    def test_pairs_thresholds(self):
+        sql = pairs_query(c=7, k=33)
+        assert ">= 7" in sql and "<= 33" in sql
+
+
+class TestFigure1Suite:
+    def test_eight_queries(self):
+        queries = figure1_queries()
+        assert sorted(queries) == [f"Q{i}" for i in range(1, 9)]
+
+    def test_templates_assigned(self):
+        queries = figure1_queries()
+        assert queries["Q1"].template == "skyband"
+        assert queries["Q4"].template == "pairs"
+        assert queries["Q8"].template == "skyband"
+
+    def test_apriori_flags_match_paper(self):
+        """'generalized a-priori does not apply to Q1, Q2, Q3, and Q8'."""
+        queries = figure1_queries()
+        for name in ("Q1", "Q2", "Q3", "Q8"):
+            assert not queries[name].apriori_applies
+        for name in ("Q4", "Q5", "Q6", "Q7"):
+            assert queries[name].apriori_applies
+
+    def test_all_parse(self):
+        for query in figure1_queries().values():
+            parse(query.sql)
