@@ -12,6 +12,7 @@ Scale with REPRO_BENCH_SCALE (default 1.0); e.g.::
 
 from __future__ import annotations
 
+import time
 from typing import Dict
 
 import pytest
@@ -27,10 +28,26 @@ def cost_by(measurements, query: str) -> Dict[str, int]:
 
 
 def run_figure(benchmark, figure_fn, **kwargs):
-    """Run a figure once under pytest-benchmark and print its table."""
+    """Run a figure once under pytest-benchmark and print its table.
+
+    Per-phase timings (figure run vs. table rendering) are measured
+    with ``time.perf_counter`` — never ``time.time``, whose resolution
+    and monotonicity are unsuitable for benchmarking — and printed
+    alongside the figure's own report, whose rows carry the execution
+    mode of every measurement.
+    """
+    run_start = time.perf_counter()
     report = benchmark.pedantic(
         lambda: figure_fn(**kwargs), rounds=1, iterations=1
     )
+    run_seconds = time.perf_counter() - run_start
+    render_start = time.perf_counter()
+    table = report.table
+    render_seconds = time.perf_counter() - render_start
     print()
-    print(report.table)
+    print(table)
+    print(
+        f"[phases] figure_run={run_seconds:.3f}s "
+        f"table_render={render_seconds:.3f}s"
+    )
     return report

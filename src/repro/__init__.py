@@ -25,9 +25,15 @@ Quick start::
         WHERE i1.bid = i2.bid AND i1.item < i2.item
         GROUP BY i1.item, i2.item HAVING COUNT(*) >= 20
     ''')
+
+Execution is row-at-a-time by default; pass
+``SmartIceberg(db, execution_mode="batch")`` (or set the mode on an
+``EngineConfig``) for vectorized batch execution — identical rows and
+identical work counters, less interpreter overhead.
 """
 
 from repro.engine import EngineConfig, ExecutionStats, Result, execute, explain
+from repro.engine.operators import DEFAULT_BATCH_SIZE
 from repro.core import (
     Monotonicity,
     OptimizedQuery,
@@ -36,10 +42,11 @@ from repro.core import (
 )
 from repro.storage import Column, Database, SqlType, Table, TableSchema
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Column",
+    "DEFAULT_BATCH_SIZE",
     "Database",
     "EngineConfig",
     "ExecutionStats",

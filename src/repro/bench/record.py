@@ -1,0 +1,214 @@
+"""Perf-regression recorder: a fixed pinned-seed suite, both modes.
+
+Runs Q1-Q8 at a reduced, deterministic scale in both execution modes
+(row and batch), records wall-clock plus the deterministic ``cost()``
+counters for every (query, system, mode) cell, and writes the result
+as JSON so future PRs have a trajectory to compare against.
+
+Usage::
+
+    python -m repro.bench.record                 # writes BENCH_1.json
+    python -m repro.bench.record --scale 0.25    # tiny CI smoke run
+    python -m repro.bench.record --check         # exit 1 on mode drift
+    python -m repro.bench.record --out /tmp/b.json --no-headline
+
+``--check`` makes the run fail if any batch-mode ``cost()`` (or any
+individual work counter) differs from its row-mode twin — the
+counters-are-invariant guarantee, enforced in CI at tiny scale.
+
+The *headline* section reruns the Figure 1 baseline system on Q1 at
+the default benchmark scale (n=1200) in both modes and records the
+row/batch speedup; ``--no-headline`` skips it for quick runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.bench.figures import _batting_db, bench_scale
+from repro.bench.harness import Measurement, make_systems, run_comparison
+from repro.workloads import figure1_queries
+
+#: Deterministic seed for every database the recorder builds.
+RECORD_SEED = 2017
+
+#: Reduced row count for the full Q1-Q8 suite (scaled by --scale).
+SUITE_ROWS = 300
+
+#: Default-scale row count for the headline Q1 row-vs-batch comparison
+#: (the Figure 1 default: n = 1200).
+HEADLINE_ROWS = 1200
+
+#: Systems exercised by the suite.
+SUITE_SYSTEMS = ("base", "vendor", "memo", "all")
+
+MODES = ("row", "batch")
+
+
+def _measurement_record(measurement: Measurement) -> Dict[str, Any]:
+    return {
+        "query": measurement.query,
+        "system": measurement.system,
+        "mode": measurement.execution_mode,
+        "seconds": round(measurement.seconds, 6),
+        "optimize_seconds": round(measurement.optimize_seconds, 6),
+        "cost": measurement.cost,
+        "rows": measurement.rows,
+        "counters": measurement.stats.as_dict(),
+    }
+
+
+def run_suite(n_rows: int) -> List[Dict[str, Any]]:
+    """Q1-Q8 across the suite systems, once per execution mode."""
+    queries = {name: q.sql for name, q in figure1_queries().items()}
+    records: List[Dict[str, Any]] = []
+    for mode in MODES:
+        db = _batting_db(n_rows, seed=RECORD_SEED)
+        systems = make_systems(SUITE_SYSTEMS, execution_mode=mode)
+        for measurement in run_comparison(db, queries, systems):
+            records.append(_measurement_record(measurement))
+    return records
+
+
+def check_mode_parity(records: List[Dict[str, Any]]) -> List[str]:
+    """Counter drift between row and batch mode; empty means parity."""
+    by_cell: Dict[Any, Dict[str, Dict[str, Any]]] = {}
+    for record in records:
+        cell = by_cell.setdefault((record["query"], record["system"]), {})
+        cell[record["mode"]] = record
+    problems: List[str] = []
+    for (query, system), cell in sorted(by_cell.items()):
+        if set(cell) != set(MODES):
+            problems.append(f"{query}/{system}: missing mode runs {sorted(cell)}")
+            continue
+        row, batch = cell["row"], cell["batch"]
+        if row["cost"] != batch["cost"]:
+            problems.append(
+                f"{query}/{system}: cost drift row={row['cost']} "
+                f"batch={batch['cost']}"
+            )
+        if row["counters"] != batch["counters"]:
+            diffs = {
+                name: (row["counters"][name], batch["counters"][name])
+                for name in row["counters"]
+                if row["counters"][name] != batch["counters"].get(name)
+            }
+            problems.append(f"{query}/{system}: counter drift {diffs}")
+        if row["rows"] != batch["rows"]:
+            problems.append(
+                f"{query}/{system}: row-count drift row={row['rows']} "
+                f"batch={batch['rows']}"
+            )
+    return problems
+
+
+def run_headline(n_rows: int, repeats: int = 3) -> Dict[str, Any]:
+    """Figure 1 baseline system on Q1, row vs. batch wall-clock.
+
+    Uses the best of ``repeats`` runs per mode to damp scheduler noise.
+    """
+    sql = figure1_queries()["Q1"].sql
+    db = _batting_db(n_rows, seed=RECORD_SEED)
+    best: Dict[str, Dict[str, Any]] = {}
+    for mode in MODES:
+        runner = make_systems(("base",), execution_mode=mode)["base"]
+        for _ in range(repeats):
+            measurement = runner(db, sql, "Q1")  # type: ignore[call-arg]
+            record = _measurement_record(measurement)
+            if mode not in best or record["seconds"] < best[mode]["seconds"]:
+                best[mode] = record
+    speedup = best["row"]["seconds"] / max(best["batch"]["seconds"], 1e-9)
+    return {
+        "query": "Q1",
+        "system": "postgres",
+        "n_rows": n_rows,
+        "repeats": repeats,
+        "row_seconds": best["row"]["seconds"],
+        "batch_seconds": best["batch"]["seconds"],
+        "speedup": round(speedup, 3),
+        "cost": best["row"]["cost"],
+        "cost_parity": best["row"]["cost"] == best["batch"]["cost"],
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.record", description=__doc__
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="suite scale factor (default: REPRO_BENCH_SCALE or 1.0)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_1.json", help="output path (default: BENCH_1.json)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if batch-mode counters drift from row mode",
+    )
+    parser.add_argument(
+        "--no-headline",
+        action="store_true",
+        help="skip the default-scale Q1 row-vs-batch headline run",
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else bench_scale()
+    suite_rows = max(50, int(SUITE_ROWS * scale))
+
+    start = time.perf_counter()
+    records = run_suite(suite_rows)
+    problems = check_mode_parity(records)
+    headline = None if args.no_headline else run_headline(HEADLINE_ROWS)
+    elapsed = time.perf_counter() - start
+
+    document = {
+        "schema_version": 1,
+        "suite": {
+            "queries": "Q1-Q8",
+            "systems": list(SUITE_SYSTEMS),
+            "modes": list(MODES),
+            "n_rows": suite_rows,
+            "seed": RECORD_SEED,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "records": records,
+        "headline": headline,
+        "mode_parity_ok": not problems,
+        "total_seconds": round(elapsed, 3),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+    print(f"wrote {args.out}: {len(records)} records in {elapsed:.1f}s")
+    if headline is not None:
+        print(
+            f"headline Q1 (postgres, n={headline['n_rows']}): "
+            f"row {headline['row_seconds']:.3f}s vs "
+            f"batch {headline['batch_seconds']:.3f}s "
+            f"-> {headline['speedup']:.2f}x"
+        )
+    if problems:
+        for problem in problems:
+            print(f"PARITY DRIFT: {problem}", file=sys.stderr)
+        if args.check:
+            return 1
+    elif args.check:
+        print("mode parity check passed: batch counters identical to row")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

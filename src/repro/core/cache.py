@@ -24,6 +24,7 @@ with the fewest hits).
 
 from __future__ import annotations
 
+import bisect
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -35,7 +36,7 @@ Binding = Tuple[Any, ...]
 PayloadRows = Tuple[Tuple[Binding, Tuple[Any, ...]], ...]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheEntry:
     binding: Binding
     payload: PayloadRows
@@ -66,10 +67,11 @@ class NLJPCache:
         self._entries: "OrderedDict[Binding, CacheEntry]" = OrderedDict()
         self._unpromising_buckets: Dict[Binding, List[CacheEntry]] = {}
         self._unpromising_all: List[CacheEntry] = []
-        # Unpromising entries sorted by binding[order_position]:
-        # parallel arrays maintained with bisect for range narrowing.
-        self._order_keys: List[Any] = []
-        self._order_entries: List[CacheEntry] = []
+        # Unpromising entries sorted by binding[order_position]: a single
+        # insort-maintained list of (key, seq, entry) tuples.  The
+        # monotonic seq breaks ties between equal keys (preserving
+        # insertion order) so tuple comparison never reaches the entry.
+        self._order: List[Tuple[Any, int, CacheEntry]] = []
         self._order_seq = 0
         self.lookups = 0
         self.hits = 0
@@ -110,13 +112,10 @@ class NLJPCache:
                     self._bucket_key(binding), []
                 ).append(entry)
             if self.order_position is not None:
-                import bisect
-
                 key = binding[self.order_position]
                 if key is not None:
-                    position = bisect.bisect_right(self._order_keys, key)
-                    self._order_keys.insert(position, key)
-                    self._order_entries.insert(position, entry)
+                    self._order_seq += 1
+                    bisect.insort(self._order, (key, self._order_seq, entry))
         return entry
 
     def _evict_one(self) -> None:
@@ -141,10 +140,9 @@ class NLJPCache:
                     e for e in bucket if e is not victim
                 ]
             if self.order_position is not None:
-                for position, entry in enumerate(self._order_entries):
+                for position, (_, _, entry) in enumerate(self._order):
                     if entry is victim:
-                        del self._order_entries[position]
-                        del self._order_keys[position]
+                        del self._order[position]
                         break
 
     # ------------------------------------------------------------------
@@ -169,17 +167,17 @@ class NLJPCache:
             yield from self._unpromising_buckets.get(self._bucket_key(binding), ())
             return
         if self.order_position is not None and (low is not None or high is not None):
-            import bisect
-
+            order = self._order
             start = 0
-            stop = len(self._order_keys)
+            stop = len(order)
             if low is not None:
                 cut = bisect.bisect_right if low_strict else bisect.bisect_left
-                start = cut(self._order_keys, low)
+                start = cut(order, low, key=lambda item: item[0])
             if high is not None:
                 cut = bisect.bisect_left if high_strict else bisect.bisect_right
-                stop = cut(self._order_keys, high)
-            yield from self._order_entries[start:stop]
+                stop = cut(order, high, key=lambda item: item[0])
+            for _, _, entry in order[start:stop]:
+                yield entry
             return
         yield from self._unpromising_all
 

@@ -447,7 +447,7 @@ class NLJPOperator(ops.PhysicalOperator):
         saved = dict(ctx.params)
         ctx.params.update(zip(self.param_names, binding))
         try:
-            raw_rows = list(self.qr_plan.execute(ctx))
+            raw_rows = ops.materialize(self.qr_plan, ctx)
         finally:
             ctx.params.clear()
             ctx.params.update(saved)
@@ -542,9 +542,14 @@ class NLJPOperator(ops.PhysicalOperator):
     def _execute_direct(
         self, ctx: ops.ExecutionContext, cache: NLJPCache
     ) -> Iterator[Tuple[Any, ...]]:
-        """𝔾_L → 𝔸_L: each binding's groups are complete; stream output."""
+        """𝔾_L → 𝔸_L: each binding's groups are complete; stream output.
+
+        ``execute_rows`` pulls Q_B through its batch path when the
+        context is in batch mode, so the outer-binding loop feeds the
+        cache/prune path from vectorized upstream operators.
+        """
         params = ctx.params
-        for qb_row in self.qb_plan.execute(ctx):
+        for qb_row in ops.execute_rows(self.qb_plan, ctx):
             binding = tuple(qb_row[p] for p in self.binding_positions)
             entry = self._lookup_or_compute(ctx, cache, binding)
             if entry is None or entry.unpromising:
@@ -563,7 +568,7 @@ class NLJPOperator(ops.PhysicalOperator):
         params = ctx.params
         groups: Dict[Tuple, List[Any]] = {}
         representative: Dict[Tuple, Tuple[Any, ...]] = {}
-        for qb_row in self.qb_plan.execute(ctx):
+        for qb_row in ops.execute_rows(self.qb_plan, ctx):
             binding = tuple(qb_row[p] for p in self.binding_positions)
             entry = self._lookup_or_compute(ctx, cache, binding)
             if entry is None:

@@ -22,6 +22,7 @@ Baseline systems (no Smart-Iceberg rewrites) are plain engine configs:
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, Optional, Union
 
 from repro.sql import ast
@@ -47,9 +48,24 @@ class SmartIceberg:
         cache_max_entries: Optional[int] = None,
         cache_policy: str = "none",
         binding_order: str = "none",
+        execution_mode: Optional[str] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
         self.db = db
         self.config = config or EngineConfig.smart()
+        # Mode knobs override the config; None inherits its settings.
+        # Batch mode is a pure wall-clock optimization: rows and work
+        # counters are identical to row mode.
+        overrides: Dict[str, object] = {}
+        if execution_mode is not None:
+            if execution_mode not in ("row", "batch"):
+                raise ValueError(f"unknown execution_mode {execution_mode!r}")
+            overrides["execution_mode"] = execution_mode
+        if batch_size is not None:
+            overrides["batch_size"] = batch_size
+        if overrides:
+            self.config = dataclasses.replace(self.config, **overrides)
+        self.execution_mode = self.config.execution_mode
         self.optimizer = SmartIcebergOptimizer(
             db,
             enable_apriori=apriori,

@@ -26,6 +26,10 @@ from repro.engine.expressions import Compiled
 class Accumulator:
     """Streaming accumulator interface for one aggregate over one group."""
 
+    # Empty slots here keep subclasses' ``__slots__`` effective: a
+    # slotted subclass of an unslotted base still grows a ``__dict__``.
+    __slots__ = ()
+
     def add(self, value: Any) -> None:
         raise NotImplementedError
 

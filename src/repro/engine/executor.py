@@ -8,7 +8,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.sql import ast
 from repro.sql.parser import parse
-from repro.engine.operators import ExecutionContext
+from repro.engine.operators import DEFAULT_BATCH_SIZE, ExecutionContext
 from repro.engine.planner import EngineConfig, PlannedQuery, plan_query
 from repro.engine.stats import ExecutionStats
 from repro.storage.catalog import Database
@@ -25,6 +25,7 @@ class Result:
     stats: ExecutionStats
     elapsed_seconds: float
     plan: Optional[PlannedQuery] = None
+    execution_mode: str = "row"
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -66,19 +67,42 @@ def execute(
 
 
 def run_planned(
-    planned: PlannedQuery, params: Optional[Dict[str, Any]] = None
+    planned: PlannedQuery,
+    params: Optional[Dict[str, Any]] = None,
+    execution_mode: Optional[str] = None,
+    batch_size: Optional[int] = None,
 ) -> Result:
     """Execute a previously planned query (prepared-statement style).
 
     NLJP generates parameterized inner/pruning queries that are planned
     once and executed many times — the same pattern the paper leans on
     PostgreSQL's prepared statements for.
+
+    ``execution_mode``/``batch_size`` override the planned config's
+    settings; ``None`` inherits them.  Batch mode produces identical
+    rows and identical work counters, only faster.
     """
-    ctx = ExecutionContext(params=dict(params or {}))
+    config = planned.env.config
+    mode = execution_mode if execution_mode is not None else config.execution_mode
+    if mode not in ("row", "batch"):
+        raise ValueError(f"unknown execution_mode {mode!r}")
+    if batch_size is None:
+        batch_size = config.batch_size
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    ctx = ExecutionContext(
+        params=dict(params or {}),
+        batch_size=(batch_size or DEFAULT_BATCH_SIZE) if mode == "batch" else None,
+    )
     planned.env.ctx_holder["ctx"] = ctx
     start = time.perf_counter()
     try:
-        rows = list(planned.root.execute(ctx))
+        if mode == "batch":
+            rows = []
+            for batch in planned.root.execute_batches(ctx):
+                rows.extend(batch)
+        else:
+            rows = list(planned.root.execute(ctx))
     finally:
         planned.env.ctx_holder.pop("ctx", None)
     elapsed = time.perf_counter() - start
@@ -88,6 +112,7 @@ def run_planned(
         stats=ctx.stats,
         elapsed_seconds=elapsed,
         plan=planned,
+        execution_mode=mode,
     )
 
 

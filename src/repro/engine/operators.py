@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine.aggregates import AggregateSpec
-from repro.engine.expressions import Compiled
+from repro.engine.expressions import Compiled, batch_filter, batch_values
 from repro.engine.layout import Layout
 from repro.engine.stats import ExecutionStats
 from repro.storage.index import HashIndex, SortedIndex
@@ -26,22 +26,76 @@ from repro.storage.table import Table
 
 Row = Tuple[Any, ...]
 
+#: Default chunk size for batch (vectorized) execution.
+DEFAULT_BATCH_SIZE = 1024
+
 
 @dataclass
 class ExecutionContext:
-    """Per-execution state threaded through the operator tree."""
+    """Per-execution state threaded through the operator tree.
+
+    ``batch_size`` is ``None`` in row-at-a-time mode; in batch mode it
+    carries the configured chunk size so nested plan executions (NLJP
+    inner queries, CTE materializations) pick the same mode.
+    """
 
     stats: ExecutionStats = field(default_factory=ExecutionStats)
     params: Dict[str, Any] = field(default_factory=dict)
+    batch_size: Optional[int] = None
+
+
+def chunked(iterable, size: int) -> Iterator[List[Row]]:
+    """Re-chunk any row iterable into lists of at most ``size`` rows."""
+    batch: List[Row] = []
+    append = batch.append
+    for row in iterable:
+        append(row)
+        if len(batch) >= size:
+            yield batch
+            batch = []
+            append = batch.append
+    if batch:
+        yield batch
+
+
+def execute_rows(plan: "PhysicalOperator", ctx: ExecutionContext) -> Iterator[Row]:
+    """Iterate a plan's rows honouring the context's execution mode."""
+    if ctx.batch_size is None:
+        return plan.execute(ctx)
+    return (row for batch in plan.execute_batches(ctx) for row in batch)
+
+
+def materialize(plan: "PhysicalOperator", ctx: ExecutionContext) -> List[Row]:
+    """Fully evaluate a plan in the context's execution mode."""
+    if ctx.batch_size is None:
+        return list(plan.execute(ctx))
+    rows: List[Row] = []
+    for batch in plan.execute_batches(ctx):
+        rows.extend(batch)
+    return rows
 
 
 class PhysicalOperator:
-    """Base class for physical operators."""
+    """Base class for physical operators.
+
+    Operators implement ``execute`` (row-at-a-time) and may override
+    ``execute_batches`` (batch-at-a-time, yielding lists of rows).  The
+    default batch implementation runs the whole subtree row-at-a-time
+    and re-chunks — always correct, used by operators whose laziness
+    semantics (e.g. ``Limit``) or rarity make a native batch path not
+    worth it.  Native batch paths MUST charge exactly the same
+    ``ctx.stats`` counters as their row paths: the paper's shape
+    assertions compare work counts, so vectorization may only change
+    wall-clock, never work.
+    """
 
     layout: Layout
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         raise NotImplementedError
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
+        yield from chunked(self.execute(ctx), ctx.batch_size or DEFAULT_BATCH_SIZE)
 
     def describe(self) -> List[str]:
         """One line per node, children indented (EXPLAIN-style)."""
@@ -53,6 +107,23 @@ class PhysicalOperator:
 
 def _indent(lines: List[str]) -> List[str]:
     return ["  " + line for line in lines]
+
+
+def _scan_batches(
+    rows: Sequence[Row], predicate: Optional[Compiled], ctx: ExecutionContext
+) -> Iterator[List[Row]]:
+    """Shared batch path for base/materialized scans with pushed filter."""
+    size = ctx.batch_size or DEFAULT_BATCH_SIZE
+    stats = ctx.stats
+    params = ctx.params
+    kernel = batch_filter(predicate)
+    for start in range(0, len(rows), size):
+        chunk = list(rows[start : start + size])
+        stats.rows_scanned += len(chunk)
+        if kernel is not None:
+            chunk = kernel(chunk, params)
+        if chunk:
+            yield chunk
 
 
 class TableScan(PhysicalOperator):
@@ -74,6 +145,9 @@ class TableScan(PhysicalOperator):
             stats.rows_scanned += 1
             if predicate is None or predicate(row, params) is True:
                 yield row
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
+        yield from _scan_batches(self.table.rows, self.predicate, ctx)
 
     def describe(self) -> List[str]:
         suffix = " (filtered)" if self.predicate else ""
@@ -106,6 +180,9 @@ class RowsSource(PhysicalOperator):
             if predicate is None or predicate(row, params) is True:
                 yield row
 
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
+        yield from _scan_batches(self.rows, self.predicate, ctx)
+
     def describe(self) -> List[str]:
         return [f"RowsSource {self.label} AS {self.alias} ({len(self.rows)} rows)"]
 
@@ -125,6 +202,15 @@ class Filter(PhysicalOperator):
         for row in self.child.execute(ctx):
             if predicate(row, params) is True:
                 yield row
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
+        kernel = batch_filter(self.predicate)
+        assert kernel is not None
+        params = ctx.params
+        for batch in self.child.execute_batches(ctx):
+            kept = kernel(batch, params)
+            if kept:
+                yield kept
 
     def describe(self) -> List[str]:
         label = f" [{self.label}]" if self.label else ""
@@ -156,6 +242,27 @@ class NestedLoopJoin(PhysicalOperator):
                 combined = outer_row + inner_row
                 if predicate is None or predicate(combined, params) is True:
                     yield combined
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
+        inner_rows = materialize(self.inner, ctx)
+        size = ctx.batch_size or DEFAULT_BATCH_SIZE
+        kernel = batch_filter(self.predicate)
+        params = ctx.params
+        stats = ctx.stats
+        n_inner = len(inner_rows)
+        buf: List[Row] = []
+        for batch in self.outer.execute_batches(ctx):
+            for outer_row in batch:
+                stats.join_pairs += n_inner
+                combined = [outer_row + inner_row for inner_row in inner_rows]
+                if kernel is not None:
+                    combined = kernel(combined, params)
+                buf.extend(combined)
+                if len(buf) >= size:
+                    yield buf
+                    buf = []
+        if buf:
+            yield buf
 
     def describe(self) -> List[str]:
         return (
@@ -207,6 +314,39 @@ class HashJoin(PhysicalOperator):
                 combined = outer_row + inner_row
                 if residual is None or residual(combined, params) is True:
                     yield combined
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
+        params = ctx.params
+        stats = ctx.stats
+        size = ctx.batch_size or DEFAULT_BATCH_SIZE
+        inner_keys = batch_values(self.inner_key)
+        outer_keys = batch_values(self.outer_key)
+        buckets: Dict[Any, List[Row]] = {}
+        for batch in self.inner.execute_batches(ctx):
+            for inner_row, key in zip(batch, inner_keys(batch, params)):
+                if key is None or (isinstance(key, tuple) and None in key):
+                    continue  # NULL keys never match in SQL
+                buckets.setdefault(key, []).append(inner_row)
+        residual_kernel = batch_filter(self.residual)
+        empty: Tuple[Row, ...] = ()
+        buf: List[Row] = []
+        for batch in self.outer.execute_batches(ctx):
+            for outer_row, key in zip(batch, outer_keys(batch, params)):
+                if key is None or (isinstance(key, tuple) and None in key):
+                    continue
+                bucket = buckets.get(key, empty)
+                if not bucket:
+                    continue
+                stats.join_pairs += len(bucket)
+                combined = [outer_row + inner_row for inner_row in bucket]
+                if residual_kernel is not None:
+                    combined = residual_kernel(combined, params)
+                buf.extend(combined)
+                if len(buf) >= size:
+                    yield buf
+                    buf = []
+        if buf:
+            yield buf
 
     def describe(self) -> List[str]:
         suffix = " (+residual)" if self.residual else ""
@@ -265,6 +405,37 @@ class IndexNestedLoopJoin(PhysicalOperator):
                 combined = outer_row + inner_row
                 if residual is None or residual(combined, params) is True:
                     yield combined
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
+        params = ctx.params
+        stats = ctx.stats
+        size = ctx.batch_size or DEFAULT_BATCH_SIZE
+        rows = self.table.rows
+        lookup = self.index.lookup
+        probe_keys = batch_values(self.probe_key)
+        filter_kernel = batch_filter(self.inner_filter)
+        residual_kernel = batch_filter(self.residual)
+        buf: List[Row] = []
+        for batch in self.outer.execute_batches(ctx):
+            for outer_row, key in zip(batch, probe_keys(batch, params)):
+                if not isinstance(key, tuple):
+                    key = (key,)
+                stats.index_probes += 1
+                inner_rows = [rows[row_id] for row_id in lookup(key)]
+                if filter_kernel is not None:
+                    inner_rows = filter_kernel(inner_rows, params)
+                if not inner_rows:
+                    continue
+                stats.join_pairs += len(inner_rows)
+                combined = [outer_row + inner_row for inner_row in inner_rows]
+                if residual_kernel is not None:
+                    combined = residual_kernel(combined, params)
+                buf.extend(combined)
+                if len(buf) >= size:
+                    yield buf
+                    buf = []
+        if buf:
+            yield buf
 
     def describe(self) -> List[str]:
         return [
@@ -333,6 +504,50 @@ class SortedIndexRangeJoin(PhysicalOperator):
                 if residual is None or residual(combined, params) is True:
                     yield combined
 
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
+        params = ctx.params
+        stats = ctx.stats
+        size = ctx.batch_size or DEFAULT_BATCH_SIZE
+        rows = self.table.rows
+        range_scan = self.index.range_scan
+        low_keys = batch_values(self.low) if self.low is not None else None
+        high_keys = batch_values(self.high) if self.high is not None else None
+        filter_kernel = batch_filter(self.inner_filter)
+        residual_kernel = batch_filter(self.residual)
+        buf: List[Row] = []
+        for batch in self.outer.execute_batches(ctx):
+            lows = low_keys(batch, params) if low_keys is not None else [None] * len(batch)
+            highs = high_keys(batch, params) if high_keys is not None else [None] * len(batch)
+            for outer_row, low, high in zip(batch, lows, highs):
+                if (low_keys is not None and low is None) or (
+                    high_keys is not None and high is None
+                ):
+                    continue  # NULL bound: comparison can never be true
+                stats.index_probes += 1
+                inner_rows = [
+                    rows[row_id]
+                    for row_id in range_scan(
+                        low=low,
+                        high=high,
+                        low_strict=self.low_strict,
+                        high_strict=self.high_strict,
+                    )
+                ]
+                if filter_kernel is not None:
+                    inner_rows = filter_kernel(inner_rows, params)
+                if not inner_rows:
+                    continue
+                stats.join_pairs += len(inner_rows)
+                combined = [outer_row + inner_row for inner_row in inner_rows]
+                if residual_kernel is not None:
+                    combined = residual_kernel(combined, params)
+                buf.extend(combined)
+                if len(buf) >= size:
+                    yield buf
+                    buf = []
+        if buf:
+            yield buf
+
     def describe(self) -> List[str]:
         return [
             f"SortedIndexRangeJoin {self.table.name} AS {self.alias} "
@@ -378,6 +593,21 @@ class IndexPointScan(PhysicalOperator):
             row = rows[row_id]
             if residual is None or residual(row, params) is True:
                 yield row
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
+        params = ctx.params
+        stats = ctx.stats
+        key = self.probe_key((), params)
+        if not isinstance(key, tuple):
+            key = (key,)
+        stats.index_probes += 1
+        rows = self.table.rows
+        matches = [rows[row_id] for row_id in self.index.lookup(key)]
+        stats.rows_scanned += len(matches)
+        kernel = batch_filter(self.residual)
+        if kernel is not None:
+            matches = kernel(matches, params)
+        yield from chunked(matches, ctx.batch_size or DEFAULT_BATCH_SIZE)
 
     def describe(self) -> List[str]:
         return [
@@ -436,6 +666,29 @@ class IndexRangeScan(PhysicalOperator):
             if residual is None or residual(row, params) is True:
                 yield row
 
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
+        params = ctx.params
+        stats = ctx.stats
+        low = self.low((), params) if self.low is not None else None
+        high = self.high((), params) if self.high is not None else None
+        if (self.low is not None and low is None) or (
+            self.high is not None and high is None
+        ):
+            return  # NULL bound: no row can satisfy the comparison
+        stats.index_probes += 1
+        rows = self.table.rows
+        matches = [
+            rows[row_id]
+            for row_id in self.index.range_scan(
+                low=low, high=high, low_strict=self.low_strict, high_strict=self.high_strict
+            )
+        ]
+        stats.rows_scanned += len(matches)
+        kernel = batch_filter(self.residual)
+        if kernel is not None:
+            matches = kernel(matches, params)
+        yield from chunked(matches, ctx.batch_size or DEFAULT_BATCH_SIZE)
+
     def describe(self) -> List[str]:
         return [
             f"IndexRangeScan {self.table.name} AS {self.alias} USING {self.index.name}"
@@ -486,6 +739,45 @@ class HashAggregate(PhysicalOperator):
         for key, accumulators in groups.items():
             yield key + tuple(acc.result() for acc in accumulators)
 
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
+        params = ctx.params
+        stats = ctx.stats
+        key_batches = [batch_values(fn) for fn in self.key_fns]
+        arg_batches = [
+            batch_values(spec.argument) if spec.argument is not None else None
+            for spec in self.aggregate_specs
+        ]
+        groups: Dict[Tuple[Any, ...], List[Any]] = {}
+        specs = self.aggregate_specs
+        for batch in self.child.execute_batches(ctx):
+            n = len(batch)
+            stats.aggregation_inputs += n
+            if key_batches:
+                keys = list(zip(*(kb(batch, params) for kb in key_batches)))
+            else:
+                keys = [()] * n
+            arg_lists = [
+                ab(batch, params) if ab is not None else None for ab in arg_batches
+            ]
+            for i, key in enumerate(keys):
+                accumulators = groups.get(key)
+                if accumulators is None:
+                    accumulators = [spec.new() for spec in specs]
+                    groups[key] = accumulators
+                for accumulator, args in zip(accumulators, arg_lists):
+                    if args is None:
+                        accumulator.add(1)
+                    else:
+                        accumulator.add(args[i])
+        if not groups and not self.key_fns:
+            yield [tuple(spec.new().result() for spec in specs)]
+            return
+        output = [
+            key + tuple(acc.result() for acc in accumulators)
+            for key, accumulators in groups.items()
+        ]
+        yield from chunked(output, ctx.batch_size or DEFAULT_BATCH_SIZE)
+
     def describe(self) -> List[str]:
         return [
             f"HashAggregate keys={len(self.key_fns)} aggs={len(self.aggregate_specs)}"
@@ -510,6 +802,15 @@ class Project(PhysicalOperator):
         for row in self.child.execute(ctx):
             yield tuple(fn(row, params) for fn in self.output_fns)
 
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
+        params = ctx.params
+        kernels = [batch_values(fn) for fn in self.output_fns]
+        for batch in self.child.execute_batches(ctx):
+            if not kernels:
+                yield [()] * len(batch)
+                continue
+            yield list(zip(*(kernel(batch, params) for kernel in kernels)))
+
     def describe(self) -> List[str]:
         return [f"Project {self.layout!r}"] + _indent(self.child.describe())
 
@@ -527,6 +828,18 @@ class Distinct(PhysicalOperator):
             if row not in seen:
                 seen.add(row)
                 yield row
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
+        seen: set = set()
+        add = seen.add
+        for batch in self.child.execute_batches(ctx):
+            fresh = []
+            for row in batch:
+                if row not in seen:
+                    add(row)
+                    fresh.append(row)
+            if fresh:
+                yield fresh
 
     def describe(self) -> List[str]:
         return ["Distinct"] + _indent(self.child.describe())
@@ -551,21 +864,36 @@ class Sort(PhysicalOperator):
         self.ascending = tuple(ascending)
         self.layout = child.layout
 
-    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
-        params = ctx.params
-        rows = list(self.child.execute(ctx))
+    def _sort_in_place(self, rows: List[Row], params: Dict[str, Any]) -> None:
         for fn, asc in reversed(list(zip(self.key_fns, self.ascending))):
             rows.sort(
                 key=lambda row: ((value := fn(row, params)) is None, value),
                 reverse=not asc,
             )
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        rows = list(self.child.execute(ctx))
+        self._sort_in_place(rows, ctx.params)
         yield from rows
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
+        rows = materialize(self.child, ctx)
+        self._sort_in_place(rows, ctx.params)
+        yield from chunked(rows, ctx.batch_size or DEFAULT_BATCH_SIZE)
 
     def describe(self) -> List[str]:
         return [f"Sort keys={len(self.key_fns)}"] + _indent(self.child.describe())
 
 
 class Limit(PhysicalOperator):
+    """Stop after ``limit`` rows.
+
+    Deliberately keeps the inherited row-mode ``execute_batches``
+    fallback: a native batch path would pull whole upstream batches and
+    charge more work than row mode's early stop, breaking the
+    counters-are-invariant guarantee.
+    """
+
     def __init__(self, child: PhysicalOperator, limit: int) -> None:
         self.child = child
         self.limit = limit
@@ -596,6 +924,12 @@ class CountOutput(PhysicalOperator):
         for row in self.child.execute(ctx):
             ctx.stats.rows_output += 1
             yield row
+
+    def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
+        stats = ctx.stats
+        for batch in self.child.execute_batches(ctx):
+            stats.rows_output += len(batch)
+            yield batch
 
     def describe(self) -> List[str]:
         return self.child.describe()

@@ -41,6 +41,12 @@ class EngineConfig:
     wall-clock by it to *simulate* the parallel speedup the paper
     attributes to Vendor A (4 cores) and PostgreSQL (2 workers).  Work
     counters are never scaled.
+
+    ``execution_mode`` selects row-at-a-time (``"row"``, the default) or
+    vectorized batch-at-a-time (``"batch"``) execution.  Both modes
+    produce identical rows and identical work counters; batch mode only
+    amortizes interpreter dispatch.  ``batch_size`` overrides the batch
+    chunk size (``None`` uses ``operators.DEFAULT_BATCH_SIZE``).
     """
 
     join_policy: str = "index-first"  # 'index-first' | 'hash-first' | 'nlj-only'
@@ -48,6 +54,8 @@ class EngineConfig:
     use_secondary_indexes: bool = True
     parallelism: float = 1.0
     label: str = "postgres"
+    execution_mode: str = "row"  # 'row' | 'batch'
+    batch_size: Optional[int] = None
 
     @classmethod
     def postgres(cls) -> "EngineConfig":
@@ -79,7 +87,7 @@ class _SharedMaterialize:
 
     def rows(self, ctx: ops.ExecutionContext) -> List[Tuple[Any, ...]]:
         if self._last is None or self._last[0] is not ctx:
-            self._last = (ctx, list(self.plan.execute(ctx)))
+            self._last = (ctx, ops.materialize(self.plan, ctx))
         return self._last[1]
 
 
@@ -106,6 +114,9 @@ class _MaterializedScan(ops.PhysicalOperator):
             stats.rows_scanned += 1
             if predicate is None or predicate(row, params) is True:
                 yield row
+
+    def execute_batches(self, ctx: ops.ExecutionContext):
+        yield from ops._scan_batches(self.cell.rows(ctx), self.predicate, ctx)
 
     def describe(self) -> List[str]:
         lines = [f"MaterializedScan {self.cell.label} AS {self.alias}"]
@@ -135,7 +146,7 @@ class PlanEnv:
         if ctx is None:
             ctx = ops.ExecutionContext()
         plan, _ = plan_select(select, self)
-        return list(plan.execute(ctx))
+        return ops.materialize(plan, ctx)
 
 
 @dataclass

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionStats:
     """Mutable counter bundle threaded through one query execution."""
 

@@ -1,0 +1,49 @@
+"""Smoke tests for the perf-regression recorder (``repro.bench.record``).
+
+The tiny-scale run here doubles as the CI "benchmarks" smoke job: it
+executes the record harness end to end and fails if batch-mode
+``cost()`` counters drift from row mode.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import record
+
+
+@pytest.mark.benchmarks
+def test_record_tiny_scale_parity(tmp_path):
+    out = tmp_path / "bench.json"
+    code = record.main(
+        ["--scale", "0.2", "--out", str(out), "--check", "--no-headline"]
+    )
+    assert code == 0, "batch-mode cost() counters drifted from row mode"
+    document = json.loads(out.read_text())
+    assert document["mode_parity_ok"] is True
+    assert document["suite"]["seed"] == record.RECORD_SEED
+    # One record per (query, system, mode) cell.
+    expected = 8 * len(record.SUITE_SYSTEMS) * len(record.MODES)
+    assert len(document["records"]) == expected
+    modes = {r["mode"] for r in document["records"]}
+    assert modes == {"row", "batch"}
+    for item in document["records"]:
+        assert item["cost"] >= 0
+        assert set(item["counters"]) >= {"rows_scanned", "join_pairs"}
+
+
+def test_check_mode_parity_reports_drift():
+    base = {
+        "query": "Q1",
+        "system": "base",
+        "mode": "row",
+        "cost": 10,
+        "rows": 1,
+        "counters": {"rows_scanned": 10},
+    }
+    drifted = dict(base, mode="batch", cost=11, counters={"rows_scanned": 11})
+    problems = record.check_mode_parity([base, drifted])
+    assert any("cost drift" in p for p in problems)
+    assert any("counter drift" in p for p in problems)
+    clean = dict(base, mode="batch")
+    assert record.check_mode_parity([base, clean]) == []
