@@ -32,7 +32,14 @@ Execution is row-at-a-time by default; pass
 identical work counters, less interpreter overhead.
 """
 
-from repro.engine import EngineConfig, ExecutionStats, Result, execute, explain
+from repro.engine import (
+    CancelToken,
+    EngineConfig,
+    ExecutionStats,
+    Result,
+    execute,
+    explain,
+)
 from repro.engine.operators import DEFAULT_BATCH_SIZE
 from repro.core import (
     Monotonicity,
@@ -45,6 +52,7 @@ from repro.storage import Column, Database, SqlType, Table, TableSchema
 __version__ = "1.1.0"
 
 __all__ = [
+    "CancelToken",
     "Column",
     "DEFAULT_BATCH_SIZE",
     "Database",

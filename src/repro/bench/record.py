@@ -60,6 +60,9 @@ def _measurement_record(measurement: Measurement) -> Dict[str, Any]:
         "cost": measurement.cost,
         "rows": measurement.rows,
         "counters": measurement.stats.as_dict(),
+        # Graceful-degradation events (empty for healthy runs).  Kept
+        # out of "counters" so mode-parity checks stay pure-int.
+        "degradations": list(measurement.stats.degradations),
     }
 
 

@@ -44,6 +44,36 @@ class CacheEntry:
     hits: int = 0
 
 
+def entry_bytes(entry: CacheEntry) -> int:
+    """Measured footprint of one cache entry.
+
+    Charged like a PostgreSQL heap row (matching
+    :meth:`repro.storage.table.Table.estimated_bytes`) so cache sizes
+    are comparable with input-table sizes (Figure 3) — and so the
+    governor's ``max_cache_bytes`` ceiling has meaningful units.
+    """
+    per_row_overhead = 24
+
+    def value_bytes(value: Any) -> int:
+        if value is None or isinstance(value, bool):
+            return 1
+        if isinstance(value, str):
+            return len(value)
+        return 8
+
+    total = per_row_overhead
+    total += sum(value_bytes(v) for v in entry.binding)
+    total += 1  # unpromising flag
+    for group_values, aggregate_values in entry.payload:
+        total += sum(value_bytes(v) for v in group_values)
+        for value in aggregate_values:
+            if isinstance(value, tuple):  # algebraic partial state
+                total += sum(value_bytes(v) for v in value)
+            else:
+                total += value_bytes(value)
+    return total
+
+
 class NLJPCache:
     """Binding-keyed cache with optional equality-bucket index."""
 
@@ -76,6 +106,9 @@ class NLJPCache:
         self.lookups = 0
         self.hits = 0
         self.evictions = 0
+        # Measured footprint, maintained incrementally on put/evict so
+        # the governor can use it as a live ceiling input.
+        self.bytes_used = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -101,9 +134,13 @@ class NLJPCache:
         self, binding: Binding, payload: PayloadRows, unpromising: bool
     ) -> CacheEntry:
         entry = CacheEntry(binding=binding, payload=payload, unpromising=unpromising)
-        if binding not in self._entries and self.max_entries is not None:
+        previous = self._entries.get(binding)
+        if previous is None and self.max_entries is not None:
             while len(self._entries) >= self.max_entries:
                 self._evict_one()
+        elif previous is not None:
+            self.bytes_used -= entry_bytes(previous)
+        self.bytes_used += entry_bytes(entry)
         self._entries[binding] = entry
         if unpromising:
             self._unpromising_all.append(entry)
@@ -118,17 +155,28 @@ class NLJPCache:
                     bisect.insort(self._order, (key, self._order_seq, entry))
         return entry
 
-    def _evict_one(self) -> None:
-        if not self._entries:
-            return
+    def _evict_one(self, keep: Optional[CacheEntry] = None) -> bool:
+        """Evict one victim by policy; ``keep`` is never chosen.
+
+        For policy ``"none"`` (no entry-count replacement configured)
+        victims go in insertion order — the behaviour the governor
+        relies on when it forces eviction under memory pressure.
+        Returns False when no evictable entry exists.
+        """
+        candidates = (
+            b for b in self._entries if keep is None or self._entries[b] is not keep
+        )
         if self.policy == "utility":
             victim_binding = min(
-                self._entries, key=lambda b: self._entries[b].hits
+                candidates, key=lambda b: self._entries[b].hits, default=None
             )
-        else:  # lru (or none, which never gets here)
-            victim_binding = next(iter(self._entries))
+        else:  # lru or none: oldest first
+            victim_binding = next(candidates, None)
+        if victim_binding is None:
+            return False
         victim = self._entries.pop(victim_binding)
         self.evictions += 1
+        self.bytes_used -= entry_bytes(victim)
         if victim.unpromising:
             self._unpromising_all = [
                 e for e in self._unpromising_all if e is not victim
@@ -144,6 +192,34 @@ class NLJPCache:
                     if entry is victim:
                         del self._order[position]
                         break
+        return True
+
+    def evict_until(
+        self, max_bytes: int, keep: Optional[CacheEntry] = None
+    ) -> int:
+        """Evict by policy until ``bytes_used <= max_bytes``.
+
+        Used by the governor's graceful-degradation path when the
+        ``max_cache_bytes`` budget trips.  ``keep`` (typically the
+        just-inserted entry) is never evicted.  Returns the number of
+        entries evicted; if the budget still cannot be met (e.g. the
+        kept entry alone exceeds it) the caller is expected to disable
+        the cache entirely.
+        """
+        evicted = 0
+        while self.bytes_used > max_bytes:
+            if not self._evict_one(keep=keep):
+                break
+            evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        """Drop every entry (cache disabled under memory pressure)."""
+        self._entries.clear()
+        self._unpromising_buckets.clear()
+        self._unpromising_all.clear()
+        self._order.clear()
+        self.bytes_used = 0
 
     # ------------------------------------------------------------------
     def prune_candidates(
@@ -188,30 +264,11 @@ class NLJPCache:
         return len(self._entries)
 
     def estimated_bytes(self) -> int:
-        """Approximate footprint charged like a PostgreSQL heap table.
+        """Footprint charged like a PostgreSQL heap table.
 
         Matches :meth:`repro.storage.table.Table.estimated_bytes` so
         cache sizes are comparable with input-table sizes (Figure 3).
+        Maintained incrementally on put/evict (see :func:`entry_bytes`),
+        so this is O(1) and safe to consult per insertion.
         """
-        per_row_overhead = 24
-
-        def value_bytes(value: Any) -> int:
-            if value is None or isinstance(value, bool):
-                return 1
-            if isinstance(value, str):
-                return len(value)
-            return 8
-
-        total = 0
-        for entry in self._entries.values():
-            total += per_row_overhead
-            total += sum(value_bytes(v) for v in entry.binding)
-            total += 1  # unpromising flag
-            for group_values, aggregate_values in entry.payload:
-                total += sum(value_bytes(v) for v in group_values)
-                for value in aggregate_values:
-                    if isinstance(value, tuple):  # algebraic partial state
-                        total += sum(value_bytes(v) for v in value)
-                    else:
-                        total += value_bytes(value)
-        return total
+        return self.bytes_used

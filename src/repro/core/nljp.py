@@ -181,6 +181,11 @@ class NLJPOperator(ops.PhysicalOperator):
         self.cache_policy = cache_policy
         self.binding_order = binding_order
         self.cache: Optional[NLJPCache] = None  # last execution's cache
+        # Governor degradation state, reset per execution: once the
+        # cache-bytes budget cannot be met even with eviction, memo and
+        # pruning lookups are disabled (correct but unassisted join).
+        self._cache_evicting = False
+        self._cache_disabled = False
 
         block = view.block
         if block.having is None:
@@ -444,6 +449,9 @@ class NLJPOperator(ops.PhysicalOperator):
 
     def _run_inner(self, ctx: ops.ExecutionContext, binding) -> PayloadRows:
         ctx.stats.inner_evaluations += 1
+        governor = ctx.governor
+        if governor is not None:
+            governor.check("inner-eval")
         saved = dict(ctx.params)
         ctx.params.update(zip(self.param_names, binding))
         try:
@@ -488,6 +496,8 @@ class NLJPOperator(ops.PhysicalOperator):
         self.env.ctx_holder.setdefault("ctx", ctx)
         cache = self._new_cache()
         self.cache = cache
+        self._cache_evicting = False
+        self._cache_disabled = False
         params = ctx.params
         stats = ctx.stats
 
@@ -505,11 +515,15 @@ class NLJPOperator(ops.PhysicalOperator):
         """The per-binding core of Listing 6 / Section 7's pseudocode.
 
         Returns the cache entry, or None when the binding was pruned.
+        When the governor has disabled the cache under memory pressure
+        (``_cache_disabled``), every lookup/insert is skipped and the
+        binding is evaluated directly — correct, just unassisted.
         """
-        entry = cache.get(binding) if self.enable_memo else None
+        use_cache = not self._cache_disabled
+        entry = cache.get(binding) if (self.enable_memo and use_cache) else None
         if entry is not None:
             return entry
-        if self.pruning is not None:
+        if self.pruning is not None and use_cache:
             low = high = None
             low_strict = high_strict = False
             if self._order_bound is not None:
@@ -533,11 +547,50 @@ class NLJPOperator(ops.PhysicalOperator):
                 return None
         payload = self._run_inner(ctx, binding)
         unpromising = self._is_unpromising(payload, ctx.params)
-        if self.enable_memo or (self.pruning is not None and unpromising):
-            return cache.put(binding, payload, unpromising)
+        if use_cache and (
+            self.enable_memo or (self.pruning is not None and unpromising)
+        ):
+            governor = ctx.governor
+            if governor is not None:
+                governor.check("cache-insert")
+            entry = cache.put(binding, payload, unpromising)
+            if governor is not None:
+                self._enforce_cache_budget(governor, cache, entry)
+            return entry
         from repro.core.cache import CacheEntry
 
         return CacheEntry(binding=binding, payload=payload, unpromising=unpromising)
+
+    def _enforce_cache_budget(self, governor, cache: NLJPCache, entry) -> None:
+        """Apply the ``max_cache_bytes`` ceiling after an insertion.
+
+        ``degradation="fail"`` aborts with a typed error.  Under
+        ``"fallback"`` the cache first evicts by its policy (never the
+        just-inserted entry), and if the ceiling still cannot be met
+        memo/pruning lookups are disabled for the rest of the execution
+        — the join stays correct, it just loses its assist.  Both steps
+        land in ``stats.degradations``.
+        """
+        if not governor.cache_over_budget(cache.bytes_used):
+            return
+        if governor.degradation != "fallback":
+            raise governor.cache_budget_exceeded(cache.bytes_used)
+        if not self._cache_evicting:
+            self._cache_evicting = True
+            governor.degrade(
+                "nljp-cache",
+                f"max_cache_bytes={governor.max_cache_bytes} exceeded "
+                f"({cache.bytes_used} bytes); evicting under pressure",
+            )
+        cache.evict_until(governor.max_cache_bytes, keep=entry)
+        if governor.cache_over_budget(cache.bytes_used):
+            self._cache_disabled = True
+            cache.clear()
+            governor.degrade(
+                "nljp-cache",
+                "eviction cannot satisfy max_cache_bytes; "
+                "memo/pruning lookups disabled",
+            )
 
     def _execute_direct(
         self, ctx: ops.ExecutionContext, cache: NLJPCache
@@ -549,7 +602,10 @@ class NLJPOperator(ops.PhysicalOperator):
         cache/prune path from vectorized upstream operators.
         """
         params = ctx.params
+        governor = ctx.governor
         for qb_row in ops.execute_rows(self.qb_plan, ctx):
+            if governor is not None:
+                governor.check()
             binding = tuple(qb_row[p] for p in self.binding_positions)
             entry = self._lookup_or_compute(ctx, cache, binding)
             if entry is None or entry.unpromising:
@@ -566,9 +622,12 @@ class NLJPOperator(ops.PhysicalOperator):
     ) -> Iterator[Tuple[Any, ...]]:
         """General case: combine algebraic partials per (𝔾_L, 𝔾_R) group."""
         params = ctx.params
+        governor = ctx.governor
         groups: Dict[Tuple, List[Any]] = {}
         representative: Dict[Tuple, Tuple[Any, ...]] = {}
         for qb_row in ops.execute_rows(self.qb_plan, ctx):
+            if governor is not None:
+                governor.check()
             binding = tuple(qb_row[p] for p in self.binding_positions)
             entry = self._lookup_or_compute(ctx, cache, binding)
             if entry is None:

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.errors import OptimizationError, PlanningError
+from repro.errors import OptimizationError, PlanningError, ReproError
 from repro.sql import ast
 from repro.sql.parser import parse
 from repro.sql.render import render
@@ -66,9 +66,15 @@ class OptimizationReport:
     memoization: Optional[MemoizationDecision] = None
     nljp_partition: Optional[Tuple[str, ...]] = None
     notes: List[str] = field(default_factory=list)
+    #: Per-technique fallbacks taken under ``degradation="fallback"``:
+    #: each entry says which phase failed and what plan shape replaced
+    #: it.  Propagated into ``ExecutionStats.degradations`` at run time.
+    degradations: List[str] = field(default_factory=list)
 
     def summary(self) -> str:
         lines: List[str] = []
+        for event in self.degradations:
+            lines.append(f"DEGRADED {event}")
         for scope, reducer, decision in self.apriori:
             lines.append(
                 f"a-priori[{scope}]: reduce {','.join(reducer.target_aliases)} "
@@ -99,7 +105,22 @@ class OptimizedQuery:
     nljp: Optional[NLJPOperator] = None
 
     def execute(self, params: Optional[Dict] = None) -> Result:
-        return run_planned(self.planned, params)
+        """Run the optimized plan.
+
+        Optimizer-time degradation events (per-technique fallbacks) are
+        prepended to the execution's ``stats.degradations`` so callers
+        see the full story in one place — on success *and* on the
+        partial stats carried by a typed error.
+        """
+        try:
+            result = run_planned(self.planned, params)
+        except ReproError as error:
+            if self.report.degradations and error.stats is not None:
+                error.stats.degradations[:0] = self.report.degradations
+            raise
+        if self.report.degradations:
+            result.stats.degradations[:0] = self.report.degradations
+        return result
 
     def explain(self) -> str:
         return self.report.summary() + "\n---\n" + self.planned.explain()
@@ -132,6 +153,22 @@ class SmartIcebergOptimizer:
             raise OptimizationError(
                 f"binding_order must be 'none' or 'auto', got {binding_order!r}"
             )
+        # Validate the cache knobs here, at the API boundary, instead of
+        # letting a bad value surface later as a failure deep inside
+        # NLJPCache construction mid-optimization.
+        if cache_policy not in ("none", "lru", "utility"):
+            raise ValueError(
+                f"cache_policy must be one of ('none', 'lru', 'utility'), "
+                f"got {cache_policy!r}"
+            )
+        if cache_max_entries is not None and cache_max_entries < 1:
+            raise ValueError(
+                f"cache_max_entries must be >= 1, got {cache_max_entries}"
+            )
+        if cache_policy != "none" and cache_max_entries is None:
+            raise ValueError(
+                f"cache_policy {cache_policy!r} requires cache_max_entries"
+            )
         self.db = db
         self.enable_apriori = enable_apriori
         self.enable_pruning = enable_pruning
@@ -142,6 +179,20 @@ class SmartIcebergOptimizer:
         self.cache_policy = cache_policy
         self.max_partition_size = max_partition_size
         self.binding_order = binding_order
+        # Governor-facing knobs: per-technique fallback and the
+        # optimizer-time fault sites ("reducer", "qe").
+        self.degradation = self.config.degradation
+        self.fault_plan = self.config.fault_plan
+
+    def _observe_fault(self, site: str) -> None:
+        """Forward an optimizer-time fault site to the configured plan.
+
+        Virtual slowdowns are meaningless before execution starts (no
+        deadline clock is running yet), so only injected errors have an
+        effect here.
+        """
+        if self.fault_plan is not None:
+            self.fault_plan.observe(site)
 
     # ------------------------------------------------------------------
     def optimize(self, statement) -> OptimizedQuery:
@@ -156,7 +207,7 @@ class SmartIcebergOptimizer:
         for cte in query.ctes:
             select = cte.query
             if self.enable_apriori:
-                select = self._apriori_phase(
+                select = self._safe_apriori_phase(
                     select, cte_infos, report, scope=f"with:{cte.name}"
                 )
             new_ctes.append(
@@ -167,7 +218,7 @@ class SmartIcebergOptimizer:
         # Phase 2: main block a-priori.
         body = query.body
         if self.enable_apriori:
-            body = self._apriori_phase(body, cte_infos, report, scope="main")
+            body = self._safe_apriori_phase(body, cte_infos, report, scope="main")
 
         rewritten = ast.Query(body=body, ctes=tuple(new_ctes))
 
@@ -184,7 +235,18 @@ class SmartIcebergOptimizer:
 
         nljp = None
         if self.enable_pruning or self.enable_memo:
-            nljp = self._memprune_phase(body, cte_infos, env, report)
+            try:
+                nljp = self._memprune_phase(body, cte_infos, env, report)
+            except ReproError as error:
+                if self.degradation != "fallback":
+                    raise
+                nljp = None
+                report.pruning = None
+                report.memoization = None
+                report.nljp_partition = None
+                report.degradations.append(
+                    f"memprune: {error} — falling back to the baseline join plan"
+                )
 
         if nljp is not None:
             planned = self._finalize_nljp_plan(body, nljp, env)
@@ -216,6 +278,35 @@ class SmartIcebergOptimizer:
             return IcebergBlock(select, self.db, cte_infos)
         except OptimizationError:
             return None
+
+    def _safe_apriori_phase(
+        self,
+        select: ast.Select,
+        cte_infos: Dict[str, CteInfo],
+        report: OptimizationReport,
+        scope: str,
+    ) -> ast.Select:
+        """The a-priori phase with per-technique fallback.
+
+        Under ``degradation="fallback"`` any :class:`ReproError` raised
+        while building reducers (including injected "reducer" faults)
+        abandons the phase for this block: the block is left unreduced
+        — the baseline shape, still correct — and the reason lands in
+        the report's degradation log.  Reducers already recorded for
+        this block are rolled back so ``explain()`` matches the plan
+        actually produced.
+        """
+        recorded = len(report.apriori)
+        try:
+            return self._apriori_phase(select, cte_infos, report, scope)
+        except ReproError as error:
+            if self.degradation != "fallback":
+                raise
+            del report.apriori[recorded:]
+            report.degradations.append(
+                f"apriori[{scope}]: {error} — block left unreduced"
+            )
+            return select
 
     def _apriori_phase(
         self,
@@ -293,6 +384,7 @@ class SmartIcebergOptimizer:
                     )
                 )
                 continue
+            self._observe_fault("reducer")
             reducer = build_reducer(view, left=True)
             report.apriori.append((scope, reducer, decision))
             return reducer, frozenset(subset)
@@ -381,6 +473,7 @@ class SmartIcebergOptimizer:
         best: Optional[NLJPOperator] = None
         for candidate in candidates:
             view = block.partition(sorted(candidate))
+            self._observe_fault("qe")
             pruning = check_pruning(view, outer_left=True)
             memo = check_memoization(view, outer_left=True)
             use_pruning = self.enable_pruning and pruning.applicable

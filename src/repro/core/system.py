@@ -27,6 +27,7 @@ from typing import Dict, Optional, Union
 
 from repro.sql import ast
 from repro.engine.executor import Result, execute as engine_execute
+from repro.engine.governor import CancelToken
 from repro.engine.planner import EngineConfig
 from repro.core.optimizer import OptimizedQuery, SmartIcebergOptimizer
 from repro.storage.catalog import Database
@@ -50,12 +51,22 @@ class SmartIceberg:
         binding_order: str = "none",
         execution_mode: Optional[str] = None,
         batch_size: Optional[int] = None,
+        max_rows_scanned: Optional[int] = None,
+        max_join_pairs: Optional[int] = None,
+        max_cache_bytes: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+        degradation: Optional[str] = None,
+        cancel_token: Optional[CancelToken] = None,
+        fault_plan: Optional[object] = None,
     ) -> None:
         self.db = db
         self.config = config or EngineConfig.smart()
-        # Mode knobs override the config; None inherits its settings.
-        # Batch mode is a pure wall-clock optimization: rows and work
-        # counters are identical to row mode.
+        # Mode and governor knobs override the config; None inherits
+        # its settings.  Batch mode is a pure wall-clock optimization:
+        # rows and work counters are identical to row mode.  Governor
+        # budgets bound the work one execution may do (see
+        # repro.engine.governor); ``degradation="fallback"`` trades
+        # the paper's techniques for survival instead of aborting.
         overrides: Dict[str, object] = {}
         if execution_mode is not None:
             if execution_mode not in ("row", "batch"):
@@ -63,6 +74,17 @@ class SmartIceberg:
             overrides["execution_mode"] = execution_mode
         if batch_size is not None:
             overrides["batch_size"] = batch_size
+        for name, value in (
+            ("max_rows_scanned", max_rows_scanned),
+            ("max_join_pairs", max_join_pairs),
+            ("max_cache_bytes", max_cache_bytes),
+            ("deadline_seconds", deadline_seconds),
+            ("degradation", degradation),
+            ("cancel_token", cancel_token),
+            ("fault_plan", fault_plan),
+        ):
+            if value is not None:
+                overrides[name] = value
         if overrides:
             self.config = dataclasses.replace(self.config, **overrides)
         self.execution_mode = self.config.execution_mode

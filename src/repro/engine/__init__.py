@@ -1,12 +1,15 @@
 """Query engine: planner, physical operators, executor, work counters."""
 
 from repro.engine.executor import Result, execute, explain, run_planned
+from repro.engine.governor import CancelToken, Governor
 from repro.engine.planner import EngineConfig, PlannedQuery, plan_query
 from repro.engine.stats import ExecutionStats
 
 __all__ = [
+    "CancelToken",
     "EngineConfig",
     "ExecutionStats",
+    "Governor",
     "PlannedQuery",
     "Result",
     "execute",

@@ -6,8 +6,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.errors import ReproError, TypeCheckError
 from repro.sql import ast
 from repro.sql.parser import parse
+from repro.engine.governor import Governor
 from repro.engine.operators import DEFAULT_BATCH_SIZE, ExecutionContext
 from repro.engine.planner import EngineConfig, PlannedQuery, plan_query
 from repro.engine.stats import ExecutionStats
@@ -81,6 +83,14 @@ def run_planned(
     ``execution_mode``/``batch_size`` override the planned config's
     settings; ``None`` inherits them.  Batch mode produces identical
     rows and identical work counters, only faster.
+
+    When the config sets any governor knob (budgets, deadline, cancel
+    token, fault plan), a :class:`~repro.engine.governor.Governor` is
+    attached to the execution context and operators enforce it at
+    row/batch boundaries.  Any :class:`ReproError` escaping execution
+    carries the partial stats accumulated so far in ``error.stats``;
+    a bare ``TypeError`` from a compiled expression (a query/data type
+    mismatch at run time) is wrapped as :class:`TypeCheckError`.
     """
     config = planned.env.config
     mode = execution_mode if execution_mode is not None else config.execution_mode
@@ -94,6 +104,7 @@ def run_planned(
         params=dict(params or {}),
         batch_size=(batch_size or DEFAULT_BATCH_SIZE) if mode == "batch" else None,
     )
+    ctx.governor = Governor.from_config(config, ctx.stats)
     planned.env.ctx_holder["ctx"] = ctx
     start = time.perf_counter()
     try:
@@ -103,6 +114,14 @@ def run_planned(
                 rows.extend(batch)
         else:
             rows = list(planned.root.execute(ctx))
+    except ReproError as error:
+        if error.stats is None:
+            error.stats = ctx.stats
+        raise
+    except TypeError as error:
+        wrapped = TypeCheckError(f"type error during execution: {error}")
+        wrapped.stats = ctx.stats
+        raise wrapped from error
     finally:
         planned.env.ctx_holder.pop("ctx", None)
     elapsed = time.perf_counter() - start

@@ -37,11 +37,19 @@ class ExecutionContext:
     ``batch_size`` is ``None`` in row-at-a-time mode; in batch mode it
     carries the configured chunk size so nested plan executions (NLJP
     inner queries, CTE materializations) pick the same mode.
+
+    ``governor`` is the execution governor
+    (:class:`repro.engine.governor.Governor`) enforcing resource
+    budgets, cancellation, and fault injection; ``None`` (the default)
+    means ungoverned execution and operators skip all checks.
+    Governor checks never mutate counters, so a governed run that trips
+    nothing is bit-identical to an ungoverned one.
     """
 
     stats: ExecutionStats = field(default_factory=ExecutionStats)
     params: Dict[str, Any] = field(default_factory=dict)
     batch_size: Optional[int] = None
+    governor: Optional[Any] = None
 
 
 def chunked(iterable, size: int) -> Iterator[List[Row]]:
@@ -116,10 +124,13 @@ def _scan_batches(
     size = ctx.batch_size or DEFAULT_BATCH_SIZE
     stats = ctx.stats
     params = ctx.params
+    governor = ctx.governor
     kernel = batch_filter(predicate)
     for start in range(0, len(rows), size):
         chunk = list(rows[start : start + size])
         stats.rows_scanned += len(chunk)
+        if governor is not None:
+            governor.check("scan")
         if kernel is not None:
             chunk = kernel(chunk, params)
         if chunk:
@@ -141,8 +152,11 @@ class TableScan(PhysicalOperator):
         predicate = self.predicate
         params = ctx.params
         stats = ctx.stats
+        governor = ctx.governor
         for row in self.table.rows:
             stats.rows_scanned += 1
+            if governor is not None:
+                governor.check("scan")
             if predicate is None or predicate(row, params) is True:
                 yield row
 
@@ -175,8 +189,11 @@ class RowsSource(PhysicalOperator):
         predicate = self.predicate
         params = ctx.params
         stats = ctx.stats
+        governor = ctx.governor
         for row in self.rows:
             stats.rows_scanned += 1
+            if governor is not None:
+                governor.check("scan")
             if predicate is None or predicate(row, params) is True:
                 yield row
 
@@ -236,7 +253,10 @@ class NestedLoopJoin(PhysicalOperator):
         predicate = self.predicate
         params = ctx.params
         stats = ctx.stats
+        governor = ctx.governor
         for outer_row in self.outer.execute(ctx):
+            if governor is not None:
+                governor.check("join-pair")
             for inner_row in inner_rows:
                 stats.join_pairs += 1
                 combined = outer_row + inner_row
@@ -249,9 +269,12 @@ class NestedLoopJoin(PhysicalOperator):
         kernel = batch_filter(self.predicate)
         params = ctx.params
         stats = ctx.stats
+        governor = ctx.governor
         n_inner = len(inner_rows)
         buf: List[Row] = []
         for batch in self.outer.execute_batches(ctx):
+            if governor is not None:
+                governor.check("join-pair")
             for outer_row in batch:
                 stats.join_pairs += n_inner
                 combined = [outer_row + inner_row for inner_row in inner_rows]
@@ -305,7 +328,10 @@ class HashJoin(PhysicalOperator):
                 continue  # NULL keys never match in SQL
             buckets.setdefault(key, []).append(inner_row)
         residual = self.residual
+        governor = ctx.governor
         for outer_row in self.outer.execute(ctx):
+            if governor is not None:
+                governor.check("join-pair")
             key = self.outer_key(outer_row, params)
             if key is None or (isinstance(key, tuple) and None in key):
                 continue
@@ -329,8 +355,11 @@ class HashJoin(PhysicalOperator):
                 buckets.setdefault(key, []).append(inner_row)
         residual_kernel = batch_filter(self.residual)
         empty: Tuple[Row, ...] = ()
+        governor = ctx.governor
         buf: List[Row] = []
         for batch in self.outer.execute_batches(ctx):
+            if governor is not None:
+                governor.check("join-pair")
             for outer_row, key in zip(batch, outer_keys(batch, params)):
                 if key is None or (isinstance(key, tuple) and None in key):
                     continue
@@ -392,7 +421,10 @@ class IndexNestedLoopJoin(PhysicalOperator):
         rows = self.table.rows
         residual = self.residual
         inner_filter = self.inner_filter
+        governor = ctx.governor
         for outer_row in self.outer.execute(ctx):
+            if governor is not None:
+                governor.check("join-pair")
             key = self.probe_key(outer_row, params)
             if not isinstance(key, tuple):
                 key = (key,)
@@ -415,8 +447,11 @@ class IndexNestedLoopJoin(PhysicalOperator):
         probe_keys = batch_values(self.probe_key)
         filter_kernel = batch_filter(self.inner_filter)
         residual_kernel = batch_filter(self.residual)
+        governor = ctx.governor
         buf: List[Row] = []
         for batch in self.outer.execute_batches(ctx):
+            if governor is not None:
+                governor.check("join-pair")
             for outer_row, key in zip(batch, probe_keys(batch, params)):
                 if not isinstance(key, tuple):
                     key = (key,)
@@ -485,7 +520,10 @@ class SortedIndexRangeJoin(PhysicalOperator):
         rows = self.table.rows
         residual = self.residual
         inner_filter = self.inner_filter
+        governor = ctx.governor
         for outer_row in self.outer.execute(ctx):
+            if governor is not None:
+                governor.check("join-pair")
             low = self.low(outer_row, params) if self.low is not None else None
             high = self.high(outer_row, params) if self.high is not None else None
             if (self.low is not None and low is None) or (
@@ -514,8 +552,11 @@ class SortedIndexRangeJoin(PhysicalOperator):
         high_keys = batch_values(self.high) if self.high is not None else None
         filter_kernel = batch_filter(self.inner_filter)
         residual_kernel = batch_filter(self.residual)
+        governor = ctx.governor
         buf: List[Row] = []
         for batch in self.outer.execute_batches(ctx):
+            if governor is not None:
+                governor.check("join-pair")
             lows = low_keys(batch, params) if low_keys is not None else [None] * len(batch)
             highs = high_keys(batch, params) if high_keys is not None else [None] * len(batch)
             for outer_row, low, high in zip(batch, lows, highs):
@@ -588,8 +629,11 @@ class IndexPointScan(PhysicalOperator):
         stats.index_probes += 1
         rows = self.table.rows
         residual = self.residual
+        governor = ctx.governor
         for row_id in self.index.lookup(key):
             stats.rows_scanned += 1
+            if governor is not None:
+                governor.check("scan")
             row = rows[row_id]
             if residual is None or residual(row, params) is True:
                 yield row
@@ -604,6 +648,8 @@ class IndexPointScan(PhysicalOperator):
         rows = self.table.rows
         matches = [rows[row_id] for row_id in self.index.lookup(key)]
         stats.rows_scanned += len(matches)
+        if ctx.governor is not None:
+            ctx.governor.check("scan")
         kernel = batch_filter(self.residual)
         if kernel is not None:
             matches = kernel(matches, params)
@@ -658,10 +704,13 @@ class IndexRangeScan(PhysicalOperator):
         stats.index_probes += 1
         rows = self.table.rows
         residual = self.residual
+        governor = ctx.governor
         for row_id in self.index.range_scan(
             low=low, high=high, low_strict=self.low_strict, high_strict=self.high_strict
         ):
             stats.rows_scanned += 1
+            if governor is not None:
+                governor.check("scan")
             row = rows[row_id]
             if residual is None or residual(row, params) is True:
                 yield row
@@ -684,6 +733,8 @@ class IndexRangeScan(PhysicalOperator):
             )
         ]
         stats.rows_scanned += len(matches)
+        if ctx.governor is not None:
+            ctx.governor.check("scan")
         kernel = batch_filter(self.residual)
         if kernel is not None:
             matches = kernel(matches, params)
@@ -718,9 +769,12 @@ class HashAggregate(PhysicalOperator):
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         params = ctx.params
         stats = ctx.stats
+        governor = ctx.governor
         groups: Dict[Tuple[Any, ...], List[Any]] = {}
         for row in self.child.execute(ctx):
             stats.aggregation_inputs += 1
+            if governor is not None:
+                governor.check()
             key = tuple(fn(row, params) for fn in self.key_fns)
             accumulators = groups.get(key)
             if accumulators is None:
@@ -749,9 +803,12 @@ class HashAggregate(PhysicalOperator):
         ]
         groups: Dict[Tuple[Any, ...], List[Any]] = {}
         specs = self.aggregate_specs
+        governor = ctx.governor
         for batch in self.child.execute_batches(ctx):
             n = len(batch)
             stats.aggregation_inputs += n
+            if governor is not None:
+                governor.check()
             if key_batches:
                 keys = list(zip(*(kb(batch, params) for kb in key_batches)))
             else:

@@ -28,6 +28,7 @@ from repro.sql import ast
 from repro.engine import operators as ops
 from repro.engine.aggregates import AggregateSpec, make_spec
 from repro.engine.expressions import Compiled, ExpressionCompiler
+from repro.engine.governor import DEGRADATION_MODES, CancelToken
 from repro.engine.layout import Layout
 from repro.storage.catalog import Database
 from repro.storage.table import Table
@@ -47,6 +48,21 @@ class EngineConfig:
     produce identical rows and identical work counters; batch mode only
     amortizes interpreter dispatch.  ``batch_size`` overrides the batch
     chunk size (``None`` uses ``operators.DEFAULT_BATCH_SIZE``).
+
+    The governor knobs bound one execution (see
+    :mod:`repro.engine.governor`): ``max_rows_scanned`` and
+    ``max_join_pairs`` cap the corresponding work counters,
+    ``max_cache_bytes`` caps the NLJP cache footprint,
+    ``deadline_seconds`` caps wall clock, and ``cancel_token`` allows
+    cooperative cancellation.  ``degradation`` selects what happens on
+    cache pressure and optimizer-technique failures: ``"fail"`` raises
+    a typed error with partial stats, ``"fallback"`` degrades to a
+    slower-but-correct plan and records why in
+    ``ExecutionStats.degradations``.  ``fault_plan`` is the test-only
+    deterministic fault-injection hook
+    (:class:`repro.testing.faults.FaultPlan`).  ``None`` everywhere —
+    the default — means ungoverned execution with zero overhead and
+    bit-identical behaviour.
     """
 
     join_policy: str = "index-first"  # 'index-first' | 'hash-first' | 'nlj-only'
@@ -56,6 +72,28 @@ class EngineConfig:
     label: str = "postgres"
     execution_mode: str = "row"  # 'row' | 'batch'
     batch_size: Optional[int] = None
+    max_rows_scanned: Optional[int] = None
+    max_join_pairs: Optional[int] = None
+    max_cache_bytes: Optional[int] = None
+    deadline_seconds: Optional[float] = None
+    degradation: str = "fail"  # 'fail' | 'fallback'
+    cancel_token: Optional[CancelToken] = None
+    fault_plan: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        if self.degradation not in DEGRADATION_MODES:
+            raise ValueError(
+                f"degradation must be one of {DEGRADATION_MODES}, "
+                f"got {self.degradation!r}"
+            )
+        for name in ("max_rows_scanned", "max_join_pairs", "max_cache_bytes"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.deadline_seconds is not None and self.deadline_seconds < 0:
+            raise ValueError(
+                f"deadline_seconds must be >= 0, got {self.deadline_seconds}"
+            )
 
     @classmethod
     def postgres(cls) -> "EngineConfig":
@@ -110,8 +148,11 @@ class _MaterializedScan(ops.PhysicalOperator):
         predicate = self.predicate
         params = ctx.params
         stats = ctx.stats
+        governor = ctx.governor
         for row in self.cell.rows(ctx):
             stats.rows_scanned += 1
+            if governor is not None:
+                governor.check("scan")
             if predicate is None or predicate(row, params) is True:
                 yield row
 

@@ -21,12 +21,19 @@ metric used for the shape assertions in benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 
 @dataclass(slots=True)
 class ExecutionStats:
-    """Mutable counter bundle threaded through one query execution."""
+    """Mutable counter bundle threaded through one query execution.
+
+    ``degradations`` is not a counter: it is the ordered list of
+    graceful-degradation events (strings) recorded by the execution
+    governor and the optimizer's per-technique fallbacks.  It is empty
+    for healthy runs, excluded from :meth:`as_dict` (which stays a
+    pure counter mapping), and concatenated by :meth:`merge`.
+    """
 
     rows_scanned: int = 0
     join_pairs: int = 0
@@ -41,6 +48,7 @@ class ExecutionStats:
     reducer_rows_removed: int = 0
     cache_rows: int = 0
     cache_bytes: int = 0
+    degradations: List[str] = field(default_factory=list)
 
     def merge(self, other: "ExecutionStats") -> None:
         """Accumulate another stats bundle into this one."""
@@ -64,8 +72,15 @@ class ExecutionStats:
         )
 
     def as_dict(self) -> Dict[str, int]:
-        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+        """The pure counter mapping (degradation events excluded)."""
+        return {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+            if name != "degradations"
+        }
 
     def __repr__(self) -> str:
         interesting = {k: v for k, v in self.as_dict().items() if v}
+        if self.degradations:
+            interesting["degradations"] = list(self.degradations)
         return f"ExecutionStats({interesting})"

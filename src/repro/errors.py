@@ -7,9 +7,20 @@ still distinguishing parse errors from planning or execution errors.
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    Errors that escape query *execution* additionally carry the partial
+    :class:`~repro.engine.stats.ExecutionStats` accumulated up to the
+    failure point in ``stats`` (attached by the executor), so callers
+    can see how much work a failed query performed.
+    """
+
+    #: Partial ExecutionStats at the failure point (execution errors).
+    stats: Optional[Any] = None
 
 
 class SqlError(ReproError):
@@ -46,6 +57,59 @@ class ExecutionError(ReproError):
 
 class TypeCheckError(ExecutionError):
     """Raised when an expression is applied to values of the wrong type."""
+
+
+class GovernorError(ExecutionError):
+    """Base class for errors raised by the execution governor.
+
+    ``stats`` holds the partial :class:`ExecutionStats` of the aborted
+    execution — the counters are accurate up to the abort point.
+    """
+
+    def __init__(self, message: str, stats: Optional[Any] = None) -> None:
+        super().__init__(message)
+        self.stats = stats
+
+
+class BudgetExceededError(GovernorError):
+    """Raised when an execution exceeds a configured resource budget.
+
+    ``budget`` names the tripped knob (``rows_scanned``, ``join_pairs``,
+    ``cache_bytes``, ``deadline_seconds``); ``limit`` and ``used`` give
+    the ceiling and the measured value at the trip point.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        budget: str = "",
+        limit: Optional[float] = None,
+        used: Optional[float] = None,
+        stats: Optional[Any] = None,
+    ) -> None:
+        super().__init__(message, stats=stats)
+        self.budget = budget
+        self.limit = limit
+        self.used = used
+
+
+class QueryCancelledError(GovernorError):
+    """Raised when a cooperative :class:`CancelToken` is cancelled."""
+
+
+class InjectedFaultError(ExecutionError):
+    """Raised by the deterministic fault-injection harness.
+
+    Tests use this to prove every failure path surfaces as a typed
+    :class:`ReproError` (with partial stats) rather than a bare
+    ``KeyError``/``RecursionError``.  ``site`` names the injection
+    point (``scan``, ``join-pair``, ``cache-insert``, ``inner-eval``,
+    ``qe``, ``reducer``).
+    """
+
+    def __init__(self, message: str, site: str = "") -> None:
+        super().__init__(message)
+        self.site = site
 
 
 class OptimizationError(ReproError):

@@ -1,0 +1,5 @@
+"""Testing utilities: the deterministic fault-injection harness."""
+
+from repro.testing.faults import FAULT_SITES, FaultPlan, FaultSpec
+
+__all__ = ["FAULT_SITES", "FaultPlan", "FaultSpec"]

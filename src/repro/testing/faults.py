@@ -1,0 +1,172 @@
+"""Deterministic fault injection for the execution governor.
+
+A :class:`FaultPlan` injects failures or slowdowns at *named sites*
+threaded through the engine and optimizer:
+
+========== ==========================================================
+site       observed at
+========== ==========================================================
+scan       every scan row/batch boundary (all scan operators)
+join-pair  every outer row/batch boundary of every join operator
+cache-insert  immediately before an NLJP cache ``put``
+inner-eval immediately before an NLJP inner-query (Q_R) evaluation
+qe         before each subsumption-predicate derivation (optimizer)
+reducer    before each a-priori reducer build (optimizer)
+========== ==========================================================
+
+Triggers are deterministic: either *by count* (``after`` — fire from
+the (after+1)-th hit of the site on) or *by seed* (``probability``
+with the plan's seed — a per-spec ``random.Random`` stream, so the
+same plan replays the same trigger sequence).  There is **no
+wall-clock randomness**: even "slowdowns" do not sleep — they report
+virtual seconds that the governor adds to its deadline clock, so
+deadline tests are exact and instant.
+
+Injected errors default to :class:`~repro.errors.InjectedFaultError`;
+a spec may instead carry any exception instance or factory (e.g. a
+``QuantifierEliminationError`` to exercise the optimizer's per-
+technique fallback).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.errors import InjectedFaultError
+
+#: Every site the engine/optimizer reports to a fault plan.
+FAULT_SITES = (
+    "scan",
+    "join-pair",
+    "cache-insert",
+    "inner-eval",
+    "qe",
+    "reducer",
+)
+
+FaultException = Union[BaseException, Callable[[], BaseException]]
+
+
+@dataclass
+class FaultSpec:
+    """One injection rule.
+
+    ``kind``
+        ``"error"`` raises (default :class:`InjectedFaultError`);
+        ``"slow"`` adds ``delay_seconds`` of *virtual* time to the
+        governor's deadline clock.
+    ``after``
+        Count trigger: fire on every hit strictly after this many
+        hits of the site (``after=0`` fires from the first hit).
+    ``probability``
+        Seed trigger: fire per hit with this probability, drawn from
+        the plan's deterministic per-spec random stream.  Mutually
+        exclusive with a non-zero ``after``.
+    ``times``
+        Maximum number of firings (``None`` = unlimited).
+    ``exception``
+        Exception instance or zero-argument factory to raise instead
+        of :class:`InjectedFaultError` (``kind="error"`` only).
+    """
+
+    site: str
+    kind: str = "error"
+    after: int = 0
+    probability: Optional[float] = None
+    times: Optional[int] = 1
+    delay_seconds: float = 0.0
+    message: str = ""
+    exception: Optional[FaultException] = None
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; valid sites: {FAULT_SITES}"
+            )
+        if self.kind not in ("error", "slow"):
+            raise ValueError(f"fault kind must be 'error' or 'slow', got {self.kind!r}")
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+        if self.probability is not None and not (0.0 <= self.probability <= 1.0):
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.probability is not None and self.after:
+            raise ValueError("use either 'after' (count) or 'probability' (seed)")
+        if self.kind == "slow" and self.delay_seconds < 0:
+            raise ValueError(f"delay_seconds must be >= 0, got {self.delay_seconds}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times}")
+
+
+class FaultPlan:
+    """A deterministic schedule of faults over named sites.
+
+    The engine calls :meth:`observe` at each site hit; the plan counts
+    hits per site, fires the specs whose triggers match, and either
+    raises or returns the total virtual delay for this hit.  A plan is
+    single-use per logical experiment but may be observed across the
+    optimizer and execution phases of one query.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec], seed: int = 0) -> None:
+        self.specs = list(specs)
+        self.seed = seed
+        self._hits: Dict[str, int] = {site: 0 for site in FAULT_SITES}
+        self._fired: List[int] = [0] * len(self.specs)
+        # One independent, reproducibly-seeded stream per spec so the
+        # firing pattern of one spec never perturbs another's.
+        self._rngs = [
+            random.Random(f"{seed}:{index}:{spec.site}")
+            for index, spec in enumerate(self.specs)
+        ]
+
+    # ------------------------------------------------------------------
+    def hits(self, site: str) -> int:
+        """How many times ``site`` has been observed so far."""
+        return self._hits[site]
+
+    def fired(self, spec_index: int = 0) -> int:
+        """How many times the given spec has fired."""
+        return self._fired[spec_index]
+
+    # ------------------------------------------------------------------
+    def _triggers(self, index: int, spec: FaultSpec, hit: int) -> bool:
+        if spec.times is not None and self._fired[index] >= spec.times:
+            return False
+        if spec.probability is not None:
+            return self._rngs[index].random() < spec.probability
+        return hit > spec.after
+
+    def _raise(self, spec: FaultSpec, site: str, hit: int) -> None:
+        exception = spec.exception
+        if exception is None:
+            message = spec.message or f"injected fault at {site} (hit #{hit})"
+            raise InjectedFaultError(message, site=site)
+        if isinstance(exception, BaseException):
+            raise exception
+        raise exception()
+
+    def observe(self, site: str) -> float:
+        """Report one hit of ``site``; raise or return virtual delay.
+
+        Returns the summed ``delay_seconds`` of every "slow" spec that
+        fired on this hit (0.0 when none did).  An "error" spec that
+        fires raises instead.
+        """
+        if site not in self._hits:
+            raise ValueError(
+                f"unknown fault site {site!r}; valid sites: {FAULT_SITES}"
+            )
+        self._hits[site] += 1
+        hit = self._hits[site]
+        delay = 0.0
+        for index, spec in enumerate(self.specs):
+            if spec.site != site or not self._triggers(index, spec, hit):
+                continue
+            self._fired[index] += 1
+            if spec.kind == "slow":
+                delay += spec.delay_seconds
+            else:
+                self._raise(spec, site, hit)
+        return delay

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.cache import NLJPCache
+from repro.core.cache import NLJPCache, entry_bytes
 
 
 def payload(*groups):
@@ -115,3 +115,51 @@ class TestFootprint:
             unpromising=False,
         )
         assert big.estimated_bytes() > small.estimated_bytes()
+
+    def test_incremental_bytes_match_per_entry_sizes(self):
+        """bytes_used is exactly the sum of entry_bytes over entries."""
+        cache = NLJPCache()
+        assert cache.estimated_bytes() == 0
+        expected = 0
+        for i in range(5):
+            entry = cache.put(
+                (i, f"key{i}"), payload(((i,), (i * 2, 2.5))), unpromising=i % 2 == 0
+            )
+            expected += entry_bytes(entry)
+            assert cache.estimated_bytes() == expected
+
+    def test_overwrite_replaces_footprint(self):
+        cache = NLJPCache()
+        cache.put((1,), payload((("x" * 50,), (1,))), unpromising=False)
+        before = cache.estimated_bytes()
+        entry = cache.put((1,), payload(), unpromising=False)
+        assert cache.estimated_bytes() == entry_bytes(entry) < before
+
+    def test_eviction_releases_bytes(self):
+        cache = NLJPCache(max_entries=2, policy="lru")
+        cache.put((1,), payload((("a",), (1,))), unpromising=False)
+        cache.put((2,), payload((("b",), (2,))), unpromising=False)
+        cache.put((3,), payload((("c",), (3,))), unpromising=False)
+        assert cache.estimated_bytes() == sum(
+            entry_bytes(cache.get(b)) for b in ((2,), (3,))
+        )
+
+    def test_evict_until_honours_keep(self):
+        cache = NLJPCache()
+        for i in range(4):
+            kept = cache.put((i,), payload(((i,), (i,))), unpromising=True)
+        evicted = cache.evict_until(0, keep=kept)
+        assert evicted == 3
+        assert cache.get((3,)) is kept
+        assert cache.estimated_bytes() == entry_bytes(kept)
+        # The kept entry alone still exceeds the budget: no progress.
+        assert cache.evict_until(0, keep=kept) == 0
+
+    def test_clear_zeroes_everything(self):
+        cache = NLJPCache(order_position=0)
+        cache.put((1,), payload(), unpromising=True)
+        cache.put((2,), payload(), unpromising=False)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.estimated_bytes() == 0
+        assert list(cache.prune_candidates((0,), low=0)) == []

@@ -82,6 +82,43 @@ class TestFigure1Queries:
         query = figure1_queries()[name]
         assert_modes_agree(BATTING, query.sql)
 
+    @pytest.mark.parametrize("name", ["Q1", "Q4", "Q7"])
+    def test_governed_execution_is_bit_identical(self, name):
+        """A governor whose budgets never trip must not change a thing:
+        same rows, same value for EVERY ExecutionStats counter, in both
+        modes — the governor's zero-overhead contract."""
+        from repro import CancelToken
+
+        sql = figure1_queries()[name].sql
+        governor_knobs = dict(
+            max_rows_scanned=10**12,
+            max_join_pairs=10**12,
+            max_cache_bytes=10**12,
+            deadline_seconds=3600.0,
+            cancel_token=CancelToken(),
+            degradation="fallback",
+        )
+        for mode in ("row", "batch"):
+            plain = SmartIceberg(BATTING, execution_mode=mode).execute(sql)
+            governed = SmartIceberg(
+                BATTING, execution_mode=mode, **governor_knobs
+            ).execute(sql)
+            assert governed.rows == plain.rows, f"{mode}: rows differ"
+            assert governed.stats.as_dict() == plain.stats.as_dict(), (
+                f"{mode}: counters differ"
+            )
+            assert governed.stats.degradations == []
+        ungoverned_config = EngineConfig.postgres()
+        governed_config = dataclasses.replace(
+            ungoverned_config,
+            max_rows_scanned=10**12,
+            cancel_token=CancelToken(),
+        )
+        plain = execute(BATTING, sql, ungoverned_config)
+        governed = execute(BATTING, sql, governed_config)
+        assert governed.rows == plain.rows
+        assert governed.stats.as_dict() == plain.stats.as_dict()
+
 
 class TestWorkloadQueries:
     def test_l2_skyband(self):
