@@ -49,15 +49,35 @@ SUITE_SYSTEMS = ("base", "vendor", "memo", "all")
 
 MODES = ("row", "batch")
 
+#: Runner labels (``EngineConfig.label``) mapped back to the suite
+#: system names of :data:`SUITE_SYSTEMS`, so every record's ``system``
+#: field matches the name the suite declares.  Historically the "base"
+#: runner leaked its config label ("postgres") into the records.
+_LABEL_TO_SYSTEM = {"postgres": "base"}
+
+
+def _estimated_cost(measurement: Measurement) -> Optional[float]:
+    """Planner-estimated cost of the measured plan, if annotated.
+
+    NLJP plans (and plans produced before estimation existed) have no
+    root annotation; those record ``null``.
+    """
+    plan = measurement.result.plan
+    if plan is None:
+        return None
+    estimated = plan.estimated_cost()
+    return None if estimated is None else round(estimated, 3)
+
 
 def _measurement_record(measurement: Measurement) -> Dict[str, Any]:
     return {
         "query": measurement.query,
-        "system": measurement.system,
+        "system": _LABEL_TO_SYSTEM.get(measurement.system, measurement.system),
         "mode": measurement.execution_mode,
         "seconds": round(measurement.seconds, 6),
         "optimize_seconds": round(measurement.optimize_seconds, 6),
         "cost": measurement.cost,
+        "estimated_cost": _estimated_cost(measurement),
         "rows": measurement.rows,
         "counters": measurement.stats.as_dict(),
         # Graceful-degradation events (empty for healthy runs).  Kept
@@ -128,7 +148,7 @@ def run_headline(n_rows: int, repeats: int = 3) -> Dict[str, Any]:
     speedup = best["row"]["seconds"] / max(best["batch"]["seconds"], 1e-9)
     return {
         "query": "Q1",
-        "system": "postgres",
+        "system": "base",
         "n_rows": n_rows,
         "repeats": repeats,
         "row_seconds": best["row"]["seconds"],
@@ -198,7 +218,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"wrote {args.out}: {len(records)} records in {elapsed:.1f}s")
     if headline is not None:
         print(
-            f"headline Q1 (postgres, n={headline['n_rows']}): "
+            f"headline Q1 ({headline['system']}, n={headline['n_rows']}): "
             f"row {headline['row_seconds']:.3f}s vs "
             f"batch {headline['batch_seconds']:.3f}s "
             f"-> {headline['speedup']:.2f}x"

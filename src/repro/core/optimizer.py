@@ -29,6 +29,11 @@ from repro.sql import ast
 from repro.sql.parser import parse
 from repro.sql.render import render
 from repro.engine import operators as ops
+from repro.engine.cardinality import (
+    DEFAULT_RELATION_ROWS,
+    CardinalityEstimator,
+    RelationProfile,
+)
 from repro.engine.executor import Result, run_planned
 from repro.engine.layout import Layout
 from repro.engine.planner import (
@@ -267,6 +272,60 @@ class SmartIcebergOptimizer:
         )
 
     # ------------------------------------------------------------------
+    # Cardinality estimates (Appendix D technique selection)
+    # ------------------------------------------------------------------
+    def _block_estimator(self, block: IcebergBlock) -> CardinalityEstimator:
+        """An estimator over the block's FROM instances.
+
+        Base-table instances expose row counts, ANALYZE statistics, and
+        index distinct counts; CTE instances fall back to the default
+        relation size.
+        """
+        profiles = []
+        for relation in block.relations:
+            table = (
+                self.db.table(relation.table_name)
+                if relation.table_name is not None
+                else None
+            )
+            rows = float(len(table)) if table is not None else DEFAULT_RELATION_ROWS
+            profiles.append(
+                RelationProfile(
+                    alias=relation.alias,
+                    columns=tuple(relation.columns),
+                    rows=rows,
+                    table=table,
+                    stats=table.statistics if table is not None else None,
+                )
+            )
+        return CardinalityEstimator(profiles)
+
+    @staticmethod
+    def _estimated_bindings(
+        estimator: CardinalityEstimator, attributes: FrozenSet[str]
+    ) -> float:
+        """Estimated distinct combinations of qualified attributes.
+
+        Product of per-column distinct counts, clamped per alias by the
+        relation's row count (a relation cannot contribute more distinct
+        key combinations than it has rows).
+        """
+        per_alias: Dict[str, float] = {}
+        for attribute in sorted(attributes):
+            alias, _, column = attribute.partition(".")
+            profile = estimator.profiles.get(alias)
+            if profile is None:
+                return DEFAULT_RELATION_ROWS
+            current = per_alias.get(alias, 1.0)
+            per_alias[alias] = min(
+                current * profile.ndv(column), max(profile.rows, 1.0)
+            )
+        result = 1.0
+        for value in per_alias.values():
+            result *= value
+        return result
+
+    # ------------------------------------------------------------------
     # Phase helpers
     # ------------------------------------------------------------------
     def _analyze(
@@ -347,9 +406,12 @@ class SmartIcebergOptimizer:
         aliases = sorted(remaining)
         all_aliases = frozenset(block.aliases)
         max_size = min(len(aliases), self.max_partition_size, len(all_aliases) - 1)
+        estimator = self._block_estimator(block)
         # Rank candidate subsets by the *fineness* of the reducer's
         # grouping (more G_L attributes = finer groups = more filtering
-        # power), then by subset size.  This makes the search find the
+        # power), then by subset size, then by the estimated number of
+        # distinct reducer groups (fewer groups = a smaller reducer
+        # table and a cheaper IN probe).  This makes the search find the
         # paper's {S1,T1}/{S2,T2} reducers for Example 13 instead of a
         # coarse single-instance reducer that happens to pass the check.
         candidates = []
@@ -359,9 +421,10 @@ class SmartIcebergOptimizer:
                 if left == all_aliases:
                     continue
                 view = block.partition(sorted(left))
-                candidates.append((-len(view.g_left), size, subset, view))
-        candidates.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
-        for _, __, subset, view in candidates:
+                groups = self._estimated_bindings(estimator, view.g_left)
+                candidates.append((-len(view.g_left), size, groups, subset, view))
+        candidates.sort(key=lambda entry: entry[:4])
+        for _, __, ___, subset, view in candidates:
             if not view.g_left:
                 continue
             # Ť_L (the instances carrying the reducer's key columns)
@@ -470,6 +533,22 @@ class SmartIcebergOptimizer:
                 if candidate and candidate != all_aliases:
                     candidates.append(candidate)
 
+        # Among same-size partitions, try the one with the smallest
+        # estimated outer side first: fewer driver bindings means fewer
+        # inner-query executions if the partition is accepted.
+        estimator = self._block_estimator(block)
+
+        def outer_size(candidate: FrozenSet[str]) -> float:
+            rows = 1.0
+            for alias in candidate:
+                profile = estimator.profiles.get(alias)
+                rows *= max(profile.rows, 1.0) if profile else DEFAULT_RELATION_ROWS
+            return rows
+
+        candidates.sort(
+            key=lambda c: (len(c), outer_size(c), tuple(sorted(c)))
+        )
+
         best: Optional[NLJPOperator] = None
         for candidate in candidates:
             view = block.partition(sorted(candidate))
@@ -487,6 +566,8 @@ class SmartIcebergOptimizer:
                 and pruning.predicate is not None
             ):
                 binding_order = self._auto_binding_order(pruning)
+            if self.binding_order == "auto" and not binding_order and use_memo:
+                binding_order = self._memo_binding_order(view, estimator)
             try:
                 nljp = NLJPOperator(
                     view,
@@ -547,6 +628,32 @@ class SmartIcebergOptimizer:
             ascending = op in ("<", "<=")
         alias, _, column = attribute.partition(".")
         return (ast.OrderItem(ast.ColumnRef(alias, column), ascending=ascending),)
+
+    @staticmethod
+    def _memo_binding_order(
+        view: PartitionView, estimator: CardinalityEstimator
+    ) -> Tuple[ast.OrderItem, ...]:
+        """Cluster equal memo keys so cache hits arrive back-to-back.
+
+        When pruning offers no ordered attribute but memoization is on,
+        sorting the outer bindings on the memo key (the θ attributes on
+        the outer side, lowest estimated distinct count first) groups
+        repeated keys together.  Hit counts are order-independent, but a
+        bounded cache (``cache_max_entries``) evicts less when repeats
+        are adjacent, and low-NDV attributes leading the sort keep the
+        working set small.
+        """
+        keyed = []
+        for attribute in sorted(view.j_left):
+            alias, _, column = attribute.partition(".")
+            profile = estimator.profiles.get(alias)
+            ndv = profile.ndv(column) if profile is not None else DEFAULT_RELATION_ROWS
+            keyed.append((ndv, alias, column))
+        keyed.sort()
+        return tuple(
+            ast.OrderItem(ast.ColumnRef(alias, column), ascending=True)
+            for _, alias, column in keyed
+        )
 
     def _finalize_nljp_plan(
         self, body: ast.Select, nljp: NLJPOperator, env: PlanEnv

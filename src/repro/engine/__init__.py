@@ -1,5 +1,7 @@
 """Query engine: planner, physical operators, executor, work counters."""
 
+from repro.engine.cardinality import CardinalityEstimator, RelationProfile
+from repro.engine.cost import CostModel, UnitCosts, fit_unit_costs
 from repro.engine.executor import Result, execute, explain, run_planned
 from repro.engine.governor import CancelToken, Governor
 from repro.engine.planner import EngineConfig, PlannedQuery, plan_query
@@ -7,13 +9,18 @@ from repro.engine.stats import ExecutionStats
 
 __all__ = [
     "CancelToken",
+    "CardinalityEstimator",
+    "CostModel",
     "EngineConfig",
     "ExecutionStats",
     "Governor",
     "PlannedQuery",
+    "RelationProfile",
     "Result",
+    "UnitCosts",
     "execute",
     "explain",
+    "fit_unit_costs",
     "plan_query",
     "run_planned",
 ]

@@ -99,11 +99,38 @@ class PhysicalOperator:
 
     layout: Layout
 
+    #: Planner annotations; ``None`` when the planner had no estimate
+    #: (e.g. hand-built NLJP plans).  ``actual_rows`` is filled by
+    #: ``PlannedQuery.explain(analyze=True)``.
+    estimated_rows: Optional[float] = None
+    estimated_cost: Optional[float] = None
+    actual_rows: Optional[int] = None
+
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         raise NotImplementedError
 
     def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
         yield from chunked(self.execute(ctx), ctx.batch_size or DEFAULT_BATCH_SIZE)
+
+    def children(self) -> List["PhysicalOperator"]:
+        """Direct child operators (for plan walks and explain-analyze)."""
+        found: List[PhysicalOperator] = []
+        for name in ("child", "outer", "inner"):
+            node = self.__dict__.get(name)
+            if isinstance(node, PhysicalOperator):
+                found.append(node)
+        return found
+
+    def annotation(self) -> str:
+        """Estimate/actual suffix for the node's describe line."""
+        parts = []
+        if self.estimated_rows is not None:
+            parts.append(f"est_rows={self.estimated_rows:.1f}")
+        if self.estimated_cost is not None:
+            parts.append(f"est_cost={self.estimated_cost:.1f}")
+        if self.actual_rows is not None:
+            parts.append(f"actual_rows={self.actual_rows}")
+        return ("  [" + " ".join(parts) + "]") if parts else ""
 
     def describe(self) -> List[str]:
         """One line per node, children indented (EXPLAIN-style)."""
@@ -165,7 +192,7 @@ class TableScan(PhysicalOperator):
 
     def describe(self) -> List[str]:
         suffix = " (filtered)" if self.predicate else ""
-        return [f"TableScan {self.table.name} AS {self.alias}{suffix}"]
+        return [f"TableScan {self.table.name} AS {self.alias}{suffix}{self.annotation()}"]
 
 
 class RowsSource(PhysicalOperator):
@@ -201,7 +228,10 @@ class RowsSource(PhysicalOperator):
         yield from _scan_batches(self.rows, self.predicate, ctx)
 
     def describe(self) -> List[str]:
-        return [f"RowsSource {self.label} AS {self.alias} ({len(self.rows)} rows)"]
+        return [
+            f"RowsSource {self.label} AS {self.alias} "
+            f"({len(self.rows)} rows){self.annotation()}"
+        ]
 
 
 class Filter(PhysicalOperator):
@@ -231,7 +261,7 @@ class Filter(PhysicalOperator):
 
     def describe(self) -> List[str]:
         label = f" [{self.label}]" if self.label else ""
-        return [f"Filter{label}"] + _indent(self.child.describe())
+        return [f"Filter{label}{self.annotation()}"] + _indent(self.child.describe())
 
 
 class NestedLoopJoin(PhysicalOperator):
@@ -289,18 +319,23 @@ class NestedLoopJoin(PhysicalOperator):
 
     def describe(self) -> List[str]:
         return (
-            ["NestedLoopJoin"]
+            [f"NestedLoopJoin{self.annotation()}"]
             + _indent(self.outer.describe())
             + _indent(self.inner.describe())
         )
 
 
 class HashJoin(PhysicalOperator):
-    """Equi-join via a hash table on the inner input.
+    """Equi-join via a hash table on one input.
 
     ``outer_key``/``inner_key`` compute the equi-key from each side's
     rows; ``residual`` is evaluated on the concatenated row for any
-    extra non-equi conjuncts.
+    extra non-equi conjuncts.  ``build`` selects which input the hash
+    table is built on (``"inner"`` or ``"outer"``); the planner picks
+    the smaller side.  Output tuples are always ``outer + inner`` and
+    ``join_pairs`` counts only key-matching pairs, so the build side
+    changes row *order* and memory footprint but never the produced
+    multiset of rows or any work counter.
     """
 
     def __init__(
@@ -310,36 +345,62 @@ class HashJoin(PhysicalOperator):
         outer_key: Compiled,
         inner_key: Compiled,
         residual: Optional[Compiled] = None,
+        build: str = "inner",
     ) -> None:
+        if build not in ("inner", "outer"):
+            raise ValueError(f"build must be 'inner' or 'outer', got {build!r}")
         self.outer = outer
         self.inner = inner
         self.outer_key = outer_key
         self.inner_key = inner_key
         self.residual = residual
+        self.build = build
         self.layout = outer.layout.concat(inner.layout)
+
+    @staticmethod
+    def _null_key(key: Any) -> bool:
+        return key is None or (isinstance(key, tuple) and None in key)
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         params = ctx.params
         stats = ctx.stats
-        buckets: Dict[Any, List[Row]] = {}
-        for inner_row in self.inner.execute(ctx):
-            key = self.inner_key(inner_row, params)
-            if key is None or (isinstance(key, tuple) and None in key):
-                continue  # NULL keys never match in SQL
-            buckets.setdefault(key, []).append(inner_row)
         residual = self.residual
         governor = ctx.governor
-        for outer_row in self.outer.execute(ctx):
-            if governor is not None:
-                governor.check("join-pair")
-            key = self.outer_key(outer_row, params)
-            if key is None or (isinstance(key, tuple) and None in key):
-                continue
-            for inner_row in buckets.get(key, ()):
-                stats.join_pairs += 1
-                combined = outer_row + inner_row
-                if residual is None or residual(combined, params) is True:
-                    yield combined
+        buckets: Dict[Any, List[Row]] = {}
+        if self.build == "inner":
+            for inner_row in self.inner.execute(ctx):
+                key = self.inner_key(inner_row, params)
+                if self._null_key(key):
+                    continue  # NULL keys never match in SQL
+                buckets.setdefault(key, []).append(inner_row)
+            for outer_row in self.outer.execute(ctx):
+                if governor is not None:
+                    governor.check("join-pair")
+                key = self.outer_key(outer_row, params)
+                if self._null_key(key):
+                    continue
+                for inner_row in buckets.get(key, ()):
+                    stats.join_pairs += 1
+                    combined = outer_row + inner_row
+                    if residual is None or residual(combined, params) is True:
+                        yield combined
+        else:
+            for outer_row in self.outer.execute(ctx):
+                key = self.outer_key(outer_row, params)
+                if self._null_key(key):
+                    continue  # NULL keys never match in SQL
+                buckets.setdefault(key, []).append(outer_row)
+            for inner_row in self.inner.execute(ctx):
+                if governor is not None:
+                    governor.check("join-pair")
+                key = self.inner_key(inner_row, params)
+                if self._null_key(key):
+                    continue
+                for outer_row in buckets.get(key, ()):
+                    stats.join_pairs += 1
+                    combined = outer_row + inner_row
+                    if residual is None or residual(combined, params) is True:
+                        yield combined
 
     def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
         params = ctx.params
@@ -347,40 +408,65 @@ class HashJoin(PhysicalOperator):
         size = ctx.batch_size or DEFAULT_BATCH_SIZE
         inner_keys = batch_values(self.inner_key)
         outer_keys = batch_values(self.outer_key)
-        buckets: Dict[Any, List[Row]] = {}
-        for batch in self.inner.execute_batches(ctx):
-            for inner_row, key in zip(batch, inner_keys(batch, params)):
-                if key is None or (isinstance(key, tuple) and None in key):
-                    continue  # NULL keys never match in SQL
-                buckets.setdefault(key, []).append(inner_row)
         residual_kernel = batch_filter(self.residual)
         empty: Tuple[Row, ...] = ()
         governor = ctx.governor
+        buckets: Dict[Any, List[Row]] = {}
         buf: List[Row] = []
-        for batch in self.outer.execute_batches(ctx):
-            if governor is not None:
-                governor.check("join-pair")
-            for outer_row, key in zip(batch, outer_keys(batch, params)):
-                if key is None or (isinstance(key, tuple) and None in key):
-                    continue
-                bucket = buckets.get(key, empty)
-                if not bucket:
-                    continue
-                stats.join_pairs += len(bucket)
-                combined = [outer_row + inner_row for inner_row in bucket]
-                if residual_kernel is not None:
-                    combined = residual_kernel(combined, params)
-                buf.extend(combined)
-                if len(buf) >= size:
-                    yield buf
-                    buf = []
+        if self.build == "inner":
+            for batch in self.inner.execute_batches(ctx):
+                for inner_row, key in zip(batch, inner_keys(batch, params)):
+                    if self._null_key(key):
+                        continue  # NULL keys never match in SQL
+                    buckets.setdefault(key, []).append(inner_row)
+            for batch in self.outer.execute_batches(ctx):
+                if governor is not None:
+                    governor.check("join-pair")
+                for outer_row, key in zip(batch, outer_keys(batch, params)):
+                    if self._null_key(key):
+                        continue
+                    bucket = buckets.get(key, empty)
+                    if not bucket:
+                        continue
+                    stats.join_pairs += len(bucket)
+                    combined = [outer_row + inner_row for inner_row in bucket]
+                    if residual_kernel is not None:
+                        combined = residual_kernel(combined, params)
+                    buf.extend(combined)
+                    if len(buf) >= size:
+                        yield buf
+                        buf = []
+        else:
+            for batch in self.outer.execute_batches(ctx):
+                for outer_row, key in zip(batch, outer_keys(batch, params)):
+                    if self._null_key(key):
+                        continue  # NULL keys never match in SQL
+                    buckets.setdefault(key, []).append(outer_row)
+            for batch in self.inner.execute_batches(ctx):
+                if governor is not None:
+                    governor.check("join-pair")
+                for inner_row, key in zip(batch, inner_keys(batch, params)):
+                    if self._null_key(key):
+                        continue
+                    bucket = buckets.get(key, empty)
+                    if not bucket:
+                        continue
+                    stats.join_pairs += len(bucket)
+                    combined = [outer_row + inner_row for outer_row in bucket]
+                    if residual_kernel is not None:
+                        combined = residual_kernel(combined, params)
+                    buf.extend(combined)
+                    if len(buf) >= size:
+                        yield buf
+                        buf = []
         if buf:
             yield buf
 
     def describe(self) -> List[str]:
-        suffix = " (+residual)" if self.residual else ""
+        suffix = " (build=outer)" if self.build == "outer" else ""
+        suffix += " (+residual)" if self.residual else ""
         return (
-            [f"HashJoin{suffix}"]
+            [f"HashJoin{suffix}{self.annotation()}"]
             + _indent(self.outer.describe())
             + _indent(self.inner.describe())
         )
@@ -475,7 +561,7 @@ class IndexNestedLoopJoin(PhysicalOperator):
     def describe(self) -> List[str]:
         return [
             f"IndexNestedLoopJoin {self.table.name} AS {self.alias} "
-            f"USING {self.index.name}"
+            f"USING {self.index.name}{self.annotation()}"
         ] + _indent(self.outer.describe())
 
 
@@ -592,7 +678,7 @@ class SortedIndexRangeJoin(PhysicalOperator):
     def describe(self) -> List[str]:
         return [
             f"SortedIndexRangeJoin {self.table.name} AS {self.alias} "
-            f"USING {self.index.name}"
+            f"USING {self.index.name}{self.annotation()}"
         ] + _indent(self.outer.describe())
 
 
@@ -657,7 +743,8 @@ class IndexPointScan(PhysicalOperator):
 
     def describe(self) -> List[str]:
         return [
-            f"IndexPointScan {self.table.name} AS {self.alias} USING {self.index.name}"
+            f"IndexPointScan {self.table.name} AS {self.alias} "
+            f"USING {self.index.name}{self.annotation()}"
         ]
 
 
@@ -742,7 +829,8 @@ class IndexRangeScan(PhysicalOperator):
 
     def describe(self) -> List[str]:
         return [
-            f"IndexRangeScan {self.table.name} AS {self.alias} USING {self.index.name}"
+            f"IndexRangeScan {self.table.name} AS {self.alias} "
+            f"USING {self.index.name}{self.annotation()}"
         ]
 
 
@@ -837,7 +925,8 @@ class HashAggregate(PhysicalOperator):
 
     def describe(self) -> List[str]:
         return [
-            f"HashAggregate keys={len(self.key_fns)} aggs={len(self.aggregate_specs)}"
+            f"HashAggregate keys={len(self.key_fns)} "
+            f"aggs={len(self.aggregate_specs)}{self.annotation()}"
         ] + _indent(self.child.describe())
 
 
@@ -869,7 +958,9 @@ class Project(PhysicalOperator):
             yield list(zip(*(kernel(batch, params) for kernel in kernels)))
 
     def describe(self) -> List[str]:
-        return [f"Project {self.layout!r}"] + _indent(self.child.describe())
+        return [f"Project {self.layout!r}{self.annotation()}"] + _indent(
+            self.child.describe()
+        )
 
 
 class Distinct(PhysicalOperator):
@@ -899,7 +990,7 @@ class Distinct(PhysicalOperator):
                 yield fresh
 
     def describe(self) -> List[str]:
-        return ["Distinct"] + _indent(self.child.describe())
+        return [f"Distinct{self.annotation()}"] + _indent(self.child.describe())
 
 
 class Sort(PhysicalOperator):
@@ -939,7 +1030,9 @@ class Sort(PhysicalOperator):
         yield from chunked(rows, ctx.batch_size or DEFAULT_BATCH_SIZE)
 
     def describe(self) -> List[str]:
-        return [f"Sort keys={len(self.key_fns)}"] + _indent(self.child.describe())
+        return [f"Sort keys={len(self.key_fns)}{self.annotation()}"] + _indent(
+            self.child.describe()
+        )
 
 
 class Limit(PhysicalOperator):
@@ -967,7 +1060,9 @@ class Limit(PhysicalOperator):
                 return
 
     def describe(self) -> List[str]:
-        return [f"Limit {self.limit}"] + _indent(self.child.describe())
+        return [f"Limit {self.limit}{self.annotation()}"] + _indent(
+            self.child.describe()
+        )
 
 
 class CountOutput(PhysicalOperator):

@@ -20,23 +20,52 @@ aggregation pipeline with an NLJP operator.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from itertools import combinations
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.errors import PlanningError
 from repro.sql import ast
 from repro.engine import operators as ops
 from repro.engine.aggregates import AggregateSpec, make_spec
+from repro.engine.cardinality import (
+    DEFAULT_RELATION_ROWS,
+    DEFAULT_SELECTIVITY,
+    CardinalityEstimator,
+    RelationProfile,
+)
+from repro.engine.cost import CostModel
 from repro.engine.expressions import Compiled, ExpressionCompiler
 from repro.engine.governor import DEGRADATION_MODES, CancelToken
 from repro.engine.layout import Layout
 from repro.storage.catalog import Database
 from repro.storage.table import Table
 
+#: Valid settings for ``EngineConfig.join_order``.
+JOIN_ORDERS = ("dp", "greedy", "syntactic")
+
+#: Exact DP enumeration is used up to this many FROM relations; larger
+#: queries fall back to the greedy min-cardinality heuristic.
+DP_MAX_RELATIONS = 8
+
+_COST = CostModel()
+
 
 @dataclass(frozen=True)
 class EngineConfig:
     """Knobs selecting the baseline system behaviour.
+
+    ``join_order`` selects how FROM relations are ordered into the
+    left-deep join tree: ``"dp"`` (default) runs an exact System R-style
+    dynamic program over connected subsets (up to
+    :data:`DP_MAX_RELATIONS` relations, greedy beyond), ``"greedy"``
+    repeatedly joins the relation minimizing the estimated intermediate
+    cardinality, and ``"syntactic"`` keeps the literal FROM order.
+    Under ``"dp"``/``"greedy"`` the per-edge join method (index, hash,
+    nested loop) is also chosen by estimated cost; ``"syntactic"``
+    keeps the pure policy preference.  All three settings produce the
+    same multiset of result rows; only plan shape and work change.
 
     ``parallelism`` does not change execution; the bench harness divides
     wall-clock by it to *simulate* the parallel speedup the paper
@@ -66,6 +95,7 @@ class EngineConfig:
     """
 
     join_policy: str = "index-first"  # 'index-first' | 'hash-first' | 'nlj-only'
+    join_order: str = "dp"  # 'dp' | 'greedy' | 'syntactic'
     allow_hash_join: bool = True
     use_secondary_indexes: bool = True
     parallelism: float = 1.0
@@ -81,6 +111,10 @@ class EngineConfig:
     fault_plan: Optional[Any] = None
 
     def __post_init__(self) -> None:
+        if self.join_order not in JOIN_ORDERS:
+            raise ValueError(
+                f"join_order must be one of {JOIN_ORDERS}, got {self.join_order!r}"
+            )
         if self.degradation not in DEGRADATION_MODES:
             raise ValueError(
                 f"degradation must be one of {DEGRADATION_MODES}, "
@@ -97,22 +131,42 @@ class EngineConfig:
 
     @classmethod
     def postgres(cls) -> "EngineConfig":
-        """Baseline PostgreSQL-like configuration."""
-        return cls(join_policy="index-first", parallelism=2.0, label="postgres")
+        """Baseline PostgreSQL-like configuration.
+
+        Pins ``join_order="syntactic"``: the bench baselines reproduce
+        the paper's measured systems, whose plans join in FROM order.
+        """
+        return cls(
+            join_policy="index-first",
+            join_order="syntactic",
+            parallelism=2.0,
+            label="postgres",
+        )
 
     @classmethod
     def vendor(cls) -> "EngineConfig":
         """Commercial "Vendor A"-like configuration (simulated)."""
-        return cls(join_policy="hash-first", parallelism=4.0, label="vendor")
+        return cls(
+            join_policy="hash-first",
+            join_order="syntactic",
+            parallelism=4.0,
+            label="vendor",
+        )
 
     @classmethod
     def smart(cls) -> "EngineConfig":
         """Configuration used underneath Smart-Iceberg rewrites.
 
         The paper's implementation is sequential PostgreSQL, so no
-        simulated parallelism.
+        simulated parallelism, and plans keep the rewrites' carefully
+        constructed FROM order (the optimizer orders bindings itself).
         """
-        return cls(join_policy="index-first", parallelism=1.0, label="smart-iceberg")
+        return cls(
+            join_policy="index-first",
+            join_order="syntactic",
+            parallelism=1.0,
+            label="smart-iceberg",
+        )
 
 
 class _SharedMaterialize:
@@ -160,7 +214,7 @@ class _MaterializedScan(ops.PhysicalOperator):
         yield from ops._scan_batches(self.cell.rows(ctx), self.predicate, ctx)
 
     def describe(self) -> List[str]:
-        lines = [f"MaterializedScan {self.cell.label} AS {self.alias}"]
+        lines = [f"MaterializedScan {self.cell.label} AS {self.alias}{self.annotation()}"]
         lines += ["  " + line for line in self.cell.plan.describe()]
         return lines
 
@@ -198,8 +252,60 @@ class PlannedQuery:
     columns: Tuple[str, ...]
     env: PlanEnv
 
-    def explain(self) -> str:
+    def explain(self, analyze: bool = False, params: Optional[Dict[str, Any]] = None) -> str:
+        """EXPLAIN text with per-operator estimates.
+
+        With ``analyze=True`` the query is executed (row mode) and each
+        operator's describe line additionally shows ``actual_rows`` —
+        the rows that operator emitted — alongside the estimates.
+        """
+        if analyze:
+            self._collect_actual_rows(params or {})
         return self.root.explain()
+
+    def estimated_cost(self) -> Optional[float]:
+        """Total estimated plan cost in ``ExecutionStats.cost()`` units.
+
+        ``None`` for plans the cost model did not annotate (e.g.
+        hand-assembled NLJP pipelines).
+        """
+        return self.root.estimated_cost
+
+    def _collect_actual_rows(self, params: Dict[str, Any]) -> None:
+        """Run the plan once, recording per-operator output row counts.
+
+        Each node's ``execute`` is temporarily shadowed by a counting
+        wrapper (instance attribute), so internal ``self.child.execute``
+        calls route through it.  Row mode is forced: the default batch
+        path re-enters ``execute`` and would double-count.
+        """
+        nodes: List[ops.PhysicalOperator] = []
+
+        def walk(op: ops.PhysicalOperator) -> None:
+            nodes.append(op)
+            for child in op.children():
+                walk(child)
+
+        walk(self.root)
+        for node in nodes:
+            original = node.execute
+
+            def counting(ctx, _original=original, _node=node):
+                _node.actual_rows = 0
+                for row in _original(ctx):
+                    _node.actual_rows += 1
+                    yield row
+
+            node.__dict__["execute"] = counting
+        ctx = ops.ExecutionContext(params=dict(params))
+        self.env.ctx_holder["ctx"] = ctx
+        try:
+            for _ in self.root.execute(ctx):
+                pass
+        finally:
+            self.env.ctx_holder.pop("ctx", None)
+            for node in nodes:
+                node.__dict__.pop("execute", None)
 
 
 @dataclass
@@ -233,7 +339,9 @@ def plan_query(db: Database, query: ast.Query, config: Optional[EngineConfig] = 
         cell = _SharedMaterialize(plan, label=cte.name)
         env.ctes[cte.name.lower()] = (cell, tuple(columns))
     root, columns = plan_select(query.body, env)
-    return PlannedQuery(root=ops.CountOutput(root), columns=tuple(columns), env=env)
+    counted = ops.CountOutput(root)
+    _propagate_estimates(counted)
+    return PlannedQuery(root=counted, columns=tuple(columns), env=env)
 
 
 # ---------------------------------------------------------------------------
@@ -419,13 +527,260 @@ def _range_part(
     return None
 
 
+def _matching_hash_index(
+    table: Table, equi: Sequence[Tuple[_Conjunct, str, ast.Expr]], config: EngineConfig
+):
+    """The hash index (and consumed equi conjuncts) an index join would use.
+
+    Mirrors ``try_index_equi``'s search exactly: full column set first,
+    then (when secondary indexes are allowed) the largest indexed
+    subset.  Shared by plan construction and the DP cost mirror so the
+    enumerator prices precisely the plan that will be built.
+
+    When several equi conjuncts target the *same* inner column (e.g.
+    ``M.year = L.year AND M.year = R.year``) only the first can feed
+    the probe key; the rest must stay in the residual, so they are
+    never part of ``chosen``.
+    """
+    deduped: List[Tuple[_Conjunct, str, ast.Expr]] = []
+    seen_columns = set()
+    for entry in equi:
+        if entry[1] not in seen_columns:
+            seen_columns.add(entry[1])
+            deduped.append(entry)
+    columns = [column for _, column, _ in deduped]
+    index = table.find_hash_index(columns)
+    chosen = deduped
+    if index is None and config.use_secondary_indexes:
+        for size in range(len(deduped) - 1, 0, -1):
+            for subset in combinations(deduped, size):
+                index = table.find_hash_index([c for _, c, _ in subset])
+                if index is not None:
+                    chosen = list(subset)
+                    break
+            if index is not None:
+                break
+    if index is None:
+        return None, []
+    return index, chosen
+
+
+@dataclass
+class _EstimateContext:
+    """Cardinality estimates threaded into one ``_join_one`` step."""
+
+    estimator: CardinalityEstimator
+    outer_rows: float  # estimated rows of the current outer subtree
+    output_rows: float  # estimated rows after this join (all conjuncts)
+    raw_inner: float  # stored rows of the inner relation
+    filtered_inner: float  # inner rows surviving pushed-down filters
+
+
+class _JoinOrderer:
+    """Cost-based join-order enumeration over the FROM relations.
+
+    Classifies conjuncts into per-relation filters and join edges,
+    builds a :class:`CardinalityEstimator` over the relations, and
+    orders them with an exact left-deep dynamic program (connected
+    subsets, cross products only when the join graph forces them) or a
+    greedy min-cardinality heuristic.  Subset cardinalities are
+    order-independent, so the DP memoizes them per alias set.
+    """
+
+    def __init__(
+        self, relations: List[_Relation], conjuncts: List[_Conjunct], env: PlanEnv
+    ) -> None:
+        self.relations = relations
+        self.env = env
+        self.by_alias = {r.alias: r for r in relations}
+        self.position = {r.alias: i for i, r in enumerate(relations)}
+        profiles = []
+        for relation in relations:
+            if relation.table is not None:
+                rows = float(len(relation.table))
+                stats = relation.table.statistics
+            else:
+                rows = DEFAULT_RELATION_ROWS
+                stats = None
+            profiles.append(
+                RelationProfile(
+                    alias=relation.alias,
+                    columns=tuple(relation.columns),
+                    rows=rows,
+                    table=relation.table,
+                    stats=stats,
+                )
+            )
+        self.estimator = CardinalityEstimator(profiles)
+        self.raw = {profile.alias: profile.rows for profile in profiles}
+        self.filters: Dict[str, List[ast.Expr]] = {r.alias: [] for r in relations}
+        self.join_conjuncts: List[_Conjunct] = []
+        for conjunct in conjuncts:
+            if len(conjunct.aliases) == 1:
+                (alias,) = tuple(conjunct.aliases)
+                self.filters[alias].append(conjunct.expr)
+            elif len(conjunct.aliases) > 1:
+                self.join_conjuncts.append(conjunct)
+        self.filtered = {
+            alias: self.estimator.scan_rows(alias, exprs)
+            for alias, exprs in self.filters.items()
+        }
+        self.adjacency: Dict[str, set] = {r.alias: set() for r in relations}
+        for conjunct in self.join_conjuncts:
+            for alias in conjunct.aliases:
+                if alias in self.adjacency:
+                    self.adjacency[alias] |= set(conjunct.aliases) - {alias}
+        self._rows_memo: Dict[FrozenSet[str], float] = {}
+
+    # -- estimates -----------------------------------------------------
+    def rows(self, subset: FrozenSet[str]) -> float:
+        """Estimated join cardinality of an alias subset (memoized)."""
+        cached = self._rows_memo.get(subset)
+        if cached is None:
+            internal = [
+                c.expr for c in self.join_conjuncts if c.aliases <= subset
+            ]
+            cached = self.estimator.join_rows(self.filtered, sorted(subset), internal)
+            self._rows_memo[subset] = cached
+        return cached
+
+    def scan_cost(self, alias: str) -> float:
+        return _COST.scan(self.raw[alias])
+
+    def step_cost(self, bound: FrozenSet[str], alias: str) -> float:
+        """Cost of joining ``alias`` onto the ``bound`` subtree.
+
+        Mirrors the cost-based method selection in ``_join_one``: the
+        cheapest feasible method among index-equi, hash, range-index,
+        and nested loop, using the same formulas, so the DP ranks
+        exactly what construction will build.
+        """
+        config = self.env.config
+        relation = self.by_alias[alias]
+        outer_rows = self.rows(bound)
+        filtered_inner = self.filtered[alias]
+        raw_inner = self.raw[alias]
+        new_bound = bound | frozenset([alias])
+        available = [
+            c
+            for c in self.join_conjuncts
+            if alias in c.aliases and c.aliases <= new_bound
+        ]
+        equi: List[Tuple[_Conjunct, str, ast.Expr]] = []
+        ranges: List[Tuple[_Conjunct, str, str, ast.Expr]] = []
+        for conjunct in available:
+            parts = _equi_parts(conjunct.expr, alias, bound, self.relations)
+            if parts is not None:
+                equi.append((conjunct, parts[0], parts[1]))
+                continue
+            range_parts = _range_part(conjunct.expr, alias, bound, self.relations)
+            if range_parts is not None:
+                ranges.append((conjunct, *range_parts))
+        costs: List[float] = []
+        if config.join_policy != "nlj-only":
+            if relation.table is not None and equi:
+                index, chosen = _matching_hash_index(relation.table, equi, config)
+                if index is not None:
+                    sel = self.estimator.conjunction([c.expr for c, _, _ in chosen])
+                    pairs = outer_rows * filtered_inner * sel
+                    costs.append(_COST.index_nested_loop_join(outer_rows, pairs))
+            if equi and config.allow_hash_join:
+                sel = self.estimator.conjunction([c.expr for c, _, _ in equi])
+                pairs = outer_rows * filtered_inner * sel
+                costs.append(_COST.scan(raw_inner) + _COST.hash_join(outer_rows, pairs))
+            if relation.table is not None and ranges and config.use_secondary_indexes:
+                used = [
+                    c
+                    for c, column, _, _ in ranges
+                    if relation.table.find_sorted_index(column) is not None
+                ]
+                if used:
+                    sel = self.estimator.conjunction([c.expr for c in used])
+                    pairs = outer_rows * filtered_inner * sel
+                    costs.append(_COST.index_nested_loop_join(outer_rows, pairs))
+        costs.append(
+            _COST.scan(raw_inner) + _COST.nested_loop_join(outer_rows, filtered_inner)
+        )
+        return min(costs)
+
+    # -- ordering ------------------------------------------------------
+    def _extensions(self, bound: FrozenSet[str]) -> List[str]:
+        """Aliases that may extend ``bound``: graph-connected ones, or —
+        only when nothing connects — every remaining alias (forced cross
+        product, e.g. a disconnected join graph)."""
+        remaining = [r.alias for r in self.relations if r.alias not in bound]
+        connected = [a for a in remaining if self.adjacency[a] & bound]
+        return connected or remaining
+
+    def order(self) -> List[_Relation]:
+        config = self.env.config
+        if config.join_order == "syntactic" or len(self.relations) <= 1:
+            return list(self.relations)
+        if config.join_order == "dp" and len(self.relations) <= DP_MAX_RELATIONS:
+            aliases = self._dp_order()
+        else:
+            aliases = self._greedy_order()
+        return [self.by_alias[alias] for alias in aliases]
+
+    def _dp_order(self) -> Tuple[str, ...]:
+        """Exact left-deep DP (DPsize) over admissible subsets.
+
+        ``best[S]`` holds the cheapest left-deep order of subset ``S``;
+        ties break toward the syntactic FROM order (lexicographically
+        smallest position tuple) for deterministic, low-churn plans.
+        """
+        best: Dict[FrozenSet[str], Tuple[float, Tuple[int, ...], Tuple[str, ...]]] = {}
+        for relation in self.relations:
+            subset = frozenset([relation.alias])
+            best[subset] = (
+                self.scan_cost(relation.alias),
+                (self.position[relation.alias],),
+                (relation.alias,),
+            )
+        layer = list(best)
+        for _size in range(2, len(self.relations) + 1):
+            grown: Dict[FrozenSet[str], Tuple[float, Tuple[int, ...], Tuple[str, ...]]] = {}
+            for prev in layer:
+                prev_cost, prev_key, prev_order = best[prev]
+                for alias in self._extensions(prev):
+                    subset = prev | frozenset([alias])
+                    entry = (
+                        prev_cost + self.step_cost(prev, alias),
+                        prev_key + (self.position[alias],),
+                        prev_order + (alias,),
+                    )
+                    incumbent = grown.get(subset)
+                    if incumbent is None or entry[:2] < incumbent[:2]:
+                        grown[subset] = entry
+            best.update(grown)
+            layer = list(grown)
+        full = frozenset(self.by_alias)
+        return best[full][2]
+
+    def _greedy_order(self) -> Tuple[str, ...]:
+        """Greedy ordering: smallest filtered relation first, then the
+        admissible extension minimizing the intermediate cardinality."""
+        start = min(
+            self.by_alias, key=lambda a: (self.filtered[a], self.position[a])
+        )
+        order = [start]
+        bound = frozenset([start])
+        while len(order) < len(self.relations):
+            alias = min(
+                self._extensions(bound),
+                key=lambda a: (self.rows(bound | frozenset([a])), self.position[a]),
+            )
+            order.append(alias)
+            bound |= frozenset([alias])
+        return tuple(order)
+
+
 def _plan_joins(
     relations: List[_Relation],
     conjuncts: List[_Conjunct],
     env: PlanEnv,
 ) -> ops.PhysicalOperator:
-    """Left-deep join tree in FROM order, honouring the join policy."""
-    config = env.config
+    """Left-deep join tree honouring ``join_order`` and the join policy."""
 
     def compiler_for(layout: Layout) -> ExpressionCompiler:
         return ExpressionCompiler(layout, env.subquery_executor)
@@ -449,18 +804,30 @@ def _plan_joins(
         layout = Layout([(relation.alias, name) for name in relation.columns])
         return compiler_for(layout).compile(predicate)
 
-    first = relations[0]
+    orderer = _JoinOrderer(relations, conjuncts, env)
+    ordered = orderer.order()
+
+    first = ordered[0]
     first_exprs = single_table_exprs(first)
     current = _scan_relation(first, first_exprs, env)
+    current.estimated_rows = orderer.filtered[first.alias]
+    current.estimated_cost = orderer.scan_cost(first.alias)
     bound = frozenset([first.alias])
 
-    for relation in relations[1:]:
+    for relation in ordered[1:]:
         inner_exprs = single_table_exprs(relation)
         inner_filter = compile_filter(relation, inner_exprs)
         new_bound = bound | frozenset([relation.alias])
         available = [
             c for c in conjuncts if not c.placed and c.aliases <= new_bound
         ]
+        est = _EstimateContext(
+            estimator=orderer.estimator,
+            outer_rows=orderer.rows(bound),
+            output_rows=orderer.rows(new_bound),
+            raw_inner=orderer.raw[relation.alias],
+            filtered_inner=orderer.filtered[relation.alias],
+        )
         current = _join_one(
             current,
             relation,
@@ -470,6 +837,7 @@ def _plan_joins(
             env,
             inner_filter,
             inner_exprs,
+            est,
         )
         for c in available:
             c.placed = True
@@ -621,6 +989,7 @@ def _join_one(
     env: PlanEnv,
     inner_filter: Optional[Compiled],
     inner_exprs: Optional[List[ast.Expr]] = None,
+    est: Optional[_EstimateContext] = None,
 ) -> ops.PhysicalOperator:
     config = env.config
     joined_layout = outer.layout.concat(
@@ -645,24 +1014,18 @@ def _join_one(
         predicate = ast.conjoin(rest)
         return joined_compiler.compile(predicate) if predicate is not None else None
 
-    def try_index_equi() -> Optional[ops.PhysicalOperator]:
+    def pairs_estimate(consumed: Sequence[_Conjunct]) -> float:
+        """Estimated join_pairs: outer rows × filtered inner rows ×
+        selectivity of the conjuncts the access method itself applies."""
+        if est is None:
+            return 0.0
+        sel = est.estimator.conjunction([c.expr for c in consumed])
+        return est.outer_rows * est.filtered_inner * sel
+
+    def try_index_equi() -> Optional[Tuple[ops.PhysicalOperator, float]]:
         if relation.table is None or not equi:
             return None
-        columns = [column for _, column, _ in equi]
-        index = relation.table.find_hash_index(columns)
-        chosen = equi
-        if index is None and config.use_secondary_indexes:
-            # Try subsets covered by an existing index (largest first).
-            for size in range(len(equi) - 1, 0, -1):
-                from itertools import combinations
-
-                for subset in combinations(equi, size):
-                    index = relation.table.find_hash_index([c for _, c, _ in subset])
-                    if index is not None:
-                        chosen = list(subset)
-                        break
-                if index is not None:
-                    break
+        index, chosen = _matching_hash_index(relation.table, equi, config)
         if index is None:
             return None
         # Probe key must follow the index's column order.
@@ -673,7 +1036,7 @@ def _join_one(
         ]
         probe_exprs = [by_column[column] for column in ordered]
         probe = outer_compiler.compile(ast.TupleExpr(tuple(probe_exprs)))
-        return ops.IndexNestedLoopJoin(
+        plan = ops.IndexNestedLoopJoin(
             outer,
             relation.table,
             relation.alias,
@@ -682,8 +1045,13 @@ def _join_one(
             residual=residual_excluding([c for c, _, _ in chosen]),
             inner_filter=inner_filter,
         )
+        cost = _COST.index_nested_loop_join(
+            est.outer_rows if est else 0.0,
+            pairs_estimate([c for c, _, _ in chosen]),
+        )
+        return plan, cost
 
-    def try_index_range() -> Optional[ops.PhysicalOperator]:
+    def try_index_range() -> Optional[Tuple[ops.PhysicalOperator, float]]:
         if relation.table is None or not ranges or not config.use_secondary_indexes:
             return None
         # Prefer a column with both bounds, else any bounded column.
@@ -709,7 +1077,7 @@ def _join_one(
                 high = outer_compiler.compile(expr)
                 high_strict = op == "<"
                 used.append(conjunct)
-        return ops.SortedIndexRangeJoin(
+        plan = ops.SortedIndexRangeJoin(
             outer,
             relation.table,
             relation.alias,
@@ -721,13 +1089,22 @@ def _join_one(
             residual=residual_excluding(used),
             inner_filter=inner_filter,
         )
+        cost = _COST.index_nested_loop_join(
+            est.outer_rows if est else 0.0, pairs_estimate(used)
+        )
+        return plan, cost
 
     def inner_scan_plan() -> ops.PhysicalOperator:
         if inner_exprs is not None:
-            return _scan_relation(relation, inner_exprs, env)
-        return relation.scan(inner_filter)
+            scan = _scan_relation(relation, inner_exprs, env)
+        else:
+            scan = relation.scan(inner_filter)
+        if est is not None:
+            scan.estimated_rows = est.filtered_inner
+            scan.estimated_cost = _COST.scan(est.raw_inner)
+        return scan
 
-    def try_hash() -> Optional[ops.PhysicalOperator]:
+    def try_hash() -> Optional[Tuple[ops.PhysicalOperator, float]]:
         if not equi or not config.allow_hash_join:
             return None
         inner_scan = inner_scan_plan()
@@ -741,18 +1118,35 @@ def _join_one(
                 tuple(ast.ColumnRef(relation.alias, column) for _, column, _ in equi)
             )
         )
-        return ops.HashJoin(
+        # Build the hash table on the estimated-smaller input; ties keep
+        # the traditional build-on-inner.  When no estimate is available
+        # fall back to len(table) for the inner side vs. nothing known
+        # about the outer — keep building on the inner then.
+        build = "inner"
+        if est is not None and est.outer_rows < est.filtered_inner:
+            build = "outer"
+        plan = ops.HashJoin(
             outer,
             inner_scan,
             outer_key,
             inner_key,
             residual=residual_excluding([c for c, _, _ in equi]),
+            build=build,
         )
+        cost = _COST.scan(est.raw_inner if est else 0.0) + _COST.hash_join(
+            est.outer_rows if est else 0.0,
+            pairs_estimate([c for c, _, _ in equi]),
+        )
+        return plan, cost
 
-    def nested_loop() -> ops.PhysicalOperator:
+    def nested_loop() -> Tuple[ops.PhysicalOperator, float]:
         predicate = ast.conjoin([c.expr for c in available])
         compiled = joined_compiler.compile(predicate) if predicate is not None else None
-        return ops.NestedLoopJoin(outer, inner_scan_plan(), compiled)
+        plan = ops.NestedLoopJoin(outer, inner_scan_plan(), compiled)
+        cost = _COST.scan(est.raw_inner if est else 0.0) + _COST.nested_loop_join(
+            est.outer_rows if est else 0.0, est.filtered_inner if est else 0.0
+        )
+        return plan, cost
 
     if config.join_policy == "hash-first":
         candidates = (try_hash, try_index_equi, try_index_range)
@@ -762,11 +1156,59 @@ def _join_one(
         candidates = ()
     else:
         raise PlanningError(f"unknown join policy {config.join_policy!r}")
-    for candidate in candidates:
-        plan = candidate()
-        if plan is not None:
-            return plan
-    return nested_loop()
+    made = [r for r in (candidate() for candidate in candidates) if r is not None]
+    cost_based = config.join_order in ("dp", "greedy") and est is not None
+    if cost_based and made:
+        # Cost-based method selection; nested loop competes too.  Ties
+        # keep the policy's preference order (stable min).
+        made.append(nested_loop())
+        plan, step_cost = min(made, key=lambda pc: pc[1])
+    elif made:
+        plan, step_cost = made[0]
+    else:
+        plan, step_cost = nested_loop()
+    if est is not None:
+        plan.estimated_rows = est.output_rows
+        base = outer.estimated_cost if outer.estimated_cost is not None else 0.0
+        plan.estimated_cost = base + step_cost
+    return plan
+
+
+def _propagate_estimates(op: ops.PhysicalOperator) -> None:
+    """Give post-join operators estimates derived from their children.
+
+    Join and scan nodes are annotated during join planning; this pass
+    fills in the rest (Filter, HashAggregate, Project, Sort, ...) with
+    simple textbook heuristics: filters keep ``DEFAULT_SELECTIVITY`` of
+    their input, aggregation produces ``sqrt(N)`` groups (1 for scalar
+    aggregates), everything else passes through.  Nodes whose subtree
+    was never annotated (hand-built NLJP pipelines) are left alone.
+    """
+    children = op.children()
+    for child in children:
+        _propagate_estimates(child)
+    if op.estimated_rows is not None or not children:
+        return
+    if any(child.estimated_rows is None for child in children):
+        return
+    child = children[0]
+    child_rows = float(child.estimated_rows)
+    child_cost = float(child.estimated_cost or 0.0)
+    if isinstance(op, ops.Filter):
+        op.estimated_rows = child_rows * DEFAULT_SELECTIVITY
+        op.estimated_cost = child_cost
+    elif isinstance(op, ops.HashAggregate):
+        if not op.key_fns:
+            op.estimated_rows = 1.0
+        else:
+            op.estimated_rows = max(1.0, math.sqrt(child_rows))
+        op.estimated_cost = child_cost + _COST.aggregate(child_rows)
+    elif isinstance(op, ops.Limit):
+        op.estimated_rows = min(float(op.limit), child_rows)
+        op.estimated_cost = child_cost
+    else:
+        op.estimated_rows = child_rows
+        op.estimated_cost = child_cost
 
 
 # ---------------------------------------------------------------------------
@@ -884,6 +1326,7 @@ def plan_select(
 
     if select.limit is not None:
         projected = ops.Limit(projected, select.limit)
+    _propagate_estimates(projected)
     return projected, output_names
 
 

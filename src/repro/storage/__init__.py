@@ -9,17 +9,29 @@ optimizer's safety checks.
 from repro.storage.catalog import Database
 from repro.storage.index import HashIndex, SortedIndex
 from repro.storage.schema import Column, TableSchema
+from repro.storage.statistics import (
+    ColumnStats,
+    Histogram,
+    KMVSketch,
+    TableStats,
+    analyze,
+)
 from repro.storage.table import Table
 from repro.storage.types import NULL, SqlType, infer_type
 
 __all__ = [
     "Column",
+    "ColumnStats",
     "Database",
     "HashIndex",
+    "Histogram",
+    "KMVSketch",
     "NULL",
     "SortedIndex",
     "SqlType",
     "Table",
     "TableSchema",
+    "TableStats",
+    "analyze",
     "infer_type",
 ]

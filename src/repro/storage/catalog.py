@@ -13,6 +13,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import CatalogError
 from repro.constraints.fd import FDSet, FunctionalDependency
 from repro.storage.schema import Column, TableSchema
+from repro.storage.statistics import HISTOGRAM_BUCKETS, TableStats
 from repro.storage.table import Table
 
 
@@ -106,6 +107,26 @@ class Database:
         """Is ``columns`` a superkey of the table per declared FDs?"""
         table = self.table(table_name)
         return self.fds(table_name).is_superkey(columns, table.schema.column_names)
+
+    # ------------------------------------------------------------------
+    # Statistics (ANALYZE)
+    # ------------------------------------------------------------------
+    def analyze(self, buckets: int = HISTOGRAM_BUCKETS) -> Dict[str, TableStats]:
+        """Collect statistics for every table (the ANALYZE command).
+
+        The cost-based join-order enumerator and the Smart-Iceberg
+        technique selection consume these; without ANALYZE they fall
+        back to row counts and index distinct-key counts alone.
+        Statistics stay incrementally fresh under subsequent inserts.
+        """
+        return {
+            name: self.table(name).analyze(buckets=buckets)
+            for name in self.table_names
+        }
+
+    def statistics(self, table_name: str) -> Optional[TableStats]:
+        """Collected statistics for one table (None before analyze)."""
+        return self.table(table_name).statistics
 
     # ------------------------------------------------------------------
     # Value domains (CHECK-style bounds)

@@ -7,6 +7,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tupl
 from repro.errors import CatalogError, SchemaError
 from repro.storage.index import HashIndex, SortedIndex
 from repro.storage.schema import TableSchema
+from repro.storage.statistics import HISTOGRAM_BUCKETS, TableStats, analyze_table
 
 Row = Tuple[Any, ...]
 
@@ -25,6 +26,7 @@ class Table:
         self.schema = schema
         self._rows: List[Row] = []
         self._indexes: Dict[str, HashIndex | SortedIndex] = {}
+        self._statistics: Optional[TableStats] = None
 
     # ------------------------------------------------------------------
     # Row access
@@ -60,6 +62,8 @@ class Table:
         self._rows.append(validated)
         for index in self._indexes.values():
             index.insert(row_id, validated)
+        if self._statistics is not None:
+            self._statistics.note_insert(validated, self.schema.column_names)
         return row_id
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -81,6 +85,23 @@ class Table:
         self._rows.clear()
         for index in self._indexes.values():
             index.clear()
+        self._statistics = None
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def statistics(self) -> Optional[TableStats]:
+        """Collected statistics, or ``None`` before ``analyze()``."""
+        return self._statistics
+
+    def analyze(self, buckets: int = HISTOGRAM_BUCKETS) -> TableStats:
+        """(Re)collect full statistics; kept fresh by later inserts."""
+        self._statistics = analyze_table(self, buckets=buckets)
+        return self._statistics
+
+    def invalidate_statistics(self) -> None:
+        self._statistics = None
 
     # ------------------------------------------------------------------
     # Indexes

@@ -27,9 +27,19 @@ def test_record_tiny_scale_parity(tmp_path):
     assert len(document["records"]) == expected
     modes = {r["mode"] for r in document["records"]}
     assert modes == {"row", "batch"}
+    # Record labels use the suite system names (not runner config
+    # labels like "postgres").
+    systems = {r["system"] for r in document["records"]}
+    assert systems == set(record.SUITE_SYSTEMS)
     for item in document["records"]:
         assert item["cost"] >= 0
         assert set(item["counters"]) >= {"rows_scanned", "join_pairs"}
+        assert "estimated_cost" in item
+        if item["system"] in ("base", "vendor"):
+            # Engine plans carry a planner cost estimate; NLJP plans
+            # may legitimately record null.
+            assert item["estimated_cost"] is not None
+            assert item["estimated_cost"] > 0
 
 
 def test_check_mode_parity_reports_drift():

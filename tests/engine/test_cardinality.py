@@ -1,0 +1,167 @@
+"""Tests for cardinality/selectivity estimation.
+
+Exercises the estimator's contracts: bounded error on the pinned-seed
+workload generators, monotone conjunctions (adding a conjunct never
+raises an estimated selectivity), and the graceful fallback chain when
+no statistics were collected.
+"""
+
+import pytest
+
+from repro.engine.cardinality import (
+    DEFAULT_RELATION_ROWS,
+    CardinalityEstimator,
+    RelationProfile,
+)
+from repro.sql import ast
+from repro.storage.catalog import Database
+from repro.storage.schema import TableSchema
+from repro.storage.types import SqlType
+from repro.workloads.baseball import BaseballConfig, load_batting
+
+
+def col(alias, name):
+    return ast.ColumnRef(alias, name)
+
+
+def lit(value):
+    return ast.Literal(value)
+
+
+def eq(left, right):
+    return ast.BinaryOp("=", left, right)
+
+
+@pytest.fixture(scope="module")
+def batting_db():
+    db = Database()
+    load_batting(db, BaseballConfig(n_rows=400, seed=2017))
+    db.analyze()
+    return db
+
+
+@pytest.fixture(scope="module")
+def estimator(batting_db):
+    table = batting_db.table("batting")
+    profile = RelationProfile(
+        alias="b",
+        columns=tuple(table.schema.column_names),
+        rows=float(len(table)),
+        table=table,
+        stats=table.statistics,
+    )
+    return CardinalityEstimator([profile])
+
+
+class TestNdv:
+    def test_analyzed_ndv_bounded_error(self, batting_db, estimator):
+        table = batting_db.table("batting")
+        for column in ("playerid", "teamid", "year"):
+            truth = len(set(table.column_values(column)))
+            estimate = estimator.profiles["b"].ndv(column)
+            assert abs(estimate - truth) / truth < 0.25, column
+
+    def test_hash_index_fallback_without_stats(self):
+        # No ANALYZE stats: a hash index exactly on the column supplies
+        # an exact distinct count for free.
+        db = Database()
+        table = db.create_table(
+            "keyed", TableSchema.of(("k", SqlType.INTEGER), ("v", SqlType.INTEGER))
+        )
+        table.insert_many([(i % 7, i) for i in range(100)])
+        table.create_index("keyed_k", ["k"], kind="hash")
+        profile = RelationProfile(
+            alias="kk", columns=("k", "v"), rows=float(len(table)), table=table
+        )
+        assert profile.ndv("k") == 7.0
+
+    def test_sqrt_fallback_without_table(self):
+        profile = RelationProfile(alias="d", columns=("x",), rows=900.0)
+        assert profile.ndv("x") == 30.0
+
+
+class TestSelectivity:
+    def test_point_equality_matches_frequency(self, batting_db, estimator):
+        table = batting_db.table("batting")
+        values = table.column_values("year")
+        year = values[0]
+        truth = values.count(year) / len(values)
+        estimate = estimator.selectivity(eq(col("b", "year"), lit(year)))
+        assert 0.0 < estimate <= 1.0
+        assert abs(estimate - truth) <= max(0.1, 2 * truth)
+
+    def test_range_tracks_histogram(self, batting_db, estimator):
+        table = batting_db.table("batting")
+        values = sorted(table.column_values("b_h"))
+        median = values[len(values) // 2]
+        truth = sum(1 for v in values if v < median) / len(values)
+        estimate = estimator.selectivity(
+            ast.BinaryOp("<", col("b", "b_h"), lit(median))
+        )
+        assert abs(estimate - truth) < 0.15
+
+    def test_conjunction_monotone(self, estimator):
+        # Adding a conjunct must never raise the estimate.
+        conjuncts = [
+            ast.BinaryOp("<", col("b", "b_h"), lit(50)),
+            eq(col("b", "year"), lit(2000)),
+            ast.BinaryOp(">", col("b", "b_hr"), lit(3)),
+            eq(col("b", "teamid"), lit("t1")),
+        ]
+        previous = 1.0
+        for count in range(1, len(conjuncts) + 1):
+            estimate = estimator.conjunction(conjuncts[:count])
+            assert estimate <= previous + 1e-12
+            previous = estimate
+
+    def test_all_selectivities_clamped(self, estimator):
+        exprs = [
+            ast.Between(col("b", "b_h"), lit(0), lit(1_000_000)),
+            ast.Between(col("b", "b_h"), lit(5), lit(1), negated=False),
+            ast.IsNull(col("b", "b_h")),
+            ast.IsNull(col("b", "b_h"), negated=True),
+            ast.UnaryOp("NOT", eq(col("b", "year"), lit(2000))),
+            ast.InList(col("b", "teamid"), (lit("t1"), lit("t2"))),
+            ast.BinaryOp(
+                "OR",
+                eq(col("b", "year"), lit(2000)),
+                eq(col("b", "year"), lit(2001)),
+            ),
+        ]
+        for expr in exprs:
+            estimate = estimator.selectivity(expr)
+            assert 0.0 <= estimate <= 1.0, expr
+
+    def test_join_conjunct_uses_max_ndv(self):
+        left = RelationProfile(alias="l", columns=("k",), rows=10_000.0)
+        right = RelationProfile(alias="r", columns=("k",), rows=100.0)
+        estimator = CardinalityEstimator([left, right])
+        estimate = estimator.selectivity(eq(col("l", "k"), col("r", "k")))
+        assert estimate == 1.0 / max(left.ndv("k"), right.ndv("k"))
+
+
+class TestCardinalities:
+    def test_scan_rows_filters_shrink(self, estimator, batting_db):
+        table = batting_db.table("batting")
+        unfiltered = estimator.scan_rows("b", [])
+        assert unfiltered == float(len(table))
+        filtered = estimator.scan_rows(
+            "b", [ast.BinaryOp("<", col("b", "b_h"), lit(10))]
+        )
+        assert filtered < unfiltered
+
+    def test_join_rows_order_independent(self):
+        left = RelationProfile(alias="l", columns=("k",), rows=500.0)
+        right = RelationProfile(alias="r", columns=("k",), rows=80.0)
+        estimator = CardinalityEstimator([left, right])
+        conjunct = [eq(col("l", "k"), col("r", "k"))]
+        filtered = {"l": 500.0, "r": 80.0}
+        forward = estimator.join_rows(filtered, ["l", "r"], conjunct)
+        backward = estimator.join_rows(filtered, ["r", "l"], conjunct)
+        assert forward == backward
+        assert forward < 500.0 * 80.0
+
+    def test_default_rows_constant(self):
+        profile = RelationProfile(alias="cte", columns=("x",), rows=DEFAULT_RELATION_ROWS)
+        estimator = CardinalityEstimator([profile])
+        assert estimator.scan_rows("cte", []) == DEFAULT_RELATION_ROWS

@@ -1,0 +1,174 @@
+"""Tests for the ANALYZE statistics subsystem.
+
+Covers the tentpole's statistical machinery: KMV distinct-count
+sketches with bounded relative error, the exact→sketch spill
+threshold, equi-width histograms, and incremental freshness of
+collected statistics under later inserts.
+"""
+
+import random
+
+import pytest
+
+from repro.storage.catalog import Database
+from repro.storage.schema import TableSchema
+from repro.storage.statistics import (
+    DistinctCounter,
+    Histogram,
+    KMVSketch,
+    analyze_table,
+    stable_hash64,
+)
+from repro.storage.table import Table
+from repro.storage.types import SqlType
+
+
+def make_table(rows=()):
+    table = Table(
+        "t", TableSchema.of(("id", SqlType.INTEGER), ("name", SqlType.TEXT))
+    )
+    table.insert_many(rows)
+    return table
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash64("abc") == stable_hash64("abc")
+        assert stable_hash64(1) != stable_hash64("1")
+
+    def test_spread(self):
+        hashes = {stable_hash64(i) for i in range(1000)}
+        assert len(hashes) == 1000
+
+
+class TestKMVSketch:
+    @pytest.mark.parametrize("true_distinct", [1000, 10_000, 50_000])
+    def test_bounded_relative_error(self, true_distinct):
+        # Expected relative error ~1/sqrt(k-2) ≈ 6% at k=256; assert a
+        # generous 4-sigma bound so the test is deterministic-safe.
+        sketch = KMVSketch()
+        for i in range(true_distinct):
+            sketch.add(f"value-{i}")
+        estimate = sketch.estimate()
+        assert abs(estimate - true_distinct) / true_distinct < 0.25
+
+    def test_duplicates_do_not_inflate(self):
+        sketch = KMVSketch()
+        for _ in range(5):
+            for i in range(300):
+                sketch.add(i)
+        estimate = sketch.estimate()
+        assert abs(estimate - 300) / 300 < 0.25
+
+    def test_exact_below_k(self):
+        sketch = KMVSketch(k=64)
+        for i in range(50):
+            sketch.add(i)
+        assert sketch.estimate() == 50.0
+
+    def test_deterministic_across_instances(self):
+        a, b = KMVSketch(), KMVSketch()
+        values = [f"v{i}" for i in range(5000)]
+        for v in values:
+            a.add(v)
+        for v in reversed(values):
+            b.add(v)
+        assert a.estimate() == b.estimate()
+
+
+class TestDistinctCounter:
+    def test_exact_below_threshold(self):
+        counter = DistinctCounter(threshold=100)
+        for i in range(100):
+            counter.add(i)
+        assert counter.is_exact
+        assert counter.estimate() == 100.0
+
+    def test_spills_to_sketch_above_threshold(self):
+        counter = DistinctCounter(threshold=100)
+        for i in range(5000):
+            counter.add(i)
+        assert not counter.is_exact
+        assert abs(counter.estimate() - 5000) / 5000 < 0.25
+
+
+class TestHistogram:
+    def test_fraction_below_uniform(self):
+        histogram = Histogram.build(list(range(1000)))
+        assert histogram.fraction_below(-1, inclusive=True) == 0.0
+        assert histogram.fraction_below(2000, inclusive=True) == 1.0
+        # Uniform data: the estimator should land near the true CDF.
+        for value, truth in ((250, 0.25), (500, 0.5), (750, 0.75)):
+            estimate = histogram.fraction_below(value, inclusive=False)
+            assert abs(estimate - truth) < 0.05
+
+    def test_fraction_between(self):
+        histogram = Histogram.build(list(range(1000)))
+        estimate = histogram.fraction_between(100, 300)
+        assert abs(estimate - 0.2) < 0.05
+
+    def test_single_point(self):
+        histogram = Histogram.build([7.0] * 10)
+        assert histogram.fraction_below(7.0, inclusive=True) == 1.0
+        assert histogram.fraction_below(7.0, inclusive=False) == 0.0
+
+    def test_out_of_range_inserts_clamp(self):
+        histogram = Histogram.build([float(v) for v in range(10)])
+        histogram.add(1e9)  # clamped into the last bucket, not lost
+        assert histogram.total == 11
+
+
+class TestAnalyzeTable:
+    def test_column_stats(self):
+        rows = [(i % 10, f"name{i % 3}") for i in range(100)]
+        rng = random.Random(7)
+        rng.shuffle(rows)
+        stats = analyze_table(make_table(rows))
+        assert stats.row_count == 100
+        ids = stats.column("id")
+        assert ids.distinct_count == 10
+        assert ids.minimum == 0 and ids.maximum == 9
+        assert ids.null_fraction == 0.0
+        assert ids.histogram is not None
+        names = stats.column("name")
+        assert names.distinct_count == 3
+        assert names.histogram is None  # text column: no histogram
+
+    def test_null_fraction(self):
+        stats = analyze_table(make_table([(1, None), (2, "x"), (3, None), (4, "y")]))
+        assert stats.column("name").null_fraction == 0.5
+
+    def test_incrementally_fresh_on_insert(self):
+        table = make_table([(i, f"n{i}") for i in range(20)])
+        stats = table.analyze()
+        assert stats.row_count == 20
+        table.insert((99, "fresh"))
+        # Same object, updated in place — no re-ANALYZE required.
+        assert table.statistics is stats
+        assert stats.row_count == 21
+        ids = stats.column("id")
+        assert ids.maximum == 99
+        assert ids.distinct_count == 21
+
+    def test_invalidate(self):
+        table = make_table([(1, "a")])
+        table.analyze()
+        table.invalidate_statistics()
+        assert table.statistics is None
+
+    def test_summary_smoke(self):
+        text = analyze_table(make_table([(1, "a")])).summary()
+        assert "t: 1 rows" in text and "id" in text
+
+
+class TestDatabaseAnalyze:
+    def test_analyze_all_tables(self):
+        db = Database()
+        table = db.create_table(
+            "u", TableSchema.of(("id", SqlType.INTEGER), ("name", SqlType.TEXT))
+        )
+        table.insert_many([(1, "a"), (2, "b")])
+        collected = db.analyze()
+        assert set(collected) == {"u"}
+        assert db.statistics("u").row_count == 2
+        assert db.table("u").statistics is collected["u"]
