@@ -1,0 +1,49 @@
+"""Static analysis over SQL ASTs, rewrites, and physical plans.
+
+Three layers, run in front of planning:
+
+- :mod:`repro.analysis.semantics` — name resolution and static
+  typechecking against the catalog (typed :class:`AnalysisError`\\ s
+  *before* execution).
+- :mod:`repro.analysis.lints` — rule-based lints over query blocks:
+  unsatisfiable predicates, implied/redundant predicates, cartesian
+  products, unused relations, non-monotone HAVING, non-algebraic
+  aggregates.
+- :mod:`repro.analysis.verifier` — proves a planned query enforces
+  every logical conjunct exactly once, that operator schemas chain,
+  and that NLJP subsumption predicates survive randomized
+  counterexample search.
+
+``python -m repro.analysis.lint`` is the CLI; the
+``EngineConfig.analyze`` knob ("off" | "warn" | "strict") wires the
+analyzer into :class:`repro.core.system.SmartIceberg`.
+"""
+
+from repro.analysis.lints import LintFinding, LintRule, Severity, lint_query
+from repro.analysis.semantics import (
+    BlockInfo,
+    OutputColumn,
+    QueryInfo,
+    analyze_query,
+    resolve_query,
+)
+from repro.analysis.verifier import (
+    check_subsumption_soundness,
+    verify_or_raise,
+    verify_planned,
+)
+
+__all__ = [
+    "BlockInfo",
+    "LintFinding",
+    "LintRule",
+    "OutputColumn",
+    "QueryInfo",
+    "Severity",
+    "analyze_query",
+    "check_subsumption_soundness",
+    "lint_query",
+    "resolve_query",
+    "verify_or_raise",
+    "verify_planned",
+]

@@ -1,0 +1,170 @@
+"""Lint CLI: run the static analyzer + lint rules over queries.
+
+Usage::
+
+    python -m repro.analysis.lint Q1 Q4          # paper queries
+    python -m repro.analysis.lint all            # Q1-Q8 + every example
+    python -m repro.analysis.lint --db batting "SELECT b_h FROM batting"
+    python -m repro.analysis.lint --db basket my_query.sql
+    python -m repro.analysis.lint --strict all   # any finding fails
+
+Named targets resolve to (schema, SQL) pairs: ``Q1``..``Q8`` are the
+Figure 1 suite over the batting schema; ``complex``, ``market_basket``
+and ``discount`` are the paper's example queries over their own
+schemas.  Free-form targets are SQL text (or a path to a ``.sql``
+file) analyzed against ``--db``.
+
+Exit status is 1 when any query fails semantic analysis or any
+ERROR-severity finding fires; ``--strict`` fails on *any* finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.lints import Severity, lint_query
+from repro.errors import AnalysisError
+from repro.storage import Database
+
+#: Tiny deterministic schema builders — linting needs catalogs (schemas,
+#: domains, FDs), not data, so every database is built at token scale.
+_DB_BUILDERS: Dict[str, Callable[[], Database]] = {}
+
+
+def _builder(name: str):
+    def register(fn: Callable[[], Database]):
+        _DB_BUILDERS[name] = fn
+        return fn
+
+    return register
+
+
+@_builder("batting")
+def _batting_db() -> Database:
+    from repro.workloads.baseball import BaseballConfig, make_batting_db
+
+    return make_batting_db(BaseballConfig(n_rows=50, n_years=3, seed=7))
+
+
+@_builder("perf")
+def _perf_db() -> Database:
+    from repro.workloads.baseball import BaseballConfig, load_unpivoted
+
+    db = Database()
+    load_unpivoted(db, BaseballConfig(n_rows=50, n_years=3, seed=7))
+    return db
+
+
+@_builder("basket")
+def _basket_db() -> Database:
+    from repro.workloads.basket import BasketConfig, make_basket_db
+
+    return make_basket_db(BasketConfig())
+
+
+@_builder("discount")
+def _discount_db() -> Database:
+    from repro.workloads.basket import load_discount_schema
+
+    db = Database()
+    load_discount_schema(db, n_baskets=40, n_items=12, n_discounts=4, seed=7)
+    return db
+
+
+def named_targets() -> Dict[str, Tuple[str, str]]:
+    """Named lint targets: target name -> (schema name, SQL text)."""
+    from repro.workloads.queries import (
+        complex_query,
+        discount_query,
+        figure1_queries,
+        market_basket_query,
+    )
+
+    targets: Dict[str, Tuple[str, str]] = {
+        name: ("batting", query.sql)
+        for name, query in figure1_queries().items()
+    }
+    targets["complex"] = ("perf", complex_query())
+    targets["market_basket"] = ("basket", market_basket_query())
+    targets["discount"] = ("discount", discount_query())
+    return targets
+
+
+def _resolve_sql(target: str) -> str:
+    """Free-form target: a path to a SQL file, or inline SQL text."""
+    if target.endswith(".sql") or os.path.isfile(target):
+        with open(target) as handle:
+            return handle.read()
+    return target
+
+
+def run_target(
+    label: str, db: Database, sql: str, strict: bool, out=sys.stdout
+) -> bool:
+    """Lint one query; returns True when it passes."""
+    try:
+        findings = lint_query(db, sql)
+    except AnalysisError as error:
+        print(f"{label}: error[{type(error).__name__}] {error}", file=out)
+        return False
+    for finding in findings:
+        print(f"{label}: {finding}", file=out)
+    if not findings:
+        print(f"{label}: ok", file=out)
+        return True
+    worst = max(finding.severity for finding in findings)
+    return worst < Severity.ERROR and not strict
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Static analysis + lints for iceberg queries.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        help="Q1..Q8, complex, market_basket, discount, 'all', "
+        "a .sql file, or literal SQL",
+    )
+    parser.add_argument(
+        "--db",
+        choices=sorted(_DB_BUILDERS),
+        default="batting",
+        help="schema for free-form SQL targets (default: batting)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on any finding, not only errors",
+    )
+    args = parser.parse_args(argv)
+
+    known = named_targets()
+    databases: Dict[str, Database] = {}
+
+    def database(name: str) -> Database:
+        if name not in databases:
+            databases[name] = _DB_BUILDERS[name]()
+        return databases[name]
+
+    ok = True
+    for target in args.targets:
+        if target == "all":
+            for label, (db_name, sql) in known.items():
+                ok &= run_target(label, database(db_name), sql, args.strict)
+        elif target in known:
+            db_name, sql = known[target]
+            ok &= run_target(target, database(db_name), sql, args.strict)
+        else:
+            sql = _resolve_sql(target)
+            label = target if len(target) <= 40 else target[:37] + "..."
+            ok &= run_target(label, database(args.db), sql, args.strict)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

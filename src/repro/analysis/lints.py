@@ -1,0 +1,401 @@
+"""Rule-based lints over analyzed query blocks.
+
+Every rule is a class with an ``id``, a :class:`Severity`, and a
+``check`` generator producing :class:`LintFinding`\\ s with a rendered
+SQL *span* pointing at the offending construct.  The default rule set
+covers the preconditions the Smart-Iceberg optimizer otherwise
+assumes:
+
+- ``unsatisfiable-predicate`` — the WHERE/ON conjunction is
+  contradictory (decided with Fourier-Motzkin elimination,
+  :mod:`repro.logic.fme`); the query returns no rows.
+- ``implied-predicate`` — a conjunct is implied by the rest of the
+  predicate (FME-derived; redundant work for every operator that
+  evaluates it).
+- ``cartesian-product`` — the join graph is disconnected; some
+  relation pair joins without any connecting predicate.
+- ``unused-relation`` — a FROM relation is never referenced; it scales
+  the result by its cardinality without contributing columns.
+- ``non-monotone-having`` — HAVING is neither monotone nor
+  anti-monotone (Definition 1, Theorems 1–2), so a-priori reducers
+  and NLJP pruning are unsound and stay disabled.
+- ``non-algebraic-aggregate`` — a DISTINCT aggregate is not algebraic
+  (Appendix C), so partial-aggregate memoization is disabled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.analysis.semantics import BlockInfo, QueryInfo, analyze_query
+from repro.core.monotonicity import Monotonicity, classify
+from repro.core.subsumption import expr_to_formula
+from repro.engine.aggregates import is_algebraic
+from repro.errors import QuantifierEliminationError
+from repro.logic import fme
+from repro.logic import formula as fm
+from repro.sql import ast
+from repro.sql.render import render
+from repro.storage import Database
+
+
+class Severity(enum.IntEnum):
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One diagnostic: rule id, severity, message, and SQL span."""
+
+    rule: str
+    severity: Severity
+    message: str
+    span: str
+    block: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.severity.name.lower()}[{self.rule}] "
+            f"{self.block}: {self.message} — {self.span}"
+        )
+
+
+class LintContext:
+    """One analyzed block plus shared resolution helpers for rules."""
+
+    def __init__(self, db: Database, query: QueryInfo, block: BlockInfo) -> None:
+        self.db = db
+        self.query = query
+        self.block = block
+        self.select = block.select
+
+    def conjunction(self) -> List[ast.Expr]:
+        """All top-level conjuncts of the block's predicate."""
+        parts: List[ast.Expr] = []
+        if self.select.where is not None:
+            parts.extend(ast.conjuncts(self.select.where))
+        parts.extend(self.block.join_conditions)
+        return parts
+
+    def owner_of(self, ref: ast.ColumnRef) -> Optional[str]:
+        """The (lowercased) alias a column reference binds to."""
+        if ref.table is not None:
+            alias = ref.table.lower()
+            return alias if alias in self.block.scope.relations else None
+        owners = self.block.scope.owners_of(ref.column)
+        return owners[0] if len(owners) == 1 else None
+
+    def variables_for(
+        self, exprs: Sequence[ast.Expr]
+    ) -> Dict[str, str]:
+        """A ``variable_of`` map for :func:`expr_to_formula`.
+
+        Keys match ``_expr_to_term``'s lookup (``table.column`` exactly
+        as written, or the bare column name); values are canonical
+        ``alias.column`` variables so differently-written references to
+        the same column share one logic variable.
+        """
+        mapping: Dict[str, str] = {}
+        for expr in exprs:
+            for ref in ast.column_refs(expr):
+                key = f"{ref.table}.{ref.column}" if ref.table else ref.column
+                owner = self.owner_of(ref)
+                if owner is None:
+                    continue
+                mapping[key] = f"{owner}.{ref.column.lower()}"
+        return mapping
+
+    def constraints_of(
+        self, expr: ast.Expr, variables: Dict[str, str]
+    ) -> Optional[List[fm.Constraint]]:
+        """``expr`` as a pure constraint conjunction, or ``None``.
+
+        ``None`` means the expression is outside the linear fragment
+        (or is disjunctive), in which case rules must stay silent about
+        it rather than guess.
+        """
+        try:
+            formula = expr_to_formula(expr, variables)
+        except QuantifierEliminationError:
+            return None
+        disjuncts = fm.to_dnf(formula)
+        if len(disjuncts) != 1:
+            return None
+        return list(disjuncts[0])
+
+    def nonnegative(self, expr: ast.Expr) -> bool:
+        """Catalog-backed oracle for SUM-argument nonnegativity."""
+        if isinstance(expr, ast.Literal):
+            value = expr.value
+            return isinstance(value, (int, float)) and value >= 0
+        if isinstance(expr, ast.ColumnRef):
+            owner = self.owner_of(expr)
+            if owner is None:
+                return False
+            source = self.block.scope.relations[owner].source
+            if not self.db.has_table(source):
+                return False
+            return self.db.is_nonnegative(source, expr.column.lower())
+        return False
+
+
+class LintRule:
+    """Base class: subclasses set ``rule_id``/``severity`` and ``check``."""
+
+    rule_id: str = ""
+    severity: Severity = Severity.WARNING
+    description: str = ""
+
+    def check(self, context: LintContext) -> Iterator[LintFinding]:
+        raise NotImplementedError
+
+    def finding(
+        self, context: LintContext, message: str, span: Union[ast.Expr, str]
+    ) -> LintFinding:
+        return LintFinding(
+            rule=self.rule_id,
+            severity=self.severity,
+            message=message,
+            span=span if isinstance(span, str) else render(span),
+            block=context.block.name,
+        )
+
+
+class UnsatisfiablePredicate(LintRule):
+    rule_id = "unsatisfiable-predicate"
+    severity = Severity.WARNING
+    description = "WHERE/ON conjunction is contradictory; no row can satisfy it"
+
+    def check(self, context: LintContext) -> Iterator[LintFinding]:
+        conjuncts = context.conjunction()
+        if not conjuncts:
+            return
+        variables = context.variables_for(conjuncts)
+        # Dropping untranslatable conjuncts only weakens the predicate,
+        # so an UNSAT verdict on the remainder is still sound.
+        formulas = []
+        for conjunct in conjuncts:
+            try:
+                formulas.append(expr_to_formula(conjunct, variables))
+            except QuantifierEliminationError:
+                continue
+        if not formulas:
+            return
+        disjuncts = fm.to_dnf(fm.conj(formulas))
+        if any(fme.is_satisfiable(disjunct) for disjunct in disjuncts):
+            return
+        yield self.finding(
+            context,
+            "predicate is unsatisfiable: the query returns no rows",
+            ast.conjoin(tuple(conjuncts)),
+        )
+
+
+class ImpliedPredicate(LintRule):
+    rule_id = "implied-predicate"
+    severity = Severity.INFO
+    description = "a conjunct is implied by the rest of the predicate"
+
+    def check(self, context: LintContext) -> Iterator[LintFinding]:
+        conjuncts = context.conjunction()
+        if len(conjuncts) < 2:
+            return
+        variables = context.variables_for(conjuncts)
+        translated = [
+            (conjunct, context.constraints_of(conjunct, variables))
+            for conjunct in conjuncts
+        ]
+        usable = [(c, k) for c, k in translated if k is not None]
+        for conjunct, constraints in usable:
+            premise: List[fm.Constraint] = []
+            for other, other_constraints in usable:
+                if other is not conjunct:
+                    premise.extend(other_constraints)
+            if not premise or not fme.is_satisfiable(premise):
+                continue
+            if all(fme.implies(premise, k) for k in constraints):
+                yield self.finding(
+                    context,
+                    "conjunct is implied by the rest of the predicate "
+                    "(redundant)",
+                    conjunct,
+                )
+
+
+class CartesianProduct(LintRule):
+    rule_id = "cartesian-product"
+    severity = Severity.WARNING
+    description = "the join graph is disconnected (cross product)"
+
+    def check(self, context: LintContext) -> Iterator[LintFinding]:
+        aliases = list(context.block.scope.relations)
+        if len(aliases) < 2:
+            return
+        parent = {alias: alias for alias in aliases}
+
+        def find(alias: str) -> str:
+            while parent[alias] != alias:
+                parent[alias] = parent[parent[alias]]
+                alias = parent[alias]
+            return alias
+
+        def union(a: str, b: str) -> None:
+            parent[find(a)] = find(b)
+
+        for conjunct in context.conjunction():
+            touched = set()
+            for ref in ast.column_refs(conjunct):
+                owner = context.owner_of(ref)
+                if owner is not None:
+                    touched.add(owner)
+            touched = sorted(touched)
+            for other in touched[1:]:
+                union(touched[0], other)
+        for item in context.select.from_items:
+            _union_natural_joins(item, union)
+        components: Dict[str, List[str]] = {}
+        for alias in aliases:
+            components.setdefault(find(alias), []).append(alias)
+        if len(components) > 1:
+            groups = " × ".join(
+                "{" + ", ".join(sorted(group)) + "}"
+                for group in components.values()
+            )
+            yield self.finding(
+                context,
+                f"no predicate connects these relation groups: {groups}",
+                ", ".join(aliases),
+            )
+
+
+def _union_natural_joins(item: ast.TableExpr, union) -> None:
+    if isinstance(item, ast.JoinedTable):
+        _union_natural_joins(item.left, union)
+        _union_natural_joins(item.right, union)
+        if item.natural:
+            left = _binding_aliases(item.left)
+            right = _binding_aliases(item.right)
+            if left and right:
+                union(left[0], right[0])
+
+
+def _binding_aliases(item: ast.TableExpr) -> List[str]:
+    if isinstance(item, (ast.NamedTable, ast.DerivedTable)):
+        return [item.binding_name.lower()]
+    if isinstance(item, ast.JoinedTable):
+        return _binding_aliases(item.left) + _binding_aliases(item.right)
+    return []
+
+
+class UnusedRelation(LintRule):
+    rule_id = "unused-relation"
+    severity = Severity.WARNING
+    description = "a FROM relation is never referenced"
+
+    def check(self, context: LintContext) -> Iterator[LintFinding]:
+        select = context.select
+        exprs: List[ast.Expr] = [item.expr for item in select.items]
+        exprs.extend(context.conjunction())
+        exprs.extend(select.group_by)
+        if select.having is not None:
+            exprs.append(select.having)
+        exprs.extend(order.expr for order in select.order_by)
+        referenced = set()
+        for expr in exprs:
+            if isinstance(expr, ast.Star):
+                if expr.table is None:
+                    return  # SELECT * references everything
+                referenced.add(expr.table.lower())
+                continue
+            for ref in ast.column_refs(expr):
+                owner = context.owner_of(ref)
+                if owner is not None:
+                    referenced.add(owner)
+        for alias, relation in context.block.scope.relations.items():
+            if alias not in referenced:
+                yield self.finding(
+                    context,
+                    f"relation {alias!r} is never referenced; it scales "
+                    "the result by its cardinality",
+                    f"{relation.source} {alias}",
+                )
+
+
+class NonMonotoneHaving(LintRule):
+    rule_id = "non-monotone-having"
+    severity = Severity.WARNING
+    description = "HAVING is neither monotone nor anti-monotone"
+
+    def check(self, context: LintContext) -> Iterator[LintFinding]:
+        having = context.select.having
+        if having is None:
+            return
+        kind = classify(having, context.nonnegative)
+        if kind is Monotonicity.UNKNOWN:
+            yield self.finding(
+                context,
+                "HAVING condition is neither monotone nor anti-monotone "
+                "(Definition 1): the Theorem 1/2 preconditions fail, so "
+                "a-priori reducers and NLJP pruning stay disabled",
+                having,
+            )
+
+
+class NonAlgebraicAggregate(LintRule):
+    rule_id = "non-algebraic-aggregate"
+    severity = Severity.INFO
+    description = "a DISTINCT aggregate blocks partial-aggregate memoization"
+
+    def check(self, context: LintContext) -> Iterator[LintFinding]:
+        select = context.select
+        exprs: List[ast.Expr] = [item.expr for item in select.items]
+        if select.having is not None:
+            exprs.append(select.having)
+        exprs.extend(order.expr for order in select.order_by)
+        seen = set()
+        for expr in exprs:
+            for call in ast.aggregate_calls(expr):
+                if is_algebraic(call) or id(call) in seen:
+                    continue
+                seen.add(id(call))
+                yield self.finding(
+                    context,
+                    f"{call.name}(DISTINCT …) is not algebraic (Appendix C): "
+                    "partial aggregates cannot be merged across bindings, "
+                    "so memoized reducers are disabled",
+                    call,
+                )
+
+
+DEFAULT_RULES: List[LintRule] = [
+    UnsatisfiablePredicate(),
+    ImpliedPredicate(),
+    CartesianProduct(),
+    UnusedRelation(),
+    NonMonotoneHaving(),
+    NonAlgebraicAggregate(),
+]
+
+
+def lint_query(
+    db: Database,
+    statement: Union[str, ast.Query, ast.Select],
+    rules: Optional[Sequence[LintRule]] = None,
+) -> List[LintFinding]:
+    """Run the lint rules over every block of an analyzed query.
+
+    Raises :class:`~repro.errors.AnalysisError` when the query fails
+    semantic analysis (lints only run on well-formed queries).
+    """
+    info = analyze_query(db, statement)
+    findings: List[LintFinding] = []
+    for block in info.blocks:
+        context = LintContext(db, info, block)
+        for rule in rules if rules is not None else DEFAULT_RULES:
+            findings.extend(rule.check(context))
+    findings.sort(key=lambda f: -int(f.severity))
+    return findings

@@ -1,0 +1,618 @@
+"""Semantic analysis: name resolution and static typechecking.
+
+Resolves every column reference of a query against the catalog (plus
+CTE and derived-table scopes) and infers a :class:`SqlType` for every
+expression, rejecting unknown or ambiguous columns and definite type
+mismatches with typed :class:`AnalysisError`\\ s before any planning or
+execution happens.
+
+The analyzer is deliberately *no stricter than the engine* about
+constructs the engine accepts: types that cannot be determined
+statically (parameters, NULL literals, CTE columns fed by parameters)
+infer as ``None`` ("unknown") and unknown types satisfy every check.
+Two entry points:
+
+- :func:`resolve_query` — names only.  This is what
+  ``analyze="off"`` still runs at the ``SmartIceberg`` boundary so
+  bad references surface as typed errors instead of planner internals.
+- :func:`analyze_query` — names plus full type inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import (
+    AmbiguousColumnError,
+    AnalysisError,
+    TypeMismatchError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.sql.render import render
+from repro.storage import Database, SqlType
+
+#: Scalar functions the engine implements, with their result-type rule.
+#: ``None`` in an argument slot means "any type"; a :class:`SqlType`
+#: means the argument must be of that type (numeric for INTEGER/FLOAT).
+_NUMERIC = "numeric"
+_SCALAR_SIGNATURES: Dict[str, Tuple[object, object]] = {
+    # name -> (argument requirement, result type or "arg" / None=unknown)
+    "ABS": (_NUMERIC, "arg"),
+    "FLOOR": (_NUMERIC, SqlType.INTEGER),
+    "CEIL": (_NUMERIC, SqlType.INTEGER),
+    "CEILING": (_NUMERIC, SqlType.INTEGER),
+    "ROUND": (_NUMERIC, SqlType.FLOAT),
+    "SQRT": (_NUMERIC, SqlType.FLOAT),
+    "LOWER": (SqlType.TEXT, SqlType.TEXT),
+    "UPPER": (SqlType.TEXT, SqlType.TEXT),
+    "LENGTH": (SqlType.TEXT, SqlType.INTEGER),
+    "POWER": (_NUMERIC, SqlType.FLOAT),
+    "MOD": (_NUMERIC, SqlType.INTEGER),
+    "SIGN": (_NUMERIC, SqlType.INTEGER),
+    "COALESCE": (None, "arg"),
+    "LEAST": (None, "arg"),
+    "GREATEST": (None, "arg"),
+}
+
+
+@dataclass(frozen=True)
+class OutputColumn:
+    """One output column of a query block: lowercased name + type.
+
+    ``type`` is ``None`` when the type cannot be determined statically
+    (parameters, bare NULLs, expressions over unknown-typed inputs).
+    """
+
+    name: str
+    type: Optional[SqlType]
+
+
+@dataclass(frozen=True)
+class RelationScope:
+    """One FROM-clause binding: alias plus its visible columns."""
+
+    alias: str
+    columns: Tuple[OutputColumn, ...]
+    source: str  # base table / CTE / derived-table name, for messages
+
+    def find(self, column: str) -> Optional[OutputColumn]:
+        lowered = column.lower()
+        for col in self.columns:
+            if col.name == lowered:
+                return col
+        return None
+
+
+@dataclass
+class BlockScope:
+    """All relations visible to one SELECT block, in FROM order."""
+
+    relations: Dict[str, RelationScope] = field(default_factory=dict)
+
+    def add(self, relation: RelationScope) -> None:
+        if relation.alias in self.relations:
+            raise AnalysisError(f"duplicate relation alias {relation.alias!r}")
+        self.relations[relation.alias] = relation
+
+    def owners_of(self, column: str) -> List[str]:
+        return [
+            alias
+            for alias, relation in self.relations.items()
+            if relation.find(column) is not None
+        ]
+
+
+@dataclass
+class BlockInfo:
+    """Analysis result for one SELECT block."""
+
+    name: str
+    select: ast.Select
+    scope: BlockScope
+    output: Tuple[OutputColumn, ...]
+    #: Select-item aliases visible to GROUP BY / HAVING / ORDER BY.
+    aliases: Dict[str, Optional[SqlType]] = field(default_factory=dict)
+    #: Explicit JOIN ... ON conditions (part of the block's predicate).
+    join_conditions: Tuple[ast.Expr, ...] = ()
+
+
+@dataclass
+class QueryInfo:
+    """Analysis result for a whole query: every block, main block last."""
+
+    query: ast.Query
+    blocks: List[BlockInfo]
+
+    @property
+    def main(self) -> BlockInfo:
+        return self.blocks[-1]
+
+    @property
+    def output(self) -> Tuple[OutputColumn, ...]:
+        return self.main.output
+
+
+def analyze_query(
+    db: Database, statement: Union[str, ast.Query, ast.Select]
+) -> QueryInfo:
+    """Resolve names and infer/check types for every block of a query."""
+    return _Analyzer(db, check_types=True).run(statement)
+
+
+def resolve_query(
+    db: Database, statement: Union[str, ast.Query, ast.Select]
+) -> QueryInfo:
+    """Resolve names only (no type checks) — the ``analyze="off"`` pass."""
+    return _Analyzer(db, check_types=False).run(statement)
+
+
+class _Analyzer:
+    def __init__(self, db: Database, check_types: bool) -> None:
+        self.db = db
+        self.check_types = check_types
+        self.blocks: List[BlockInfo] = []
+
+    def run(self, statement: Union[str, ast.Query, ast.Select]) -> QueryInfo:
+        query = parse(statement) if isinstance(statement, str) else statement
+        if isinstance(query, ast.Select):
+            query = ast.Query.of(query)
+        self._analyze(query, {}, prefix="")
+        return QueryInfo(query=query, blocks=self.blocks)
+
+    # -- block analysis -----------------------------------------------
+
+    def _analyze(
+        self,
+        query: ast.Query,
+        outer_ctes: Dict[str, Tuple[OutputColumn, ...]],
+        prefix: str,
+    ) -> BlockInfo:
+        ctes = dict(outer_ctes)
+        for cte in query.ctes:
+            info = self._analyze_select(cte.query, ctes, name=f"with {cte.name}")
+            columns = info.output
+            if cte.columns:
+                if len(cte.columns) != len(columns):
+                    raise AnalysisError(
+                        f"CTE {cte.name!r} declares {len(cte.columns)} columns "
+                        f"but its query produces {len(columns)}"
+                    )
+                columns = tuple(
+                    OutputColumn(name.lower(), col.type)
+                    for name, col in zip(cte.columns, columns)
+                )
+            ctes[cte.name.lower()] = columns
+        return self._analyze_select(
+            query.body, ctes, name=(prefix + "main") if prefix else "main"
+        )
+
+    def _analyze_select(
+        self,
+        select: ast.Select,
+        ctes: Dict[str, Tuple[OutputColumn, ...]],
+        name: str,
+    ) -> BlockInfo:
+        scope = BlockScope()
+        join_conditions: List[ast.Expr] = []
+        for item in select.from_items:
+            self._bind(item, scope, ctes, join_conditions)
+
+        # Select items first: their aliases are visible to GROUP BY,
+        # HAVING, and ORDER BY (mirroring the planner's alias fallback).
+        output: List[OutputColumn] = []
+        aliases: Dict[str, Optional[SqlType]] = {}
+        position = 0
+        for item in select.items:
+            if isinstance(item.expr, ast.Star):
+                for col in self._expand_star(item.expr, scope):
+                    output.append(col)
+                    position += 1
+                continue
+            inferred = self._type(item.expr, scope, context="select")
+            out_name = _output_name(item, position)
+            output.append(OutputColumn(out_name, inferred))
+            # The planner resolves GROUP BY / HAVING / ORDER BY names
+            # against the output layout too, so derived names (e.g.
+            # ``count`` for ``COUNT(*)``) count as aliases here.
+            # Explicit aliases win on collision.
+            if item.alias:
+                aliases[item.alias.lower()] = inferred
+            else:
+                aliases.setdefault(out_name, inferred)
+            position += 1
+
+        info = BlockInfo(
+            name=name,
+            select=select,
+            scope=scope,
+            output=tuple(output),
+            aliases=aliases,
+            join_conditions=tuple(join_conditions),
+        )
+
+        for condition in join_conditions:
+            self._require_boolean(condition, scope, context="where")
+        if select.where is not None:
+            self._require_boolean(select.where, scope, context="where")
+        for expr in select.group_by:
+            self._type(expr, scope, context="group", aliases=aliases)
+        if select.having is not None:
+            self._require_boolean(
+                select.having, scope, context="having", aliases=aliases
+            )
+        for order in select.order_by:
+            self._type(order.expr, scope, context="order", aliases=aliases)
+
+        self.blocks.append(info)
+        return info
+
+    def _bind(
+        self,
+        item: ast.TableExpr,
+        scope: BlockScope,
+        ctes: Dict[str, Tuple[OutputColumn, ...]],
+        join_conditions: List[ast.Expr],
+    ) -> None:
+        if isinstance(item, ast.NamedTable):
+            alias = item.binding_name.lower()
+            source = item.name.lower()
+            if source in ctes:
+                scope.add(RelationScope(alias, ctes[source], source=source))
+            elif self.db.has_table(source):
+                schema = self.db.table(source).schema
+                columns = tuple(
+                    OutputColumn(col.name.lower(), col.type) for col in schema
+                )
+                scope.add(RelationScope(alias, columns, source=source))
+            else:
+                raise UnknownTableError(f"unknown table {item.name!r}")
+        elif isinstance(item, ast.DerivedTable):
+            subquery = item.query
+            if isinstance(subquery, ast.Select):
+                subquery = ast.Query.of(subquery)
+            sub = _Analyzer(self.db, self.check_types)
+            sub.blocks = self.blocks  # share the block list
+            info = sub._analyze(subquery, ctes, prefix=f"derived {item.alias}: ")
+            scope.add(
+                RelationScope(item.alias.lower(), info.output, source=item.alias)
+            )
+        elif isinstance(item, ast.JoinedTable):
+            self._bind(item.left, scope, ctes, join_conditions)
+            self._bind(item.right, scope, ctes, join_conditions)
+            if item.condition is not None:
+                join_conditions.append(item.condition)
+        else:  # pragma: no cover - parser produces only the above
+            raise AnalysisError(f"unsupported FROM item {type(item).__name__}")
+
+    def _expand_star(
+        self, star: ast.Star, scope: BlockScope
+    ) -> List[OutputColumn]:
+        if star.table is not None:
+            alias = star.table.lower()
+            relation = scope.relations.get(alias)
+            if relation is None:
+                raise UnknownTableError(
+                    f"unknown relation {star.table!r} in {render(star)}"
+                )
+            return list(relation.columns)
+        expanded: List[OutputColumn] = []
+        for relation in scope.relations.values():
+            expanded.extend(relation.columns)
+        return expanded
+
+    # -- expression typing --------------------------------------------
+
+    def _require_boolean(
+        self,
+        expr: ast.Expr,
+        scope: BlockScope,
+        context: str,
+        aliases: Optional[Dict[str, Optional[SqlType]]] = None,
+    ) -> None:
+        inferred = self._type(expr, scope, context=context, aliases=aliases)
+        if (
+            self.check_types
+            and inferred is not None
+            and inferred is not SqlType.BOOLEAN
+        ):
+            raise TypeMismatchError(
+                f"{context.upper()} condition must be boolean, "
+                f"got {inferred.value} from {render(expr)}"
+            )
+
+    def _type(
+        self,
+        expr: ast.Expr,
+        scope: BlockScope,
+        context: str,
+        aliases: Optional[Dict[str, Optional[SqlType]]] = None,
+    ) -> Optional[SqlType]:
+        if isinstance(expr, ast.Literal):
+            if expr.value is None:
+                return None
+            if isinstance(expr.value, bool):
+                return SqlType.BOOLEAN
+            if isinstance(expr.value, int):
+                return SqlType.INTEGER
+            if isinstance(expr.value, float):
+                return SqlType.FLOAT
+            return SqlType.TEXT
+        if isinstance(expr, ast.Parameter):
+            return None
+        if isinstance(expr, ast.ColumnRef):
+            return self._resolve(expr, scope, context, aliases)
+        if isinstance(expr, ast.BinaryOp):
+            return self._type_binary(expr, scope, context, aliases)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._type(expr.operand, scope, context, aliases)
+            if expr.op == "NOT":
+                if (
+                    self.check_types
+                    and operand is not None
+                    and operand is not SqlType.BOOLEAN
+                ):
+                    raise TypeMismatchError(
+                        f"NOT requires a boolean operand, got {operand.value} "
+                        f"from {render(expr.operand)}"
+                    )
+                return SqlType.BOOLEAN
+            self._require_numeric(expr.op, expr.operand, operand)
+            return operand
+        if isinstance(expr, ast.FuncCall):
+            return self._type_call(expr, scope, context, aliases)
+        if isinstance(expr, ast.TupleExpr):
+            for part in expr.items:
+                self._type(part, scope, context, aliases)
+            return None
+        if isinstance(expr, ast.InList):
+            needle = self._type(expr.needle, scope, context, aliases)
+            for item in expr.items:
+                candidate = self._type(item, scope, context, aliases)
+                self._check_comparable("IN", expr, needle, candidate)
+            return SqlType.BOOLEAN
+        if isinstance(expr, ast.InSubquery):
+            needle = self._type(expr.needle, scope, context, aliases)
+            sub = _Analyzer(self.db, self.check_types)
+            sub.blocks = self.blocks
+            info = sub._analyze(
+                ast.Query.of(expr.subquery), {}, prefix="subquery: "
+            )
+            if self.check_types and len(info.output) == 1:
+                self._check_comparable("IN", expr, needle, info.output[0].type)
+            return SqlType.BOOLEAN
+        if isinstance(expr, ast.ExistsSubquery):
+            sub = _Analyzer(self.db, self.check_types)
+            sub.blocks = self.blocks
+            sub._analyze(ast.Query.of(expr.subquery), {}, prefix="subquery: ")
+            return SqlType.BOOLEAN
+        if isinstance(expr, ast.Between):
+            needle = self._type(expr.needle, scope, context, aliases)
+            low = self._type(expr.low, scope, context, aliases)
+            high = self._type(expr.high, scope, context, aliases)
+            self._check_comparable("BETWEEN", expr, needle, low)
+            self._check_comparable("BETWEEN", expr, needle, high)
+            return SqlType.BOOLEAN
+        if isinstance(expr, ast.IsNull):
+            self._type(expr.operand, scope, context, aliases)
+            return SqlType.BOOLEAN
+        if isinstance(expr, ast.CaseExpr):
+            result: Optional[SqlType] = None
+            for condition, value in expr.whens:
+                self._require_boolean(condition, scope, context, aliases)
+                result = self._merge("CASE", expr, result,
+                                     self._type(value, scope, context, aliases))
+            if expr.default is not None:
+                result = self._merge(
+                    "CASE", expr, result,
+                    self._type(expr.default, scope, context, aliases),
+                )
+            return result
+        if isinstance(expr, ast.Star):
+            raise AnalysisError(f"* is not a scalar expression ({context})")
+        raise AnalysisError(  # pragma: no cover - exhaustive over the AST
+            f"unsupported expression {type(expr).__name__}"
+        )
+
+    def _resolve(
+        self,
+        ref: ast.ColumnRef,
+        scope: BlockScope,
+        context: str,
+        aliases: Optional[Dict[str, Optional[SqlType]]],
+    ) -> Optional[SqlType]:
+        column = ref.column.lower()
+        if ref.table is not None:
+            alias = ref.table.lower()
+            relation = scope.relations.get(alias)
+            if relation is None:
+                raise UnknownColumnError(
+                    f"unknown column {ref.qualified()!r}: "
+                    f"no relation {ref.table!r} in scope"
+                )
+            found = relation.find(column)
+            if found is None:
+                raise UnknownColumnError(
+                    f"unknown column {ref.qualified()!r}: "
+                    f"{relation.source!r} has no column {ref.column!r}"
+                )
+            return found.type
+        owners = scope.owners_of(column)
+        if len(owners) > 1:
+            raise AmbiguousColumnError(
+                f"ambiguous column reference {ref.column!r} "
+                f"(matches {', '.join(sorted(owners))})"
+            )
+        if not owners:
+            if aliases is not None and column in aliases:
+                return aliases[column]
+            raise UnknownColumnError(
+                f"unknown column {ref.column!r}: "
+                f"no relation in scope provides it"
+            )
+        return scope.relations[owners[0]].find(column).type  # type: ignore[union-attr]
+
+    def _type_binary(
+        self,
+        expr: ast.BinaryOp,
+        scope: BlockScope,
+        context: str,
+        aliases: Optional[Dict[str, Optional[SqlType]]],
+    ) -> Optional[SqlType]:
+        op = expr.op
+        if op in ("AND", "OR"):
+            self._require_boolean(expr.left, scope, context, aliases)
+            self._require_boolean(expr.right, scope, context, aliases)
+            return SqlType.BOOLEAN
+        left = self._type(expr.left, scope, context, aliases)
+        right = self._type(expr.right, scope, context, aliases)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            self._check_comparable(op, expr, left, right)
+            return SqlType.BOOLEAN
+        if op == "||":
+            for side, inferred in ((expr.left, left), (expr.right, right)):
+                if (
+                    self.check_types
+                    and inferred is not None
+                    and inferred is not SqlType.TEXT
+                ):
+                    raise TypeMismatchError(
+                        f"|| requires TEXT operands, got {inferred.value} "
+                        f"from {render(side)}"
+                    )
+            return SqlType.TEXT
+        # Arithmetic: + - * / %
+        self._require_numeric(op, expr.left, left)
+        self._require_numeric(op, expr.right, right)
+        if left is None or right is None:
+            return None
+        if op == "/":
+            return SqlType.FLOAT
+        if SqlType.FLOAT in (left, right):
+            return SqlType.FLOAT
+        return SqlType.INTEGER
+
+    def _type_call(
+        self,
+        call: ast.FuncCall,
+        scope: BlockScope,
+        context: str,
+        aliases: Optional[Dict[str, Optional[SqlType]]],
+    ) -> Optional[SqlType]:
+        name = call.name.upper()
+        if call.is_aggregate:
+            if context in ("where", "group"):
+                raise AnalysisError(
+                    f"aggregate {call.name} is not allowed in "
+                    f"{'WHERE' if context == 'where' else 'GROUP BY'}"
+                )
+            if name == "COUNT":
+                for arg in call.args:
+                    if not isinstance(arg, ast.Star):
+                        self._type(arg, scope, context, aliases)
+                return SqlType.INTEGER
+            arg_type: Optional[SqlType] = None
+            for arg in call.args:
+                arg_type = self._type(arg, scope, context, aliases)
+            if name in ("SUM", "AVG"):
+                if call.args:
+                    self._require_numeric(name, call.args[-1], arg_type)
+                return SqlType.FLOAT if name == "AVG" else arg_type
+            return arg_type  # MIN / MAX
+        signature = _SCALAR_SIGNATURES.get(name)
+        if signature is None:
+            if self.check_types:
+                raise AnalysisError(f"unknown function {call.name!r}")
+            for arg in call.args:
+                self._type(arg, scope, context, aliases)
+            return None
+        requirement, result = signature
+        arg_types = [self._type(arg, scope, context, aliases) for arg in call.args]
+        if self.check_types and requirement is not None:
+            for arg, inferred in zip(call.args, arg_types):
+                if inferred is None:
+                    continue
+                if requirement is _NUMERIC and not inferred.is_numeric:
+                    raise TypeMismatchError(
+                        f"{name} requires numeric arguments, got "
+                        f"{inferred.value} from {render(arg)}"
+                    )
+                if isinstance(requirement, SqlType) and inferred is not requirement:
+                    raise TypeMismatchError(
+                        f"{name} requires {requirement.value} arguments, got "
+                        f"{inferred.value} from {render(arg)}"
+                    )
+        if result == "arg":
+            known = [t for t in arg_types if t is not None]
+            if not known:
+                return None
+            merged = known[0]
+            for t in known[1:]:
+                merged = self._merge(name, call, merged, t)
+            return merged
+        return result  # type: ignore[return-value]
+
+    # -- helpers -------------------------------------------------------
+
+    def _require_numeric(
+        self, op: str, operand: ast.Expr, inferred: Optional[SqlType]
+    ) -> None:
+        if self.check_types and inferred is not None and not inferred.is_numeric:
+            raise TypeMismatchError(
+                f"operator {op} requires numeric operands, got "
+                f"{inferred.value} from {render(operand)}"
+            )
+
+    def _check_comparable(
+        self,
+        op: str,
+        expr: ast.Expr,
+        left: Optional[SqlType],
+        right: Optional[SqlType],
+    ) -> None:
+        if not self.check_types or left is None or right is None:
+            return
+        if left is right:
+            return
+        if left.is_numeric and right.is_numeric:
+            return
+        raise TypeMismatchError(
+            f"cannot compare {left.value} with {right.value} "
+            f"using {op} in {render(expr)}"
+        )
+
+    def _merge(
+        self,
+        label: str,
+        expr: ast.Expr,
+        left: Optional[SqlType],
+        right: Optional[SqlType],
+    ) -> Optional[SqlType]:
+        if left is None:
+            return right
+        if right is None:
+            return left
+        if left is right:
+            return left
+        if left.is_numeric and right.is_numeric:
+            return SqlType.FLOAT
+        if self.check_types:
+            raise TypeMismatchError(
+                f"{label} branches mix {left.value} and {right.value} "
+                f"in {render(expr)}"
+            )
+        return None
+
+
+def _output_name(item: ast.SelectItem, position: int) -> str:
+    """Output column naming, matching the planner's ``_output_name``."""
+    if item.alias:
+        return item.alias.lower()
+    if isinstance(item.expr, ast.ColumnRef):
+        return item.expr.column.lower()
+    if isinstance(item.expr, ast.FuncCall):
+        return item.expr.name.lower()
+    return f"col{position}"

@@ -22,7 +22,6 @@ from repro.core.system import SmartIceberg
 from repro.storage.catalog import Database
 from repro.workloads.baseball import (
     BaseballConfig,
-    generate_seasons,
     load_batting,
     load_unpivoted,
 )

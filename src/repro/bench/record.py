@@ -49,6 +49,11 @@ SUITE_SYSTEMS = ("base", "vendor", "memo", "all")
 
 MODES = ("row", "batch")
 
+#: Static-analysis mode for Smart-Iceberg suite systems.  Strict keeps
+#: the analyzer + plan verifier honest on every recorded run, and the
+#: separate ``analyze_seconds`` field makes their overhead visible.
+SUITE_ANALYZE = "strict"
+
 #: Runner labels (``EngineConfig.label``) mapped back to the suite
 #: system names of :data:`SUITE_SYSTEMS`, so every record's ``system``
 #: field matches the name the suite declares.  Historically the "base"
@@ -76,6 +81,7 @@ def _measurement_record(measurement: Measurement) -> Dict[str, Any]:
         "mode": measurement.execution_mode,
         "seconds": round(measurement.seconds, 6),
         "optimize_seconds": round(measurement.optimize_seconds, 6),
+        "analyze_seconds": round(measurement.analyze_seconds, 6),
         "cost": measurement.cost,
         "estimated_cost": _estimated_cost(measurement),
         "rows": measurement.rows,
@@ -92,7 +98,9 @@ def run_suite(n_rows: int) -> List[Dict[str, Any]]:
     records: List[Dict[str, Any]] = []
     for mode in MODES:
         db = _batting_db(n_rows, seed=RECORD_SEED)
-        systems = make_systems(SUITE_SYSTEMS, execution_mode=mode)
+        systems = make_systems(
+            SUITE_SYSTEMS, execution_mode=mode, analyze=SUITE_ANALYZE
+        )
         for measurement in run_comparison(db, queries, systems):
             records.append(_measurement_record(measurement))
     return records
@@ -201,6 +209,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "modes": list(MODES),
             "n_rows": suite_rows,
             "seed": RECORD_SEED,
+            "analyze": SUITE_ANALYZE,
         },
         "environment": {
             "python": platform.python_version(),

@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sql import ast
-from repro.constraints.equivalence import EquivalenceClasses
 from repro.constraints.fd import FDSet, FunctionalDependency
 
 

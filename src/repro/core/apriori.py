@@ -19,7 +19,7 @@ schema-based checks against brute-force ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.errors import OptimizationError
 from repro.sql import ast

@@ -26,8 +26,8 @@ from __future__ import annotations
 
 import bisect
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 Binding = Tuple[Any, ...]
 

@@ -14,13 +14,13 @@ Attribute naming convention: analysis attributes are qualified
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import OptimizationError
 from repro.sql import ast
 from repro.constraints.fd import FDSet
-from repro.constraints.inference import grouped_output_fds, join_fds
+from repro.constraints.inference import join_fds
 from repro.core.monotonicity import Monotonicity, classify
 from repro.storage.catalog import Database
 

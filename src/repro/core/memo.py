@@ -20,7 +20,7 @@ cost heuristic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from repro.sql import ast
 from repro.engine.aggregates import is_algebraic

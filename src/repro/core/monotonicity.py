@@ -34,7 +34,6 @@ optimizations (safe default).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.sql import ast

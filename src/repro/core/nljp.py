@@ -24,14 +24,14 @@ stats accounting, and post-steps (ORDER BY/LIMIT) compose normally.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import OptimizationError
 from repro.sql import ast
 from repro.sql.render import render
 from repro.engine import operators as ops
-from repro.engine.aggregates import algebraic_form, is_algebraic
+from repro.engine.aggregates import is_algebraic
 from repro.engine.expressions import ExpressionCompiler
 from repro.engine.layout import Layout
 from repro.engine.planner import PlanEnv, plan_select
@@ -498,7 +498,6 @@ class NLJPOperator(ops.PhysicalOperator):
         self.cache = cache
         self._cache_evicting = False
         self._cache_disabled = False
-        params = ctx.params
         stats = ctx.stats
 
         if self.direct_mode:
@@ -670,6 +669,19 @@ class NLJPOperator(ops.PhysicalOperator):
         if self.pruning is not None and self.pruning.predicate is not None:
             lines += ["  Q_C: " + render(self.pruning_query_sql())]
         return lines
+
+    def to_dict(self) -> Dict[str, object]:
+        node = super().to_dict()
+        node["features"] = {
+            "pruning": self.pruning is not None,
+            "memo": self.enable_memo,
+            "mode": "direct" if self.direct_mode else "combining",
+        }
+        node["qb_plan"] = self.qb_plan.to_dict()
+        node["qr_plan"] = self.qr_plan.to_dict()
+        if self.pruning is not None and self.pruning.predicate is not None:
+            node["pruning_predicate"] = render(self.pruning_query_sql())
+        return node
 
     def pruning_query_sql(self) -> ast.Expr:
         """The Q_C predicate as SQL (over cache columns + parameters)."""

@@ -20,11 +20,24 @@ Every decision — applied or not, and why — is recorded in the
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.errors import OptimizationError, PlanningError, ReproError
+from repro.analysis import (
+    analyze_query,
+    lint_query,
+    resolve_query,
+    verify_planned,
+)
+from repro.errors import (
+    AnalysisError,
+    OptimizationError,
+    PlanningError,
+    PlanVerificationError,
+    ReproError,
+)
 from repro.sql import ast
 from repro.sql.parser import parse
 from repro.sql.render import render
@@ -53,7 +66,6 @@ from repro.core.apriori import (
 )
 from repro.core.iceberg import IcebergBlock, PartitionView
 from repro.core.memo import MemoizationDecision, check_memoization
-from repro.core.monotonicity import Monotonicity
 from repro.core.nljp import NLJPOperator
 from repro.core.pruning import PruningDecision, check_pruning
 from repro.storage.catalog import Database
@@ -71,6 +83,10 @@ class OptimizationReport:
     memoization: Optional[MemoizationDecision] = None
     nljp_partition: Optional[Tuple[str, ...]] = None
     notes: List[str] = field(default_factory=list)
+    #: Wall time spent in static analysis + plan verification (the
+    #: ``analyze`` knob), kept separate so benchmarks can report the
+    #: analyzer's overhead as its own phase.
+    analyze_seconds: float = 0.0
     #: Per-technique fallbacks taken under ``degradation="fallback"``:
     #: each entry says which phase failed and what plan shape replaced
     #: it.  Propagated into ``ExecutionStats.degradations`` at run time.
@@ -205,6 +221,7 @@ class SmartIcebergOptimizer:
         if isinstance(query, ast.Select):
             query = ast.Query.of(query)
         report = OptimizationReport()
+        self._analyze_statement(query, report)
 
         # Phase 1: per-CTE a-priori.
         cte_infos: Dict[str, CteInfo] = {}
@@ -260,6 +277,7 @@ class SmartIcebergOptimizer:
             planned = PlannedQuery(
                 root=ops.CountOutput(plan), columns=tuple(columns), env=env
             )
+        self._verify_plan(planned, report)
 
         return OptimizedQuery(
             original_sql=(
@@ -270,6 +288,67 @@ class SmartIcebergOptimizer:
             report=report,
             nljp=nljp,
         )
+
+    # ------------------------------------------------------------------
+    # Static analysis (the ``analyze`` knob)
+    # ------------------------------------------------------------------
+    def _analyze_statement(
+        self, query: ast.Query, report: OptimizationReport
+    ) -> None:
+        """Pre-optimization semantic analysis, per ``config.analyze``.
+
+        Name resolution always runs: a query referencing unknown or
+        ambiguous columns fails here with a typed
+        :class:`~repro.errors.AnalysisError` instead of surfacing
+        planner internals.  Under ``"warn"``/``"strict"`` the full
+        typechecker and the lint rules run too; type errors raise in
+        strict mode and land in the report's notes in warn mode (lint
+        findings are always advisory).
+        """
+        mode = self.config.analyze
+        started = time.perf_counter()
+        try:
+            resolve_query(self.db, query)
+            if mode != "off":
+                try:
+                    analyze_query(self.db, query)
+                    findings = lint_query(self.db, query)
+                except AnalysisError as error:
+                    if mode == "strict":
+                        raise
+                    report.notes.append(f"analysis: {error}")
+                    findings = []
+                for finding in findings:
+                    report.notes.append(f"lint: {finding}")
+        finally:
+            report.analyze_seconds += time.perf_counter() - started
+
+    def _verify_plan(
+        self, planned: PlannedQuery, report: OptimizationReport
+    ) -> None:
+        """Post-planning plan verification, per ``config.analyze``.
+
+        Proves conjunct accounting (no dropped/doubled predicates),
+        schema chaining, and NLJP subsumption soundness.  Violations
+        raise under ``"strict"`` and become notes under ``"warn"``.
+        """
+        mode = self.config.analyze
+        if mode == "off":
+            return
+        started = time.perf_counter()
+        try:
+            violations = verify_planned(planned)
+            if violations:
+                if mode == "strict":
+                    raise PlanVerificationError(
+                        "plan verification failed: " + "; ".join(violations),
+                        violations=violations,
+                    )
+                report.notes.extend(
+                    f"verifier: {violation}" for violation in violations
+                )
+        finally:
+            report.analyze_seconds += time.perf_counter() - started
 
     # ------------------------------------------------------------------
     # Cardinality estimates (Appendix D technique selection)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.errors import QuantifierEliminationError
 from repro.core.iceberg import PartitionView

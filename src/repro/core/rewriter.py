@@ -20,7 +20,7 @@ and combining them with the outer aggregation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import OptimizationError
 from repro.sql import ast

@@ -58,6 +58,7 @@ class SmartIceberg:
         degradation: Optional[str] = None,
         cancel_token: Optional[CancelToken] = None,
         fault_plan: Optional[object] = None,
+        analyze: Optional[str] = None,
     ) -> None:
         self.db = db
         self.config = config or EngineConfig.smart()
@@ -82,6 +83,11 @@ class SmartIceberg:
             ("degradation", degradation),
             ("cancel_token", cancel_token),
             ("fault_plan", fault_plan),
+            # Static analysis: "off" (name resolution only), "warn"
+            # (typecheck + lints + plan verification as report notes),
+            # or "strict" (analysis errors and verifier violations
+            # raise before execution).
+            ("analyze", analyze),
         ):
             if value is not None:
                 overrides[name] = value

@@ -16,7 +16,7 @@ yields 0.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import PlanningError
 from repro.sql import ast

@@ -19,7 +19,7 @@ selectivities.  All estimates are deterministic, and conjunction is
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.sql import ast

@@ -15,7 +15,7 @@ and composes with these.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine.aggregates import AggregateSpec
 from repro.engine.expressions import Compiled, batch_filter, batch_values
@@ -106,6 +106,12 @@ class PhysicalOperator:
     estimated_cost: Optional[float] = None
     actual_rows: Optional[int] = None
 
+    #: Conjunct ASTs consumed by this operator's access method itself
+    #: (index probe keys, range bounds, hash-join keys) rather than by
+    #: a compiled filter.  Set by the planner; the plan verifier uses
+    #: this to prove every logical conjunct is enforced exactly once.
+    enforced: Tuple[Any, ...] = ()
+
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         raise NotImplementedError
 
@@ -138,6 +144,32 @@ class PhysicalOperator:
 
     def explain(self) -> str:
         return "\n".join(self.describe())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable plan node, mirroring ``describe``.
+
+        Subclasses with non-operator inputs (materialized cells, NLJP
+        sub-plans) extend this with their nested structure so external
+        tools and the plan verifier consume structure, not strings.
+        """
+        node: Dict[str, Any] = {
+            "operator": type(self).__name__,
+            "detail": self.describe()[0].strip(),
+            "columns": [
+                f"{alias}.{column}" if alias else column
+                for alias, column in self.layout.slots
+            ],
+        }
+        if self.estimated_rows is not None:
+            node["estimated_rows"] = round(self.estimated_rows, 3)
+        if self.estimated_cost is not None:
+            node["estimated_cost"] = round(self.estimated_cost, 3)
+        if self.actual_rows is not None:
+            node["actual_rows"] = self.actual_rows
+        children = [child.to_dict() for child in self.children()]
+        if children:
+            node["children"] = children
+        return node
 
 
 def _indent(lines: List[str]) -> List[str]:

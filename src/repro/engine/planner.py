@@ -45,6 +45,9 @@ from repro.storage.table import Table
 #: Valid settings for ``EngineConfig.join_order``.
 JOIN_ORDERS = ("dp", "greedy", "syntactic")
 
+#: Valid settings for ``EngineConfig.analyze``.
+ANALYZE_MODES = ("off", "warn", "strict")
+
 #: Exact DP enumeration is used up to this many FROM relations; larger
 #: queries fall back to the greedy min-cardinality heuristic.
 DP_MAX_RELATIONS = 8
@@ -109,11 +112,20 @@ class EngineConfig:
     degradation: str = "fail"  # 'fail' | 'fallback'
     cancel_token: Optional[CancelToken] = None
     fault_plan: Optional[Any] = None
+    #: Static-analysis level applied by the Smart-Iceberg optimizer:
+    #: "off" resolves names only, "warn" additionally typechecks, lints
+    #: and verifies the plan (findings land in the report notes), and
+    #: "strict" turns analyzer/verifier findings into hard errors.
+    analyze: str = "off"  # 'off' | 'warn' | 'strict'
 
     def __post_init__(self) -> None:
         if self.join_order not in JOIN_ORDERS:
             raise ValueError(
                 f"join_order must be one of {JOIN_ORDERS}, got {self.join_order!r}"
+            )
+        if self.analyze not in ANALYZE_MODES:
+            raise ValueError(
+                f"analyze must be one of {ANALYZE_MODES}, got {self.analyze!r}"
             )
         if self.degradation not in DEGRADATION_MODES:
             raise ValueError(
@@ -218,6 +230,11 @@ class _MaterializedScan(ops.PhysicalOperator):
         lines += ["  " + line for line in self.cell.plan.describe()]
         return lines
 
+    def to_dict(self) -> Dict[str, Any]:
+        node = super().to_dict()
+        node["subplan"] = self.cell.plan.to_dict()
+        return node
+
 
 @dataclass
 class PlanEnv:
@@ -270,6 +287,21 @@ class PlannedQuery:
         hand-assembled NLJP pipelines).
         """
         return self.root.estimated_cost
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable plan dump mirroring :meth:`explain`.
+
+        The structure is JSON-serializable: output column names, the
+        estimated root cost, and the recursive operator tree (see
+        :meth:`PhysicalOperator.to_dict`), including materialized CTE
+        and derived-table sub-plans.
+        """
+        estimated = self.estimated_cost()
+        return {
+            "columns": list(self.columns),
+            "estimated_cost": None if estimated is None else round(estimated, 3),
+            "root": self.root.to_dict(),
+        }
 
     def _collect_actual_rows(self, params: Dict[str, Any]) -> None:
         """Run the plan once, recording per-operator output row counts.
@@ -930,9 +962,12 @@ def _scan_relation(
                 if residual_predicate
                 else None
             )
-            return ops.IndexPointScan(
+            scan = ops.IndexPointScan(
                 relation.table, relation.alias, index, probe, residual
             )
+            # The probe key, not a filter, enforces these conjuncts.
+            scan.enforced = tuple(used_exprs)
+            return scan
 
     candidates: Dict[str, List[Tuple[ast.Expr, str, ast.Expr]]] = {}
     for expr in exprs:
@@ -968,7 +1003,7 @@ def _scan_relation(
     residual = (
         compiler.compile(residual_predicate) if residual_predicate else None
     )
-    return ops.IndexRangeScan(
+    range_scan = ops.IndexRangeScan(
         relation.table,
         relation.alias,
         index,
@@ -978,6 +1013,9 @@ def _scan_relation(
         high_strict=high_strict,
         residual=residual,
     )
+    # The index range bounds, not a filter, enforce these conjuncts.
+    range_scan.enforced = tuple(used)
+    return range_scan
 
 
 def _join_one(
@@ -1045,6 +1083,15 @@ def _join_one(
             residual=residual_excluding([c for c, _, _ in chosen]),
             inner_filter=inner_filter,
         )
+        # Only conjuncts whose expression actually feeds the probe key
+        # are enforced by it; a chosen conjunct whose column was
+        # shadowed in by_column would be enforced by nothing, which the
+        # plan verifier reports as a dropped predicate.
+        plan.enforced = tuple(
+            c.expr
+            for c, column, expr in chosen
+            if by_column[column] is expr
+        )
         cost = _COST.index_nested_loop_join(
             est.outer_rows if est else 0.0,
             pairs_estimate([c for c, _, _ in chosen]),
@@ -1089,6 +1136,8 @@ def _join_one(
             residual=residual_excluding(used),
             inner_filter=inner_filter,
         )
+        # The range probe itself enforces the bound conjuncts.
+        plan.enforced = tuple(c.expr for c in used)
         cost = _COST.index_nested_loop_join(
             est.outer_rows if est else 0.0, pairs_estimate(used)
         )
@@ -1133,6 +1182,8 @@ def _join_one(
             residual=residual_excluding([c for c, _, _ in equi]),
             build=build,
         )
+        # The hash keys enforce every equi conjunct.
+        plan.enforced = tuple(c.expr for c, _, _ in equi)
         cost = _COST.scan(est.raw_inner if est else 0.0) + _COST.hash_join(
             est.outer_rows if est else 0.0,
             pairs_estimate([c for c, _, _ in equi]),
@@ -1327,6 +1378,11 @@ def plan_select(
     if select.limit is not None:
         projected = ops.Limit(projected, select.limit)
     _propagate_estimates(projected)
+    # Annotate the block root for the plan verifier: every logical
+    # conjunct of this block must be enforced by exactly one operator
+    # below, and HAVING by exactly one marked filter.
+    projected.block_conjuncts = tuple(c.expr for c in all_conjuncts)
+    projected.block_having = select.having
     return projected, output_names
 
 
@@ -1465,6 +1521,7 @@ def _plan_aggregation(
         having_rewritten = rewrite(normalized_having)
         _check_no_aggregates(having_rewritten, "HAVING")
         plan = ops.Filter(plan, post_compiler.compile(having_rewritten), label="having")
+        plan.enforces_having = True
 
     rewritten_items: List[ast.SelectItem] = []
     for item in items:

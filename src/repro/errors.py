@@ -112,6 +112,53 @@ class InjectedFaultError(ExecutionError):
         self.site = site
 
 
+class AnalysisError(ReproError):
+    """Base class for errors raised by the static-analysis subsystem.
+
+    Raised by :mod:`repro.analysis` when a query fails semantic
+    analysis (unknown names, type mismatches) or when a physical plan
+    fails verification.  ``SmartIceberg`` surfaces these *before*
+    planning or execution starts, so a malformed query never reaches
+    the executor.
+    """
+
+
+class UnknownTableError(AnalysisError):
+    """Raised when a query references a table or alias that does not exist."""
+
+
+class UnknownColumnError(AnalysisError):
+    """Raised when a column reference resolves to no relation in scope."""
+
+
+class AmbiguousColumnError(AnalysisError):
+    """Raised when an unqualified column name matches several relations."""
+
+
+class TypeMismatchError(AnalysisError):
+    """Raised when the typechecker rejects an expression statically.
+
+    Unlike :class:`TypeCheckError` (a runtime failure inside the
+    executor), this is detected from the catalog's declared column
+    types before any row is touched.
+    """
+
+
+class PlanVerificationError(AnalysisError):
+    """Raised when a physical plan fails verification.
+
+    The verifier proves that every logical conjunct of a query block
+    is enforced by exactly one operator, that operator output schemas
+    chain correctly, and that NLJP subsumption predicates survive a
+    randomized counterexample search.  ``violations`` lists every
+    failed proof obligation.
+    """
+
+    def __init__(self, message: str, violations: Optional[Any] = None) -> None:
+        super().__init__(message)
+        self.violations = list(violations or ())
+
+
 class OptimizationError(ReproError):
     """Raised by the Smart-Iceberg optimizer for malformed inputs.
 

@@ -11,8 +11,7 @@ mirroring how the paper applies the UE/DE/EE steps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from fractions import Fraction
-from typing import FrozenSet, Iterable, List, Mapping, Sequence, Tuple, Union
+from typing import FrozenSet, Iterable, List, Mapping, Tuple, Union
 
 from repro.errors import QuantifierEliminationError
 from repro.logic.terms import LinearTerm, Number

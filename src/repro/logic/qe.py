@@ -14,17 +14,14 @@ semantic simplifier used to keep derived predicates small.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set
+from typing import Iterable, List
 
 from repro.logic import fme
 from repro.logic.formula import (
     FALSE,
     TRUE,
-    And,
-    BoolConst,
     Constraint,
     Formula,
-    Or,
     conj,
     disj,
     negate,

@@ -8,7 +8,7 @@ elimination never suffers floating-point drift.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Iterable, Mapping, Tuple, Union
+from typing import Dict, Mapping, Tuple, Union
 
 from repro.errors import QuantifierEliminationError
 

@@ -12,7 +12,7 @@ collection (:func:`column_refs`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import Any, Callable, Iterator, Optional, Tuple, Union
 
 # ---------------------------------------------------------------------------

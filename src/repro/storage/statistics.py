@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 #: Above this many *distinct* values a column's exact value set is
 #: converted into a KMV sketch (bounded memory, bounded relative error).

@@ -1,0 +1,219 @@
+"""Tests for the lint rules and the ``repro.analysis.lint`` CLI."""
+
+import io
+
+import pytest
+
+from repro.analysis import Severity, lint_query
+from repro.analysis import lint as lint_cli
+from repro.storage import Database
+from repro.workloads import (
+    BaseballConfig,
+    discount_query,
+    figure1_queries,
+    make_batting_db,
+)
+from repro.workloads.basket import load_discount_schema
+
+
+@pytest.fixture(scope="module")
+def batting_db():
+    return make_batting_db(BaseballConfig(n_rows=80, n_years=3, seed=7))
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestUnsatisfiablePredicate:
+    def test_contradictory_range_flagged(self, batting_db):
+        sql = (
+            "SELECT L.playerid, COUNT(*) FROM batting L, batting R "
+            "WHERE L.year = R.year AND L.year < 1900 AND L.year > 2000 "
+            "GROUP BY L.playerid HAVING COUNT(*) >= 2"
+        )
+        findings = lint_query(batting_db, sql)
+        assert "unsatisfiable-predicate" in rules_of(findings)
+        finding = next(
+            f for f in findings if f.rule == "unsatisfiable-predicate"
+        )
+        assert finding.severity is Severity.WARNING
+        assert "no rows" in finding.message
+
+    def test_satisfiable_range_clean(self, batting_db):
+        sql = (
+            "SELECT L.playerid, COUNT(*) FROM batting L, batting R "
+            "WHERE L.year = R.year AND L.year > 1900 AND L.year < 2100 "
+            "GROUP BY L.playerid HAVING COUNT(*) >= 2"
+        )
+        assert "unsatisfiable-predicate" not in rules_of(
+            lint_query(batting_db, sql)
+        )
+
+
+class TestImpliedPredicate:
+    def test_transitive_redundancy_flagged(self, batting_db):
+        sql = (
+            "SELECT L.playerid, COUNT(*) FROM batting L, batting R "
+            "WHERE L.year = R.year AND L.year > 2000 AND R.year > 2000 "
+            "GROUP BY L.playerid HAVING COUNT(*) >= 2"
+        )
+        findings = [
+            f
+            for f in lint_query(batting_db, sql)
+            if f.rule == "implied-predicate"
+        ]
+        assert findings, "redundant conjunct not reported"
+        assert all(f.severity is Severity.INFO for f in findings)
+        spans = " ".join(f.span for f in findings)
+        assert "year > 2000" in spans
+
+
+class TestCartesianProduct:
+    def test_disconnected_join_graph_flagged(self, batting_db):
+        sql = (
+            "SELECT L.playerid, R.teamid FROM batting L, batting R "
+            "WHERE L.year > 2000 AND R.year > 2000"
+        )
+        findings = lint_query(batting_db, sql)
+        finding = next(
+            f for f in findings if f.rule == "cartesian-product"
+        )
+        assert finding.severity is Severity.WARNING
+        assert "{l}" in finding.message and "{r}" in finding.message
+
+    def test_connected_graph_clean(self, batting_db):
+        sql = (
+            "SELECT L.playerid, R.teamid FROM batting L, batting R "
+            "WHERE L.year = R.year"
+        )
+        assert "cartesian-product" not in rules_of(
+            lint_query(batting_db, sql)
+        )
+
+
+class TestUnusedRelation:
+    def test_never_referenced_relation_flagged(self, batting_db):
+        sql = "SELECT L.playerid FROM batting L, batting R WHERE L.year > 2000"
+        findings = lint_query(batting_db, sql)
+        finding = next(f for f in findings if f.rule == "unused-relation")
+        assert "'r'" in finding.message
+
+    def test_join_participation_counts_as_use(self, batting_db):
+        sql = "SELECT L.playerid FROM batting L, batting R WHERE L.year = R.year"
+        assert "unused-relation" not in rules_of(lint_query(batting_db, sql))
+
+
+class TestNonMonotoneHaving:
+    def test_avg_having_flagged(self, batting_db):
+        sql = (
+            "SELECT L.playerid, COUNT(*) FROM batting L, batting R "
+            "WHERE L.b_h <= R.b_h GROUP BY L.playerid "
+            "HAVING AVG(L.b_hr) > 5"
+        )
+        findings = lint_query(batting_db, sql)
+        finding = next(
+            f for f in findings if f.rule == "non-monotone-having"
+        )
+        assert finding.severity is Severity.WARNING
+        # The message explains the consequence in the paper's terms.
+        assert "Theorem" in finding.message
+
+    def test_monotone_count_having_clean(self, batting_db):
+        sql = (
+            "SELECT L.playerid, COUNT(*) FROM batting L, batting R "
+            "WHERE L.b_h <= R.b_h GROUP BY L.playerid "
+            "HAVING COUNT(*) >= 2"
+        )
+        assert "non-monotone-having" not in rules_of(
+            lint_query(batting_db, sql)
+        )
+
+
+class TestNonAlgebraicAggregate:
+    def test_count_distinct_flagged(self):
+        db = Database()
+        load_discount_schema(db, n_baskets=40, n_items=12, n_discounts=4, seed=7)
+        findings = lint_query(db, discount_query())
+        finding = next(
+            f for f in findings if f.rule == "non-algebraic-aggregate"
+        )
+        assert finding.severity is Severity.INFO
+
+
+class TestCleanWorkloads:
+    @pytest.mark.parametrize("name", [f"Q{i}" for i in range(1, 9)])
+    def test_paper_queries_lint_clean(self, batting_db, name):
+        assert lint_query(batting_db, figure1_queries()[name].sql) == []
+
+
+class TestFindingPresentation:
+    def test_str_shows_severity_rule_and_span(self, batting_db):
+        sql = "SELECT L.playerid FROM batting L, batting R WHERE L.year > 2000"
+        finding = next(
+            f
+            for f in lint_query(batting_db, sql)
+            if f.rule == "unused-relation"
+        )
+        text = str(finding)
+        assert text.startswith("warning[unused-relation]")
+        assert "batting r" in text
+
+    def test_findings_sorted_by_severity(self, batting_db):
+        sql = (
+            "SELECT L.playerid, COUNT(*) FROM batting L, batting R "
+            "WHERE L.year = R.year AND L.year > 2000 AND R.year > 2000 "
+            "AND L.year < 1900 "
+            "GROUP BY L.playerid HAVING COUNT(*) >= 2"
+        )
+        findings = lint_query(batting_db, sql)
+        severities = [int(f.severity) for f in findings]
+        assert severities == sorted(severities, reverse=True)
+
+
+class TestCli:
+    def test_all_targets_exit_zero(self):
+        assert lint_cli.main(["all"]) == 0
+
+    def test_named_targets_cover_every_workload(self):
+        targets = lint_cli.named_targets()
+        for name in [f"Q{i}" for i in range(1, 9)]:
+            assert name in targets
+        assert {"complex", "market_basket", "discount"} <= set(targets)
+
+    def test_analysis_error_exits_nonzero(self):
+        code = lint_cli.main(
+            ["SELECT year FROM batting L, batting R "
+             "WHERE L.playerid = R.playerid"]
+        )
+        assert code == 1
+
+    def test_warnings_exit_zero_unless_strict(self):
+        sql = (
+            "SELECT L.playerid FROM batting L, batting R WHERE L.year > 2000"
+        )
+        assert lint_cli.main([sql]) == 0
+        assert lint_cli.main(["--strict", sql]) == 1
+
+    def test_run_target_reports_findings(self):
+        db = make_batting_db(BaseballConfig(n_rows=50, n_years=3, seed=7))
+        out = io.StringIO()
+        ok = lint_cli.run_target(
+            "bad",
+            db,
+            "SELECT L.playerid FROM batting L, batting R WHERE L.year > 2000",
+            strict=False,
+            out=out,
+        )
+        assert ok
+        text = out.getvalue()
+        assert "unused-relation" in text and "cartesian-product" in text
+
+    def test_run_target_clean_query_prints_ok(self):
+        db = make_batting_db(BaseballConfig(n_rows=50, n_years=3, seed=7))
+        out = io.StringIO()
+        ok = lint_cli.run_target(
+            "Q1", db, figure1_queries()["Q1"].sql, strict=True, out=out
+        )
+        assert ok
+        assert "ok" in out.getvalue()

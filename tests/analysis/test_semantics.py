@@ -1,0 +1,198 @@
+"""Tests for the semantic analyzer (name resolution + typechecking)."""
+
+import pytest
+
+from repro import SmartIceberg
+from repro.analysis import analyze_query, resolve_query
+from repro.engine import EngineConfig
+from repro.errors import (
+    AmbiguousColumnError,
+    AnalysisError,
+    ReproError,
+    TypeMismatchError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from repro.storage import SqlType
+from repro.workloads import (
+    BaseballConfig,
+    BasketConfig,
+    figure1_queries,
+    make_batting_db,
+)
+from repro.workloads.basket import make_basket_db
+
+
+@pytest.fixture(scope="module")
+def batting_db():
+    return make_batting_db(BaseballConfig(n_rows=120, n_years=3, seed=7))
+
+
+@pytest.fixture(scope="module")
+def typed_db():
+    """Basket has a TEXT column, so type mismatches are expressible."""
+    return make_basket_db(BasketConfig(n_baskets=30))
+
+
+class TestNameResolution:
+    def test_unknown_table(self, batting_db):
+        with pytest.raises(UnknownTableError):
+            analyze_query(batting_db, "SELECT x FROM nosuch")
+
+    def test_unknown_column(self, batting_db):
+        with pytest.raises(UnknownColumnError) as excinfo:
+            analyze_query(batting_db, "SELECT b.nosuch FROM batting b")
+        assert "nosuch" in str(excinfo.value)
+
+    def test_unqualified_unknown_column(self, batting_db):
+        with pytest.raises(UnknownColumnError):
+            analyze_query(batting_db, "SELECT nosuch FROM batting b")
+
+    def test_ambiguous_column(self, batting_db):
+        sql = (
+            "SELECT year FROM batting L, batting R "
+            "WHERE L.playerid = R.playerid"
+        )
+        with pytest.raises(AmbiguousColumnError) as excinfo:
+            analyze_query(batting_db, sql)
+        message = str(excinfo.value)
+        assert "l" in message and "r" in message
+
+    def test_duplicate_alias_rejected(self, batting_db):
+        with pytest.raises(AnalysisError):
+            analyze_query(
+                batting_db,
+                "SELECT b.playerid FROM batting b, batting b",
+            )
+
+    def test_resolve_only_skips_type_checks(self, typed_db):
+        # Names are fine, types are not: resolve_query accepts what
+        # analyze_query rejects.
+        sql = "SELECT b.item + 1 FROM basket b"
+        resolve_query(typed_db, sql)
+        with pytest.raises(TypeMismatchError):
+            analyze_query(typed_db, sql)
+
+    def test_resolve_still_rejects_bad_names(self, typed_db):
+        with pytest.raises(UnknownColumnError):
+            resolve_query(typed_db, "SELECT b.nosuch FROM basket b")
+
+    def test_typed_errors_are_repro_errors(self):
+        for cls in (
+            UnknownTableError,
+            UnknownColumnError,
+            AmbiguousColumnError,
+            TypeMismatchError,
+        ):
+            assert issubclass(cls, AnalysisError)
+            assert issubclass(cls, ReproError)
+
+
+class TestTypeChecking:
+    def test_comparison_across_types(self, typed_db):
+        with pytest.raises(TypeMismatchError):
+            analyze_query(
+                typed_db, "SELECT b.bid FROM basket b WHERE b.item > b.bid"
+            )
+
+    def test_arithmetic_on_text(self, typed_db):
+        with pytest.raises(TypeMismatchError):
+            analyze_query(typed_db, "SELECT b.item + 1 FROM basket b")
+
+    def test_text_function_on_integer(self, typed_db):
+        with pytest.raises(TypeMismatchError):
+            analyze_query(typed_db, "SELECT UPPER(b.bid) FROM basket b")
+
+    def test_numeric_aggregate_on_text(self, typed_db):
+        with pytest.raises(TypeMismatchError):
+            analyze_query(typed_db, "SELECT SUM(b.item) FROM basket b")
+
+    def test_aggregate_in_where_rejected(self, batting_db):
+        with pytest.raises(AnalysisError):
+            analyze_query(
+                batting_db,
+                "SELECT b.playerid FROM batting b WHERE COUNT(*) > 2",
+            )
+
+    def test_output_types_inferred(self, batting_db):
+        info = analyze_query(
+            batting_db,
+            "SELECT b.playerid, b.b_h + b.b_hr AS power, COUNT(*) "
+            "FROM batting b GROUP BY b.playerid, b.b_h, b.b_hr",
+        )
+        names = [column.name for column in info.output]
+        assert names == ["playerid", "power", "count"]
+        types = {column.name: column.type for column in info.output}
+        assert types["playerid"] is SqlType.INTEGER
+        assert types["power"] is SqlType.INTEGER
+        assert types["count"] is SqlType.INTEGER
+
+
+class TestAcceptedQueries:
+    @pytest.mark.parametrize("name", [f"Q{i}" for i in range(1, 9)])
+    def test_paper_queries_analyze_cleanly(self, batting_db, name):
+        info = analyze_query(batting_db, figure1_queries()[name].sql)
+        assert info.output, f"{name} produced no output columns"
+
+    def test_derived_output_name_usable_in_order_by(self, batting_db):
+        # The planner resolves ORDER BY against output-layout names, so
+        # the analyzer must accept the derived name of COUNT(*).
+        analyze_query(
+            batting_db,
+            "SELECT L.playerid, COUNT(*) FROM batting L, batting R "
+            "WHERE L.b_h <= R.b_h GROUP BY L.playerid "
+            "HAVING COUNT(*) >= 2 ORDER BY count DESC",
+        )
+
+    def test_cte_and_derived_table_scopes(self, batting_db):
+        analyze_query(
+            batting_db,
+            "WITH best (pid, hits) AS "
+            "(SELECT b.playerid, MAX(b.b_h) FROM batting b "
+            "GROUP BY b.playerid) "
+            "SELECT t.pid FROM best t WHERE t.hits > 10",
+        )
+
+    def test_uncorrelated_subquery_analyzed(self, batting_db):
+        analyze_query(
+            batting_db,
+            "SELECT b.playerid FROM batting b WHERE b.year IN "
+            "(SELECT c.year FROM batting c WHERE c.b_hr > 10)",
+        )
+
+
+class TestSmartIcebergBoundary:
+    """Satellite (a): typed analysis errors at the system boundary."""
+
+    def test_off_mode_still_raises_typed_error(self, batting_db):
+        system = SmartIceberg(batting_db, analyze="off")
+        with pytest.raises(UnknownColumnError):
+            system.execute("SELECT b.nosuch FROM batting b")
+
+    def test_unknown_table_at_boundary(self, batting_db):
+        with pytest.raises(UnknownTableError):
+            SmartIceberg(batting_db).execute("SELECT x FROM nosuch")
+
+    def test_strict_mode_rejects_type_mismatch(self, typed_db):
+        system = SmartIceberg(typed_db, analyze="strict")
+        with pytest.raises(TypeMismatchError):
+            system.execute("SELECT b.item + 1 FROM basket b")
+
+    def test_warn_mode_records_note_and_runs(self, typed_db):
+        system = SmartIceberg(typed_db, analyze="warn")
+        optimized = system.optimize("SELECT b.item + 1 FROM basket b")
+        assert any(
+            note.startswith("analysis:") for note in optimized.report.notes
+        )
+
+    def test_invalid_analyze_value_rejected(self, batting_db):
+        with pytest.raises(ValueError):
+            SmartIceberg(batting_db, analyze="bogus")
+        with pytest.raises(ValueError):
+            EngineConfig(analyze="bogus")
+
+    def test_analyze_seconds_recorded(self, batting_db):
+        optimized = SmartIceberg(batting_db, analyze="strict").optimize(
+            figure1_queries()["Q1"].sql
+        )
+        assert optimized.report.analyze_seconds > 0

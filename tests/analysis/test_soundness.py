@@ -1,0 +1,168 @@
+"""Randomized soundness checks for derived subsumption predicates.
+
+Section 5.2 / Appendix B: the derived p⪰ must satisfy
+
+    p⪰(w, w')  ⇒  ∀r: Θ(w', r) ⇒ Θ(w, r)
+
+i.e. a subsuming new binding joins every R-tuple the cached binding
+joins.  Each derived predicate gets >= 1000 seeded trials; a
+deliberately wrong predicate must produce a counterexample.
+"""
+
+import pytest
+
+from repro import SmartIceberg
+from repro.analysis import check_subsumption_soundness
+from repro.core.iceberg import IcebergBlock
+from repro.core.subsumption import SubsumptionPredicate, derive_subsumption
+from repro.logic import formula as fm
+from repro.sql.parser import parse
+from repro.workloads import (
+    BaseballConfig,
+    figure1_queries,
+    make_batting_db,
+    skyband_query,
+)
+
+
+TRIALS = 1000
+
+BATTING = make_batting_db(BaseballConfig(n_rows=120, n_years=3, seed=7))
+
+SKYBAND = (
+    "SELECT L.id, COUNT(*) FROM object L, object R "
+    "WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) "
+    "GROUP BY L.id HAVING COUNT(*) <= 5"
+)
+
+
+def partition_view(db, sql, left=("l",)):
+    block = IcebergBlock(parse(sql).body, db)
+    return block.partition(list(left))
+
+
+def assert_sound(view, predicate=None):
+    counterexample = check_subsumption_soundness(
+        list(view.theta),
+        sorted(view.j_left),
+        sorted(view.j_right),
+        predicate=predicate,
+        trials=TRIALS,
+    )
+    assert counterexample is None, counterexample
+
+
+class TestDerivedPredicates:
+    def test_weak_dominance_skyband(self, object_db):
+        assert_sound(partition_view(object_db, SKYBAND))
+
+    def test_strong_dominance_skyband(self):
+        sql = skyband_query("b_h", "b_hr", 25, strict_form="strong")
+        assert_sound(partition_view(BATTING, sql))
+
+    def test_equality_plus_strict_inequality(self, basket_db):
+        sql = (
+            "SELECT i1.item, COUNT(*) FROM basket i1, basket i2 "
+            "WHERE i1.bid = i2.bid AND i1.item < i2.item "
+            "GROUP BY i1.item HAVING COUNT(*) >= 2"
+        )
+        assert_sound(partition_view(basket_db, sql, left=("i1",)))
+
+    def test_monotone_variant(self):
+        sql = (
+            "SELECT L.playerid, COUNT(*) FROM batting L, batting R "
+            "WHERE L.b_h <= R.b_h AND L.b_hr <= R.b_hr "
+            "GROUP BY L.playerid HAVING COUNT(*) >= 10"
+        )
+        assert_sound(partition_view(BATTING, sql))
+
+
+class TestOptimizerInstalledPredicate:
+    def test_q1_pruning_predicate_sound(self):
+        optimized = SmartIceberg(BATTING).optimize(
+            figure1_queries()["Q1"].sql
+        )
+        nljp = optimized.nljp
+        assert nljp is not None
+        assert nljp.pruning is not None and nljp.pruning.predicate is not None
+        view = nljp.view
+        assert_sound(view, predicate=nljp.pruning.predicate)
+
+
+class TestWrongPredicatesCaught:
+    def test_always_true_predicate_has_counterexample(self, object_db):
+        # "Every binding subsumes every other" is the worst possible
+        # bug: pruning would drop arbitrary groups.
+        view = partition_view(object_db, SKYBAND)
+        bogus = SubsumptionPredicate(fm.TRUE, tuple(sorted(view.j_left)))
+        counterexample = check_subsumption_soundness(
+            list(view.theta),
+            sorted(view.j_left),
+            sorted(view.j_right),
+            predicate=bogus,
+            trials=TRIALS,
+        )
+        assert counterexample is not None
+        assert {"trial", "attributes", "w", "w_prime", "r"} <= set(
+            counterexample
+        )
+
+    def test_reversed_predicate_has_counterexample(self, object_db):
+        # The correct p⪰ for weak dominance points the other way:
+        # swapping w and w' claims dominated bindings subsume their
+        # dominators.
+        view = partition_view(object_db, SKYBAND)
+        derived = derive_subsumption(
+            list(view.theta), sorted(view.j_left), sorted(view.j_right)
+        )
+
+        class Reversed:
+            attributes = derived.attributes
+
+            def holds(self, w, w_prime):
+                return derived.holds(w_prime, w)
+
+        counterexample = check_subsumption_soundness(
+            list(view.theta),
+            sorted(view.j_left),
+            sorted(view.j_right),
+            predicate=Reversed(),
+            trials=TRIALS,
+        )
+        assert counterexample is not None
+
+
+class TestTrialAccounting:
+    def test_zero_trials_vacuously_sound(self, object_db):
+        view = partition_view(object_db, SKYBAND)
+        bogus = SubsumptionPredicate(fm.TRUE, tuple(sorted(view.j_left)))
+        assert (
+            check_subsumption_soundness(
+                list(view.theta),
+                sorted(view.j_left),
+                sorted(view.j_right),
+                predicate=bogus,
+                trials=0,
+            )
+            is None
+        )
+
+    def test_deterministic_for_fixed_seed(self, object_db):
+        view = partition_view(object_db, SKYBAND)
+        bogus = SubsumptionPredicate(fm.TRUE, tuple(sorted(view.j_left)))
+
+        def run():
+            return check_subsumption_soundness(
+                list(view.theta),
+                sorted(view.j_left),
+                sorted(view.j_right),
+                predicate=bogus,
+                trials=TRIALS,
+                seed=11,
+            )
+
+        assert run() == run()
+
+    def test_empty_theta_rejected(self):
+        with pytest.raises(Exception):
+            check_subsumption_soundness([], ["l.x"], ["r.x"], trials=10)

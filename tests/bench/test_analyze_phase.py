@@ -1,0 +1,48 @@
+"""Analyzer wall time as a separate bench phase (satellite f)."""
+
+import pytest
+
+from repro.bench import record
+from repro.bench.harness import make_systems
+from repro.workloads import BaseballConfig, figure1_queries, make_batting_db
+
+
+def q1():
+    return figure1_queries()["Q1"].sql
+
+
+def test_measurement_record_has_analyze_seconds():
+    db = make_batting_db(BaseballConfig(n_rows=120, seed=3))
+    run = make_systems(("all",), analyze="strict")["all"]
+    measurement = run(db, q1(), "Q1")
+    item = record._measurement_record(measurement)
+    assert "analyze_seconds" in item
+    assert item["analyze_seconds"] > 0
+
+
+def test_baselines_report_zero_analyze_time():
+    db = make_batting_db(BaseballConfig(n_rows=120, seed=3))
+    run = make_systems(("base",))["base"]
+    measurement = run(db, q1(), "Q1")
+    assert measurement.analyze_seconds == 0.0
+
+
+def test_suite_runs_with_strict_analyzer():
+    assert record.SUITE_ANALYZE == "strict"
+
+
+@pytest.mark.benchmarks
+def test_strict_analyze_overhead_under_two_percent_on_q1():
+    # The analyzer's cost is per-query (constant in data size), so the
+    # bound is checked where execution dominates: the memo-only system
+    # evaluates Q1's inner query per distinct binding and runs ~seconds
+    # at this scale, while strict analysis stays in the milliseconds.
+    db = make_batting_db(BaseballConfig(n_rows=2400, seed=3))
+    run = make_systems(("memo",), analyze="strict")["memo"]
+    measurement = run(db, q1(), "Q1")
+    total = measurement.seconds + measurement.optimize_seconds
+    assert measurement.analyze_seconds > 0
+    assert measurement.analyze_seconds < 0.02 * total, (
+        f"analyze {measurement.analyze_seconds:.4f}s is >= 2% of "
+        f"{total:.4f}s"
+    )

@@ -5,7 +5,6 @@ these tests only verify that every figure function executes, returns a
 well-formed report, and keeps its systems in agreement.
 """
 
-import pytest
 
 from repro.bench import figures
 

@@ -1,6 +1,5 @@
 """Tests for functional dependencies and closures."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.constraints.fd import FDSet, FunctionalDependency, attrs

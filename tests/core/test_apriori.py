@@ -5,7 +5,7 @@ import pytest
 from repro.sql import render
 from repro.sql.parser import parse
 from repro.storage import Database, SqlType, TableSchema
-from repro.engine import EngineConfig, execute
+from repro.engine import execute
 from repro.core.apriori import (
     apply_reducer_to_select,
     build_reducer,

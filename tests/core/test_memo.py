@@ -1,6 +1,5 @@
 """Tests for Section 6's memoization applicability conditions."""
 
-import pytest
 
 from repro.sql.parser import parse
 from repro.core.iceberg import IcebergBlock

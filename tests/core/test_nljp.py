@@ -8,7 +8,6 @@ from repro.engine import EngineConfig, execute
 from repro.engine.operators import ExecutionContext
 from repro.engine.planner import PlanEnv
 from repro.core.iceberg import IcebergBlock
-from repro.core.memo import check_memoization
 from repro.core.nljp import NLJPOperator
 from repro.core.pruning import check_pruning
 
@@ -202,7 +201,7 @@ class TestBindingOrder:
                 ast.OrderItem(ast.ColumnRef("l", "x"), ascending=True),
             ),
         )
-        rows, stats_asc = run_nljp(ordered)
+        rows, _ = run_nljp(ordered)
         plain = build_nljp(object_db, SKYBAND, ["l"])
         rows_plain, _ = run_nljp(plain)
         assert sorted(rows) == sorted(rows_plain)

@@ -9,7 +9,6 @@ from repro.workloads.queries import (
     complex_query,
     market_basket_query,
     pairs_query,
-    skyband_query,
 )
 
 

@@ -1,6 +1,5 @@
 """Tests for Theorem 3's safe-pruning conditions."""
 
-import pytest
 
 from repro.sql.parser import parse
 from repro.core.iceberg import IcebergBlock

@@ -165,7 +165,7 @@ class TestOrderedAttribute:
         )
         ordered = predicate.ordered_attribute()
         assert ordered is not None
-        position, op = ordered
+        _, op = ordered
         assert op in ("<", "<=")
 
     def test_pure_equality_has_no_ordered_attribute(self):

@@ -1,6 +1,5 @@
 """Unit tests for individual physical operators."""
 
-import pytest
 
 from repro.engine import operators as ops
 from repro.engine.layout import Layout

@@ -13,14 +13,12 @@ from repro.storage import Database
 from repro.workloads import (
     BaseballConfig,
     BasketConfig,
-    ProductConfig,
     complex_query,
     discount_query,
     figure1_queries,
     load_baskets,
     load_discount_schema,
     make_batting_db,
-    make_product_db,
     market_basket_query,
     pairs_query,
     skyband_query,

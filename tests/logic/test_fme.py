@@ -3,11 +3,10 @@
 import random
 from fractions import Fraction
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.logic import fme
-from repro.logic.formula import Constraint, ge, gt, le, lt, eq
+from repro.logic.formula import ge, gt, le, lt, eq
 from repro.logic.terms import LinearTerm
 
 x = LinearTerm.variable("x")

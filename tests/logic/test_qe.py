@@ -3,7 +3,6 @@
 import random
 from fractions import Fraction
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.logic import formula as fm

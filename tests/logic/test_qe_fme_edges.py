@@ -1,0 +1,164 @@
+"""Edge cases for the QE/FME stack (satellite c).
+
+Strict inequalities, variables unbounded on one side (case iii of the
+paper's EE step), and degenerate single-variable conjunctions.
+"""
+
+from repro.logic import fme, qe
+from repro.logic.formula import (
+    FALSE,
+    TRUE,
+    conj,
+    disj,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+)
+from repro.logic.terms import LinearTerm
+
+
+var = LinearTerm.variable
+const = LinearTerm.const
+
+
+class TestStrictInequalities:
+    def test_strict_cross_constraint_stays_strict(self):
+        # a < x ∧ x < b  --[eliminate x]-->  a < b
+        reduced = fme.eliminate_variable(
+            [lt(var("a"), var("x")), lt(var("x"), var("b"))], "x"
+        )
+        assert reduced is not None and len(reduced) == 1
+        assert reduced[0].op == "<"
+        assert reduced[0].term.variables() == {"a", "b"}
+
+    def test_mixed_strictness_cross_is_strict(self):
+        # a <= x ∧ x < b  -->  a < b (strict wins).
+        reduced = fme.eliminate_variable(
+            [le(var("a"), var("x")), lt(var("x"), var("b"))], "x"
+        )
+        assert reduced is not None and reduced[0].op == "<"
+
+    def test_non_strict_cross_is_non_strict(self):
+        reduced = fme.eliminate_variable(
+            [le(var("a"), var("x")), le(var("x"), var("b"))], "x"
+        )
+        assert reduced is not None and reduced[0].op == "<="
+
+    def test_self_strict_comparison_unsatisfiable(self):
+        assert not fme.is_satisfiable([lt(var("x"), var("x"))])
+
+    def test_strict_cycle_unsatisfiable_but_weak_cycle_not(self):
+        strict = [lt(var("x"), var("y")), lt(var("y"), var("x"))]
+        weak = [le(var("x"), var("y")), le(var("y"), var("x"))]
+        assert not fme.is_satisfiable(strict)
+        assert fme.is_satisfiable(weak)
+
+    def test_strict_implies_weak_but_not_conversely(self):
+        strict = lt(var("x"), var("y"))
+        weak = le(var("x"), var("y"))
+        assert fme.implies([strict], weak)
+        assert not fme.implies([weak], strict)
+
+    def test_open_interval_above_closed_point_unsat(self):
+        # x < 5 ∧ x >= 5
+        assert not fme.is_satisfiable(
+            [lt(var("x"), const(5)), ge(var("x"), const(5))]
+        )
+
+
+class TestUnboundedVariables:
+    def test_one_sided_bounds_are_dropped(self):
+        # Only lower bounds: every constraint on x vanishes (case iii).
+        reduced = fme.eliminate_variable(
+            [ge(var("x"), const(3)), ge(var("x"), var("y"))], "x"
+        )
+        assert reduced == []
+
+    def test_unrelated_constraints_survive(self):
+        reduced = fme.eliminate_variable(
+            [ge(var("x"), const(3)), le(var("y"), const(2))], "x"
+        )
+        assert reduced is not None and len(reduced) == 1
+        assert reduced[0].term.variables() == {"y"}
+
+    def test_exists_with_unbounded_variable_is_true(self):
+        # ∃x: x > y holds for every y over ℝ.
+        assert qe.eliminate_exists(gt(var("x"), var("y")), ["x"]) == TRUE
+
+    def test_forall_with_unbounded_variable_is_false(self):
+        # ∀x: x > y fails for every y.
+        assert qe.eliminate_forall(gt(var("x"), var("y")), ["x"]) == FALSE
+
+    def test_unbounded_conjunction_satisfiable(self):
+        assert fme.is_satisfiable(
+            [ge(var("x"), var("y")), ge(var("y"), const(100))]
+        )
+
+
+class TestDegenerateSingleVariable:
+    def test_single_equality_eliminates_to_empty(self):
+        reduced = fme.eliminate_variable([eq(var("x"), const(5))], "x")
+        assert reduced == []
+
+    def test_conflicting_equalities_unsatisfiable(self):
+        constraints = [eq(var("x"), const(5)), eq(var("x"), const(6))]
+        assert fme.eliminate_variable(constraints, "x") is None
+        assert not fme.is_satisfiable(constraints)
+
+    def test_pinched_bounds_imply_equality(self):
+        pinched = [le(var("x"), const(5)), ge(var("x"), const(5))]
+        assert fme.is_satisfiable(pinched)
+        assert fme.implies(pinched, eq(var("x"), const(5)))
+
+    def test_eliminate_all_single_variable(self):
+        reduced = fme.eliminate_all(
+            [lt(var("x"), const(5)), gt(var("x"), const(1))], ["x"]
+        )
+        assert reduced == []
+
+    def test_eliminate_all_detects_empty_interval(self):
+        assert (
+            fme.eliminate_all(
+                [lt(var("x"), const(1)), gt(var("x"), const(5))], ["x"]
+            )
+            is None
+        )
+
+    def test_redundant_bound_removed_by_simplify(self):
+        # x <= 5 ∧ x < 5 simplifies to the strict bound alone.
+        simplified = qe.simplify(
+            conj([le(var("x"), const(5)), lt(var("x"), const(5))])
+        )
+        assert simplified == lt(var("x"), const(5))
+
+    def test_equality_equivalent_to_pinched_bounds(self):
+        assert qe.equivalent(
+            eq(var("x"), const(5)),
+            conj([le(var("x"), const(5)), ge(var("x"), const(5))]),
+        )
+
+    def test_tautological_disjunction_simplifies_to_true(self):
+        # x <= y ∨ y < x covers ℝ².
+        assert (
+            qe.simplify(disj([le(var("x"), var("y")), lt(var("y"), var("x"))]))
+            == TRUE
+        )
+
+
+class TestForallImplies:
+    def test_one_dimensional_subsumption_shape(self):
+        # ∀r: (v <= r) ⇒ (w <= r)  reduces to  w <= v — the textbook
+        # one-attribute instance of the paper's derivation.
+        derived = qe.forall_implies(
+            le(var("v"), var("r")), le(var("w"), var("r")), ["r"]
+        )
+        assert qe.equivalent(derived, le(var("w"), var("v")))
+
+    def test_strict_premise_weak_conclusion(self):
+        # ∀r: (v < r) ⇒ (w <= r)  reduces to  w <= v.
+        derived = qe.forall_implies(
+            lt(var("v"), var("r")), le(var("w"), var("r")), ["r"]
+        )
+        assert qe.equivalent(derived, le(var("w"), var("v")))

@@ -1,13 +1,11 @@
 """Tests for the synthetic data generators."""
 
-import pytest
 
 from repro.storage import Database
 from repro.workloads.baseball import (
     BaseballConfig,
     STAT_COLUMNS,
     generate_seasons,
-    load_batting,
     load_unpivoted,
     make_batting_db,
     unpivot_careers,
