@@ -7,12 +7,18 @@ Usage::
     python -m repro.analysis.lint --db batting "SELECT b_h FROM batting"
     python -m repro.analysis.lint --db basket my_query.sql
     python -m repro.analysis.lint --strict all   # any finding fails
+    python -m repro.analysis.lint --trace t.json all   # + Chrome trace
 
 Named targets resolve to (schema, SQL) pairs: ``Q1``..``Q8`` are the
 Figure 1 suite over the batting schema; ``complex``, ``market_basket``
 and ``discount`` are the paper's example queries over their own
 schemas.  Free-form targets are SQL text (or a path to a ``.sql``
 file) analyzed against ``--db``.
+
+``--trace PATH`` additionally *executes* every linted named target
+under the Smart-Iceberg optimizer with ``trace="timing"`` and writes
+the merged Chrome ``trace_event`` artifact to PATH — the lint CLI
+doubles as a workload runner for flame-graph inspection.
 
 Exit status is 1 when any query fails semantic analysis or any
 ERROR-severity finding fires; ``--strict`` fails on *any* finding.
@@ -119,6 +125,42 @@ def run_target(
     return worst < Severity.ERROR and not strict
 
 
+def trace_targets(
+    targets: Dict[str, Tuple[str, str]],
+    database: Callable[[str], Database],
+    out_path: str,
+    out=sys.stdout,
+) -> int:
+    """Execute named targets under ``trace="timing"``; write one trace.
+
+    Targets that cannot execute on the tiny lint-scale schemas are
+    reported and skipped — the artifact covers whatever ran.  Returns
+    the number of profiles written.
+    """
+    import json
+
+    from repro.core.system import SmartIceberg
+    from repro.errors import ReproError
+    from repro.obs.spans import merge_chrome_traces
+
+    named_profiles = []
+    for label, (db_name, sql) in targets.items():
+        try:
+            result = SmartIceberg(database(db_name), trace="timing").execute(sql)
+        except ReproError as error:
+            print(
+                f"{label}: trace skipped [{type(error).__name__}] {error}",
+                file=out,
+            )
+            continue
+        if result.profile is not None:
+            named_profiles.append((label, result.profile))
+    with open(out_path, "w") as handle:
+        json.dump(merge_chrome_traces(named_profiles), handle, indent=2)
+        handle.write("\n")
+    return len(named_profiles)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
@@ -141,6 +183,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="exit non-zero on any finding, not only errors",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="also execute the linted named targets under trace='timing' "
+        "and write a merged Chrome trace to PATH",
+    )
     args = parser.parse_args(argv)
 
     known = named_targets()
@@ -152,17 +201,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         return databases[name]
 
     ok = True
+    traceable: Dict[str, Tuple[str, str]] = {}
     for target in args.targets:
         if target == "all":
             for label, (db_name, sql) in known.items():
                 ok &= run_target(label, database(db_name), sql, args.strict)
+                traceable[label] = (db_name, sql)
         elif target in known:
             db_name, sql = known[target]
             ok &= run_target(target, database(db_name), sql, args.strict)
+            traceable[target] = (db_name, sql)
         else:
             sql = _resolve_sql(target)
             label = target if len(target) <= 40 else target[:37] + "..."
             ok &= run_target(label, database(args.db), sql, args.strict)
+            traceable[label] = (args.db, sql)
+    if args.trace:
+        count = trace_targets(traceable, database, args.trace)
+        print(f"wrote {args.trace}: Chrome trace with {count} query profiles")
     return 0 if ok else 1
 
 

@@ -75,6 +75,11 @@ def _estimated_cost(measurement: Measurement) -> Optional[float]:
 
 
 def _measurement_record(measurement: Measurement) -> Dict[str, Any]:
+    # One serialization call for the whole stats bundle; degradation
+    # events move to their own key so "counters" stays pure-int for the
+    # mode-parity checks.
+    payload = measurement.stats.as_dict(include_events=True)
+    degradations = payload.pop("degradations")
     return {
         "query": measurement.query,
         "system": _LABEL_TO_SYSTEM.get(measurement.system, measurement.system),
@@ -85,10 +90,8 @@ def _measurement_record(measurement: Measurement) -> Dict[str, Any]:
         "cost": measurement.cost,
         "estimated_cost": _estimated_cost(measurement),
         "rows": measurement.rows,
-        "counters": measurement.stats.as_dict(),
-        # Graceful-degradation events (empty for healthy runs).  Kept
-        # out of "counters" so mode-parity checks stay pure-int.
-        "degradations": list(measurement.stats.degradations),
+        "counters": payload,
+        "degradations": degradations,
     }
 
 
@@ -136,6 +139,32 @@ def check_mode_parity(records: List[Dict[str, Any]]) -> List[str]:
                 f"batch={batch['rows']}"
             )
     return problems
+
+
+def run_traced(n_rows: int, out_path: str) -> int:
+    """One traced Q1-Q8 pass; writes a merged Chrome trace artifact.
+
+    Runs the "base" and "all" systems in row mode under
+    ``trace="timing"`` and merges every query's profile into a single
+    ``trace_event`` document (one process per measurement) loadable in
+    ``chrome://tracing`` / Perfetto.  Returns the profile count.
+    """
+    from repro.obs.spans import merge_chrome_traces
+
+    queries = {name: q.sql for name, q in figure1_queries().items()}
+    db = _batting_db(n_rows, seed=RECORD_SEED)
+    systems = make_systems(("base", "all"), trace="timing")
+    named_profiles = []
+    for measurement in run_comparison(db, queries, systems):
+        profile = measurement.result.profile
+        if profile is None:
+            continue
+        system = _LABEL_TO_SYSTEM.get(measurement.system, measurement.system)
+        named_profiles.append((f"{measurement.query}/{system}", profile))
+    with open(out_path, "w") as handle:
+        json.dump(merge_chrome_traces(named_profiles), handle, indent=2)
+        handle.write("\n")
+    return len(named_profiles)
 
 
 def run_headline(n_rows: int, repeats: int = 3) -> Dict[str, Any]:
@@ -190,6 +219,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="skip the default-scale Q1 row-vs-batch headline run",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="also run a traced Q1-Q8 pass and write a Chrome trace "
+        "(chrome://tracing / Perfetto) to PATH",
+    )
     args = parser.parse_args(argv)
 
     scale = args.scale if args.scale is not None else bench_scale()
@@ -225,6 +261,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         handle.write("\n")
 
     print(f"wrote {args.out}: {len(records)} records in {elapsed:.1f}s")
+    if args.trace:
+        count = run_traced(suite_rows, args.trace)
+        print(f"wrote {args.trace}: Chrome trace with {count} query profiles")
     if headline is not None:
         print(
             f"headline Q1 ({headline['system']}, n={headline['n_rows']}): "

@@ -509,6 +509,7 @@ class NLJPOperator(ops.PhysicalOperator):
         stats.cache_bytes += cache.estimated_bytes()
         stats.cache_hits += cache.hits
         stats.cache_misses += cache.lookups - cache.hits
+        stats.cache_evictions += cache.evictions
 
     def _lookup_or_compute(self, ctx: ops.ExecutionContext, cache: NLJPCache, binding):
         """The per-binding core of Listing 6 / Section 7's pseudocode.
@@ -519,7 +520,10 @@ class NLJPOperator(ops.PhysicalOperator):
         binding is evaluated directly — correct, just unassisted.
         """
         use_cache = not self._cache_disabled
+        tracer = ctx.tracer
         entry = cache.get(binding) if (self.enable_memo and use_cache) else None
+        if tracer is not None and self.enable_memo and use_cache:
+            tracer.record_cache(self, "memo_get", hit=entry is not None)
         if entry is not None:
             return entry
         if self.pruning is not None and use_cache:
@@ -541,6 +545,8 @@ class NLJPOperator(ops.PhysicalOperator):
                 if self.pruning.should_prune(binding, candidate.binding):
                     pruned = True
                     break
+            if tracer is not None:
+                tracer.record_cache(self, "prune_scan", hit=pruned)
             if pruned:
                 ctx.stats.pruned_bindings += 1
                 return None
@@ -553,6 +559,8 @@ class NLJPOperator(ops.PhysicalOperator):
             if governor is not None:
                 governor.check("cache-insert")
             entry = cache.put(binding, payload, unpromising)
+            if tracer is not None:
+                tracer.record_cache(self, "put")
             if governor is not None:
                 self._enforce_cache_budget(governor, cache, entry)
             return entry
@@ -639,6 +647,7 @@ class NLJPOperator(ops.PhysicalOperator):
                     groups[key] = list(states)
                     representative[key] = tuple(qb_row)
                 else:
+                    ctx.stats.subsumption_merges += 1
                     groups[key] = [
                         slot.combine(a, b)
                         for slot, a, b in zip(self.slots, existing, states)

@@ -87,6 +87,10 @@ class OptimizationReport:
     #: ``analyze`` knob), kept separate so benchmarks can report the
     #: analyzer's overhead as its own phase.
     analyze_seconds: float = 0.0
+    #: Ordered (phase name, wall seconds) pairs covering the whole
+    #: optimization run; under ``config.trace != "off"`` these become
+    #: phase spans on the query profile.
+    phases: List[Tuple[str, float]] = field(default_factory=list)
     #: Per-technique fallbacks taken under ``degradation="fallback"``:
     #: each entry says which phase failed and what plan shape replaced
     #: it.  Propagated into ``ExecutionStats.degradations`` at run time.
@@ -133,8 +137,16 @@ class OptimizedQuery:
         see the full story in one place — on success *and* on the
         partial stats carried by a typed error.
         """
+        tracer = None
+        config = self.planned.env.config
+        if config.trace != "off":
+            from repro.obs.tracer import Tracer
+
+            tracer = Tracer(config.trace)
+            for name, seconds in self.report.phases:
+                tracer.add_phase(f"optimizer:{name}", seconds)
         try:
-            result = run_planned(self.planned, params)
+            result = run_planned(self.planned, params, tracer=tracer)
         except ReproError as error:
             if self.report.degradations and error.stats is not None:
                 error.stats.degradations[:0] = self.report.degradations
@@ -221,9 +233,13 @@ class SmartIcebergOptimizer:
         if isinstance(query, ast.Select):
             query = ast.Query.of(query)
         report = OptimizationReport()
+        perf = time.perf_counter
+        started = perf()
         self._analyze_statement(query, report)
+        report.phases.append(("analyze", perf() - started))
 
         # Phase 1: per-CTE a-priori.
+        started = perf()
         cte_infos: Dict[str, CteInfo] = {}
         new_ctes: List[ast.CommonTableExpr] = []
         for cte in query.ctes:
@@ -243,8 +259,10 @@ class SmartIcebergOptimizer:
             body = self._safe_apriori_phase(body, cte_infos, report, scope="main")
 
         rewritten = ast.Query(body=body, ctes=tuple(new_ctes))
+        report.phases.append(("apriori", perf() - started))
 
         # Phase 3: memoization/pruning via NLJP.
+        started = perf()
         env = PlanEnv(db=self.db, config=self.config)
         for cte in rewritten.ctes:
             plan, columns = plan_select(cte.query, env)
@@ -270,6 +288,9 @@ class SmartIcebergOptimizer:
                     f"memprune: {error} — falling back to the baseline join plan"
                 )
 
+        report.phases.append(("memprune", perf() - started))
+
+        started = perf()
         if nljp is not None:
             planned = self._finalize_nljp_plan(body, nljp, env)
         else:
@@ -277,7 +298,11 @@ class SmartIcebergOptimizer:
             planned = PlannedQuery(
                 root=ops.CountOutput(plan), columns=tuple(columns), env=env
             )
+        report.phases.append(("finalize", perf() - started))
+
+        started = perf()
         self._verify_plan(planned, report)
+        report.phases.append(("verify", perf() - started))
 
         return OptimizedQuery(
             original_sql=(

@@ -59,6 +59,7 @@ class SmartIceberg:
         cancel_token: Optional[CancelToken] = None,
         fault_plan: Optional[object] = None,
         analyze: Optional[str] = None,
+        trace: Optional[str] = None,
     ) -> None:
         self.db = db
         self.config = config or EngineConfig.smart()
@@ -88,6 +89,10 @@ class SmartIceberg:
             # or "strict" (analysis errors and verifier violations
             # raise before execution).
             ("analyze", analyze),
+            # Tracing: "off", "counters" (span tree with per-span
+            # ExecutionStats deltas), or "timing" (plus wall clock);
+            # traced results carry a QueryProfile (see repro.obs).
+            ("trace", trace),
         ):
             if value is not None:
                 overrides[name] = value

@@ -13,6 +13,7 @@ from repro.engine.governor import Governor
 from repro.engine.operators import DEFAULT_BATCH_SIZE, ExecutionContext
 from repro.engine.planner import EngineConfig, PlannedQuery, plan_query
 from repro.engine.stats import ExecutionStats
+from repro.obs.metrics import record_query
 from repro.storage.catalog import Database
 
 Row = Tuple[Any, ...]
@@ -20,7 +21,12 @@ Row = Tuple[Any, ...]
 
 @dataclass
 class Result:
-    """The result of executing one statement."""
+    """The result of executing one statement.
+
+    ``profile`` is the :class:`repro.obs.spans.QueryProfile` span tree
+    for traced runs (``EngineConfig.trace`` of ``"counters"`` or
+    ``"timing"``); ``None`` under ``trace="off"``.
+    """
 
     columns: Tuple[str, ...]
     rows: List[Row]
@@ -28,6 +34,7 @@ class Result:
     elapsed_seconds: float
     plan: Optional[PlannedQuery] = None
     execution_mode: str = "row"
+    profile: Optional[Any] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -63,9 +70,22 @@ def execute(
     params: Optional[Dict[str, Any]] = None,
 ) -> Result:
     """Parse (if needed), plan, and execute a statement."""
+    trace = config.trace if config is not None else "off"
+    if trace == "off":
+        query = _as_query(statement)
+        planned = plan_query(db, query, config)
+        return run_planned(planned, params)
+    from repro.obs.tracer import Tracer
+
+    perf = time.perf_counter
+    tracer = Tracer(trace)
+    start = perf()
     query = _as_query(statement)
+    tracer.add_phase("parse", perf() - start)
+    start = perf()
     planned = plan_query(db, query, config)
-    return run_planned(planned, params)
+    tracer.add_phase("plan", perf() - start)
+    return run_planned(planned, params, tracer=tracer)
 
 
 def run_planned(
@@ -73,6 +93,7 @@ def run_planned(
     params: Optional[Dict[str, Any]] = None,
     execution_mode: Optional[str] = None,
     batch_size: Optional[int] = None,
+    tracer: Optional[Any] = None,
 ) -> Result:
     """Execute a previously planned query (prepared-statement style).
 
@@ -91,6 +112,12 @@ def run_planned(
     carries the partial stats accumulated so far in ``error.stats``;
     a bare ``TypeError`` from a compiled expression (a query/data type
     mismatch at run time) is wrapped as :class:`TypeCheckError`.
+
+    ``tracer`` carries an externally created tracer (the optimizer and
+    ``execute`` use it to prepend phase spans); under a config with
+    ``trace != "off"`` and no tracer supplied, one is created here.
+    The tracer is installed over the plan for this execution only and
+    always torn down — even when a budget trips mid-query.
     """
     config = planned.env.config
     mode = execution_mode if execution_mode is not None else config.execution_mode
@@ -105,6 +132,14 @@ def run_planned(
         batch_size=(batch_size or DEFAULT_BATCH_SIZE) if mode == "batch" else None,
     )
     ctx.governor = Governor.from_config(config, ctx.stats)
+    if tracer is None and config.trace != "off":
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer(config.trace)
+    profile = None
+    if tracer is not None:
+        tracer.install(planned.root)
+        ctx.tracer = tracer
     planned.env.ctx_holder["ctx"] = ctx
     start = time.perf_counter()
     try:
@@ -124,15 +159,22 @@ def run_planned(
         raise wrapped from error
     finally:
         planned.env.ctx_holder.pop("ctx", None)
+        if tracer is not None:
+            # Restores the wrapped nodes even on the error paths above,
+            # so a budget-tripped plan is left clean and re-runnable.
+            profile = tracer.finish()
     elapsed = time.perf_counter() - start
-    return Result(
+    result = Result(
         columns=planned.columns,
         rows=rows,
         stats=ctx.stats,
         elapsed_seconds=elapsed,
         plan=planned,
         execution_mode=mode,
+        profile=profile,
     )
+    record_query(result, config, governor=ctx.governor)
+    return result
 
 
 def explain(

@@ -34,7 +34,7 @@ the deadline (no wall-clock randomness in tests).
 from __future__ import annotations
 
 import time
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.errors import BudgetExceededError, QueryCancelledError
 from repro.engine.stats import ExecutionStats
@@ -232,3 +232,36 @@ class Governor:
     def degrade(self, site: str, reason: str) -> None:
         """Record a graceful-degradation event on the execution stats."""
         self.degradations.append(f"{site}: {reason}")
+
+    def headroom(self) -> Dict[str, float]:
+        """Remaining budget fraction per configured ceiling, in [0, 1].
+
+        Only budgets that are actually set appear; 0.0 means the budget
+        was reached (or the limit was zero).  Exported as gauges by the
+        metrics registry so dashboards can watch how close governed
+        workloads run to their ceilings.
+        """
+        fractions: Dict[str, float] = {}
+
+        def remaining(limit, used) -> float:
+            if limit <= 0:
+                return 0.0
+            return max(0.0, 1.0 - used / limit)
+
+        if self.max_rows_scanned is not None:
+            fractions["rows_scanned"] = remaining(
+                self.max_rows_scanned, self.stats.rows_scanned
+            )
+        if self.max_join_pairs is not None:
+            fractions["join_pairs"] = remaining(
+                self.max_join_pairs, self.stats.join_pairs
+            )
+        if self.max_cache_bytes is not None:
+            fractions["cache_bytes"] = remaining(
+                self.max_cache_bytes, self.stats.cache_bytes
+            )
+        if self.deadline_seconds is not None:
+            fractions["deadline_seconds"] = remaining(
+                self.deadline_seconds, self.elapsed_seconds()
+            )
+        return fractions

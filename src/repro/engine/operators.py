@@ -44,12 +44,18 @@ class ExecutionContext:
     means ungoverned execution and operators skip all checks.
     Governor checks never mutate counters, so a governed run that trips
     nothing is bit-identical to an ungoverned one.
+
+    ``tracer`` follows the same zero-overhead pattern: ``None`` under
+    ``EngineConfig.trace="off"``, a :class:`repro.obs.tracer.Tracer`
+    otherwise.  Operators that want to report non-iterator events
+    (NLJP cache interactions) guard every hook behind a ``None`` check.
     """
 
     stats: ExecutionStats = field(default_factory=ExecutionStats)
     params: Dict[str, Any] = field(default_factory=dict)
     batch_size: Optional[int] = None
     governor: Optional[Any] = None
+    tracer: Optional[Any] = None
 
 
 def chunked(iterable, size: int) -> Iterator[List[Row]]:
@@ -127,6 +133,20 @@ class PhysicalOperator:
                 found.append(node)
         return found
 
+    def q_error(self) -> Optional[float]:
+        """Symmetric cardinality mis-estimation factor.
+
+        ``max(est/actual, actual/est)`` with both sides floored at one
+        row; 1.0 is a perfect estimate.  ``None`` until the node has
+        both an estimate (planner) and an actual (explain-analyze or a
+        traced run).
+        """
+        if self.estimated_rows is None or self.actual_rows is None:
+            return None
+        est = max(float(self.estimated_rows), 1.0)
+        actual = max(float(self.actual_rows), 1.0)
+        return max(est / actual, actual / est)
+
     def annotation(self) -> str:
         """Estimate/actual suffix for the node's describe line."""
         parts = []
@@ -136,6 +156,9 @@ class PhysicalOperator:
             parts.append(f"est_cost={self.estimated_cost:.1f}")
         if self.actual_rows is not None:
             parts.append(f"actual_rows={self.actual_rows}")
+        q_error = self.q_error()
+        if q_error is not None:
+            parts.append(f"q_err={q_error:.2f}")
         return ("  [" + " ".join(parts) + "]") if parts else ""
 
     def describe(self) -> List[str]:
@@ -166,6 +189,9 @@ class PhysicalOperator:
             node["estimated_cost"] = round(self.estimated_cost, 3)
         if self.actual_rows is not None:
             node["actual_rows"] = self.actual_rows
+        q_error = self.q_error()
+        if q_error is not None:
+            node["q_error"] = round(q_error, 3)
         children = [child.to_dict() for child in self.children()]
         if children:
             node["children"] = children

@@ -39,6 +39,7 @@ from repro.engine.cost import CostModel
 from repro.engine.expressions import Compiled, ExpressionCompiler
 from repro.engine.governor import DEGRADATION_MODES, CancelToken
 from repro.engine.layout import Layout
+from repro.obs.spans import TRACE_MODES
 from repro.storage.catalog import Database
 from repro.storage.table import Table
 
@@ -117,6 +118,11 @@ class EngineConfig:
     #: and verifies the plan (findings land in the report notes), and
     #: "strict" turns analyzer/verifier findings into hard errors.
     analyze: str = "off"  # 'off' | 'warn' | 'strict'
+    #: Tracing level (see :mod:`repro.obs`): "off" (the default) runs
+    #: the exact pre-observability code path, "counters" builds the
+    #: span tree with per-span ExecutionStats deltas only, "timing"
+    #: additionally records per-span wall clock for flame graphs.
+    trace: str = "off"  # 'off' | 'counters' | 'timing'
 
     def __post_init__(self) -> None:
         if self.join_order not in JOIN_ORDERS:
@@ -126,6 +132,10 @@ class EngineConfig:
         if self.analyze not in ANALYZE_MODES:
             raise ValueError(
                 f"analyze must be one of {ANALYZE_MODES}, got {self.analyze!r}"
+            )
+        if self.trace not in TRACE_MODES:
+            raise ValueError(
+                f"trace must be one of {TRACE_MODES}, got {self.trace!r}"
             )
         if self.degradation not in DEGRADATION_MODES:
             raise ValueError(

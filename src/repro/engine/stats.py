@@ -12,6 +12,10 @@ the quantities the paper's optimizations actually reduce:
 * ``inner_evaluations`` — NLJP inner-query executions (what
   memoization and pruning avoid),
 * ``cache_hits`` / ``pruned_bindings`` — NLJP cache effectiveness,
+* ``cache_evictions`` — NLJP cache entries evicted (bounded-cache
+  policies and governor memory-pressure fallback alike),
+* ``subsumption_merges`` — partial aggregation states folded into an
+  existing (G_L, G_R) group by NLJP's combining mode,
 * ``rows_output`` — result cardinality.
 
 ``cost()`` combines these into a single machine-independent work
@@ -21,7 +25,7 @@ metric used for the shape assertions in benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List
 
 
 @dataclass(slots=True)
@@ -48,6 +52,8 @@ class ExecutionStats:
     reducer_rows_removed: int = 0
     cache_rows: int = 0
     cache_bytes: int = 0
+    cache_evictions: int = 0
+    subsumption_merges: int = 0
     degradations: List[str] = field(default_factory=list)
 
     def merge(self, other: "ExecutionStats") -> None:
@@ -71,16 +77,26 @@ class ExecutionStats:
             + self.cache_hits
         )
 
-    def as_dict(self) -> Dict[str, int]:
-        """The pure counter mapping (degradation events excluded)."""
-        return {
+    def as_dict(self, include_events: bool = False) -> Dict[str, Any]:
+        """The counter mapping; pure ints by default.
+
+        ``include_events=True`` additionally serializes the
+        ``degradations`` event list (as a fresh list), matching what
+        :meth:`__repr__` shows — callers like the bench recorder use it
+        to persist the full stats bundle, while mode-parity checks keep
+        the default pure-int mapping.
+        """
+        counters: Dict[str, Any] = {
             name: getattr(self, name)
             for name in self.__dataclass_fields__
             if name != "degradations"
         }
+        if include_events:
+            counters["degradations"] = list(self.degradations)
+        return counters
 
     def __repr__(self) -> str:
-        interesting = {k: v for k, v in self.as_dict().items() if v}
-        if self.degradations:
-            interesting["degradations"] = list(self.degradations)
+        interesting = {
+            k: v for k, v in self.as_dict(include_events=True).items() if v
+        }
         return f"ExecutionStats({interesting})"

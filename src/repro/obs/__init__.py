@@ -1,0 +1,54 @@
+"""Query observability: tracing, metrics, and cardinality feedback.
+
+Three layers, all zero-overhead when unused:
+
+* :mod:`repro.obs.spans` / :mod:`repro.obs.tracer` — per-operator span
+  trees with exact ``ExecutionStats`` attribution, Chrome-trace export
+  (``EngineConfig.trace="off"|"counters"|"timing"``);
+* :mod:`repro.obs.metrics` — process-wide Prometheus-style registry
+  (``python -m repro.obs.metrics``);
+* :mod:`repro.obs.feedback` — estimate-vs-actual q-error reporting
+  across workloads.
+
+``python -m repro.obs.check`` is the CI gate tying it together.
+"""
+
+# Import order matters: spans is the leaf (engine.stats only); tracer
+# builds on spans + engine.operators; metrics and feedback come last.
+from repro.obs.spans import (
+    STAT_FIELDS,
+    TRACE_MODES,
+    QueryProfile,
+    Span,
+    merge_chrome_traces,
+    snapshot,
+)
+from repro.obs.tracer import Tracer, child_plans, iter_plan_nodes
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    record_query,
+)
+from repro.obs.feedback import CardinalityReport
+
+__all__ = [
+    "STAT_FIELDS",
+    "TRACE_MODES",
+    "QueryProfile",
+    "Span",
+    "merge_chrome_traces",
+    "snapshot",
+    "Tracer",
+    "child_plans",
+    "iter_plan_nodes",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "record_query",
+    "CardinalityReport",
+]

@@ -1,0 +1,287 @@
+"""CI gate for the observability subsystem.
+
+Run as ``python -m repro.obs.check --baseline BENCH_1.json``.  Four
+checks, exit 1 if any fails:
+
+1. **Baseline equality** — a fresh ``trace="off"`` Q1 run on the
+   baseline system must reproduce the cost and every shared work
+   counter recorded in the pre-PR ``BENCH_1.json``.  The counters are
+   deterministic and machine-independent, so *any* drift — including
+   work sneaking into the ``trace="off"`` path — fails loudly, which
+   is a far sharper guard than a wall-clock percentage on shared CI
+   hardware.  The measured off-vs-timing wall-clock overhead is
+   reported alongside for the humans.
+2. **Trace parity** — ``trace="off"`` vs ``trace="timing"`` on Q1 must
+   be bit-identical in rows and counters, and the span tree's
+   exclusive deltas must sum exactly to the query totals.
+3. **Chrome-trace schema** — ``profile.to_chrome_trace()`` must match
+   the golden ``trace_event`` shape (metadata + complete events with
+   the required keys) that ``chrome://tracing``/Perfetto consume.
+4. **Prometheus schema** — the registry render must match the text
+   exposition format (HELP/TYPE headers, well-formed sample lines)
+   and contain the metrics the executor promises to record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import time
+from typing import Any, Dict, List, Optional
+
+#: Work-counter keys whose values may legitimately differ from a
+#: pre-PR baseline: none.  Shared keys must match exactly; keys new
+#: in this PR (absent from the baseline record) are skipped.
+
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.e+-]+(Inf)?$"
+)
+
+_PROMETHEUS_EXPECTED = (
+    "repro_queries_total",
+    "repro_query_seconds",
+    "repro_work_total",
+    "repro_work_cost_total",
+    "repro_cache_bytes_high_water",
+)
+
+
+class CheckFailure(Exception):
+    pass
+
+
+def _find_baseline_record(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """The Q1/base/row record; accepts the legacy "postgres" label."""
+    for record in doc.get("records", []):
+        if (
+            record.get("query") == "Q1"
+            and record.get("mode") == "row"
+            and record.get("system") in ("base", "postgres")
+        ):
+            return record
+    raise CheckFailure("baseline has no Q1 base-system row-mode record")
+
+
+def check_baseline_equality(baseline_path: str) -> Dict[str, Any]:
+    """Fresh trace=off Q1 vs the recorded baseline: exact counter match."""
+    from repro.bench.figures import _batting_db
+    from repro.bench.record import RECORD_SEED
+    from repro.engine.executor import execute
+    from repro.engine.planner import EngineConfig
+    from repro.workloads import figure1_queries
+
+    with open(baseline_path) as handle:
+        doc = json.load(handle)
+    record = _find_baseline_record(doc)
+    n_rows = doc.get("suite", {}).get("n_rows", 300)
+    seed = doc.get("suite", {}).get("seed", RECORD_SEED)
+
+    sql = figure1_queries()["Q1"].sql
+    db = _batting_db(n_rows, seed=seed)
+    config = EngineConfig.postgres()
+    result = execute(db, sql, config)
+
+    if result.stats.cost() != record["cost"]:
+        raise CheckFailure(
+            f"Q1 cost drift vs baseline: now {result.stats.cost()}, "
+            f"recorded {record['cost']} — trace=off is doing different work"
+        )
+    counters = result.stats.as_dict()
+    shared = set(counters) & set(record["counters"])
+    drift = {
+        name: (counters[name], record["counters"][name])
+        for name in sorted(shared)
+        if counters[name] != record["counters"][name]
+    }
+    if drift:
+        raise CheckFailure(f"Q1 counter drift vs baseline (now, recorded): {drift}")
+    if len(result.rows) != record["rows"]:
+        raise CheckFailure(
+            f"Q1 row-count drift: now {len(result.rows)}, "
+            f"recorded {record['rows']}"
+        )
+    return {"n_rows": n_rows, "shared_counters": len(shared), "db": db, "sql": sql}
+
+
+def check_trace_parity(db, sql: str) -> Dict[str, Any]:
+    """off vs timing bit-identical; span sums equal query totals."""
+    from repro.engine.executor import execute
+    from repro.engine.planner import EngineConfig
+
+    off = execute(db, sql, EngineConfig.postgres())
+    timed = execute(
+        db, sql, EngineConfig(
+            join_policy="index-first", join_order="syntactic",
+            parallelism=2.0, label="postgres", trace="timing",
+        )
+    )
+    if off.sorted_rows() != timed.sorted_rows():
+        raise CheckFailure("trace=timing changed the result rows on Q1")
+    if off.stats.as_dict() != timed.stats.as_dict():
+        raise CheckFailure(
+            f"trace=timing changed the work counters on Q1: "
+            f"off={off.stats.as_dict()} timing={timed.stats.as_dict()}"
+        )
+    profile = timed.profile
+    if profile is None:
+        raise CheckFailure("trace=timing produced no profile")
+    totals = profile.total_stats()
+    query_totals = timed.stats.as_dict()
+    if totals != query_totals:
+        diff = {
+            name: (totals.get(name), query_totals.get(name))
+            for name in set(totals) | set(query_totals)
+            if totals.get(name) != query_totals.get(name)
+        }
+        raise CheckFailure(f"span-delta sum != query totals: {diff}")
+    return {"profile": profile, "spans": sum(1 for _ in profile.spans())}
+
+
+def measure_overhead(db, sql: str, repeats: int = 5) -> Dict[str, float]:
+    """Best-of-N wall clock, trace=off vs trace=timing (report only).
+
+    Wall-clock ratios on shared CI hardware are noise; the *enforced*
+    zero-overhead guarantee is the deterministic counter equality of
+    :func:`check_baseline_equality`.  This is the human-facing number.
+    """
+    from repro.engine.executor import execute
+    from repro.engine.planner import EngineConfig
+
+    def best(config) -> float:
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            execute(db, sql, config)
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    off = best(EngineConfig.postgres())
+    timed = best(
+        EngineConfig(
+            join_policy="index-first", join_order="syntactic",
+            parallelism=2.0, label="postgres", trace="timing",
+        )
+    )
+    return {
+        "off_seconds": off,
+        "timing_seconds": timed,
+        "timing_overhead_pct": 100.0 * (timed - off) / off if off > 0 else 0.0,
+    }
+
+
+def check_chrome_schema(profile) -> int:
+    """Golden trace_event shape: what chrome://tracing requires."""
+    trace = profile.to_chrome_trace()
+    if set(trace) != {"traceEvents", "displayTimeUnit"}:
+        raise CheckFailure(f"chrome trace top-level keys wrong: {sorted(trace)}")
+    events = trace["traceEvents"]
+    if not events:
+        raise CheckFailure("chrome trace has no events")
+    saw_complete = saw_meta = False
+    for event in events:
+        missing = {"name", "ph", "pid", "tid"} - set(event)
+        if missing:
+            raise CheckFailure(f"chrome event missing keys {missing}: {event}")
+        if event["ph"] == "M":
+            saw_meta = True
+        elif event["ph"] == "X":
+            saw_complete = True
+            missing = {"ts", "dur", "cat", "args"} - set(event)
+            if missing:
+                raise CheckFailure(
+                    f"complete event missing keys {missing}: {event['name']}"
+                )
+            if event["dur"] <= 0:
+                raise CheckFailure(f"non-positive dur on {event['name']}")
+        else:
+            raise CheckFailure(f"unexpected event phase {event['ph']!r}")
+    if not (saw_complete and saw_meta):
+        raise CheckFailure("chrome trace lacks metadata or complete events")
+    json.dumps(trace)  # must be serializable as-is
+    return len(events)
+
+
+def check_prometheus_schema() -> int:
+    """Golden exposition-format shape for the process registry."""
+    from repro.obs.metrics import REGISTRY
+
+    text = REGISTRY.render()
+    if not text.endswith("\n"):
+        raise CheckFailure("prometheus render must end with a newline")
+    helped = set()
+    typed = set()
+    samples = 0
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            helped.add(line.split()[2])
+        elif line.startswith("# TYPE "):
+            typed.add(line.split()[2])
+        elif line:
+            if not _SAMPLE_LINE.match(line):
+                raise CheckFailure(f"malformed prometheus sample line: {line!r}")
+            samples += 1
+    if helped != typed:
+        raise CheckFailure(f"HELP/TYPE mismatch: {helped ^ typed}")
+    missing = [name for name in _PROMETHEUS_EXPECTED if name not in typed]
+    if missing:
+        raise CheckFailure(f"expected metrics missing from registry: {missing}")
+    return samples
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.check", description=__doc__
+    )
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_1.json",
+        help="pre-PR benchmark record (default: BENCH_1.json)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="overhead-report repeats"
+    )
+    args = parser.parse_args(argv)
+
+    failures: List[str] = []
+
+    def step(name: str, fn) -> Any:
+        try:
+            value = fn()
+        except CheckFailure as error:
+            failures.append(f"{name}: {error}")
+            print(f"FAIL {name}: {error}")
+            return None
+        print(f"ok   {name}")
+        return value
+
+    base = step("baseline-equality", lambda: check_baseline_equality(args.baseline))
+    if base is None:
+        for failure in failures:
+            print(f"OBS CHECK FAILED: {failure}")
+        return 1
+    db, sql = base["db"], base["sql"]
+
+    parity = step("trace-parity", lambda: check_trace_parity(db, sql))
+    if parity is not None:
+        step("chrome-schema", lambda: check_chrome_schema(parity["profile"]))
+    step("prometheus-schema", check_prometheus_schema)
+
+    overhead = measure_overhead(db, sql, repeats=args.repeats)
+    print(
+        f"info overhead (report only; the enforced gate is counter "
+        f"equality): trace=off best {overhead['off_seconds']:.4f}s, "
+        f"trace=timing best {overhead['timing_seconds']:.4f}s "
+        f"({overhead['timing_overhead_pct']:+.1f}%)"
+    )
+
+    if failures:
+        for failure in failures:
+            print(f"OBS CHECK FAILED: {failure}")
+        return 1
+    print("obs check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""Estimate-vs-actual cardinality feedback across a workload run.
+
+After a traced execution every plan node carries ``estimated_rows``
+(from the PR 3 cost model) and ``actual_rows`` (stamped by the
+tracer or by ``explain(analyze=True)``).  The per-node *q-error* —
+``max(est/actual, actual/est)`` with both sides floored at one row —
+is the standard symmetric mis-estimation factor: 1.0 is a perfect
+estimate, 10.0 means an order of magnitude off in either direction.
+
+:class:`CardinalityReport` accumulates those per-node observations
+over many queries and ranks the worst offenders, which is exactly the
+feedback loop Online Sketch-based Query Optimization builds on: the
+ranked list tells the cost model *which* operator estimates to
+recalibrate first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.engine.operators import PhysicalOperator
+from repro.obs.tracer import iter_plan_nodes
+
+
+class CardinalityReport:
+    """Ranked estimate-vs-actual mis-estimates across a workload."""
+
+    def __init__(self) -> None:
+        self.entries: List[Dict[str, Any]] = []
+
+    def record(self, query_label: str, root: PhysicalOperator) -> int:
+        """Collect q-errors from an executed (analyzed/traced) plan.
+
+        Nodes without both an estimate and an actual are skipped —
+        a plan run without ``analyze=True``/tracing contributes
+        nothing.  Returns the number of observations added.
+        """
+        added = 0
+        for node in iter_plan_nodes(root):
+            q_error = node.q_error()
+            if q_error is None:
+                continue
+            self.entries.append(
+                {
+                    "query": query_label,
+                    "operator": type(node).__name__,
+                    "detail": node.describe()[0].strip(),
+                    "est_rows": float(node.estimated_rows),
+                    "actual_rows": int(node.actual_rows),
+                    "q_error": round(q_error, 3),
+                }
+            )
+            added += 1
+        return added
+
+    def record_planned(self, query_label: str, planned: Any) -> int:
+        """Convenience wrapper taking a ``PlannedQuery``."""
+        return self.record(query_label, planned.root)
+
+    def worst(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Observations sorted by descending q-error (stable)."""
+        ranked = sorted(self.entries, key=lambda e: -e["q_error"])
+        return ranked if n is None else ranked[:n]
+
+    def to_dict(self) -> Dict[str, Any]:
+        worst = self.worst()
+        return {
+            "observations": len(self.entries),
+            "max_q_error": worst[0]["q_error"] if worst else None,
+            "median_q_error": self._median(),
+            "worst": worst,
+        }
+
+    def _median(self) -> Optional[float]:
+        if not self.entries:
+            return None
+        values = sorted(e["q_error"] for e in self.entries)
+        mid = len(values) // 2
+        if len(values) % 2:
+            return values[mid]
+        return round((values[mid - 1] + values[mid]) / 2.0, 3)
+
+    def summary(self, n: int = 10) -> str:
+        """Human-readable table of the ``n`` worst mis-estimates."""
+        worst = self.worst(n)
+        if not worst:
+            return "cardinality report: no estimate-vs-actual observations"
+        header = f"{'q-error':>9}  {'est':>10}  {'actual':>8}  query      operator"
+        lines = [
+            f"cardinality report: {len(self.entries)} observations, "
+            f"median q-error {self._median()}",
+            header,
+            "-" * len(header),
+        ]
+        for entry in worst:
+            lines.append(
+                f"{entry['q_error']:>9.3f}  {entry['est_rows']:>10.1f}  "
+                f"{entry['actual_rows']:>8d}  {entry['query']:<9}  "
+                f"{entry['operator']} [{entry['detail']}]"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Estimate-vs-actual feedback: q-errors and the cardinality report."""
+
+import pytest
+
+from repro.bench.figures import _batting_db
+from repro.bench.record import RECORD_SEED
+from repro.engine import EngineConfig, execute
+from repro.engine.operators import PhysicalOperator
+from repro.obs import CardinalityReport
+from repro.sql.parser import parse
+from repro.engine.planner import plan_query
+from repro.workloads import figure1_queries
+
+QUERIES = {name: q.sql for name, q in figure1_queries().items()}
+
+
+@pytest.fixture(scope="module")
+def small_db():
+    return _batting_db(60, seed=RECORD_SEED)
+
+
+def test_q_error_definition():
+    node = PhysicalOperator()
+    assert node.q_error() is None
+    node.estimated_rows = 100.0
+    assert node.q_error() is None
+    node.actual_rows = 10
+    assert node.q_error() == 10.0
+    node.actual_rows = 1000
+    assert node.q_error() == 10.0
+    node.actual_rows = 100
+    assert node.q_error() == 1.0
+    # Floors: zero actuals never divide by zero.
+    node.actual_rows = 0
+    assert node.q_error() == 100.0
+
+
+def test_explain_analyze_reports_q_error(small_db):
+    planned = plan_query(small_db, parse(QUERIES["Q1"]), EngineConfig())
+    text = planned.explain(analyze=True)
+    assert "actual_rows=" in text
+    assert "q_err=" in text
+
+
+def test_to_dict_carries_q_error(small_db):
+    planned = plan_query(small_db, parse(QUERIES["Q1"]), EngineConfig())
+    planned.explain(analyze=True)
+    document = planned.to_dict()
+
+    def walk(node):
+        yield node
+        for child in node.get("children", []):
+            yield from walk(child)
+
+    annotated = [n for n in walk(document["root"]) if "q_error" in n]
+    assert annotated
+    for node in annotated:
+        assert node["q_error"] >= 1.0
+        assert "estimated_rows" in node and "actual_rows" in node
+
+
+def test_traced_run_stamps_actual_rows(small_db):
+    result = execute(small_db, QUERIES["Q1"], EngineConfig(trace="timing"))
+    root = result.plan.root
+    assert root.actual_rows == len(result.rows)
+    assert root.q_error() is not None
+
+
+def test_cardinality_report_ranks_worst(small_db):
+    report = CardinalityReport()
+    for name in ("Q1", "Q2", "Q3"):
+        result = execute(small_db, QUERIES[name], EngineConfig(trace="timing"))
+        added = report.record(name, result.plan.root)
+        assert added > 0
+    worst = report.worst()
+    assert worst == sorted(worst, key=lambda e: -e["q_error"])
+    assert report.worst(2) == worst[:2]
+    document = report.to_dict()
+    assert document["observations"] == len(report.entries)
+    assert document["max_q_error"] == worst[0]["q_error"]
+    assert document["median_q_error"] >= 1.0
+    text = report.summary(5)
+    assert "cardinality report" in text
+    assert worst[0]["operator"] in text
+
+
+def test_cardinality_report_skips_unanalyzed(small_db):
+    planned = plan_query(small_db, parse(QUERIES["Q1"]), EngineConfig())
+    report = CardinalityReport()
+    assert report.record_planned("Q1", planned) == 0
+    assert report.summary() == (
+        "cardinality report: no estimate-vs-actual observations"
+    )
+    assert report.to_dict()["max_q_error"] is None
