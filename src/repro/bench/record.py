@@ -1,9 +1,10 @@
-"""Perf-regression recorder: a fixed pinned-seed suite, both modes.
+"""Perf-regression recorder: a fixed pinned-seed suite, every mode.
 
-Runs Q1-Q8 at a reduced, deterministic scale in both execution modes
-(row and batch), records wall-clock plus the deterministic ``cost()``
-counters for every (query, system, mode) cell, and writes the result
-as JSON so future PRs have a trajectory to compare against.
+Runs Q1-Q8 at a reduced, deterministic scale in all three execution
+modes (row, batch, columnar), records wall-clock plus the
+deterministic ``cost()`` counters for every (query, system, mode)
+cell, and writes the result as JSON so future PRs have a trajectory
+to compare against.
 
 Usage::
 
@@ -11,14 +12,25 @@ Usage::
     python -m repro.bench.record --scale 0.25    # tiny CI smoke run
     python -m repro.bench.record --check         # exit 1 on mode drift
     python -m repro.bench.record --out /tmp/b.json --no-headline
+    python -m repro.bench.record \\
+        --headline-rows 10000 --out BENCH_2.json # columnar headline
 
-``--check`` makes the run fail if any batch-mode ``cost()`` (or any
-individual work counter) differs from its row-mode twin — the
-counters-are-invariant guarantee, enforced in CI at tiny scale.
+``--check`` makes the run fail if any batch- or columnar-mode
+``cost()`` (or any individual work counter, modulo the zone-map fold
+of :meth:`ExecutionStats.parity_dict`) differs from its row-mode
+twin — the counters-are-invariant guarantee, enforced in CI at tiny
+scale.
 
 The *headline* section reruns the Figure 1 baseline system on Q1 at
-the default benchmark scale (n=1200) in both modes and records the
-row/batch speedup; ``--no-headline`` skips it for quick runs.
+``--headline-rows`` (default n=1200) in all three modes and records
+the row/batch and row/columnar speedups; ``--no-headline`` skips it
+(and the zone-map section) for quick runs.
+
+The *zonemap* section runs a selective scan over the clustered
+``batting.playerid`` key in columnar mode and records how many whole
+chunks the zone maps eliminated — the recorded proof that
+``chunks_skipped > 0`` on at least one selective query, with the
+row-mode twin asserting the skip changed nothing.
 """
 
 from __future__ import annotations
@@ -47,7 +59,11 @@ HEADLINE_ROWS = 1200
 #: Systems exercised by the suite.
 SUITE_SYSTEMS = ("base", "vendor", "memo", "all")
 
-MODES = ("row", "batch")
+MODES = ("row", "batch", "columnar")
+
+#: Counters that only columnar mode touches; cross-mode parity folds
+#: them out (see :meth:`ExecutionStats.parity_dict`).
+_MODE_VARIANT_COUNTERS = ("rows_skipped", "chunks_skipped", "fused_compilations")
 
 #: Static-analysis mode for Smart-Iceberg suite systems.  Strict keeps
 #: the analyzer + plan verifier honest on every recorded run, and the
@@ -109,8 +125,36 @@ def run_suite(n_rows: int) -> List[Dict[str, Any]]:
     return records
 
 
+def _parity_counters(counters: Dict[str, Any]) -> Dict[str, Any]:
+    """Serialized-record mirror of :meth:`ExecutionStats.parity_dict`.
+
+    Folds ``rows_skipped`` back into ``rows_scanned`` and drops the
+    mode-variant counters, so columnar records compare exactly against
+    their row-mode twins.  Rows a zone map skipped still count ``1``
+    in the parity cost, exactly as the fold implies.
+    """
+    folded = {
+        name: value
+        for name, value in counters.items()
+        if name not in _MODE_VARIANT_COUNTERS and name != "degradations"
+    }
+    folded["rows_scanned"] = counters.get("rows_scanned", 0) + counters.get(
+        "rows_skipped", 0
+    )
+    return folded
+
+
+def _parity_cost(record: Dict[str, Any]) -> int:
+    """``cost()`` with zone-map skips folded back in (weight 1 each)."""
+    return record["cost"] + record["counters"].get("rows_skipped", 0)
+
+
 def check_mode_parity(records: List[Dict[str, Any]]) -> List[str]:
-    """Counter drift between row and batch mode; empty means parity."""
+    """Counter drift between row and the other modes; empty = parity.
+
+    Batch mode must match row mode on *every* counter; columnar mode
+    is compared through the zone-map fold of :func:`_parity_counters`.
+    """
     by_cell: Dict[Any, Dict[str, Dict[str, Any]]] = {}
     for record in records:
         cell = by_cell.setdefault((record["query"], record["system"]), {})
@@ -120,24 +164,30 @@ def check_mode_parity(records: List[Dict[str, Any]]) -> List[str]:
         if set(cell) != set(MODES):
             problems.append(f"{query}/{system}: missing mode runs {sorted(cell)}")
             continue
-        row, batch = cell["row"], cell["batch"]
-        if row["cost"] != batch["cost"]:
-            problems.append(
-                f"{query}/{system}: cost drift row={row['cost']} "
-                f"batch={batch['cost']}"
-            )
-        if row["counters"] != batch["counters"]:
-            diffs = {
-                name: (row["counters"][name], batch["counters"][name])
-                for name in row["counters"]
-                if row["counters"][name] != batch["counters"].get(name)
-            }
-            problems.append(f"{query}/{system}: counter drift {diffs}")
-        if row["rows"] != batch["rows"]:
-            problems.append(
-                f"{query}/{system}: row-count drift row={row['rows']} "
-                f"batch={batch['rows']}"
-            )
+        row = cell["row"]
+        row_counters = _parity_counters(row["counters"])
+        for mode in MODES:
+            if mode == "row":
+                continue
+            other = cell[mode]
+            if _parity_cost(row) != _parity_cost(other):
+                problems.append(
+                    f"{query}/{system}: cost drift row={_parity_cost(row)} "
+                    f"{mode}={_parity_cost(other)}"
+                )
+            other_counters = _parity_counters(other["counters"])
+            if row_counters != other_counters:
+                diffs = {
+                    name: (row_counters[name], other_counters.get(name))
+                    for name in row_counters
+                    if row_counters[name] != other_counters.get(name)
+                }
+                problems.append(f"{query}/{system}: {mode} counter drift {diffs}")
+            if row["rows"] != other["rows"]:
+                problems.append(
+                    f"{query}/{system}: row-count drift row={row['rows']} "
+                    f"{mode}={other['rows']}"
+                )
     return problems
 
 
@@ -168,9 +218,11 @@ def run_traced(n_rows: int, out_path: str) -> int:
 
 
 def run_headline(n_rows: int, repeats: int = 3) -> Dict[str, Any]:
-    """Figure 1 baseline system on Q1, row vs. batch wall-clock.
+    """Figure 1 baseline system on Q1: row vs. batch vs. columnar.
 
     Uses the best of ``repeats`` runs per mode to damp scheduler noise.
+    ``speedup`` keeps its historical meaning (row/batch);
+    ``columnar_speedup`` is the headline this recorder now exists for.
     """
     sql = figure1_queries()["Q1"].sql
     db = _batting_db(n_rows, seed=RECORD_SEED)
@@ -182,17 +234,76 @@ def run_headline(n_rows: int, repeats: int = 3) -> Dict[str, Any]:
             record = _measurement_record(measurement)
             if mode not in best or record["seconds"] < best[mode]["seconds"]:
                 best[mode] = record
-    speedup = best["row"]["seconds"] / max(best["batch"]["seconds"], 1e-9)
+    row_seconds = best["row"]["seconds"]
     return {
         "query": "Q1",
         "system": "base",
         "n_rows": n_rows,
         "repeats": repeats,
-        "row_seconds": best["row"]["seconds"],
+        "row_seconds": row_seconds,
         "batch_seconds": best["batch"]["seconds"],
-        "speedup": round(speedup, 3),
+        "columnar_seconds": best["columnar"]["seconds"],
+        "speedup": round(row_seconds / max(best["batch"]["seconds"], 1e-9), 3),
+        "columnar_speedup": round(
+            row_seconds / max(best["columnar"]["seconds"], 1e-9), 3
+        ),
+        "fused_compilations": best["columnar"]["counters"]["fused_compilations"],
         "cost": best["row"]["cost"],
-        "cost_parity": best["row"]["cost"] == best["batch"]["cost"],
+        "cost_parity": all(
+            _parity_cost(best["row"]) == _parity_cost(best[mode])
+            for mode in MODES
+        ),
+    }
+
+
+#: The zone-map demo predicate: ``playerid`` is assigned in insertion
+#: order by the baseball generator, so chunk min/max ranges partition
+#: it almost perfectly and a selective range scan can prove whole
+#: chunks irrelevant without materializing a single row from them.
+ZONEMAP_SQL = "SELECT playerid, year, b_h FROM batting WHERE playerid <= 50"
+
+#: Chunk size for the zone-map demo, small enough that the suite-scale
+#: table spans many chunks.
+ZONEMAP_CHUNK = 512
+
+
+def run_zonemap(n_rows: int) -> Dict[str, Any]:
+    """Selective columnar scan with zone-map skipping, vs. its row twin.
+
+    Records the skip counters *and* the parity proof: identical result
+    rows, identical folded counters (the only permitted difference is
+    the ``rows_scanned``/``rows_skipped`` split).
+    """
+    import dataclasses
+
+    from repro.engine.executor import execute
+    from repro.engine.planner import EngineConfig
+
+    db = _batting_db(n_rows, seed=RECORD_SEED)
+    base = EngineConfig.postgres()
+    row = execute(db, ZONEMAP_SQL, base)
+    columnar_config = dataclasses.replace(
+        base, execution_mode="columnar", batch_size=ZONEMAP_CHUNK
+    )
+    start = time.perf_counter()
+    columnar = execute(db, ZONEMAP_SQL, columnar_config)
+    columnar_seconds = time.perf_counter() - start
+    return {
+        "query": "zonemap",
+        "system": "base",
+        "sql": ZONEMAP_SQL,
+        "n_rows": n_rows,
+        "chunk_size": ZONEMAP_CHUNK,
+        "rows": len(columnar.rows),
+        "seconds": round(columnar_seconds, 6),
+        "rows_scanned": columnar.stats.rows_scanned,
+        "rows_skipped": columnar.stats.rows_skipped,
+        "chunks_skipped": columnar.stats.chunks_skipped,
+        "fused_compilations": columnar.stats.fused_compilations,
+        "parity_ok": (
+            columnar.rows == row.rows
+            and columnar.stats.parity_dict() == row.stats.parity_dict()
+        ),
     }
 
 
@@ -215,9 +326,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="exit non-zero if batch-mode counters drift from row mode",
     )
     parser.add_argument(
+        "--headline-rows",
+        type=int,
+        default=HEADLINE_ROWS,
+        metavar="N",
+        help="batting n_rows for the headline and zone-map sections "
+        f"(default: {HEADLINE_ROWS}; BENCH_2.json uses 10000)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="headline best-of repeats per mode (default: 3)",
+    )
+    parser.add_argument(
         "--no-headline",
         action="store_true",
-        help="skip the default-scale Q1 row-vs-batch headline run",
+        help="skip the headline mode comparison and zone-map sections",
     )
     parser.add_argument(
         "--trace",
@@ -234,11 +359,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     start = time.perf_counter()
     records = run_suite(suite_rows)
     problems = check_mode_parity(records)
-    headline = None if args.no_headline else run_headline(HEADLINE_ROWS)
+    headline = (
+        None
+        if args.no_headline
+        else run_headline(args.headline_rows, repeats=args.repeats)
+    )
+    zonemap = None if args.no_headline else run_zonemap(args.headline_rows)
     elapsed = time.perf_counter() - start
 
+    if zonemap is not None:
+        if zonemap["chunks_skipped"] <= 0:
+            problems.append(
+                "zonemap: selective scan skipped no chunks "
+                f"({zonemap['rows_scanned']} rows scanned)"
+            )
+        if not zonemap["parity_ok"]:
+            problems.append("zonemap: columnar scan broke row-mode parity")
+
     document = {
-        "schema_version": 1,
+        "schema_version": 2,
         "suite": {
             "queries": "Q1-Q8",
             "systems": list(SUITE_SYSTEMS),
@@ -253,6 +392,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         },
         "records": records,
         "headline": headline,
+        "zonemap": zonemap,
         "mode_parity_ok": not problems,
         "total_seconds": round(elapsed, 3),
     }
@@ -269,7 +409,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"headline Q1 ({headline['system']}, n={headline['n_rows']}): "
             f"row {headline['row_seconds']:.3f}s vs "
             f"batch {headline['batch_seconds']:.3f}s "
-            f"-> {headline['speedup']:.2f}x"
+            f"({headline['speedup']:.2f}x) vs "
+            f"columnar {headline['columnar_seconds']:.3f}s "
+            f"({headline['columnar_speedup']:.2f}x)"
+        )
+    if zonemap is not None:
+        print(
+            f"zonemap (n={zonemap['n_rows']}, chunk={zonemap['chunk_size']}): "
+            f"skipped {zonemap['chunks_skipped']} chunks / "
+            f"{zonemap['rows_skipped']} rows, scanned "
+            f"{zonemap['rows_scanned']}, parity_ok={zonemap['parity_ok']}"
         )
     if problems:
         for problem in problems:
@@ -277,7 +426,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.check:
             return 1
     elif args.check:
-        print("mode parity check passed: batch counters identical to row")
+        print(
+            "mode parity check passed: batch and columnar counters "
+            "identical to row (modulo the zone-map fold)"
+        )
     return 0
 
 

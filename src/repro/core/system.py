@@ -71,7 +71,7 @@ class SmartIceberg:
         # the paper's techniques for survival instead of aborting.
         overrides: Dict[str, object] = {}
         if execution_mode is not None:
-            if execution_mode not in ("row", "batch"):
+            if execution_mode not in ("row", "batch", "columnar"):
                 raise ValueError(f"unknown execution_mode {execution_mode!r}")
             overrides["execution_mode"] = execution_mode
         if batch_size is not None:

@@ -213,6 +213,130 @@ def make_spec(call: ast.FuncCall, argument: Optional[Compiled]) -> AggregateSpec
 
 
 # ---------------------------------------------------------------------------
+# Columnar (vectorized) per-batch partials
+# ---------------------------------------------------------------------------
+
+
+def vector_fold(spec: AggregateSpec):
+    """A ``(partials, fold)`` pair for vectorized grouping, or ``None``.
+
+    ``partials(column, inverse, n_groups)`` reduces one batch to one
+    bounded partial state per batch-group (plain Python values), where
+    ``inverse`` maps each batch row to its group slot.  It returns
+    ``None`` at runtime when the argument column's storage kind has no
+    *exact* vector form: float and object SUM/AVG stay on the row path
+    because ``numpy`` reassociates additions while row mode folds in
+    row order.  ``fold(accumulator, partial)`` then merges a partial
+    into the group's streaming accumulator — both steps are exact
+    algebraic decompositions (:class:`AlgebraicForm`), so the final
+    results match row mode bit for bit.
+
+    DISTINCT aggregates return ``None`` outright: their partial state
+    is the unbounded distinct set (see :func:`is_algebraic`).
+    """
+    from repro.engine.layout import numpy_or_none
+
+    np = numpy_or_none()
+    if np is None:
+        return None
+    factory = spec.factory
+    if factory is _CountStar:
+
+        def count_star_partials(column, inverse, n_groups):
+            return np.bincount(inverse, minlength=n_groups).tolist()
+
+        def count_fold(accumulator, partial):
+            accumulator.count += partial
+
+        return count_star_partials, count_fold
+    if factory is _Count:
+
+        def count_partials(column, inverse, n_groups):
+            column.materialize()
+            if column.kind not in ("i8", "f8", "bool", "dict"):
+                return None  # object columns: NULLs live inline, not in a mask
+            validity = column.validity
+            selected = inverse if validity is None else inverse[validity]
+            return np.bincount(selected, minlength=n_groups).tolist()
+
+        def count_fold(accumulator, partial):
+            accumulator.count += partial
+
+        return count_partials, count_fold
+    if factory in (_Sum, _Avg):
+
+        def sum_partials(column, inverse, n_groups):
+            column.materialize()
+            if column.kind not in ("i8", "bool"):
+                return None  # float addition order matters; keep row order
+            data = column.data
+            validity = column.validity
+            if validity is not None:
+                inverse = inverse[validity]
+                data = data[validity]
+            totals = np.zeros(n_groups, dtype=np.int64)
+            np.add.at(totals, inverse, data)
+            counts = np.bincount(inverse, minlength=n_groups)
+            return list(zip(totals.tolist(), counts.tolist()))
+
+        if factory is _Avg:
+
+            def sum_fold(accumulator, partial):
+                accumulator.total += partial[0]
+                accumulator.count += partial[1]
+
+        else:
+
+            def sum_fold(accumulator, partial):
+                if partial[1]:
+                    accumulator.total += partial[0]
+                    accumulator.seen = True
+
+        return sum_partials, sum_fold
+    if factory in (_Min, _Max):
+        minimum = factory is _Min
+
+        def extremum_partials(column, inverse, n_groups):
+            column.materialize()
+            kind = column.kind
+            if kind not in ("i8", "f8", "bool", "dict"):
+                return None
+            data = column.data
+            validity = column.validity
+            if validity is not None:
+                inverse = inverse[validity]
+                data = data[validity]
+            counts = np.bincount(inverse, minlength=n_groups).tolist()
+            if kind == "f8":
+                sentinel = np.inf if minimum else -np.inf
+                out = np.full(n_groups, sentinel, dtype=np.float64)
+            elif kind == "bool":
+                out = np.full(n_groups, minimum, dtype=bool)
+            else:
+                info = np.iinfo(data.dtype)
+                out = np.full(
+                    n_groups, info.max if minimum else info.min, dtype=data.dtype
+                )
+            (np.minimum if minimum else np.maximum).at(out, inverse, data)
+            values = out.tolist()
+            if kind == "dict":
+                dictionary = column.dictionary or ("",)
+                return [
+                    dictionary[value] if count else None
+                    for value, count in zip(values, counts)
+                ]
+            return [
+                value if count else None for value, count in zip(values, counts)
+            ]
+
+        def extremum_fold(accumulator, partial):
+            accumulator.add(partial)  # None partials are ignored, like NULLs
+
+        return extremum_partials, extremum_fold
+    return None
+
+
+# ---------------------------------------------------------------------------
 # Algebraic decomposition (Section 6 / Appendix C)
 # ---------------------------------------------------------------------------
 

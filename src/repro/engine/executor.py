@@ -10,7 +10,11 @@ from repro.errors import ReproError, TypeCheckError
 from repro.sql import ast
 from repro.sql.parser import parse
 from repro.engine.governor import Governor
-from repro.engine.operators import DEFAULT_BATCH_SIZE, ExecutionContext
+from repro.engine.operators import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_COLUMNAR_BATCH_SIZE,
+    ExecutionContext,
+)
 from repro.engine.planner import EngineConfig, PlannedQuery, plan_query
 from repro.engine.stats import ExecutionStats
 from repro.obs.metrics import record_query
@@ -103,7 +107,9 @@ def run_planned(
 
     ``execution_mode``/``batch_size`` override the planned config's
     settings; ``None`` inherits them.  Batch mode produces identical
-    rows and identical work counters, only faster.
+    rows and identical work counters, only faster.  Columnar mode also
+    produces identical rows; its counters agree modulo the zone-map
+    split (see :meth:`ExecutionStats.parity_dict`).
 
     When the config sets any governor knob (budgets, deadline, cancel
     token, fault plan), a :class:`~repro.engine.governor.Governor` is
@@ -121,15 +127,22 @@ def run_planned(
     """
     config = planned.env.config
     mode = execution_mode if execution_mode is not None else config.execution_mode
-    if mode not in ("row", "batch"):
+    if mode not in ("row", "batch", "columnar"):
         raise ValueError(f"unknown execution_mode {mode!r}")
     if batch_size is None:
         batch_size = config.batch_size
     if batch_size is not None and batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if mode == "row":
+        effective_batch_size = None
+    elif mode == "batch":
+        effective_batch_size = batch_size or DEFAULT_BATCH_SIZE
+    else:
+        effective_batch_size = batch_size or DEFAULT_COLUMNAR_BATCH_SIZE
     ctx = ExecutionContext(
         params=dict(params or {}),
-        batch_size=(batch_size or DEFAULT_BATCH_SIZE) if mode == "batch" else None,
+        batch_size=effective_batch_size,
+        columnar=mode == "columnar",
     )
     ctx.governor = Governor.from_config(config, ctx.stats)
     if tracer is None and config.trace != "off":
@@ -147,6 +160,10 @@ def run_planned(
             rows = []
             for batch in planned.root.execute_batches(ctx):
                 rows.extend(batch)
+        elif mode == "columnar":
+            rows = []
+            for column_batch in planned.root.execute_columnar(ctx):
+                rows.extend(column_batch.to_rows())
         else:
             rows = list(planned.root.execute(ctx))
     except ReproError as error:

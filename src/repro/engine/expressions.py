@@ -18,7 +18,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError, PlanningError
 from repro.sql import ast
-from repro.engine.layout import Layout
+from repro.engine.layout import Column, ColumnBatch, Layout, numpy_or_none
 from repro.storage.types import sql_and, sql_not, sql_or
 
 Compiled = Callable[[Sequence[Any], Dict[str, Any]], Any]
@@ -609,3 +609,677 @@ def batch_filter(fn: Optional[Compiled]) -> Optional[BatchFilter]:
     except (AttributeError, TypeError):  # pragma: no cover - defensive
         pass
     return kernel
+
+
+# ---------------------------------------------------------------------------
+# Columnar (fused whole-column) evaluation
+# ---------------------------------------------------------------------------
+#
+# Columnar mode evaluates expressions over :class:`ColumnBatch` inputs.
+# For the same structural subset the batch kernels support, ONE fused
+# vectorized function is generated per predicate/projection conjunction
+# (via ``compile()`` of synthesized source) operating on whole NumPy
+# columns; generated functions are cached in a module-level table keyed
+# on (expression fingerprint, layout), so repeated plans over the same
+# schema skip codegen entirely.
+#
+# Three-valued logic becomes mask algebra: every column access yields a
+# (values, validity) pair, a comparison is true only where all operand
+# validity masks hold AND the vector comparison holds, and false only
+# where the masks hold and it does not — exactly the row-mode Kleene
+# split.  NULL-able *scalars* (parameters, probe-side outer values) are
+# guarded by plain Python conditions hoisted out of the vector code, so
+# a NULL scalar never reaches a NumPy operation.
+#
+# Every public entry point is total: when an expression has no fused
+# form (statically) or a fused kernel raises (dynamically, e.g. a
+# mixed-type comparison on an object column), evaluation falls back to
+# decoding the batch to rows and running the proven batch/row path —
+# same values, same errors, bit-identical results.  One caveat is
+# inherent to fixed-width encodings: fused integer arithmetic computes
+# in int64, so intermediates beyond 2^63 would wrap where row mode's
+# unbounded ints do not (column *values* that large already degrade to
+# exact object columns at encode time; only computed intermediates can
+# overflow).
+
+#: Columnar filter: boolean selection mask over a batch.
+ColumnarFilter = Callable[[ColumnBatch, Dict[str, Any]], Any]
+
+#: Columnar evaluator: one output Column per batch.
+ColumnarValues = Callable[[ColumnBatch, Dict[str, Any]], Column]
+
+_FUSED_KERNEL_CACHE: Dict[Any, Callable] = {}
+
+
+def _k_not(x: Any) -> Any:
+    """Logical NOT for bool-or-mask (``~True`` would be -2)."""
+    return (not x) if isinstance(x, bool) else ~x
+
+
+def _k_mask(m: Any) -> Any:
+    """Validity mask, with ``None`` (all-valid) widened to ``True``."""
+    return True if m is None else m
+
+
+def _k_isin(value: Any, members: Any) -> Any:
+    np = numpy_or_none()
+    if np is not None and isinstance(value, np.ndarray):
+        return np.fromiter(
+            (item in members for item in value.tolist()),
+            dtype=bool,
+            count=len(value),
+        )
+    return value in members
+
+
+def _k_asmask(x: Any, n: int) -> Any:
+    """Broadcast a scalar boolean result to a full selection mask."""
+    np = numpy_or_none()
+    if isinstance(x, (bool, np.bool_)):
+        return np.full(n, bool(x), dtype=bool)
+    return x
+
+
+def _k_andmask(*masks: Any) -> Any:
+    """AND of validity masks, ignoring ``None`` (all-valid) entries."""
+    out = None
+    for mask in masks:
+        if mask is None:
+            continue
+        out = mask if out is None else (out & mask)
+    return out
+
+
+def _k_nullcol(n: int) -> Column:
+    return Column.const(None, n)
+
+
+_VECTOR_KINDS = {"int64": "i8", "float64": "f8", "bool": "bool"}
+
+
+def _k_vcol(value: Any, validity: Any, n: int) -> Column:
+    """Wrap a kernel result vector (or broadcast scalar) as a Column."""
+    np = numpy_or_none()
+    if isinstance(value, np.ndarray):
+        kind = _VECTOR_KINDS.get(value.dtype.name)
+        if kind is None:
+            if value.dtype != object:
+                value = value.astype(object)
+            kind = "obj"
+        column = Column(kind, n)
+        column.data = value
+        column.validity = validity
+        return column
+    if isinstance(value, np.generic):  # 0-d numpy scalar leaked through
+        value = value.item()
+    column = Column.const(value, n).materialize()
+    if validity is not None:
+        column.validity = (
+            validity if column.validity is None else (column.validity & validity)
+        )
+    return column
+
+
+_COLUMNAR_ENV = {
+    "NOT": _k_not,
+    "M": _k_mask,
+    "ISIN": _k_isin,
+    "ASMASK": _k_asmask,
+    "ANDM": _k_andmask,
+    "NULLCOL": _k_nullcol,
+    "VCOL": _k_vcol,
+}
+
+
+class _ColumnarBuilder:
+    """Generates fused columnar kernels from expression ASTs.
+
+    Scalar nodes compile to ``(pyguards, maskguards, value)`` — the
+    value expression is valid where every *pyguard* (a plain Python
+    non-NULL test on a scalar) holds and every *maskguard* (a column
+    validity ndarray) is true.  Boolean nodes compile to
+    ``(istrue, isfalse)`` mask expressions implementing Kleene logic.
+
+    ``outer_width`` > 0 builds a *probe* kernel ``(orow, B, params)``:
+    layout positions below it read scalars from the outer row, the rest
+    read columns of the (inner-side) batch — the shape join residuals
+    need when the outer side is iterated row-wise.
+    """
+
+    def __init__(self, compiler: "ExpressionCompiler", outer_width: int = 0) -> None:
+        self._layout = compiler._layout
+        self._outer_width = outer_width
+        self.env: Dict[str, Any] = dict(_COLUMNAR_ENV)
+        self.prologue: List[str] = []
+        self._constants = 0
+        self._params: Dict[str, str] = {}
+        self._columns: Dict[int, str] = {}
+        self._scalars: Dict[int, str] = {}
+
+    # -- helpers -------------------------------------------------------
+    def _const(self, value: Any) -> str:
+        name = f"c{self._constants}"
+        self._constants += 1
+        self.env[name] = value
+        return name
+
+    def _param(self, name: str) -> str:
+        if name not in self._params:
+            var = f"p{len(self._params)}"
+            self._params[name] = var
+            self.prologue.append(f"    {var} = params[{name!r}]")
+        return self._params[name]
+
+    def _column(self, position: int) -> str:
+        if position not in self._columns:
+            var = f"v{position}"
+            self._columns[position] = var
+            self.prologue.append(f"    {var}, m{position} = B.pair({position})")
+        return self._columns[position]
+
+    def _outer_scalar(self, position: int) -> str:
+        if position not in self._scalars:
+            var = f"s{position}"
+            self._scalars[position] = var
+            self.prologue.append(f"    {var} = orow[{position}]")
+        return self._scalars[position]
+
+    def _guarded(
+        self, pyguards: Sequence[str], masks: Sequence[str], body: str
+    ) -> str:
+        """A mask expression: ``body`` where all guards hold, else false."""
+        if masks:
+            mask_and = " & ".join(f"M(m{m})" for m in masks)
+            body = f"({mask_and} & {body})"
+        if pyguards:
+            condition = " and ".join(pyguards)
+            return f"(({body}) if ({condition}) else False)"
+        return f"({body})"
+
+    # -- scalar nodes --------------------------------------------------
+    def scalar(self, expr: ast.Expr) -> Tuple[List[str], List[str], str]:
+        if isinstance(expr, ast.Literal):
+            if expr.value is None:
+                return ["False"], [], "None"
+            return [], [], self._const(expr.value)
+        if isinstance(expr, ast.ColumnRef):
+            position = self._layout.resolve(expr.table, expr.column)
+            if position < self._outer_width:
+                var = self._outer_scalar(position)
+                return [f"{var} is not None"], [], var
+            batch_position = position - self._outer_width
+            var = self._column(batch_position)
+            return [], [str(batch_position)], var
+        if isinstance(expr, ast.Parameter):
+            var = self._param(expr.name)
+            return [f"{var} is not None"], [], var
+        if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+            pyguards, masks, value = self.scalar(expr.operand)
+            return pyguards, masks, f"(-{value})"
+        if isinstance(expr, ast.BinaryOp) and expr.op in _PY_ARITH:
+            lp, lm, lv = self.scalar(expr.left)
+            rp, rm, rv = self.scalar(expr.right)
+            return (
+                _merge_guards(lp, rp),
+                _merge_guards(lm, rm),
+                f"({lv} {_PY_ARITH[expr.op]} {rv})",
+            )
+        raise _Unsupported(type(expr).__name__)
+
+    # -- boolean nodes -------------------------------------------------
+    def boolean(self, expr: ast.Expr) -> Tuple[str, str]:
+        if isinstance(expr, ast.BinaryOp):
+            if expr.op == "AND":
+                lt, lf = self.boolean(expr.left)
+                rt, rf = self.boolean(expr.right)
+                return f"({lt} & {rt})", f"({lf} | {rf})"
+            if expr.op == "OR":
+                lt, lf = self.boolean(expr.left)
+                rt, rf = self.boolean(expr.right)
+                return f"({lt} | {rt})", f"({lf} & {rf})"
+            if expr.op in _PY_COMPARE:
+                lp, lm, lv = self.scalar(expr.left)
+                rp, rm, rv = self.scalar(expr.right)
+                pyguards = _merge_guards(lp, rp)
+                masks = _merge_guards(lm, rm)
+                compare = f"({lv} {_PY_COMPARE[expr.op]} {rv})"
+                return (
+                    self._guarded(pyguards, masks, compare),
+                    self._guarded(pyguards, masks, f"NOT({compare})"),
+                )
+            raise _Unsupported(expr.op)
+        if isinstance(expr, ast.UnaryOp) and expr.op == "NOT":
+            istrue, isfalse = self.boolean(expr.operand)
+            return isfalse, istrue
+        if isinstance(expr, ast.IsNull):
+            pyguards, masks, _ = self.scalar(expr.operand)
+            non_null = self._guarded(pyguards, masks, "True")
+            is_null = f"NOT({non_null})"
+            return (non_null, is_null) if expr.negated else (is_null, non_null)
+        if isinstance(expr, ast.Between):
+            np_, nm, nv = self.scalar(expr.needle)
+            lp, lm, lv = self.scalar(expr.low)
+            hp, hm, hv = self.scalar(expr.high)
+            pyguards = _merge_guards(np_, lp, hp)
+            masks = _merge_guards(nm, lm, hm)
+            inside = f"(({lv} <= {nv}) & ({nv} <= {hv}))"
+            istrue = self._guarded(pyguards, masks, inside)
+            isfalse = self._guarded(pyguards, masks, f"NOT({inside})")
+            return (isfalse, istrue) if expr.negated else (istrue, isfalse)
+        if isinstance(expr, ast.InList):
+            values = []
+            for item in expr.items:
+                if not isinstance(item, ast.Literal) or item.value is None:
+                    raise _Unsupported("non-literal IN list")
+                values.append(item.value)
+            try:
+                members = self._const(frozenset(values))
+            except TypeError as error:  # unhashable literal
+                raise _Unsupported(str(error))
+            pyguards, masks, value = self.scalar(expr.needle)
+            istrue = self._guarded(pyguards, masks, f"ISIN({value}, {members})")
+            isfalse = self._guarded(
+                pyguards, masks, f"NOT(ISIN({value}, {members}))"
+            )
+            return (isfalse, istrue) if expr.negated else (istrue, isfalse)
+        # Scalar node in boolean position (e.g. a bool column/literal).
+        pyguards, masks, value = self.scalar(expr)
+        istrue = self._guarded(pyguards, masks, f"({value} == True)")
+        isfalse = self._guarded(pyguards, masks, f"({value} == False)")
+        return istrue, isfalse
+
+    # -- kernel assembly -----------------------------------------------
+    def _build(self, body_lines: List[str], signature: str) -> Callable:
+        source = (
+            f"def kernel({signature}):\n"
+            + "    n = B.length\n"
+            + "".join(line + "\n" for line in self.prologue)
+            + "".join(line + "\n" for line in body_lines)
+        )
+        namespace = dict(self.env)
+        exec(compile(source, "<columnar-kernel>", "exec"), namespace)
+        return namespace["kernel"]
+
+    def build_filter(self, expr: ast.Expr) -> Callable:
+        istrue, _ = self.boolean(expr)
+        signature = "orow, B, params" if self._outer_width else "B, params"
+        return self._build([f"    return ASMASK({istrue}, n)"], signature)
+
+    def build_values(self, expr: ast.Expr) -> Callable:
+        pyguards, masks, value = self.scalar(expr)
+        lines = []
+        if pyguards:
+            condition = " and ".join(pyguards)
+            lines.append(f"    if not ({condition}): return NULLCOL(n)")
+        validity = "ANDM(" + ", ".join(f"m{m}" for m in masks) + ")" if masks else "None"
+        lines.append(f"    return VCOL({value}, {validity}, n)")
+        signature = "orow, B, params" if self._outer_width else "B, params"
+        return self._build(lines, signature)
+
+
+def _fused_kernel(
+    fn: Compiled, kind: str, outer_width: int, ctx: Any
+) -> Optional[Callable]:
+    """Build (or fetch) the fused columnar kernel behind a closure.
+
+    The process-wide cache is keyed on (kind, expression fingerprint,
+    layout, probe width); ``fused_compilations`` is charged once per
+    *closure* regardless of cache state, so the counter is a
+    deterministic property of the query, not of process history.
+    """
+    expr = getattr(fn, "_expr", None)
+    compiler = getattr(fn, "_compiler", None)
+    if expr is None or compiler is None or numpy_or_none() is None:
+        return None
+    key = (kind, repr(expr), compiler._layout.slots, outer_width)
+    kernel = _FUSED_KERNEL_CACHE.get(key)
+    if kernel is None and key not in _FUSED_KERNEL_CACHE:
+        builder = _ColumnarBuilder(compiler, outer_width)
+        try:
+            if kind == "filter":
+                kernel = builder.build_filter(expr)
+            else:
+                kernel = builder.build_values(expr)
+        except (_Unsupported, PlanningError):
+            kernel = None
+        _FUSED_KERNEL_CACHE[key] = kernel
+    if kernel is not None and ctx is not None:
+        ctx.stats.fused_compilations += 1
+    return kernel
+
+
+def _row_filter_mask(fn: Compiled, batch: ColumnBatch, params: Dict[str, Any]):
+    np = numpy_or_none()
+    rows = batch.cached_rows()
+    flags = [fn(row, params) is True for row in rows]
+    if np is None:
+        return flags
+    return np.fromiter(flags, dtype=bool, count=len(flags))
+
+
+def columnar_filter(fn: Optional[Compiled], ctx: Any = None) -> Optional[ColumnarFilter]:
+    """A whole-batch selection-mask evaluator for a compiled predicate.
+
+    Total: fused when the structure allows, decoding to the row closure
+    otherwise (including mid-batch, when a fused kernel raises on data
+    the vector form cannot handle — the row path then reproduces row
+    mode's exact values *and* exact errors).  ``None`` predicates pass
+    through as ``None``.  The result is memoized on the closure.
+    """
+    if fn is None:
+        return None
+    cached = getattr(fn, "_columnar_filter", None)
+    if cached is not None:
+        return cached
+    kernel = _fused_kernel(fn, "filter", 0, ctx)
+    if kernel is None:
+        evaluate = lambda batch, params: _row_filter_mask(fn, batch, params)
+        evaluate.fused = False  # type: ignore[attr-defined]
+    else:
+
+        def evaluate(batch: ColumnBatch, params: Dict[str, Any]):
+            try:
+                return kernel(batch, params)
+            except Exception:
+                return _row_filter_mask(fn, batch, params)
+
+        evaluate.fused = True  # type: ignore[attr-defined]
+    try:
+        fn._columnar_filter = evaluate  # type: ignore[attr-defined]
+    except (AttributeError, TypeError):  # pragma: no cover - defensive
+        pass
+    return evaluate
+
+
+def columnar_values(fn: Compiled, ctx: Any = None) -> ColumnarValues:
+    """A whole-batch evaluator producing one :class:`Column` per batch.
+
+    Plain column references pass the stored column through untouched
+    (keeping dictionary encoding alive for group-bys and join keys);
+    fusable computations run as one generated kernel; everything else —
+    or a kernel that raises — decodes to rows and evaluates via the
+    proven batch path, re-encoding the exact row-mode values.
+    """
+    cached = getattr(fn, "_columnar_values", None)
+    if cached is not None:
+        return cached
+    expr = getattr(fn, "_expr", None)
+    compiler = getattr(fn, "_compiler", None)
+    evaluate: Optional[ColumnarValues] = None
+    if isinstance(expr, ast.ColumnRef) and compiler is not None:
+        try:
+            position = compiler._layout.resolve(expr.table, expr.column)
+        except PlanningError:  # pragma: no cover - planner resolved it before
+            position = None
+        if position is not None:
+            evaluate = lambda batch, params: batch.column(position)
+    if evaluate is None:
+
+        def row_eval(batch: ColumnBatch, params: Dict[str, Any]) -> Column:
+            values = batch_values(fn)(batch.cached_rows(), params)
+            return Column.from_values(values)
+
+        kernel = _fused_kernel(fn, "values", 0, ctx)
+        if kernel is None:
+            evaluate = row_eval
+        else:
+
+            def evaluate(batch: ColumnBatch, params: Dict[str, Any]) -> Column:
+                try:
+                    return kernel(batch, params)
+                except Exception:
+                    return row_eval(batch, params)
+
+    try:
+        fn._columnar_values = evaluate  # type: ignore[attr-defined]
+    except (AttributeError, TypeError):  # pragma: no cover - defensive
+        pass
+    return evaluate
+
+
+def columnar_probe_filter(
+    fn: Optional[Compiled], outer_width: int, ctx: Any = None
+) -> Optional[Callable]:
+    """A probe-form mask evaluator ``(outer_row, inner_batch, params)``.
+
+    Used by index joins whose outer side is iterated row-wise while the
+    inner side stays columnar: combined-layout positions below
+    ``outer_width`` read outer-row scalars, the rest read inner batch
+    columns.  Total, with the same decode-to-rows fallback (evaluating
+    the closure on ``outer_row + inner_row`` concatenations).
+    """
+    if fn is None:
+        return None
+    attr = "_columnar_probe_filter"
+    cached = getattr(fn, attr, None)
+    if cached is not None and cached[0] == outer_width:
+        return cached[1]
+    np = numpy_or_none()
+
+    def row_mask(orow, batch: ColumnBatch, params: Dict[str, Any]):
+        flags = [fn(orow + row, params) is True for row in batch.cached_rows()]
+        if np is None:
+            return flags
+        return np.fromiter(flags, dtype=bool, count=len(flags))
+
+    kernel = _fused_kernel(fn, "filter", outer_width, ctx)
+    if kernel is None:
+        evaluate = row_mask
+    else:
+
+        def evaluate(orow, batch: ColumnBatch, params: Dict[str, Any]):
+            try:
+                return kernel(orow, batch, params)
+            except Exception:
+                return row_mask(orow, batch, params)
+
+    try:
+        setattr(fn, attr, (outer_width, evaluate))
+    except (AttributeError, TypeError):  # pragma: no cover - defensive
+        pass
+    return evaluate
+
+
+_RAW_MISSING = object()
+
+
+def columnar_raw_filter(fn: Optional[Compiled], ctx: Any = None) -> Optional[Callable]:
+    """The bare fused mask kernel — *no* row fallback — or ``None``.
+
+    Index joins use this to precompute a pushed inner filter over the
+    whole stored table at once.  A decode-and-evaluate fallback would be
+    wrong there: it would run the row closure over rows that row mode
+    never probes, raising errors row mode cannot raise.  Callers treat
+    a ``None`` return (or a raising kernel) as "evaluate per candidate
+    row instead".
+    """
+    if fn is None:
+        return None
+    cached = getattr(fn, "_columnar_raw_filter", _RAW_MISSING)
+    if cached is not _RAW_MISSING:
+        return cached
+    kernel = _fused_kernel(fn, "filter", 0, ctx)
+    try:
+        fn._columnar_raw_filter = kernel  # type: ignore[attr-defined]
+    except (AttributeError, TypeError):  # pragma: no cover - defensive
+        pass
+    return kernel
+
+
+def columnar_key_values(fn: Compiled, ctx: Any = None) -> Callable:
+    """A whole-batch evaluator for join/grouping keys.
+
+    Returns ``evaluate(batch, params) -> list`` of per-row key values:
+    tuple expressions decode to tuples (matching the row closure), and
+    everything else to scalars.  Components run through
+    :func:`columnar_values`, so dictionary/typed columns decode exactly
+    once per batch.  Memoized on the closure.
+    """
+    cached = getattr(fn, "_columnar_key_values", None)
+    if cached is not None:
+        return cached
+    expr = getattr(fn, "_expr", None)
+    compiler = getattr(fn, "_compiler", None)
+    if isinstance(expr, ast.TupleExpr) and compiler is not None:
+        parts = [
+            columnar_values(compiler.compile(item), ctx) for item in expr.items
+        ]
+
+        def evaluate(batch: ColumnBatch, params: Dict[str, Any]) -> List[Any]:
+            if not parts:
+                return [()] * batch.length
+            return list(zip(*(part(batch, params).tolist() for part in parts)))
+
+    else:
+        single = columnar_values(fn, ctx)
+
+        def evaluate(batch: ColumnBatch, params: Dict[str, Any]) -> List[Any]:
+            return single(batch, params).tolist()
+
+    try:
+        fn._columnar_key_values = evaluate  # type: ignore[attr-defined]
+    except (AttributeError, TypeError):  # pragma: no cover - defensive
+        pass
+    return evaluate
+
+
+# ---------------------------------------------------------------------------
+# Zone-map chunk pruning
+# ---------------------------------------------------------------------------
+
+_ZONE_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+
+
+def _zone_value_getter(expr: ast.Expr) -> Optional[Callable[[Dict[str, Any]], Any]]:
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda params: value
+    if isinstance(expr, ast.Parameter):
+        name = expr.name
+        return lambda params: params.get(name)
+    return None
+
+
+def _zone_comparison_test(position: int, op: str, get_value):
+    def test(zone, params) -> bool:
+        stats = zone.get(position)
+        if stats is None:
+            return False
+        value = get_value(params)
+        if value is None:
+            return True  # comparison with NULL is never true for any row
+        if stats.non_null == 0:
+            return True  # every value in the chunk is NULL
+        low, high = stats.minimum, stats.maximum
+        if low is None or high is None:
+            return False  # unknown bounds can never justify a skip
+        try:
+            if op == "=":
+                return value < low or value > high
+            if op == "<>":
+                return low == high == value
+            if op == "<":
+                return low >= value
+            if op == "<=":
+                return low > value
+            if op == ">":
+                return high <= value
+            if op == ">=":
+                return high < value
+        except TypeError:
+            return False  # un-orderable vs. the bounds: let the scan decide
+        return False
+
+    return test
+
+
+def _zone_conjunct_test(conjunct: ast.Expr, layout: Layout):
+    """A chunk-skip test for one conjunct, or ``None`` if unanalyzable."""
+
+    def resolve(expr: ast.Expr) -> Optional[int]:
+        if not isinstance(expr, ast.ColumnRef):
+            return None
+        try:
+            return layout.resolve(expr.table, expr.column)
+        except PlanningError:  # pragma: no cover - planner resolved it before
+            return None
+
+    if isinstance(conjunct, ast.BinaryOp) and conjunct.op in _ZONE_FLIP:
+        position = resolve(conjunct.left)
+        get_value = _zone_value_getter(conjunct.right)
+        op = conjunct.op
+        if position is None or get_value is None:
+            position = resolve(conjunct.right)
+            get_value = _zone_value_getter(conjunct.left)
+            op = _ZONE_FLIP[conjunct.op]
+        if position is None or get_value is None:
+            return None
+        return _zone_comparison_test(position, op, get_value)
+    if isinstance(conjunct, ast.Between) and not conjunct.negated:
+        position = resolve(conjunct.needle)
+        get_low = _zone_value_getter(conjunct.low)
+        get_high = _zone_value_getter(conjunct.high)
+        if position is None or get_low is None or get_high is None:
+            return None
+        low_test = _zone_comparison_test(position, ">=", get_low)
+        high_test = _zone_comparison_test(position, "<=", get_high)
+        return lambda zone, params: low_test(zone, params) or high_test(zone, params)
+    if isinstance(conjunct, ast.IsNull):
+        position = resolve(conjunct.operand)
+        if position is None:
+            return None
+        if conjunct.negated:  # IS NOT NULL: skip all-NULL chunks
+            return lambda zone, params: (
+                (stats := zone.get(position)) is not None and stats.non_null == 0
+            )
+        return lambda zone, params: (
+            (stats := zone.get(position)) is not None and stats.nulls == 0
+        )
+    return None
+
+
+def zone_pruner(fn: Optional[Compiled]):
+    """A chunk-skip test derived from a scan predicate.
+
+    Returns ``prune(zone, params) -> bool`` — ``True`` means *no row of
+    the chunk can satisfy the predicate* (so the scan may skip it
+    wholesale) — or ``None`` when no conjunct of the predicate is
+    analyzable against zone statistics.  The predicate is split at AND
+    nodes only; a single unsatisfiable conjunct falsifies the whole
+    conjunction, so skipping on any one test is sound.  NULL-aware by
+    construction: comparisons are only proven false via min/max over
+    *non-NULL* values, and NULL rows never satisfy a comparison anyway.
+    """
+    if fn is None:
+        return None
+    expr = getattr(fn, "_expr", None)
+    compiler = getattr(fn, "_compiler", None)
+    if expr is None or compiler is None:
+        return None
+    conjuncts: List[ast.Expr] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.BinaryOp) and node.op == "AND":
+            stack.append(node.left)
+            stack.append(node.right)
+        else:
+            conjuncts.append(node)
+    tests = []
+    for conjunct in conjuncts:
+        test = _zone_conjunct_test(conjunct, compiler._layout)
+        if test is not None:
+            tests.append(test)
+    if not tests:
+        return None
+
+    def prune(zone, params) -> bool:
+        try:
+            for test in tests:
+                if test(zone, params):
+                    return True
+        except Exception:  # pragma: no cover - defensive
+            return False
+        return False
+
+    return prune

@@ -17,9 +17,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.engine.aggregates import AggregateSpec
-from repro.engine.expressions import Compiled, batch_filter, batch_values
-from repro.engine.layout import Layout
+from repro.engine.aggregates import AggregateSpec, vector_fold
+from repro.engine.expressions import (
+    Compiled,
+    batch_filter,
+    batch_values,
+    columnar_filter,
+    columnar_key_values,
+    columnar_raw_filter,
+    columnar_values,
+    zone_pruner,
+)
+from repro.engine.layout import Column, ColumnBatch, ColumnStore, Layout, numpy_or_none
 from repro.engine.stats import ExecutionStats
 from repro.storage.index import HashIndex, SortedIndex
 from repro.storage.table import Table
@@ -28,6 +37,16 @@ Row = Tuple[Any, ...]
 
 #: Default chunk size for batch (vectorized) execution.
 DEFAULT_BATCH_SIZE = 1024
+
+#: Default chunk size for columnar execution; larger than batch mode so
+#: per-chunk kernel dispatch amortizes, small enough that zone maps
+#: still prune selectively.
+DEFAULT_COLUMNAR_BATCH_SIZE = 4096
+
+#: Columnar joins flush accumulated candidate pairs into an output
+#: batch once this many are pending, bounding peak memory for
+#: high-fanout joins (the skyband join at n=10^4 yields ~5*10^7 pairs).
+COLUMNAR_FLUSH_ROWS = 1 << 18
 
 
 @dataclass
@@ -56,6 +75,12 @@ class ExecutionContext:
     batch_size: Optional[int] = None
     governor: Optional[Any] = None
     tracer: Optional[Any] = None
+    #: True under ``EngineConfig.execution_mode="columnar"``.  Nested
+    #: plan executions (NLJP inner queries, CTE materializations) still
+    #: go through ``execute_batches`` — only the top-level tree and
+    #: operators with native ``execute_columnar`` paths carry
+    #: :class:`~repro.engine.layout.ColumnBatch` data.
+    columnar: bool = False
 
 
 def chunked(iterable, size: int) -> Iterator[List[Row]]:
@@ -123,6 +148,19 @@ class PhysicalOperator:
 
     def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
         yield from chunked(self.execute(ctx), ctx.batch_size or DEFAULT_BATCH_SIZE)
+
+    def execute_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        """Columnar execution, yielding :class:`ColumnBatch` chunks.
+
+        The default bridges through ``execute_batches`` and encodes —
+        always correct, used by operators whose laziness semantics
+        (``Limit``) or output shapes make a native columnar path not
+        worth it.  Native overrides must charge the same counters as
+        the row path except ``rows_skipped``/``chunks_skipped`` (zone
+        pruning) and ``fused_compilations``; see
+        :meth:`ExecutionStats.parity_dict`.
+        """
+        yield from _bridge_columnar(self, ctx)
 
     def children(self) -> List["PhysicalOperator"]:
         """Direct child operators (for plan walks and explain-analyze)."""
@@ -202,6 +240,86 @@ def _indent(lines: List[str]) -> List[str]:
     return ["  " + line for line in lines]
 
 
+def _bridge_columnar(
+    plan: "PhysicalOperator", ctx: ExecutionContext
+) -> Iterator[ColumnBatch]:
+    """Run a subtree batch-at-a-time and encode each batch."""
+    width = len(plan.layout)
+    for batch in plan.execute_batches(ctx):
+        yield ColumnBatch.from_rows(batch, width)
+
+
+def _columnar_scan(
+    store: ColumnStore, predicate: Optional[Compiled], ctx: ExecutionContext
+) -> Iterator[ColumnBatch]:
+    """Shared columnar scan: fused filtering plus zone-map skipping.
+
+    Chunks the predicate provably cannot match are charged to
+    ``rows_skipped``/``chunks_skipped`` instead of ``rows_scanned`` —
+    the only counters columnar mode moves (their sum is invariant).
+    Pruning is gated on the filter kernel being fused: the row-fallback
+    evaluator may raise on rows a pruned chunk would hide, and skipping
+    may never change results *or* errors.
+    """
+    size = ctx.batch_size or DEFAULT_COLUMNAR_BATCH_SIZE
+    stats = ctx.stats
+    params = ctx.params
+    governor = ctx.governor
+    kernel = columnar_filter(predicate, ctx)
+    pruner = None
+    if kernel is not None and getattr(kernel, "fused", False):
+        pruner = zone_pruner(predicate)
+    zones = store.zone_maps(size) if pruner is not None else None
+    length = store.length
+    for chunk_index, start in enumerate(range(0, length, size)):
+        stop = min(start + size, length)
+        if zones is not None and pruner(zones[chunk_index], params):
+            stats.rows_skipped += stop - start
+            stats.chunks_skipped += 1
+            if governor is not None:
+                governor.check("scan")
+            continue
+        stats.rows_scanned += stop - start
+        if governor is not None:
+            governor.check("scan")
+        batch = store.batch(start, stop)
+        if kernel is not None:
+            batch = batch.compress(kernel(batch, params))
+        if batch.length:
+            yield batch
+
+
+def _emit_pairs(
+    np: Any,
+    outer_batch: ColumnBatch,
+    inner_columns: Sequence[Column],
+    outer_positions: List[int],
+    inner_position_arrays: List[Any],
+    residual_kernel: Optional[Any],
+    params: Dict[str, Any],
+) -> Optional[ColumnBatch]:
+    """Assemble accumulated join candidates into one combined batch.
+
+    ``outer_positions[k]`` pairs with every index in
+    ``inner_position_arrays[k]``; output order is outer-major, exactly
+    the row-mode enumeration order.  Returns ``None`` when the residual
+    filter leaves nothing.
+    """
+    counts = np.asarray(
+        [len(array) for array in inner_position_arrays], dtype=np.int64
+    )
+    outer_idx = np.repeat(np.asarray(outer_positions, dtype=np.int64), counts)
+    inner_idx = np.concatenate(inner_position_arrays)
+    combined = ColumnBatch(
+        list(outer_batch.take(outer_idx).columns)
+        + [column.take(inner_idx) for column in inner_columns],
+        len(outer_idx),
+    )
+    if residual_kernel is not None:
+        combined = combined.compress(residual_kernel(combined, params))
+    return combined if combined.length else None
+
+
 def _scan_batches(
     rows: Sequence[Row], predicate: Optional[Compiled], ctx: ExecutionContext
 ) -> Iterator[List[Row]]:
@@ -248,6 +366,9 @@ class TableScan(PhysicalOperator):
     def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
         yield from _scan_batches(self.table.rows, self.predicate, ctx)
 
+    def execute_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        yield from _columnar_scan(self.table.column_store(), self.predicate, ctx)
+
     def describe(self) -> List[str]:
         suffix = " (filtered)" if self.predicate else ""
         return [f"TableScan {self.table.name} AS {self.alias}{suffix}{self.annotation()}"]
@@ -285,6 +406,12 @@ class RowsSource(PhysicalOperator):
     def execute_batches(self, ctx: ExecutionContext) -> Iterator[List[Row]]:
         yield from _scan_batches(self.rows, self.predicate, ctx)
 
+    def execute_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        store = ColumnStore.from_rows(
+            self.rows, [column for _, column in self.layout.slots]
+        )
+        yield from _columnar_scan(store, self.predicate, ctx)
+
     def describe(self) -> List[str]:
         return [
             f"RowsSource {self.label} AS {self.alias} "
@@ -315,6 +442,15 @@ class Filter(PhysicalOperator):
         for batch in self.child.execute_batches(ctx):
             kept = kernel(batch, params)
             if kept:
+                yield kept
+
+    def execute_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        kernel = columnar_filter(self.predicate, ctx)
+        assert kernel is not None
+        params = ctx.params
+        for batch in self.child.execute_columnar(ctx):
+            kept = batch.compress(kernel(batch, params))
+            if kept.length:
                 yield kept
 
     def describe(self) -> List[str]:
@@ -374,6 +510,42 @@ class NestedLoopJoin(PhysicalOperator):
                     buf = []
         if buf:
             yield buf
+
+    def execute_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        np = numpy_or_none()
+        if np is None:
+            yield from _bridge_columnar(self, ctx)
+            return
+        inner_width = len(self.inner.layout)
+        inner_batches = list(self.inner.execute_columnar(ctx))
+        inner = ColumnBatch.concat(inner_batches, inner_width)
+        n_inner = inner.length
+        kernel = columnar_filter(self.predicate, ctx)
+        params = ctx.params
+        stats = ctx.stats
+        governor = ctx.governor
+        for outer_batch in self.outer.execute_columnar(ctx):
+            if governor is not None:
+                governor.check("join-pair")
+            stats.join_pairs += outer_batch.length * n_inner
+            if n_inner == 0:
+                continue
+            # Emit the cartesian block in outer-row stripes so peak
+            # memory stays bounded by the flush cap.
+            stride = max(1, COLUMNAR_FLUSH_ROWS // n_inner)
+            for start in range(0, outer_batch.length, stride):
+                stop = min(start + stride, outer_batch.length)
+                outer_idx = np.repeat(np.arange(start, stop), n_inner)
+                inner_idx = np.tile(np.arange(n_inner), stop - start)
+                combined = ColumnBatch(
+                    list(outer_batch.take(outer_idx).columns)
+                    + list(inner.take(inner_idx).columns),
+                    len(outer_idx),
+                )
+                if kernel is not None:
+                    combined = combined.compress(kernel(combined, params))
+                if combined.length:
+                    yield combined
 
     def describe(self) -> List[str]:
         return (
@@ -520,6 +692,60 @@ class HashJoin(PhysicalOperator):
         if buf:
             yield buf
 
+    def execute_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        np = numpy_or_none()
+        if np is None:
+            yield from _bridge_columnar(self, ctx)
+            return
+        params = ctx.params
+        stats = ctx.stats
+        governor = ctx.governor
+        build_is_inner = self.build == "inner"
+        build_plan = self.inner if build_is_inner else self.outer
+        probe_plan = self.outer if build_is_inner else self.inner
+        build_key_fn = self.inner_key if build_is_inner else self.outer_key
+        probe_key_fn = self.outer_key if build_is_inner else self.inner_key
+        build_keys = columnar_key_values(build_key_fn, ctx)
+        probe_keys = columnar_key_values(probe_key_fn, ctx)
+        residual_kernel = columnar_filter(self.residual, ctx)
+        build_width = len(build_plan.layout)
+        build = ColumnBatch.concat(
+            list(build_plan.execute_columnar(ctx)), build_width
+        )
+        null_key = self._null_key
+        buckets: Dict[Any, List[int]] = {}
+        for position, key in enumerate(build_keys(build, params)):
+            if null_key(key):
+                continue  # NULL keys never match in SQL
+            buckets.setdefault(key, []).append(position)
+        for probe_batch in probe_plan.execute_columnar(ctx):
+            if governor is not None:
+                governor.check("join-pair")
+            probe_idx: List[int] = []
+            build_idx: List[int] = []
+            for position, key in enumerate(probe_keys(probe_batch, params)):
+                if null_key(key):
+                    continue
+                bucket = buckets.get(key)
+                if not bucket:
+                    continue
+                stats.join_pairs += len(bucket)
+                probe_idx.extend([position] * len(bucket))
+                build_idx.extend(bucket)
+            if not probe_idx:
+                continue
+            probe_part = probe_batch.take(np.asarray(probe_idx, dtype=np.int64))
+            build_part = build.take(np.asarray(build_idx, dtype=np.int64))
+            if build_is_inner:
+                columns = list(probe_part.columns) + list(build_part.columns)
+            else:
+                columns = list(build_part.columns) + list(probe_part.columns)
+            combined = ColumnBatch(columns, len(probe_idx))
+            if residual_kernel is not None:
+                combined = combined.compress(residual_kernel(combined, params))
+            if combined.length:
+                yield combined
+
     def describe(self) -> List[str]:
         suffix = " (build=outer)" if self.build == "outer" else ""
         suffix += " (+residual)" if self.residual else ""
@@ -615,6 +841,71 @@ class IndexNestedLoopJoin(PhysicalOperator):
                     buf = []
         if buf:
             yield buf
+
+    def execute_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        np = numpy_or_none()
+        if np is None:
+            yield from _bridge_columnar(self, ctx)
+            return
+        params = ctx.params
+        stats = ctx.stats
+        governor = ctx.governor
+        store = self.table.column_store()
+        inner_width = len(self.table.schema.column_names)
+        rows = self.table.rows
+        lookup = self.index.lookup
+        probe_keys = columnar_key_values(self.probe_key, ctx)
+        residual_kernel = columnar_filter(self.residual, ctx)
+        inner_filter = self.inner_filter
+        # Precompute the pushed inner filter over the whole table with
+        # the bare fused kernel.  No fallback here: the row closure must
+        # only ever run on rows the index actually returns, or errors
+        # could appear that row mode cannot raise.
+        mask = None
+        if inner_filter is not None:
+            raw = columnar_raw_filter(inner_filter, ctx)
+            if raw is not None:
+                try:
+                    mask = np.asarray(raw(store.batch(), params), dtype=bool)
+                except Exception:
+                    mask = None
+        for outer_batch in self.outer.execute_columnar(ctx):
+            if governor is not None:
+                governor.check("join-pair")
+            outer_idx: List[int] = []
+            inner_ids: List[int] = []
+            for position, key in enumerate(probe_keys(outer_batch, params)):
+                if not isinstance(key, tuple):
+                    key = (key,)
+                stats.index_probes += 1
+                row_ids = lookup(key)
+                if mask is not None:
+                    matched = [row_id for row_id in row_ids if mask[row_id]]
+                elif inner_filter is not None:
+                    matched = [
+                        row_id
+                        for row_id in row_ids
+                        if inner_filter(rows[row_id], params) is True
+                    ]
+                else:
+                    matched = list(row_ids)
+                if not matched:
+                    continue
+                stats.join_pairs += len(matched)
+                outer_idx.extend([position] * len(matched))
+                inner_ids.extend(matched)
+            if not outer_idx:
+                continue
+            ids = np.asarray(inner_ids, dtype=np.int64)
+            combined = ColumnBatch(
+                list(outer_batch.take(np.asarray(outer_idx, dtype=np.int64)).columns)
+                + [store.column(p).take(ids) for p in range(inner_width)],
+                len(outer_idx),
+            )
+            if residual_kernel is not None:
+                combined = combined.compress(residual_kernel(combined, params))
+            if combined.length:
+                yield combined
 
     def describe(self) -> List[str]:
         return [
@@ -732,6 +1023,127 @@ class SortedIndexRangeJoin(PhysicalOperator):
                     buf = []
         if buf:
             yield buf
+
+    def execute_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        np = numpy_or_none()
+        if np is None:
+            yield from _bridge_columnar(self, ctx)
+            return
+        params = ctx.params
+        stats = ctx.stats
+        governor = ctx.governor
+        store = self.table.column_store()
+        inner_width = len(self.table.schema.column_names)
+        table_rows = self.table.rows
+        row_ids = self.index.row_id_array()
+        # Inner columns permuted into index order once, so every probe
+        # is a contiguous [start, stop) slice of positions.
+        sorted_columns = [
+            store.column(position).take(row_ids) for position in range(inner_width)
+        ]
+        range_bounds = self.index.range_bounds
+        low_values = columnar_values(self.low, ctx) if self.low is not None else None
+        high_values = columnar_values(self.high, ctx) if self.high is not None else None
+        residual_kernel = columnar_filter(self.residual, ctx)
+        inner_filter = self.inner_filter
+        low_strict = self.low_strict
+        high_strict = self.high_strict
+        # Pushed inner filter, evaluated once over the index-ordered
+        # store with the bare fused kernel (same caveat as the hash
+        # variant: no decode fallback on never-probed rows).
+        valid_positions = None
+        if inner_filter is not None:
+            raw = columnar_raw_filter(inner_filter, ctx)
+            if raw is not None:
+                try:
+                    filter_mask = np.asarray(
+                        raw(ColumnBatch(sorted_columns, len(row_ids)), params),
+                        dtype=bool,
+                    )
+                except Exception:
+                    pass
+                else:
+                    valid_positions = np.nonzero(filter_mask)[0]
+        for outer_batch in self.outer.execute_columnar(ctx):
+            if governor is not None:
+                governor.check("join-pair")
+            n = outer_batch.length
+            lows = (
+                low_values(outer_batch, params).tolist()
+                if low_values is not None
+                else [None] * n
+            )
+            highs = (
+                high_values(outer_batch, params).tolist()
+                if high_values is not None
+                else [None] * n
+            )
+            pend_outer: List[int] = []
+            pend_positions: List[Any] = []
+            pending = 0
+            for position in range(n):
+                low = lows[position]
+                high = highs[position]
+                if (low_values is not None and low is None) or (
+                    high_values is not None and high is None
+                ):
+                    continue  # NULL bound: comparison can never be true
+                stats.index_probes += 1
+                start, stop = range_bounds(
+                    low=low, high=high, low_strict=low_strict, high_strict=high_strict
+                )
+                if stop <= start:
+                    continue
+                if valid_positions is not None:
+                    lo = np.searchsorted(valid_positions, start, side="left")
+                    hi = np.searchsorted(valid_positions, stop, side="left")
+                    matched = valid_positions[lo:hi]
+                elif inner_filter is not None:
+                    matched = np.asarray(
+                        [
+                            index_position
+                            for index_position in range(start, stop)
+                            if inner_filter(
+                                table_rows[row_ids[index_position]], params
+                            )
+                            is True
+                        ],
+                        dtype=np.int64,
+                    )
+                else:
+                    matched = np.arange(start, stop, dtype=np.int64)
+                count = len(matched)
+                if not count:
+                    continue
+                stats.join_pairs += count
+                pend_outer.append(position)
+                pend_positions.append(matched)
+                pending += count
+                if pending >= COLUMNAR_FLUSH_ROWS:
+                    combined = _emit_pairs(
+                        np,
+                        outer_batch,
+                        sorted_columns,
+                        pend_outer,
+                        pend_positions,
+                        residual_kernel,
+                        params,
+                    )
+                    pend_outer, pend_positions, pending = [], [], 0
+                    if combined is not None:
+                        yield combined
+            if pend_outer:
+                combined = _emit_pairs(
+                    np,
+                    outer_batch,
+                    sorted_columns,
+                    pend_outer,
+                    pend_positions,
+                    residual_kernel,
+                    params,
+                )
+                if combined is not None:
+                    yield combined
 
     def describe(self) -> List[str]:
         return [
@@ -981,6 +1393,152 @@ class HashAggregate(PhysicalOperator):
         ]
         yield from chunked(output, ctx.batch_size or DEFAULT_BATCH_SIZE)
 
+    def execute_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        np = numpy_or_none()
+        if np is None:
+            yield from _bridge_columnar(self, ctx)
+            return
+        params = ctx.params
+        stats = ctx.stats
+        governor = ctx.governor
+        specs = self.aggregate_specs
+        key_evals = [columnar_values(fn, ctx) for fn in self.key_fns]
+        arg_evals = [
+            columnar_values(spec.argument, ctx) if spec.argument is not None else None
+            for spec in specs
+        ]
+        folds = [vector_fold(spec) for spec in specs]
+        vectorizable = all(fold is not None for fold in folds)
+        key_batches = [batch_values(fn) for fn in self.key_fns]
+        arg_batches = [
+            batch_values(spec.argument) if spec.argument is not None else None
+            for spec in specs
+        ]
+        groups: Dict[Tuple[Any, ...], List[Any]] = {}
+        for batch in self.child.execute_columnar(ctx):
+            n = batch.length
+            stats.aggregation_inputs += n
+            if governor is not None:
+                governor.check()
+            if not n:
+                continue
+            if vectorizable and self._fold_columnar(
+                np, batch, key_evals, arg_evals, folds, groups, params
+            ):
+                continue
+            # Whole-batch row fallback: keys with NULLs/objects, or an
+            # argument column without an exact vector form (floats).
+            rows = batch.cached_rows()
+            if key_batches:
+                keys = list(zip(*(kb(rows, params) for kb in key_batches)))
+            else:
+                keys = [()] * n
+            arg_lists = [
+                ab(rows, params) if ab is not None else None for ab in arg_batches
+            ]
+            for i, key in enumerate(keys):
+                accumulators = groups.get(key)
+                if accumulators is None:
+                    accumulators = [spec.new() for spec in specs]
+                    groups[key] = accumulators
+                for accumulator, args in zip(accumulators, arg_lists):
+                    if args is None:
+                        accumulator.add(1)
+                    else:
+                        accumulator.add(args[i])
+        size = ctx.batch_size or DEFAULT_COLUMNAR_BATCH_SIZE
+        width = len(self.layout)
+        if not groups and not self.key_fns:
+            yield ColumnBatch.from_rows(
+                [tuple(spec.new().result() for spec in specs)], width
+            )
+            return
+        output = [
+            key + tuple(acc.result() for acc in accumulators)
+            for key, accumulators in groups.items()
+        ]
+        for chunk in chunked(output, size):
+            yield ColumnBatch.from_rows(chunk, width)
+
+    def _fold_columnar(
+        self,
+        np: Any,
+        batch: ColumnBatch,
+        key_evals: List[Any],
+        arg_evals: List[Any],
+        folds: List[Any],
+        groups: Dict[Tuple[Any, ...], List[Any]],
+        params: Dict[str, Any],
+    ) -> bool:
+        """Try the vectorized path for one batch; False means fall back.
+
+        Group slots are assigned in first-occurrence order, so new keys
+        enter ``groups`` exactly when row mode would insert them — the
+        output order (dict insertion order) is preserved bit for bit.
+        All partials are computed before ``groups`` is touched, keeping
+        the fallback decision atomic per batch.
+        """
+        n = batch.length
+        if key_evals:
+            key_columns = [evaluate(batch, params) for evaluate in key_evals]
+            combined = np.zeros(n, dtype=np.int64)
+            capacity = 1
+            for column in key_columns:
+                column.materialize()
+                kind = column.kind
+                if column.validity is not None or kind in ("obj", "py"):
+                    return False  # NULL grouping keys: row path handles 3VL
+                if kind == "dict":
+                    codes = column.data.astype(np.int64)
+                    cardinality = len(column.dictionary or ("",))
+                elif kind == "bool":
+                    codes = column.data.astype(np.int64)
+                    cardinality = 2
+                else:  # i8 / f8
+                    if kind == "f8" and np.isnan(column.data).any():
+                        return False  # NaN: dict-key identity semantics
+                    uniques, codes = np.unique(column.data, return_inverse=True)
+                    codes = codes.astype(np.int64)
+                    cardinality = len(uniques)
+                capacity *= max(cardinality, 1)
+                if capacity > 2**62:
+                    return False  # mixed-radix code would overflow int64
+                combined = combined * cardinality + codes
+            _, first_idx, inverse = np.unique(
+                combined, return_index=True, return_inverse=True
+            )
+            order = np.argsort(first_idx, kind="stable")
+            rank = np.empty(len(order), dtype=np.int64)
+            rank[order] = np.arange(len(order))
+            slots = rank[inverse]
+            first_rows = first_idx[order]
+            n_groups = len(order)
+        else:
+            key_columns = []
+            slots = np.zeros(n, dtype=np.int64)
+            first_rows = [0]
+            n_groups = 1
+        partial_lists = []
+        for (partials_fn, _), arg_eval in zip(folds, arg_evals):
+            column = arg_eval(batch, params) if arg_eval is not None else None
+            partials = partials_fn(column, slots, n_groups)
+            if partials is None:
+                return False
+            partial_lists.append(partials)
+        specs = self.aggregate_specs
+        for group in range(n_groups):
+            row_index = int(first_rows[group])
+            key = tuple(column.value_at(row_index) for column in key_columns)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [spec.new() for spec in specs]
+                groups[key] = accumulators
+            for (_, fold), accumulator, partials in zip(
+                folds, accumulators, partial_lists
+            ):
+                fold(accumulator, partials[group])
+        return True
+
     def describe(self) -> List[str]:
         return [
             f"HashAggregate keys={len(self.key_fns)} "
@@ -1015,6 +1573,17 @@ class Project(PhysicalOperator):
                 continue
             yield list(zip(*(kernel(batch, params) for kernel in kernels)))
 
+    def execute_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        params = ctx.params
+        kernels = [columnar_values(fn, ctx) for fn in self.output_fns]
+        for batch in self.child.execute_columnar(ctx):
+            if not kernels:
+                yield ColumnBatch([], batch.length)
+                continue
+            yield ColumnBatch(
+                [kernel(batch, params) for kernel in kernels], batch.length
+            )
+
     def describe(self) -> List[str]:
         return [f"Project {self.layout!r}{self.annotation()}"] + _indent(
             self.child.describe()
@@ -1046,6 +1615,20 @@ class Distinct(PhysicalOperator):
                     fresh.append(row)
             if fresh:
                 yield fresh
+
+    def execute_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        # Dedup needs hashable whole rows: decode, filter, re-encode.
+        seen: set = set()
+        add = seen.add
+        width = len(self.layout)
+        for batch in self.child.execute_columnar(ctx):
+            fresh = []
+            for row in batch.to_rows():
+                if row not in seen:
+                    add(row)
+                    fresh.append(row)
+            if fresh:
+                yield ColumnBatch.from_rows(fresh, width)
 
     def describe(self) -> List[str]:
         return [f"Distinct{self.annotation()}"] + _indent(self.child.describe())
@@ -1086,6 +1669,17 @@ class Sort(PhysicalOperator):
         rows = materialize(self.child, ctx)
         self._sort_in_place(rows, ctx.params)
         yield from chunked(rows, ctx.batch_size or DEFAULT_BATCH_SIZE)
+
+    def execute_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        # Sorting compares exact Python values: decode, sort, re-encode.
+        rows: List[Row] = []
+        for batch in self.child.execute_columnar(ctx):
+            rows.extend(batch.to_rows())
+        self._sort_in_place(rows, ctx.params)
+        width = len(self.layout)
+        size = ctx.batch_size or DEFAULT_COLUMNAR_BATCH_SIZE
+        for chunk in chunked(rows, size):
+            yield ColumnBatch.from_rows(chunk, width)
 
     def describe(self) -> List[str]:
         return [f"Sort keys={len(self.key_fns)}{self.annotation()}"] + _indent(
@@ -1139,6 +1733,12 @@ class CountOutput(PhysicalOperator):
         stats = ctx.stats
         for batch in self.child.execute_batches(ctx):
             stats.rows_output += len(batch)
+            yield batch
+
+    def execute_columnar(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        stats = ctx.stats
+        for batch in self.child.execute_columnar(ctx):
+            stats.rows_output += batch.length
             yield batch
 
     def describe(self) -> List[str]:

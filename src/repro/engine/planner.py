@@ -76,11 +76,17 @@ class EngineConfig:
     attributes to Vendor A (4 cores) and PostgreSQL (2 workers).  Work
     counters are never scaled.
 
-    ``execution_mode`` selects row-at-a-time (``"row"``, the default) or
-    vectorized batch-at-a-time (``"batch"``) execution.  Both modes
-    produce identical rows and identical work counters; batch mode only
-    amortizes interpreter dispatch.  ``batch_size`` overrides the batch
-    chunk size (``None`` uses ``operators.DEFAULT_BATCH_SIZE``).
+    ``execution_mode`` selects row-at-a-time (``"row"``, the default),
+    vectorized batch-at-a-time (``"batch"``), or typed-column
+    (``"columnar"``) execution.  All modes produce identical rows;
+    row and batch charge identical work counters, and columnar agrees
+    modulo the zone-map split (``rows_scanned + rows_skipped`` is
+    invariant; see :meth:`ExecutionStats.parity_dict`).  Columnar mode
+    carries :class:`~repro.engine.layout.ColumnBatch` data through the
+    operators, runs fused NumPy kernels for predicates/projections, and
+    skips chunks that zone maps prove unmatchable.  ``batch_size``
+    overrides the chunk size (``None`` uses
+    ``operators.DEFAULT_BATCH_SIZE`` / ``DEFAULT_COLUMNAR_BATCH_SIZE``).
 
     The governor knobs bound one execution (see
     :mod:`repro.engine.governor`): ``max_rows_scanned`` and
@@ -104,7 +110,7 @@ class EngineConfig:
     use_secondary_indexes: bool = True
     parallelism: float = 1.0
     label: str = "postgres"
-    execution_mode: str = "row"  # 'row' | 'batch'
+    execution_mode: str = "row"  # 'row' | 'batch' | 'columnar'
     batch_size: Optional[int] = None
     max_rows_scanned: Optional[int] = None
     max_join_pairs: Optional[int] = None
@@ -198,11 +204,24 @@ class _SharedMaterialize:
         self.plan = plan
         self.label = label
         self._last: Optional[Tuple[ops.ExecutionContext, List[Tuple[Any, ...]]]] = None
+        self._last_store: Optional[Tuple[ops.ExecutionContext, Any]] = None
 
     def rows(self, ctx: ops.ExecutionContext) -> List[Tuple[Any, ...]]:
         if self._last is None or self._last[0] is not ctx:
             self._last = (ctx, ops.materialize(self.plan, ctx))
         return self._last[1]
+
+    def column_store(self, ctx: ops.ExecutionContext):
+        """Columnar image of the materialized rows, shared per context."""
+        if self._last_store is None or self._last_store[0] is not ctx:
+            from repro.engine.layout import ColumnStore
+
+            store = ColumnStore.from_rows(
+                self.rows(ctx),
+                [column for _, column in self.plan.layout.slots],
+            )
+            self._last_store = (ctx, store)
+        return self._last_store[1]
 
 
 class _MaterializedScan(ops.PhysicalOperator):
@@ -234,6 +253,9 @@ class _MaterializedScan(ops.PhysicalOperator):
 
     def execute_batches(self, ctx: ops.ExecutionContext):
         yield from ops._scan_batches(self.cell.rows(ctx), self.predicate, ctx)
+
+    def execute_columnar(self, ctx: ops.ExecutionContext):
+        yield from ops._columnar_scan(self.cell.column_store(ctx), self.predicate, ctx)
 
     def describe(self) -> List[str]:
         lines = [f"MaterializedScan {self.cell.label} AS {self.alias}{self.annotation()}"]

@@ -18,8 +18,25 @@ the quantities the paper's optimizations actually reduce:
   existing (G_L, G_R) group by NLJP's combining mode,
 * ``rows_output`` — result cardinality.
 
+Columnar execution adds three counters that make its wins observable:
+
+* ``rows_skipped`` — rows never materialized because their whole chunk
+  was proven irrelevant by a zone map,
+* ``chunks_skipped`` — zone-map chunk eliminations,
+* ``fused_compilations`` — fused columnar kernels code-generated for
+  this query's plan (cache misses in the fused-expression cache).
+
+These three are *mode-variant*: row and batch mode never touch them,
+and a zone-map skip legitimately lowers ``rows_scanned``.  Mode-parity
+checks therefore compare :meth:`parity_dict`, which folds skipped rows
+back into ``rows_scanned`` and drops the mode-variant keys — the
+invariant is ``columnar rows_scanned + rows_skipped == row-mode
+rows_scanned`` with every other counter identical.
+
 ``cost()`` combines these into a single machine-independent work
-metric used for the shape assertions in benchmarks.
+metric used for the shape assertions in benchmarks.  Skipped rows and
+fused compilations are deliberately *excluded* from ``cost()``: work
+avoided is cost avoided.
 """
 
 from __future__ import annotations
@@ -54,6 +71,9 @@ class ExecutionStats:
     cache_bytes: int = 0
     cache_evictions: int = 0
     subsumption_merges: int = 0
+    rows_skipped: int = 0
+    chunks_skipped: int = 0
+    fused_compilations: int = 0
     degradations: List[str] = field(default_factory=list)
 
     def merge(self, other: "ExecutionStats") -> None:
@@ -76,6 +96,21 @@ class ExecutionStats:
             + 2 * self.prune_checks
             + self.cache_hits
         )
+
+    def parity_dict(self) -> Dict[str, Any]:
+        """Counters normalized for cross-mode parity comparisons.
+
+        Folds ``rows_skipped`` back into ``rows_scanned`` (a zone-map
+        skip is work *avoided*, not work *lost*) and drops the
+        mode-variant counters, so a columnar run can be compared
+        exactly against its row-mode twin.  For row/batch runs this is
+        simply :meth:`as_dict` minus three always-zero keys.
+        """
+        counters = self.as_dict()
+        counters["rows_scanned"] += counters.pop("rows_skipped")
+        counters.pop("chunks_skipped")
+        counters.pop("fused_compilations")
+        return counters
 
     def as_dict(self, include_events: bool = False) -> Dict[str, Any]:
         """The counter mapping; pure ints by default.

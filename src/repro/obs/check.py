@@ -52,12 +52,35 @@ class CheckFailure(Exception):
 
 
 def _find_baseline_record(doc: Dict[str, Any]) -> Dict[str, Any]:
-    """The Q1/base/row record; accepts the legacy "postgres" label."""
+    """The Q1/base/row record; stale system labels fail loudly.
+
+    Record ``system`` fields must use the suite system names the
+    document itself declares (``suite.systems``).  Historically the
+    "base" runner leaked its config label ("postgres") into committed
+    baselines, which made every downstream ``system == "base"`` filter
+    silently miss — so a mismatched label is a hard failure here, not
+    something to paper over with an alias.
+    """
+    declared = doc.get("suite", {}).get("systems")
+    if declared:
+        stale = sorted(
+            {
+                str(record.get("system"))
+                for record in doc.get("records", [])
+                if record.get("system") not in declared
+            }
+        )
+        if stale:
+            raise CheckFailure(
+                f"baseline records use labels {stale} not declared in "
+                f"suite.systems {declared} — regenerate the baseline "
+                f"with python -m repro.bench.record"
+            )
     for record in doc.get("records", []):
         if (
             record.get("query") == "Q1"
             and record.get("mode") == "row"
-            and record.get("system") in ("base", "postgres")
+            and record.get("system") == "base"
         ):
             return record
     raise CheckFailure("baseline has no Q1 base-system row-mode record")
@@ -105,37 +128,60 @@ def check_baseline_equality(baseline_path: str) -> Dict[str, Any]:
 
 
 def check_trace_parity(db, sql: str) -> Dict[str, Any]:
-    """off vs timing bit-identical; span sums equal query totals."""
+    """off vs timing bit-identical; span sums equal query totals.
+
+    Runs the check in row mode *and* columnar mode: tracing shadows
+    ``execute_columnar`` too, and the columnar span tree must sum to
+    the columnar query totals exactly (including the zone-map
+    counters), while the columnar rows and folded counters stay
+    identical to the untraced row-mode run.
+    """
     from repro.engine.executor import execute
     from repro.engine.planner import EngineConfig
 
     off = execute(db, sql, EngineConfig.postgres())
-    timed = execute(
-        db, sql, EngineConfig(
-            join_policy="index-first", join_order="syntactic",
-            parallelism=2.0, label="postgres", trace="timing",
+    spans = None
+    profile = None
+    for mode in ("row", "columnar"):
+        timed = execute(
+            db, sql, EngineConfig(
+                join_policy="index-first", join_order="syntactic",
+                parallelism=2.0, label="postgres", trace="timing",
+                execution_mode=mode,
+            )
         )
-    )
-    if off.sorted_rows() != timed.sorted_rows():
-        raise CheckFailure("trace=timing changed the result rows on Q1")
-    if off.stats.as_dict() != timed.stats.as_dict():
-        raise CheckFailure(
-            f"trace=timing changed the work counters on Q1: "
-            f"off={off.stats.as_dict()} timing={timed.stats.as_dict()}"
-        )
-    profile = timed.profile
-    if profile is None:
-        raise CheckFailure("trace=timing produced no profile")
-    totals = profile.total_stats()
-    query_totals = timed.stats.as_dict()
-    if totals != query_totals:
-        diff = {
-            name: (totals.get(name), query_totals.get(name))
-            for name in set(totals) | set(query_totals)
-            if totals.get(name) != query_totals.get(name)
-        }
-        raise CheckFailure(f"span-delta sum != query totals: {diff}")
-    return {"profile": profile, "spans": sum(1 for _ in profile.spans())}
+        if off.sorted_rows() != timed.sorted_rows():
+            raise CheckFailure(
+                f"trace=timing ({mode}) changed the result rows on Q1"
+            )
+        if off.stats.parity_dict() != timed.stats.parity_dict():
+            raise CheckFailure(
+                f"trace=timing ({mode}) changed the work counters on Q1: "
+                f"off={off.stats.parity_dict()} "
+                f"timing={timed.stats.parity_dict()}"
+            )
+        if mode == "row" and off.stats.as_dict() != timed.stats.as_dict():
+            raise CheckFailure(
+                f"trace=timing changed the work counters on Q1: "
+                f"off={off.stats.as_dict()} timing={timed.stats.as_dict()}"
+            )
+        if timed.profile is None:
+            raise CheckFailure(f"trace=timing ({mode}) produced no profile")
+        totals = timed.profile.total_stats()
+        query_totals = timed.stats.as_dict()
+        if totals != query_totals:
+            diff = {
+                name: (totals.get(name), query_totals.get(name))
+                for name in set(totals) | set(query_totals)
+                if totals.get(name) != query_totals.get(name)
+            }
+            raise CheckFailure(
+                f"span-delta sum != query totals ({mode}): {diff}"
+            )
+        if mode == "row":
+            profile = timed.profile
+            spans = sum(1 for _ in timed.profile.spans())
+    return {"profile": profile, "spans": spans}
 
 
 def measure_overhead(db, sql: str, repeats: int = 5) -> Dict[str, float]:

@@ -236,6 +236,9 @@ _STAT_COUNTERS = (
     "prune_checks",
     "cache_evictions",
     "subsumption_merges",
+    "rows_skipped",
+    "chunks_skipped",
+    "fused_compilations",
 )
 
 

@@ -144,6 +144,7 @@ class Tracer:
     def _wrap(self, node: PhysicalOperator, span: Span) -> None:
         original_execute = node.execute
         original_batches = node.execute_batches
+        original_columnar = node.execute_columnar
         tracer = self
 
         def traced_execute(ctx, _orig=original_execute, _span=span):
@@ -152,8 +153,13 @@ class Tracer:
         def traced_batches(ctx, _orig=original_batches, _span=span):
             return tracer._traced_iter(_orig, ctx, _span, batched=True)
 
+        def traced_columnar(ctx, _orig=original_columnar, _span=span):
+            # ColumnBatch defines __len__, so the batched row count works.
+            return tracer._traced_iter(_orig, ctx, _span, batched=True)
+
         node.__dict__["execute"] = traced_execute
         node.__dict__["execute_batches"] = traced_batches
+        node.__dict__["execute_columnar"] = traced_columnar
 
     def _traced_iter(self, orig, ctx, span: Span, batched: bool):
         stats: ExecutionStats = ctx.stats
@@ -233,6 +239,7 @@ class Tracer:
         for node in self._nodes:
             node.__dict__.pop("execute", None)
             node.__dict__.pop("execute_batches", None)
+            node.__dict__.pop("execute_columnar", None)
             span = self._span_of[id(node)]
             node.actual_rows = span.rows
             q_error = node.q_error()

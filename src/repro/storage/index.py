@@ -79,6 +79,7 @@ class SortedIndex:
         self._keys: List[Key] = []
         self._row_ids: List[int] = []
         self._pending: List[Tuple[Key, int]] = []
+        self._row_id_array: Any = None
 
     def __len__(self) -> int:
         self._flush()
@@ -107,6 +108,54 @@ class SortedIndex:
         self._keys = [key for key, _ in merged]
         self._row_ids = [row_id for _, row_id in merged]
         self._pending.clear()
+        self._row_id_array = None
+
+    def range_bounds(
+        self,
+        low: Optional[Any] = None,
+        high: Optional[Any] = None,
+        low_strict: bool = False,
+        high_strict: bool = False,
+    ) -> Tuple[int, int]:
+        """The ``[start, stop)`` index-order positions matching the bounds.
+
+        The positions returned enumerate exactly the row ids
+        :meth:`range_scan` would yield, in the same order — columnar
+        range joins slice the index-ordered store with them instead of
+        iterating row by row.
+        """
+        self._flush()
+        if low is None:
+            start = 0
+        elif low_strict:
+            start = bisect.bisect_right(self._keys, (low,), key=lambda k: k[:1])
+        else:
+            start = bisect.bisect_left(self._keys, (low,), key=lambda k: k[:1])
+        if high is None:
+            stop = len(self._keys)
+        elif high_strict:
+            stop = bisect.bisect_left(self._keys, (high,), key=lambda k: k[:1])
+        else:
+            stop = bisect.bisect_right(self._keys, (high,), key=lambda k: k[:1])
+        return start, max(start, stop)
+
+    def row_id_at(self, position: int) -> int:
+        """The row id at one index-order position (after a flush)."""
+        self._flush()
+        return self._row_ids[position]
+
+    def row_id_array(self) -> Any:
+        """Row ids in index order, as an ``int64`` ndarray when NumPy is
+        available (else a plain list).  Cached until the next flush."""
+        self._flush()
+        if self._row_id_array is None:
+            try:
+                import numpy
+            except ImportError:
+                self._row_id_array = list(self._row_ids)
+            else:
+                self._row_id_array = numpy.asarray(self._row_ids, dtype=numpy.int64)
+        return self._row_id_array
 
     def range_scan(
         self,
@@ -149,6 +198,7 @@ class SortedIndex:
         self._keys.clear()
         self._row_ids.clear()
         self._pending.clear()
+        self._row_id_array = None
 
 
 def build_index(

@@ -27,6 +27,7 @@ class Table:
         self._rows: List[Row] = []
         self._indexes: Dict[str, HashIndex | SortedIndex] = {}
         self._statistics: Optional[TableStats] = None
+        self._column_store: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Row access
@@ -64,6 +65,7 @@ class Table:
             index.insert(row_id, validated)
         if self._statistics is not None:
             self._statistics.note_insert(validated, self.schema.column_names)
+        self._column_store = None
         return row_id
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -86,6 +88,25 @@ class Table:
         for index in self._indexes.values():
             index.clear()
         self._statistics = None
+        self._column_store = None
+
+    # ------------------------------------------------------------------
+    # Columnar image
+    # ------------------------------------------------------------------
+    def column_store(self):
+        """The table's columnar image (typed columns + zone maps).
+
+        Built lazily by the columnar execution mode, cached until the
+        next mutation.  Returns a
+        :class:`repro.engine.layout.ColumnStore`.
+        """
+        if self._column_store is None:
+            from repro.engine.layout import ColumnStore
+
+            self._column_store = ColumnStore.from_rows(
+                self._rows, self.schema.column_names
+            )
+        return self._column_store
 
     # ------------------------------------------------------------------
     # Statistics

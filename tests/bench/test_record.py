@@ -26,7 +26,7 @@ def test_record_tiny_scale_parity(tmp_path):
     expected = 8 * len(record.SUITE_SYSTEMS) * len(record.MODES)
     assert len(document["records"]) == expected
     modes = {r["mode"] for r in document["records"]}
-    assert modes == {"row", "batch"}
+    assert modes == {"row", "batch", "columnar"}
     # Record labels use the suite system names (not runner config
     # labels like "postgres").
     systems = {r["system"] for r in document["records"]}
@@ -51,9 +51,36 @@ def test_check_mode_parity_reports_drift():
         "rows": 1,
         "counters": {"rows_scanned": 10},
     }
+    columnar = dict(
+        base,
+        mode="columnar",
+        cost=6,
+        counters={"rows_scanned": 6, "rows_skipped": 4, "chunks_skipped": 1},
+    )
     drifted = dict(base, mode="batch", cost=11, counters={"rows_scanned": 11})
-    problems = record.check_mode_parity([base, drifted])
+    problems = record.check_mode_parity([base, drifted, columnar])
     assert any("cost drift" in p for p in problems)
     assert any("counter drift" in p for p in problems)
     clean = dict(base, mode="batch")
-    assert record.check_mode_parity([base, clean]) == []
+    assert record.check_mode_parity([base, clean, columnar]) == []
+
+
+def test_check_mode_parity_catches_unsound_skip():
+    """A zone-map skip that loses rows (scan+skip != row scan) drifts."""
+    base = {
+        "query": "Q1",
+        "system": "base",
+        "mode": "row",
+        "cost": 10,
+        "rows": 1,
+        "counters": {"rows_scanned": 10},
+    }
+    batch = dict(base, mode="batch")
+    unsound = dict(
+        base,
+        mode="columnar",
+        cost=5,
+        counters={"rows_scanned": 5, "rows_skipped": 3, "chunks_skipped": 1},
+    )
+    problems = record.check_mode_parity([base, batch, unsound])
+    assert any("columnar" in p for p in problems)
