@@ -47,9 +47,10 @@ from repro.core import (
     SmartIceberg,
     SmartIcebergOptimizer,
 )
+from repro.serve import IcebergServer, Session
 from repro.storage import Column, Database, SqlType, Table, TableSchema
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CancelToken",
@@ -58,9 +59,11 @@ __all__ = [
     "Database",
     "EngineConfig",
     "ExecutionStats",
+    "IcebergServer",
     "Monotonicity",
     "OptimizedQuery",
     "Result",
+    "Session",
     "SmartIceberg",
     "SmartIcebergOptimizer",
     "SqlType",

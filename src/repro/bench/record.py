@@ -14,6 +14,8 @@ Usage::
     python -m repro.bench.record --out /tmp/b.json --no-headline
     python -m repro.bench.record \\
         --headline-rows 10000 --out BENCH_2.json # columnar headline
+    python -m repro.bench.record \\
+        --no-headline --concurrency --out BENCH_3.json  # serving qps
 
 ``--check`` makes the run fail if any batch- or columnar-mode
 ``cost()`` (or any individual work counter, modulo the zone-map fold
@@ -307,6 +309,78 @@ def run_zonemap(n_rows: int) -> Dict[str, Any]:
     }
 
 
+#: Session counts for the serving-layer concurrency section.
+CONCURRENCY_SESSIONS = (1, 2, 4, 8)
+
+
+def run_concurrency(n_rows: int) -> Dict[str, Any]:
+    """Serving-layer throughput: queries/sec at N concurrent sessions.
+
+    For each N in :data:`CONCURRENCY_SESSIONS`, N sessions of one
+    :class:`~repro.serve.IcebergServer` each run Q1-Q8 once on their
+    own thread; the cell records wall-clock queries/sec plus the plan
+    cache's hit/miss accounting.  Every result is checked bit-identical
+    against a serial reference — a concurrency benchmark that returns
+    wrong rows records ``correct: false`` and the ``--check`` run
+    fails.  The GIL bounds CPU parallelism, so the interesting numbers
+    are plan-cache leverage (N-1 sessions skip optimization entirely)
+    and the absence of a throughput *collapse* under contention.
+    """
+    import threading
+
+    from repro import IcebergServer, SmartIceberg
+
+    queries = {name: q.sql for name, q in figure1_queries().items()}
+    db = _batting_db(n_rows, seed=RECORD_SEED)
+    serial = {
+        name: SmartIceberg(db).execute(sql).sorted_rows()
+        for name, sql in queries.items()
+    }
+    cells: List[Dict[str, Any]] = []
+    for n_sessions in CONCURRENCY_SESSIONS:
+        server = IcebergServer(
+            db, max_concurrent=n_sessions, max_queue=n_sessions
+        )
+        correct = [True] * n_sessions
+
+        def workload(index: int, server=server, correct=correct) -> None:
+            with server.session() as session:
+                for name in sorted(queries):
+                    rows = session.execute(queries[name]).sorted_rows()
+                    if rows != serial[name]:
+                        correct[index] = False
+
+        threads = [
+            threading.Thread(target=workload, args=(index,))
+            for index in range(n_sessions)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        executed = n_sessions * len(queries)
+        cache = server.plan_cache.stats()
+        cells.append(
+            {
+                "sessions": n_sessions,
+                "queries": executed,
+                "seconds": round(elapsed, 6),
+                "qps": round(executed / max(elapsed, 1e-9), 3),
+                "plan_cache_hits": cache["hits"],
+                "plan_cache_misses": cache["misses"],
+                "correct": all(correct),
+            }
+        )
+    return {
+        "workload": "Q1-Q8 per session",
+        "n_rows": n_rows,
+        "session_counts": list(CONCURRENCY_SESSIONS),
+        "cells": cells,
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.record", description=__doc__
@@ -351,6 +425,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also run a traced Q1-Q8 pass and write a Chrome trace "
         "(chrome://tracing / Perfetto) to PATH",
     )
+    parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="also run the serving-layer throughput section "
+        f"(queries/sec at N={','.join(map(str, CONCURRENCY_SESSIONS))} "
+        "sessions; BENCH_3.json)",
+    )
     args = parser.parse_args(argv)
 
     scale = args.scale if args.scale is not None else bench_scale()
@@ -365,7 +446,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         else run_headline(args.headline_rows, repeats=args.repeats)
     )
     zonemap = None if args.no_headline else run_zonemap(args.headline_rows)
+    concurrency = run_concurrency(suite_rows) if args.concurrency else None
     elapsed = time.perf_counter() - start
+
+    if concurrency is not None:
+        for cell in concurrency["cells"]:
+            if not cell["correct"]:
+                problems.append(
+                    f"concurrency: wrong rows at {cell['sessions']} sessions"
+                )
 
     if zonemap is not None:
         if zonemap["chunks_skipped"] <= 0:
@@ -393,6 +482,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "records": records,
         "headline": headline,
         "zonemap": zonemap,
+        "concurrency": concurrency,
         "mode_parity_ok": not problems,
         "total_seconds": round(elapsed, 3),
     }
@@ -420,6 +510,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{zonemap['rows_skipped']} rows, scanned "
             f"{zonemap['rows_scanned']}, parity_ok={zonemap['parity_ok']}"
         )
+    if concurrency is not None:
+        summary = ", ".join(
+            f"N={cell['sessions']}: {cell['qps']:.1f} q/s"
+            for cell in concurrency["cells"]
+        )
+        print(f"concurrency (n={concurrency['n_rows']}): {summary}")
     if problems:
         for problem in problems:
             print(f"PARITY DRIFT: {problem}", file=sys.stderr)

@@ -20,14 +20,25 @@ benchmarks see the index's effect.
 Replacement policies (the paper's future work, implemented here):
 ``"none"`` (unbounded), ``"lru"``, and ``"utility"`` (evict the entry
 with the fewest hits).
+
+**Concurrency.**  The serving layer (:mod:`repro.serve`) keeps one
+cache alive across the executions of a prepared statement and may be
+asked for it from many sessions, so every structural operation happens
+under an internal re-entrant lock and :meth:`prune_candidates` returns
+a *snapshot* of the qualifying entries rather than a live generator —
+an eviction racing the pruning scan can therefore never mutate a list
+mid-iteration.  Single-query executions pay one uncontended lock
+acquisition per operation, which profiles as noise next to the inner
+query evaluation each operation guards.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 Binding = Tuple[Any, ...]
 
@@ -103,6 +114,7 @@ class NLJPCache:
         # insertion order) so tuple comparison never reaches the entry.
         self._order: List[Tuple[Any, int, CacheEntry]] = []
         self._order_seq = 0
+        self._lock = threading.RLock()
         self.lookups = 0
         self.hits = 0
         self.evictions = 0
@@ -120,40 +132,42 @@ class NLJPCache:
     # ------------------------------------------------------------------
     def get(self, binding: Binding) -> Optional[CacheEntry]:
         """Memoization lookup; refreshes LRU order on hit."""
-        self.lookups += 1
-        entry = self._entries.get(binding)
-        if entry is None:
-            return None
-        self.hits += 1
-        entry.hits += 1
-        if self.policy == "lru":
-            self._entries.move_to_end(binding)
-        return entry
+        with self._lock:
+            self.lookups += 1
+            entry = self._entries.get(binding)
+            if entry is None:
+                return None
+            self.hits += 1
+            entry.hits += 1
+            if self.policy == "lru":
+                self._entries.move_to_end(binding)
+            return entry
 
     def put(
         self, binding: Binding, payload: PayloadRows, unpromising: bool
     ) -> CacheEntry:
         entry = CacheEntry(binding=binding, payload=payload, unpromising=unpromising)
-        previous = self._entries.get(binding)
-        if previous is None and self.max_entries is not None:
-            while len(self._entries) >= self.max_entries:
-                self._evict_one()
-        elif previous is not None:
-            self.bytes_used -= entry_bytes(previous)
-        self.bytes_used += entry_bytes(entry)
-        self._entries[binding] = entry
-        if unpromising:
-            self._unpromising_all.append(entry)
-            if self.use_index:
-                self._unpromising_buckets.setdefault(
-                    self._bucket_key(binding), []
-                ).append(entry)
-            if self.order_position is not None:
-                key = binding[self.order_position]
-                if key is not None:
-                    self._order_seq += 1
-                    bisect.insort(self._order, (key, self._order_seq, entry))
-        return entry
+        with self._lock:
+            previous = self._entries.get(binding)
+            if previous is None and self.max_entries is not None:
+                while len(self._entries) >= self.max_entries:
+                    self._evict_one()
+            elif previous is not None:
+                self.bytes_used -= entry_bytes(previous)
+            self.bytes_used += entry_bytes(entry)
+            self._entries[binding] = entry
+            if unpromising:
+                self._unpromising_all.append(entry)
+                if self.use_index:
+                    self._unpromising_buckets.setdefault(
+                        self._bucket_key(binding), []
+                    ).append(entry)
+                if self.order_position is not None:
+                    key = binding[self.order_position]
+                    if key is not None:
+                        self._order_seq += 1
+                        bisect.insort(self._order, (key, self._order_seq, entry))
+            return entry
 
     def _evict_one(self, keep: Optional[CacheEntry] = None) -> bool:
         """Evict one victim by policy; ``keep`` is never chosen.
@@ -207,19 +221,21 @@ class NLJPCache:
         the cache entirely.
         """
         evicted = 0
-        while self.bytes_used > max_bytes:
-            if not self._evict_one(keep=keep):
-                break
-            evicted += 1
+        with self._lock:
+            while self.bytes_used > max_bytes:
+                if not self._evict_one(keep=keep):
+                    break
+                evicted += 1
         return evicted
 
     def clear(self) -> None:
         """Drop every entry (cache disabled under memory pressure)."""
-        self._entries.clear()
-        self._unpromising_buckets.clear()
-        self._unpromising_all.clear()
-        self._order.clear()
-        self.bytes_used = 0
+        with self._lock:
+            self._entries.clear()
+            self._unpromising_buckets.clear()
+            self._unpromising_all.clear()
+            self._order.clear()
+            self.bytes_used = 0
 
     # ------------------------------------------------------------------
     def prune_candidates(
@@ -229,7 +245,7 @@ class NLJPCache:
         high: Optional[Any] = None,
         low_strict: bool = False,
         high_strict: bool = False,
-    ) -> Iterator[CacheEntry]:
+    ) -> Tuple[CacheEntry, ...]:
         """Unpromising entries that *could* subsume this binding.
 
         With the equality index, only the bucket matching the
@@ -238,24 +254,31 @@ class NLJPCache:
         candidate's value at that position and only the qualifying
         range is scanned.  Otherwise all unpromising entries are
         candidates.
+
+        Returns an immutable snapshot taken under the cache lock, so a
+        concurrent eviction or insert never mutates the candidate set
+        mid-scan.  Candidate order (and hence ``prune_checks`` counts)
+        is identical to the previous lazy iteration.
         """
-        if self.use_index:
-            yield from self._unpromising_buckets.get(self._bucket_key(binding), ())
-            return
-        if self.order_position is not None and (low is not None or high is not None):
-            order = self._order
-            start = 0
-            stop = len(order)
-            if low is not None:
-                cut = bisect.bisect_right if low_strict else bisect.bisect_left
-                start = cut(order, low, key=lambda item: item[0])
-            if high is not None:
-                cut = bisect.bisect_left if high_strict else bisect.bisect_right
-                stop = cut(order, high, key=lambda item: item[0])
-            for _, _, entry in order[start:stop]:
-                yield entry
-            return
-        yield from self._unpromising_all
+        with self._lock:
+            if self.use_index:
+                return tuple(
+                    self._unpromising_buckets.get(self._bucket_key(binding), ())
+                )
+            if self.order_position is not None and (
+                low is not None or high is not None
+            ):
+                order = self._order
+                start = 0
+                stop = len(order)
+                if low is not None:
+                    cut = bisect.bisect_right if low_strict else bisect.bisect_left
+                    start = cut(order, low, key=lambda item: item[0])
+                if high is not None:
+                    cut = bisect.bisect_left if high_strict else bisect.bisect_right
+                    stop = cut(order, high, key=lambda item: item[0])
+                return tuple(entry for _, _, entry in order[start:stop])
+            return tuple(self._unpromising_all)
 
     # ------------------------------------------------------------------
     @property

@@ -53,8 +53,22 @@ def collect_aggregates(view: PartitionView) -> List[ast.FuncCall]:
     return calls
 
 
-def check_memoization(view: PartitionView, outer_left: bool = True) -> MemoizationDecision:
-    """Section 6 conditions for memoizing the inner side of ``view``."""
+def check_memoization(
+    view: PartitionView, outer_left: bool = True, cross_query: bool = False
+) -> MemoizationDecision:
+    """Section 6 conditions for memoizing the inner side of ``view``.
+
+    ``cross_query=True`` evaluates benefit for a cache that *survives*
+    one execution (the serving layer's shared prepared-statement
+    cache): the "every binding distinct, the cache would never hit"
+    demotion is skipped, because repeats arrive from subsequent
+    executions of the same statement rather than from within one.
+    Safety conditions are unchanged — sharing is sound only while the
+    underlying data is unchanged and the parameter values match, which
+    the plan cache enforces via its version token and the NLJP
+    operator via its per-parameter-set reset (see
+    :meth:`repro.core.nljp.NLJPOperator.enable_shared_cache`).
+    """
     block = view.block
     if block.having is None:
         return MemoizationDecision(False, False, "no HAVING condition")
@@ -89,6 +103,14 @@ def check_memoization(view: PartitionView, outer_left: bool = True) -> Memoizati
 
     j_outer = view.j_left if outer_left else view.j_right
     if fds_outer.determines(j_outer, outer_attributes):
+        if cross_query:
+            return MemoizationDecision(
+                True,
+                True,
+                "J_L → A_L (distinct bindings) but the cache is shared "
+                "across executions: repeats arrive from later runs of "
+                "the same prepared statement",
+            )
         return MemoizationDecision(
             True,
             False,

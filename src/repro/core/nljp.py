@@ -41,6 +41,12 @@ from repro.core.memo import collect_aggregates
 from repro.core.pruning import PruningDecision
 
 
+#: Sentinel for "no execution has primed the shared cache yet" —
+#: distinct from ``()``/``None`` so a first run with empty params still
+#: registers as priming.
+_NO_PARAMS = object()
+
+
 def _ref(attribute: str) -> ast.ColumnRef:
     alias, _, column = attribute.partition(".")
     return ast.ColumnRef(alias, column)
@@ -186,6 +192,14 @@ class NLJPOperator(ops.PhysicalOperator):
         # pruning lookups are disabled (correct but unassisted join).
         self._cache_evicting = False
         self._cache_disabled = False
+        # Cross-execution cache (serving layer): when set, executions
+        # reuse this cache instead of building a fresh one, so the
+        # second run of a prepared statement gets memo/prune hits from
+        # the first.  Sound only while the data is unchanged (the plan
+        # cache invalidates on any version change) and the parameter
+        # values match (enforced below via _persistent_params).
+        self.persistent_cache: Optional[NLJPCache] = None
+        self._persistent_params: Any = _NO_PARAMS
 
         block = view.block
         if block.having is None:
@@ -492,13 +506,47 @@ class NLJPOperator(ops.PhysicalOperator):
                 return False
         return True
 
+    def enable_shared_cache(self) -> NLJPCache:
+        """Pin a cache that survives executions (serving-layer mode).
+
+        Subsequent :meth:`execute` calls reuse this cache, so the
+        second execution of a prepared statement gets memo hits and
+        prune seeds from the first — cross-*query* caching in the
+        spirit of Kalinsky et al.'s cache-across-bindings.  The cached
+        payloads depend on the inner data and the parameter values, so
+        :meth:`execute` clears the cache whenever the parameter set
+        differs from the one that primed it; data changes are handled
+        one level up by the plan cache's version-token invalidation
+        (the whole plan, pinned cache included, is dropped).
+        """
+        if self.persistent_cache is None:
+            self.persistent_cache = self._new_cache()
+            self._persistent_params = _NO_PARAMS
+        return self.persistent_cache
+
     def execute(self, ctx: ops.ExecutionContext) -> Iterator[Tuple[Any, ...]]:
         self.env.ctx_holder.setdefault("ctx", ctx)
-        cache = self._new_cache()
+        cache = self.persistent_cache
+        if cache is None:
+            cache = self._new_cache()
+        else:
+            params_key = tuple(sorted(ctx.params.items())) if ctx.params else ()
+            if self._persistent_params is _NO_PARAMS:
+                self._persistent_params = params_key
+            elif params_key != self._persistent_params:
+                cache.clear()
+                self._persistent_params = params_key
         self.cache = cache
         self._cache_evicting = False
         self._cache_disabled = False
         stats = ctx.stats
+        # Counter baselines: a shared cache accumulates across
+        # executions, but each execution's stats must charge only its
+        # own lookups/hits/evictions (footprint counters stay totals —
+        # they describe the cache, not the work).
+        base_lookups = cache.lookups
+        base_hits = cache.hits
+        base_evictions = cache.evictions
 
         if self.direct_mode:
             yield from self._execute_direct(ctx, cache)
@@ -507,9 +555,11 @@ class NLJPOperator(ops.PhysicalOperator):
 
         stats.cache_rows += cache.rows
         stats.cache_bytes += cache.estimated_bytes()
-        stats.cache_hits += cache.hits
-        stats.cache_misses += cache.lookups - cache.hits
-        stats.cache_evictions += cache.evictions
+        stats.cache_hits += cache.hits - base_hits
+        stats.cache_misses += (cache.lookups - base_lookups) - (
+            cache.hits - base_hits
+        )
+        stats.cache_evictions += cache.evictions - base_evictions
 
     def _lookup_or_compute(self, ctx: ops.ExecutionContext, cache: NLJPCache, binding):
         """The per-binding core of Listing 6 / Section 7's pseudocode.

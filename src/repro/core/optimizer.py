@@ -23,7 +23,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.analysis import (
     analyze_query,
@@ -129,24 +129,48 @@ class OptimizedQuery:
     report: OptimizationReport
     nljp: Optional[NLJPOperator] = None
 
-    def execute(self, params: Optional[Dict] = None) -> Result:
+    def execute(
+        self,
+        params: Optional[Dict] = None,
+        execution_mode: Optional[str] = None,
+        batch_size: Optional[int] = None,
+        cancel_token: Optional[Any] = None,
+        fault_plan: Optional[Any] = None,
+        deadline_seconds: Optional[float] = None,
+        trace_label: Optional[str] = None,
+    ) -> Result:
         """Run the optimized plan.
 
         Optimizer-time degradation events (per-technique fallbacks) are
         prepended to the execution's ``stats.degradations`` so callers
         see the full story in one place — on success *and* on the
         partial stats carried by a typed error.
+
+        The keyword overrides scope governor/mode knobs to *this
+        execution*: the serving layer re-executes one optimized plan
+        many times with per-call cancel tokens, fault plans, deadlines
+        and execution modes, none of which may stick to the plan.
         """
         tracer = None
         config = self.planned.env.config
         if config.trace != "off":
             from repro.obs.tracer import Tracer
 
-            tracer = Tracer(config.trace)
+            tracer = Tracer(config.trace, label=trace_label or "query")
             for name, seconds in self.report.phases:
                 tracer.add_phase(f"optimizer:{name}", seconds)
         try:
-            result = run_planned(self.planned, params, tracer=tracer)
+            result = run_planned(
+                self.planned,
+                params,
+                execution_mode=execution_mode,
+                batch_size=batch_size,
+                tracer=tracer,
+                cancel_token=cancel_token,
+                fault_plan=fault_plan,
+                deadline_seconds=deadline_seconds,
+                trace_label=trace_label,
+            )
         except ReproError as error:
             if self.report.degradations and error.stats is not None:
                 error.stats.degradations[:0] = self.report.degradations
@@ -181,6 +205,7 @@ class SmartIcebergOptimizer:
         cache_policy: str = "none",
         max_partition_size: int = 3,
         binding_order: str = "none",
+        cross_query_memo: bool = False,
     ) -> None:
         if binding_order not in ("none", "auto"):
             raise OptimizationError(
@@ -212,6 +237,13 @@ class SmartIcebergOptimizer:
         self.cache_policy = cache_policy
         self.max_partition_size = max_partition_size
         self.binding_order = binding_order
+        # Serving-layer mode: the NLJP cache outlives one execution
+        # (see repro.serve.plan_cache), so the "all bindings distinct,
+        # cache would never hit" cost demotion no longer applies —
+        # repeats arrive from *later* executions of the same prepared
+        # statement (the cross-bindings caching view of Kalinsky et
+        # al.'s Flexible Caching in Trie Joins).
+        self.cross_query_memo = cross_query_memo
         # Governor-facing knobs: per-technique fallback and the
         # optimizer-time fault sites ("reducer", "qe").
         self.degradation = self.config.degradation
@@ -658,7 +690,9 @@ class SmartIcebergOptimizer:
             view = block.partition(sorted(candidate))
             self._observe_fault("qe")
             pruning = check_pruning(view, outer_left=True)
-            memo = check_memoization(view, outer_left=True)
+            memo = check_memoization(
+                view, outer_left=True, cross_query=self.cross_query_memo
+            )
             use_pruning = self.enable_pruning and pruning.applicable
             use_memo = self.enable_memo and bool(memo)
             if not use_pruning and not use_memo:

@@ -60,6 +60,7 @@ class SmartIceberg:
         fault_plan: Optional[object] = None,
         analyze: Optional[str] = None,
         trace: Optional[str] = None,
+        cross_query_memo: bool = False,
     ) -> None:
         self.db = db
         self.config = config or EngineConfig.smart()
@@ -109,6 +110,7 @@ class SmartIceberg:
             cache_max_entries=cache_max_entries,
             cache_policy=cache_policy,
             binding_order=binding_order,
+            cross_query_memo=cross_query_memo,
         )
 
     def optimize(self, statement: Statement) -> OptimizedQuery:
@@ -116,10 +118,42 @@ class SmartIceberg:
         return self.optimizer.optimize(statement)
 
     def execute(
-        self, statement: Statement, params: Optional[Dict] = None
+        self,
+        statement: Statement,
+        params: Optional[Dict] = None,
+        cancel_token: Optional[CancelToken] = None,
+        fault_plan: Optional[object] = None,
+        deadline_seconds: Optional[float] = None,
     ) -> Result:
-        """Optimize and execute a statement."""
-        return self.optimize(statement).execute(params)
+        """Optimize and execute a statement.
+
+        ``cancel_token``/``fault_plan``/``deadline_seconds`` govern
+        *this call only* — they never stick to the instance, so a
+        token cancelled here cannot leak into the next query.
+        """
+        try:
+            return self.optimize(statement).execute(
+                params,
+                cancel_token=cancel_token,
+                fault_plan=fault_plan,
+                deadline_seconds=deadline_seconds,
+            )
+        finally:
+            self._drop_tripped_token()
+
+    def _drop_tripped_token(self) -> None:
+        """Forget a constructor-supplied token once it has cancelled.
+
+        A :class:`CancelToken` is one-shot, so a token baked into the
+        instance config at construction time would cancel every later
+        query on this instance the moment it fires.  Per-call tokens
+        (the ``execute`` keyword) are the recommended interface; this
+        keeps the legacy constructor knob safe too.
+        """
+        token = self.config.cancel_token
+        if token is not None and token.cancelled:
+            self.config = dataclasses.replace(self.config, cancel_token=None)
+            self.optimizer.config = self.config
 
     def execute_baseline(
         self,

@@ -39,6 +39,10 @@ class Result:
     plan: Optional[PlannedQuery] = None
     execution_mode: str = "row"
     profile: Optional[Any] = None
+    #: The governor that supervised this execution (``None`` when
+    #: ungoverned).  The serving layer feeds ``governor.headroom()``
+    #: back into admission control after each governed query.
+    governor: Optional[Any] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -98,6 +102,10 @@ def run_planned(
     execution_mode: Optional[str] = None,
     batch_size: Optional[int] = None,
     tracer: Optional[Any] = None,
+    cancel_token: Optional[Any] = None,
+    fault_plan: Optional[Any] = None,
+    deadline_seconds: Optional[float] = None,
+    trace_label: Optional[str] = None,
 ) -> Result:
     """Execute a previously planned query (prepared-statement style).
 
@@ -121,11 +129,34 @@ def run_planned(
 
     ``tracer`` carries an externally created tracer (the optimizer and
     ``execute`` use it to prepend phase spans); under a config with
-    ``trace != "off"`` and no tracer supplied, one is created here.
-    The tracer is installed over the plan for this execution only and
-    always torn down — even when a budget trips mid-query.
+    ``trace != "off"`` and no tracer supplied, one is created here
+    (named ``trace_label`` when given, so per-session exports are
+    attributable).  The tracer is installed over the plan for this
+    execution only and always torn down — even when a budget trips
+    mid-query.
+
+    ``cancel_token``/``fault_plan``/``deadline_seconds`` override the
+    planned config's governor knobs *for this execution only* — the
+    serving layer passes fresh per-call tokens here so a token
+    cancelled during one query can never leak into the next execution
+    of the same (cached) plan.
     """
     config = planned.env.config
+    if (
+        cancel_token is not None
+        or fault_plan is not None
+        or deadline_seconds is not None
+    ):
+        import dataclasses
+
+        overrides: Dict[str, Any] = {}
+        if cancel_token is not None:
+            overrides["cancel_token"] = cancel_token
+        if fault_plan is not None:
+            overrides["fault_plan"] = fault_plan
+        if deadline_seconds is not None:
+            overrides["deadline_seconds"] = deadline_seconds
+        config = dataclasses.replace(config, **overrides)
     mode = execution_mode if execution_mode is not None else config.execution_mode
     if mode not in ("row", "batch", "columnar"):
         raise ValueError(f"unknown execution_mode {mode!r}")
@@ -148,7 +179,7 @@ def run_planned(
     if tracer is None and config.trace != "off":
         from repro.obs.tracer import Tracer
 
-        tracer = Tracer(config.trace)
+        tracer = Tracer(config.trace, label=trace_label or "query")
     profile = None
     if tracer is not None:
         tracer.install(planned.root)
@@ -189,6 +220,7 @@ def run_planned(
         plan=planned,
         execution_mode=mode,
         profile=profile,
+        governor=ctx.governor,
     )
     record_query(result, config, governor=ctx.governor)
     return result

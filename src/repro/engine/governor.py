@@ -239,7 +239,11 @@ class Governor:
         Only budgets that are actually set appear; 0.0 means the budget
         was reached (or the limit was zero).  Exported as gauges by the
         metrics registry so dashboards can watch how close governed
-        workloads run to their ceilings.
+        workloads run to their ceilings, and fed back into the serving
+        layer's admission controller after every governed query: when
+        the minimum fraction drops below the server's ``headroom_floor``
+        new arrivals are shed until a healthier query reports in (see
+        :meth:`repro.serve.admission.AdmissionController.note_headroom`).
         """
         fractions: Dict[str, float] = {}
 

@@ -81,6 +81,12 @@ class ExecutionContext:
     #: operators with native ``execute_columnar`` paths carry
     #: :class:`~repro.engine.layout.ColumnBatch` data.
     columnar: bool = False
+    #: Per-context materialization memo for shared CTE/derived-table
+    #: cells, keyed by cell identity.  Keeping it on the context (not
+    #: the plan) makes a cached plan re-entrant: two executions of the
+    #: same PlannedQuery in different threads each materialize into
+    #: their own context and can never observe each other's rows.
+    materialized: Dict[int, Any] = field(default_factory=dict)
 
 
 def chunked(iterable, size: int) -> Iterator[List[Row]]:

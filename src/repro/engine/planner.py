@@ -21,6 +21,7 @@ aggregation pipeline with an NLJP operator.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
@@ -198,30 +199,41 @@ class EngineConfig:
 
 
 class _SharedMaterialize:
-    """Execute a subplan once per ExecutionContext and share the rows."""
+    """Execute a subplan once per ExecutionContext and share the rows.
+
+    The memo lives on the *context* (``ctx.materialized``, keyed by
+    cell identity), not on this cell: a plan cached by the serving
+    layer is executed by many contexts — possibly concurrently from
+    different sessions — and a cell-resident ``(ctx, rows)`` slot had
+    a check-then-read race that could hand one context the rows
+    materialized under another context's parameters.
+    """
 
     def __init__(self, plan: ops.PhysicalOperator, label: str) -> None:
         self.plan = plan
         self.label = label
-        self._last: Optional[Tuple[ops.ExecutionContext, List[Tuple[Any, ...]]]] = None
-        self._last_store: Optional[Tuple[ops.ExecutionContext, Any]] = None
 
     def rows(self, ctx: ops.ExecutionContext) -> List[Tuple[Any, ...]]:
-        if self._last is None or self._last[0] is not ctx:
-            self._last = (ctx, ops.materialize(self.plan, ctx))
-        return self._last[1]
+        key = id(self)
+        rows = ctx.materialized.get(key)
+        if rows is None:
+            rows = ops.materialize(self.plan, ctx)
+            ctx.materialized[key] = rows
+        return rows
 
     def column_store(self, ctx: ops.ExecutionContext):
         """Columnar image of the materialized rows, shared per context."""
-        if self._last_store is None or self._last_store[0] is not ctx:
+        key = (id(self), "columns")
+        store = ctx.materialized.get(key)
+        if store is None:
             from repro.engine.layout import ColumnStore
 
             store = ColumnStore.from_rows(
                 self.rows(ctx),
                 [column for _, column in self.plan.layout.slots],
             )
-            self._last_store = (ctx, store)
-        return self._last_store[1]
+            ctx.materialized[key] = store
+        return store
 
 
 class _MaterializedScan(ops.PhysicalOperator):
@@ -268,6 +280,44 @@ class _MaterializedScan(ops.PhysicalOperator):
         return node
 
 
+class _ThreadLocalCtx:
+    """A per-thread ``{"ctx": ExecutionContext}`` slot with dict API.
+
+    ``PlanEnv`` used to hold a plain dict here, which made a cached
+    plan single-threaded: two concurrent executions would overwrite
+    each other's installed context and charge work to the wrong stats/
+    governor.  Backing the slot with ``threading.local`` gives each
+    executing thread its own installation while keeping the executor's
+    ``holder["ctx"] = ctx`` / ``holder.pop("ctx")`` protocol intact.
+    """
+
+    __slots__ = ("_local",)
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def _map(self) -> Dict[str, Any]:
+        entries = getattr(self._local, "entries", None)
+        if entries is None:
+            entries = self._local.entries = {}
+        return entries
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._map().get(key, default)
+
+    def setdefault(self, key: str, value: Any) -> Any:
+        return self._map().setdefault(key, value)
+
+    def pop(self, key: str, default: Any = None) -> Any:
+        return self._map().pop(key, default)
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._map()[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._map()
+
+
 @dataclass
 class PlanEnv:
     """Planning environment: catalog, config, CTE registry."""
@@ -277,7 +327,7 @@ class PlanEnv:
     ctes: Dict[str, Tuple[_SharedMaterialize, Tuple[str, ...]]] = field(
         default_factory=dict
     )
-    ctx_holder: Dict[str, Any] = field(default_factory=dict)
+    ctx_holder: "_ThreadLocalCtx" = field(default_factory=lambda: _ThreadLocalCtx())
 
     def subquery_executor(self, select: ast.Select) -> List[Tuple[Any, ...]]:
         """Plan and run an uncorrelated scalar/IN subquery lazily.

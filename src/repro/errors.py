@@ -104,7 +104,7 @@ class InjectedFaultError(ExecutionError):
     :class:`ReproError` (with partial stats) rather than a bare
     ``KeyError``/``RecursionError``.  ``site`` names the injection
     point (``scan``, ``join-pair``, ``cache-insert``, ``inner-eval``,
-    ``qe``, ``reducer``).
+    ``qe``, ``reducer``, ``plan-cache``, ``admission``).
     """
 
     def __init__(self, message: str, site: str = "") -> None:
@@ -175,3 +175,46 @@ class QuantifierEliminationError(ReproError):
     This happens for non-linear constraints, which are outside the
     fragment handled by Fourier-Motzkin elimination.
     """
+
+
+class ServerError(ReproError):
+    """Base class for errors raised by the serving layer (:mod:`repro.serve`)."""
+
+
+class SessionClosedError(ServerError):
+    """Raised when a statement is submitted on a closed session."""
+
+
+class AdmissionRejectedError(ServerError):
+    """Raised when the admission controller refuses a query.
+
+    ``reason`` is ``"queue-full"`` (no free slot and the wait queue is
+    at capacity), ``"queue-deadline"`` (a slot did not free up within
+    the queue deadline), or ``"headroom"`` (governed executions are
+    running too close to their budgets for load shedding to admit
+    more).  Rejection is a *transient* condition — the retry policy
+    classifies it retryable and backs off before resubmitting.
+    """
+
+    def __init__(self, message: str, reason: str = "", waited_seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.waited_seconds = waited_seconds
+
+
+class CircuitOpenError(ServerError):
+    """Raised when a per-technique circuit breaker refuses a probe.
+
+    Only raised when a caller explicitly demands a technique whose
+    breaker is open; the server's default behaviour is to *degrade*
+    (optimize without the tripped technique) rather than fail.
+    ``technique`` names the breaker; ``retry_after_seconds`` is the
+    remaining cool-down before a half-open probe is allowed.
+    """
+
+    def __init__(
+        self, message: str, technique: str = "", retry_after_seconds: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.technique = technique
+        self.retry_after_seconds = retry_after_seconds

@@ -22,6 +22,7 @@ there is something to scrape)::
 from __future__ import annotations
 
 import bisect
+import threading
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 #: Default histogram buckets (seconds), tuned for this engine's range.
@@ -49,7 +50,14 @@ def _render_labels(labelnames: Tuple[str, ...], key: Tuple[str, ...]) -> str:
 
 
 class Metric:
-    """Base: a named family of samples keyed by label values."""
+    """Base: a named family of samples keyed by label values.
+
+    Every mutation and every read of sample state happens under
+    ``_lock``.  A metric constructed standalone gets its own lock; one
+    obtained from a :class:`MetricsRegistry` shares the registry's
+    lock, so ``render()`` of the whole registry is one consistent
+    snapshot even while eight sessions are recording into it.
+    """
 
     type_name = "untyped"
 
@@ -57,6 +65,7 @@ class Metric:
         self.name = name
         self.help_text = help_text
         self.labelnames = tuple(labelnames)
+        self._lock = threading.RLock()
 
     def render(self) -> List[str]:
         raise NotImplementedError
@@ -85,18 +94,22 @@ class Counter(Metric):
         if amount < 0:
             raise ValueError(f"counters only go up; got {amount}")
         key = _label_key(self.labelnames, labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
-        return self._values.get(_label_key(self.labelnames, labels), 0.0)
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
 
     def render(self) -> List[str]:
         lines = self._header()
-        for key in sorted(self._values):
-            lines.append(
-                f"{self.name}{_render_labels(self.labelnames, key)} "
-                f"{_format_value(self._values[key])}"
-            )
+        with self._lock:
+            for key in sorted(self._values):
+                lines.append(
+                    f"{self.name}{_render_labels(self.labelnames, key)} "
+                    f"{_format_value(self._values[key])}"
+                )
         return lines
 
 
@@ -110,25 +123,31 @@ class Gauge(Metric):
         self._values: Dict[Tuple[str, ...], float] = {}
 
     def set(self, value: float, **labels: Any) -> None:
-        self._values[_label_key(self.labelnames, labels)] = float(value)
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = float(value)
 
     def set_max(self, value: float, **labels: Any) -> None:
         """High-water update: keep the maximum ever seen."""
         key = _label_key(self.labelnames, labels)
-        current = self._values.get(key)
-        if current is None or value > current:
-            self._values[key] = float(value)
+        with self._lock:
+            current = self._values.get(key)
+            if current is None or value > current:
+                self._values[key] = float(value)
 
     def value(self, **labels: Any) -> Optional[float]:
-        return self._values.get(_label_key(self.labelnames, labels))
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key)
 
     def render(self) -> List[str]:
         lines = self._header()
-        for key in sorted(self._values):
-            lines.append(
-                f"{self.name}{_render_labels(self.labelnames, key)} "
-                f"{_format_value(self._values[key])}"
-            )
+        with self._lock:
+            for key in sorted(self._values):
+                lines.append(
+                    f"{self.name}{_render_labels(self.labelnames, key)} "
+                    f"{_format_value(self._values[key])}"
+                )
         return lines
 
 
@@ -146,14 +165,15 @@ class Histogram(Metric):
 
     def observe(self, value: float, **labels: Any) -> None:
         key = _label_key(self.labelnames, labels)
-        counts = self._counts.setdefault(key, [0] * len(self.buckets))
-        index = bisect.bisect_left(self.buckets, value)
-        if index < len(counts):
-            counts[index] += 1
-        self._sums[key] = self._sums.get(key, 0.0) + float(value)
-        self._totals[key] = self._totals.get(key, 0) + 1
+        with self._lock:
+            counts = self._counts.setdefault(key, [0] * len(self.buckets))
+            index = bisect.bisect_left(self.buckets, value)
+            if index < len(counts):
+                counts[index] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + float(value)
+            self._totals[key] = self._totals.get(key, 0) + 1
 
-    def render(self) -> List[str]:
+    def _render_locked(self) -> List[str]:
         lines = self._header()
         for key in sorted(self._totals):
             labels = _render_labels(self.labelnames, key)
@@ -172,25 +192,39 @@ class Histogram(Metric):
             lines.append(f"{self.name}_count{labels} {self._totals[key]}")
         return lines
 
+    def render(self) -> List[str]:
+        with self._lock:
+            return self._render_locked()
+
 
 class MetricsRegistry:
-    """A named collection of metrics, rendered in registration order."""
+    """A named collection of metrics, rendered in registration order.
+
+    Registration, reset, and rendering are serialized on one registry
+    lock, and every registered metric shares that lock for its sample
+    mutations — so concurrent sessions recording into the process-wide
+    :data:`REGISTRY` never lose increments, and a ``render()`` taken
+    mid-traffic is a point-in-time snapshot.
+    """
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.RLock()
 
     def _register(self, cls, name, help_text, labelnames, **kwargs) -> Metric:
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if type(existing) is not cls or existing.labelnames != tuple(labelnames):
-                raise ValueError(
-                    f"metric {name!r} already registered with a different "
-                    f"type or label set"
-                )
-            return existing
-        metric = cls(name, help_text, labelnames, **kwargs)
-        self._metrics[name] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered with a different "
+                        f"type or label set"
+                    )
+                return existing
+            metric = cls(name, help_text, labelnames, **kwargs)
+            metric._lock = self._lock
+            self._metrics[name] = metric
+            return metric
 
     def counter(self, name, help_text="", labelnames=()) -> Counter:
         return self._register(Counter, name, help_text, labelnames)
@@ -206,18 +240,21 @@ class MetricsRegistry:
         )
 
     def get(self, name: str) -> Optional[Metric]:
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     def reset(self) -> None:
         """Drop every metric (tests and fresh CLI runs)."""
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
     def render(self) -> str:
-        """Prometheus text exposition format."""
-        lines: List[str] = []
-        for metric in self._metrics.values():
-            lines.extend(metric.render())
-        return "\n".join(lines) + ("\n" if lines else "")
+        """Prometheus text exposition format (a consistent snapshot)."""
+        with self._lock:
+            lines: List[str] = []
+            for metric in self._metrics.values():
+                lines.extend(metric.render())
+            return "\n".join(lines) + ("\n" if lines else "")
 
 
 #: The process-wide registry the executor records into.

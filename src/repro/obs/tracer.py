@@ -87,7 +87,15 @@ def iter_plan_nodes(root: PhysicalOperator) -> Iterator[PhysicalOperator]:
 
 
 class Tracer:
-    """Span-tree builder for one traced query execution."""
+    """Span-tree builder for one traced query execution.
+
+    Tracers are one-shot and *exclusive per plan*: installation
+    shadows each node's execute methods via its instance ``__dict__``,
+    so two tracers must never be live on the same plan at once.  The
+    serving layer honours this by serializing executions of a shared
+    cached plan (see ``repro.serve.plan_cache``); ``label`` carries
+    the session/statement identity into per-session trace exports.
+    """
 
     def __init__(self, mode: str, label: str = "query") -> None:
         if mode not in TRACE_MODES or mode == "off":

@@ -1,0 +1,54 @@
+"""Resilient concurrent serving layer.
+
+Serve many concurrent sessions over one database, with admission
+control, a shared version-validated plan cache, typed retry with
+deterministic backoff, and per-technique circuit breakers::
+
+    from repro.serve import IcebergServer
+
+    server = IcebergServer(db, max_concurrent=8)
+    with server.session() as session:
+        statement = session.prepare(sql)
+        first = statement.execute()     # optimizes + caches the plan
+        second = statement.execute()    # plan-cache hit
+
+See :mod:`repro.serve.server` for the composition, and the sibling
+modules for the individual mechanisms.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.circuit import CircuitBreaker
+from repro.serve.plan_cache import PlanCache, PlanCacheEntry
+from repro.serve.retry import (
+    ERROR_TAXONOMY,
+    FATAL,
+    RETRYABLE,
+    BackoffSchedule,
+    RetryPolicy,
+    classify_error,
+)
+from repro.serve.server import (
+    FULL_MASK,
+    TECHNIQUES,
+    IcebergServer,
+    PreparedStatement,
+    Session,
+)
+
+__all__ = [
+    "AdmissionController",
+    "BackoffSchedule",
+    "CircuitBreaker",
+    "ERROR_TAXONOMY",
+    "FATAL",
+    "FULL_MASK",
+    "IcebergServer",
+    "PlanCache",
+    "PlanCacheEntry",
+    "PreparedStatement",
+    "RETRYABLE",
+    "RetryPolicy",
+    "Session",
+    "TECHNIQUES",
+    "classify_error",
+]

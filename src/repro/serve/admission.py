@@ -1,0 +1,169 @@
+"""Thread-pool admission control for the serving layer.
+
+The controller bounds how many queries execute at once
+(``max_concurrent``) and how many may wait for a slot (``max_queue``);
+beyond that it rejects immediately with a typed
+:class:`~repro.errors.AdmissionRejectedError` rather than letting an
+unbounded backlog build — rejection *is* the resilience mechanism, and
+the retry policy upstream classifies it as retryable.
+
+It also load-sheds on governor feedback: after each governed query the
+server reports :meth:`repro.engine.governor.Governor.headroom`; when
+the minimum remaining-budget fraction falls below ``headroom_floor``
+new arrivals are shed (reason ``"headroom"``) until a later query
+reports recovered headroom.  :meth:`fair_share` splits a total budget
+evenly across the admission slots so concurrent sessions cannot starve
+each other.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Mapping, Optional
+
+from repro.errors import AdmissionRejectedError
+
+
+class AdmissionController:
+    """Counting semaphore with a bounded, deadline-aware wait queue."""
+
+    def __init__(
+        self,
+        max_concurrent: int = 8,
+        max_queue: int = 16,
+        queue_timeout_seconds: float = 5.0,
+        headroom_floor: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if queue_timeout_seconds < 0:
+            raise ValueError(
+                f"queue_timeout_seconds must be >= 0, "
+                f"got {queue_timeout_seconds}"
+            )
+        if not (0.0 <= headroom_floor < 1.0):
+            raise ValueError(
+                f"headroom_floor must be in [0, 1), got {headroom_floor}"
+            )
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.queue_timeout_seconds = queue_timeout_seconds
+        self.headroom_floor = headroom_floor
+        self._clock = clock
+        self._condition = threading.Condition(threading.Lock())
+        self._active = 0
+        self._queued = 0
+        self._min_headroom = 1.0
+        #: Outcome counters: admitted / rejected by reason.
+        self.outcomes: Dict[str, int] = {
+            "admitted": 0,
+            "queued": 0,
+            "rejected-headroom": 0,
+            "rejected-queue-full": 0,
+            "rejected-queue-deadline": 0,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> int:
+        with self._condition:
+            return self._active
+
+    @property
+    def queued(self) -> int:
+        with self._condition:
+            return self._queued
+
+    def note_headroom(self, fractions: Mapping[str, float]) -> None:
+        """Record governor feedback from a finished governed query.
+
+        The minimum fraction across all configured budgets is the
+        load-shedding signal; an empty mapping (ungoverned run) resets
+        it to "fully healthy".
+        """
+        value = min(fractions.values()) if fractions else 1.0
+        with self._condition:
+            self._min_headroom = value
+
+    def fair_share(self, total: Optional[int]) -> Optional[int]:
+        """An even split of ``total`` across the admission slots.
+
+        The server divides instance-wide budgets (e.g. a global
+        rows-scanned allowance) by ``max_concurrent`` so one saturated
+        session cannot consume another session's share.  ``None``
+        passes through (no budget configured).
+        """
+        if total is None:
+            return None
+        return max(1, total // self.max_concurrent)
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> float:
+        """Block until admitted or raise :class:`AdmissionRejectedError`.
+
+        Returns the seconds spent waiting in the queue (0.0 for an
+        immediate admit).  Rejection reasons: ``"headroom"`` (load
+        shed), ``"queue-full"``, ``"queue-deadline"``.
+        """
+        with self._condition:
+            if self._min_headroom < self.headroom_floor:
+                self.outcomes["rejected-headroom"] += 1
+                raise AdmissionRejectedError(
+                    f"admission shed: governor headroom "
+                    f"{self._min_headroom:.2f} below floor "
+                    f"{self.headroom_floor:.2f}",
+                    reason="headroom",
+                )
+            if self._active < self.max_concurrent:
+                self._active += 1
+                self.outcomes["admitted"] += 1
+                return 0.0
+            if self._queued >= self.max_queue:
+                self.outcomes["rejected-queue-full"] += 1
+                raise AdmissionRejectedError(
+                    f"admission queue full: {self._queued} waiting, "
+                    f"{self._active} active",
+                    reason="queue-full",
+                )
+            self._queued += 1
+            self.outcomes["queued"] += 1
+            started = self._clock()
+            deadline = started + self.queue_timeout_seconds
+            try:
+                while self._active >= self.max_concurrent:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0 or not self._condition.wait(remaining):
+                        if self._active < self.max_concurrent:
+                            break
+                        waited = self._clock() - started
+                        self.outcomes["rejected-queue-deadline"] += 1
+                        raise AdmissionRejectedError(
+                            f"queued {waited:.3f}s without a free slot "
+                            f"(timeout {self.queue_timeout_seconds}s)",
+                            reason="queue-deadline",
+                            waited_seconds=waited,
+                        )
+                self._active += 1
+                self.outcomes["admitted"] += 1
+                return self._clock() - started
+            finally:
+                self._queued -= 1
+
+    def release(self) -> None:
+        with self._condition:
+            self._active = max(0, self._active - 1)
+            self._condition.notify()
+
+    @contextmanager
+    def admit(self) -> Iterator[float]:
+        """``with controller.admit() as waited: ...`` around one query."""
+        waited = self.acquire()
+        try:
+            yield waited
+        finally:
+            self.release()

@@ -1,0 +1,146 @@
+"""Per-technique circuit breakers.
+
+A breaker guards one optimization technique (a-priori reduction, the
+memoization/pruning NLJP machinery).  Repeated degradation events for
+that technique — the governor falling back to the baseline plan under
+``degradation="fallback"`` — trip the breaker **open**: the server
+stops paying the technique's optimization cost and plans without it.
+After ``recovery_seconds`` the breaker admits a limited number of
+**half-open** probe executions with the technique re-enabled; a clean
+probe closes the breaker, a degraded one re-opens it.
+
+The clock is injectable (default ``time.monotonic``) so recovery is
+testable in virtual time, matching the fault harness convention.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Three-state breaker: closed → open → half-open → closed.
+
+    ``record_failure``/``record_success`` report outcomes;
+    :meth:`allow` answers "may the guarded technique run right now?".
+    All transitions happen under an internal lock — sessions on
+    different threads share one breaker per technique.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        recovery_seconds: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_seconds < 0:
+            raise ValueError(
+                f"recovery_seconds must be >= 0, got {recovery_seconds}"
+            )
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self.transitions: Dict[str, int] = {OPEN: 0, HALF_OPEN: 0, CLOSED: 0}
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def retry_after_seconds(self) -> float:
+        """Seconds until the next half-open probe window (0 if allowed)."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            return max(
+                0.0,
+                self._opened_at + self.recovery_seconds - self._clock(),
+            )
+
+    def allow(self) -> bool:
+        """May the guarded technique run now?
+
+        Open breakers refuse until ``recovery_seconds`` has elapsed,
+        then transition to half-open and admit up to
+        ``half_open_probes`` concurrent probes.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at < self.recovery_seconds:
+                    return False
+                self._transition(HALF_OPEN)
+                self._probes_in_flight = 0
+            # half-open: meter the probes
+            if self._probes_in_flight >= self.half_open_probes:
+                return False
+            self._probes_in_flight += 1
+            return True
+
+    def release_probe(self) -> None:
+        """Return a half-open probe slot without judging the outcome.
+
+        Used when the probe execution aborted for an unrelated reason
+        (an injected serving-layer fault, a cancelled token) — the
+        technique was never actually exercised, so the probe neither
+        closes nor re-opens the breaker.
+        """
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        self._consecutive_failures = 0
+        self._opened_at = self._clock()
+        self._transition(OPEN)
+
+    def _transition(self, state: str) -> None:
+        self._state = state
+        self.transitions[state] += 1
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.name!r}, state={self.state!r})"

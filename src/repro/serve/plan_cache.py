@@ -1,0 +1,153 @@
+"""Shared, version-validated plan cache for prepared statements.
+
+Optimizing a statement is the expensive part of serving it — parsing,
+the Appendix D technique loop, planning, verification.  The cache
+stores one :class:`~repro.core.optimizer.OptimizedQuery` per
+``(SQL, technique mask)`` pair, shared by every session of a server.
+
+Staleness is handled with **version tokens**, not notification hooks:
+the cache key's entry remembers ``Database.version_token()`` — a
+``(catalog_version, data_version, stats_version)`` triple bumped by
+DDL, inserts, and ANALYZE respectively — as of optimization time.
+Every lookup re-reads the live token; a mismatch invalidates the entry
+on the spot (lazy invalidation), so an insert or ANALYZE anywhere in
+the database transparently forces a re-optimize on the next execution
+without writers knowing the cache exists.
+
+Each entry also carries an **execution lock**: the engine's plan
+objects (NLJP operator state, shared-CTE materialization) are built
+for one execution at a time, so sessions running the *same* cached
+plan serialize on the entry while distinct plans run fully in
+parallel.  The cross-query NLJP memo (see
+:meth:`repro.core.nljp.NLJPOperator.enable_shared_cache`) lives under
+this lock too, which is what makes sharing it safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+CacheKey = Tuple[str, FrozenSet[str]]
+
+
+@dataclass
+class PlanCacheEntry:
+    """One cached optimized plan plus its validity token."""
+
+    sql: str
+    techniques: FrozenSet[str]
+    token: Tuple[int, int, int]
+    optimized: Any
+    #: Serializes executions of this specific plan instance.
+    lock: threading.RLock = field(default_factory=threading.RLock)
+    hits: int = 0
+
+
+class PlanCache:
+    """LRU map of ``(sql, techniques)`` → :class:`PlanCacheEntry`."""
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, PlanCacheEntry]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(sql: str, techniques: FrozenSet[str]) -> CacheKey:
+        return (sql, techniques)
+
+    def lookup(
+        self, sql: str, techniques: FrozenSet[str], live_token: Tuple[int, int, int]
+    ) -> Optional[PlanCacheEntry]:
+        """A valid cached entry, or ``None`` (miss or stale).
+
+        A stale entry — its recorded token differs from ``live_token``
+        — is dropped and counted as an invalidation *and* a miss: the
+        caller re-optimizes and stores the fresh plan.
+        """
+        cache_key = self.key(sql, techniques)
+        with self._lock:
+            entry = self._entries.get(cache_key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.token != live_token:
+                del self._entries[cache_key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(cache_key)
+            self.hits += 1
+            entry.hits += 1
+            return entry
+
+    def store(
+        self,
+        sql: str,
+        techniques: FrozenSet[str],
+        token: Tuple[int, int, int],
+        optimized: Any,
+    ) -> PlanCacheEntry:
+        """Insert (or replace) the plan for this key; LRU-evict on overflow.
+
+        Under concurrent misses for the same key, last store wins —
+        both plans are equally valid for the token, so losing the race
+        only costs the duplicated optimization work.
+        """
+        cache_key = self.key(sql, techniques)
+        entry = PlanCacheEntry(
+            sql=sql, techniques=techniques, token=token, optimized=optimized
+        )
+        with self._lock:
+            self._entries[cache_key] = entry
+            self._entries.move_to_end(cache_key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return entry
+
+    def discard(self, sql: str, techniques: FrozenSet[str]) -> bool:
+        """Drop one entry if present (counted as an invalidation).
+
+        The server uses this when an execution of the cached plan
+        reported technique degradation: the plan was built under a
+        failure and must not keep serving (and keep charging the
+        breaker) after the underlying cause clears.
+        """
+        cache_key = self.key(sql, techniques)
+        with self._lock:
+            if cache_key in self._entries:
+                del self._entries[cache_key]
+                self.invalidations += 1
+                return True
+            return False
+
+    def invalidate_all(self) -> int:
+        """Drop every entry (explicit flush); returns how many dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += dropped
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+            }

@@ -25,6 +25,11 @@ class Database:
         self._fds: Dict[str, FDSet] = {}
         self._primary_keys: Dict[str, Tuple[str, ...]] = {}
         self._domains: Dict[Tuple[str, str], Tuple[Optional[float], Optional[float]]] = {}
+        # Advanced by every DDL change (create/drop table, constraint
+        # or domain declarations).  Together with the per-table data
+        # and statistics versions this forms ``version_token()``, the
+        # invalidation key of the serving layer's shared plan cache.
+        self._catalog_version = 0
 
     # ------------------------------------------------------------------
     # DDL
@@ -44,6 +49,7 @@ class Database:
         table = Table(key, schema)
         self._tables[key] = table
         self._fds[key] = FDSet()
+        self._catalog_version += 1
         if primary_key:
             self.declare_key(key, primary_key)
             table.create_index(f"{key}_pkey", list(primary_key), kind="hash")
@@ -56,6 +62,7 @@ class Database:
         del self._tables[key]
         del self._fds[key]
         self._primary_keys.pop(key, None)
+        self._catalog_version += 1
 
     def table(self, name: str) -> Table:
         try:
@@ -85,6 +92,7 @@ class Database:
             table.schema.index_of(column)  # validates existence
         self._fds[table.name].add_key(columns, table.schema.column_names)
         self._primary_keys.setdefault(table.name, columns)
+        self._catalog_version += 1
 
     def declare_fd(
         self, table_name: str, lhs: Iterable[str], rhs: Iterable[str]
@@ -95,6 +103,7 @@ class Database:
         for column in dependency.lhs | dependency.rhs:
             table.schema.index_of(column)
         self._fds[table.name].add(dependency)
+        self._catalog_version += 1
 
     def fds(self, table_name: str) -> FDSet:
         """The declared FD set of a table (empty set if none declared)."""
@@ -129,6 +138,36 @@ class Database:
         return self.table(table_name).statistics
 
     # ------------------------------------------------------------------
+    # Versioning (plan-cache invalidation)
+    # ------------------------------------------------------------------
+    @property
+    def catalog_version(self) -> int:
+        """Monotonic counter advanced by every DDL change."""
+        return self._catalog_version
+
+    @property
+    def data_version(self) -> int:
+        """Sum of per-table mutation counters (inserts/truncates)."""
+        return sum(table.data_version for table in self._tables.values())
+
+    @property
+    def stats_version(self) -> int:
+        """Sum of per-table statistics epochs (ANALYZE/invalidate)."""
+        return sum(table.stats_version for table in self._tables.values())
+
+    def version_token(self) -> Tuple[int, int, int]:
+        """``(catalog, data, stats)`` versions as one comparable token.
+
+        Any DDL, insert, truncate, or ANALYZE changes the token, so a
+        plan cached under one token is provably planned against the
+        current schema, data, and statistics while the token matches.
+        The per-table counters only ever advance; a dropped table's
+        contribution is covered by the catalog-version bump of the
+        DROP itself.
+        """
+        return (self.catalog_version, self.data_version, self.stats_version)
+
+    # ------------------------------------------------------------------
     # Value domains (CHECK-style bounds)
     # ------------------------------------------------------------------
     def declare_domain(
@@ -147,6 +186,7 @@ class Database:
         table = self.table(table_name)
         table.schema.index_of(column)
         self._domains[(table.name, column.lower())] = (lower, upper)
+        self._catalog_version += 1
 
     def domain(
         self, table_name: str, column: str

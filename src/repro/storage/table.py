@@ -28,6 +28,13 @@ class Table:
         self._indexes: Dict[str, HashIndex | SortedIndex] = {}
         self._statistics: Optional[TableStats] = None
         self._column_store: Optional[Any] = None
+        # Monotonic change counters consumed by the serving layer's
+        # plan cache: ``data_version`` advances on every mutation,
+        # ``stats_version`` on every ANALYZE/invalidate.  A cached plan
+        # is valid only while both are unchanged (see
+        # repro.serve.plan_cache).
+        self._data_version = 0
+        self._stats_version = 0
 
     # ------------------------------------------------------------------
     # Row access
@@ -66,6 +73,7 @@ class Table:
         if self._statistics is not None:
             self._statistics.note_insert(validated, self.schema.column_names)
         self._column_store = None
+        self._data_version += 1
         return row_id
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -89,6 +97,8 @@ class Table:
             index.clear()
         self._statistics = None
         self._column_store = None
+        self._data_version += 1
+        self._stats_version += 1
 
     # ------------------------------------------------------------------
     # Columnar image
@@ -119,10 +129,22 @@ class Table:
     def analyze(self, buckets: int = HISTOGRAM_BUCKETS) -> TableStats:
         """(Re)collect full statistics; kept fresh by later inserts."""
         self._statistics = analyze_table(self, buckets=buckets)
+        self._stats_version += 1
         return self._statistics
 
     def invalidate_statistics(self) -> None:
         self._statistics = None
+        self._stats_version += 1
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter advanced by every insert/truncate."""
+        return self._data_version
+
+    @property
+    def stats_version(self) -> int:
+        """Monotonic counter advanced by ANALYZE/invalidate/truncate."""
+        return self._stats_version
 
     # ------------------------------------------------------------------
     # Indexes

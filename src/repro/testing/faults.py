@@ -12,6 +12,8 @@ cache-insert  immediately before an NLJP cache ``put``
 inner-eval immediately before an NLJP inner-query (Q_R) evaluation
 qe         before each subsumption-predicate derivation (optimizer)
 reducer    before each a-priori reducer build (optimizer)
+plan-cache before each shared plan-cache lookup (serving layer)
+admission  before each admission-controller decision (serving layer)
 ========== ==========================================================
 
 Triggers are deterministic: either *by count* (``after`` — fire from
@@ -36,7 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import InjectedFaultError
 
-#: Every site the engine/optimizer reports to a fault plan.
+#: Every site the engine/optimizer/server reports to a fault plan.
 FAULT_SITES = (
     "scan",
     "join-pair",
@@ -44,6 +46,8 @@ FAULT_SITES = (
     "inner-eval",
     "qe",
     "reducer",
+    "plan-cache",
+    "admission",
 )
 
 FaultException = Union[BaseException, Callable[[], BaseException]]

@@ -233,3 +233,73 @@ def test_bench_record_includes_new_counters_and_events(small_db):
     assert "subsumption_merges" in record["counters"]
     assert "degradations" not in record["counters"]
     assert isinstance(record["degradations"], list)
+
+
+# ---------------------------------------------------------------------------
+# Thread safety: the 8-thread hammer
+# ---------------------------------------------------------------------------
+
+
+def test_registry_is_thread_safe_under_8_thread_hammer():
+    """Exact totals survive 8 threads hammering shared metrics.
+
+    Every thread drives the same counter, gauge, and histogram through
+    the registry (increments, high-water updates, observations) while
+    another mixes in renders.  Lost updates would show up as totals
+    below the exact expected values.
+    """
+    import threading
+
+    registry = MetricsRegistry()
+    counter = registry.counter("hammer_total", "increments", ("thread",))
+    shared = registry.counter("hammer_shared_total", "shared increments")
+    gauge = registry.gauge("hammer_high_water", "max value seen")
+    histogram = registry.histogram(
+        "hammer_seconds", "observations", buckets=(0.5, 1.5, 2.5)
+    )
+    n_threads, per_thread = 8, 2000
+
+    def hammer(index):
+        for step in range(per_thread):
+            counter.inc(thread=str(index))
+            shared.inc()
+            gauge.set_max(index * per_thread + step)
+            histogram.observe(index % 3)
+            if step % 500 == 0:
+                registry.render()
+
+    threads = [
+        threading.Thread(target=hammer, args=(index,))
+        for index in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+
+    assert shared.value() == n_threads * per_thread
+    for index in range(n_threads):
+        assert counter.value(thread=str(index)) == per_thread
+    assert gauge.value() == (n_threads - 1) * per_thread + per_thread - 1
+    rendered = registry.render()
+    assert f"hammer_seconds_count {n_threads * per_thread}" in rendered
+
+
+def test_concurrent_registration_returns_one_metric_instance():
+    import threading
+
+    registry = MetricsRegistry()
+    instances = []
+    lock = threading.Lock()
+
+    def register():
+        metric = registry.counter("same_name", "idempotent", ("a",))
+        with lock:
+            instances.append(metric)
+
+    threads = [threading.Thread(target=register) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10.0)
+    assert all(metric is instances[0] for metric in instances)

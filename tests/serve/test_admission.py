@@ -1,0 +1,124 @@
+"""Admission controller: concurrency bounds, queueing, load shedding."""
+
+import threading
+
+import pytest
+
+from repro.errors import AdmissionRejectedError
+from repro.serve.admission import AdmissionController
+
+
+def test_admits_up_to_max_concurrent():
+    controller = AdmissionController(max_concurrent=2, max_queue=0)
+    assert controller.acquire() == 0.0
+    assert controller.acquire() == 0.0
+    assert controller.active == 2
+    with pytest.raises(AdmissionRejectedError) as info:
+        controller.acquire()
+    assert info.value.reason == "queue-full"
+    controller.release()
+    assert controller.acquire() == 0.0
+
+
+def test_queue_deadline_rejection():
+    controller = AdmissionController(
+        max_concurrent=1, max_queue=4, queue_timeout_seconds=0.05
+    )
+    controller.acquire()
+    with pytest.raises(AdmissionRejectedError) as info:
+        controller.acquire()
+    assert info.value.reason == "queue-deadline"
+    assert info.value.waited_seconds >= 0.05
+    assert controller.outcomes["rejected-queue-deadline"] == 1
+    controller.release()
+
+
+def test_queued_caller_admitted_when_slot_frees():
+    controller = AdmissionController(
+        max_concurrent=1, max_queue=4, queue_timeout_seconds=5.0
+    )
+    controller.acquire()
+    admitted = []
+
+    def waiter():
+        admitted.append(controller.acquire())
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    # Give the waiter time to enter the queue, then free the slot.
+    for _ in range(100):
+        if controller.queued == 1:
+            break
+        threading.Event().wait(0.005)
+    controller.release()
+    thread.join(timeout=5.0)
+    assert len(admitted) == 1 and admitted[0] >= 0.0
+    assert controller.outcomes["admitted"] == 2
+    controller.release()
+
+
+def test_headroom_load_shedding_and_recovery():
+    controller = AdmissionController(max_concurrent=4, headroom_floor=0.2)
+    controller.note_headroom({"rows_scanned": 0.1, "deadline_seconds": 0.9})
+    with pytest.raises(AdmissionRejectedError) as info:
+        controller.acquire()
+    assert info.value.reason == "headroom"
+    # A later healthy query clears the shed state.
+    controller.note_headroom({"rows_scanned": 0.8})
+    assert controller.acquire() == 0.0
+    controller.release()
+    # An ungoverned query (no budgets) reads as fully healthy.
+    controller.note_headroom({"rows_scanned": 0.0})
+    controller.note_headroom({})
+    assert controller.acquire() == 0.0
+    controller.release()
+
+
+def test_fair_share():
+    controller = AdmissionController(max_concurrent=4)
+    assert controller.fair_share(1000) == 250
+    assert controller.fair_share(2) == 1  # never below one unit
+    assert controller.fair_share(None) is None
+
+
+def test_admit_context_manager_releases_on_error():
+    controller = AdmissionController(max_concurrent=1, max_queue=0)
+    with pytest.raises(RuntimeError):
+        with controller.admit():
+            assert controller.active == 1
+            raise RuntimeError("boom")
+    assert controller.active == 0
+
+
+def test_concurrent_hammer_never_exceeds_limit():
+    controller = AdmissionController(
+        max_concurrent=3, max_queue=64, queue_timeout_seconds=10.0
+    )
+    peak = [0]
+    lock = threading.Lock()
+
+    def work():
+        for _ in range(25):
+            with controller.admit():
+                with lock:
+                    peak[0] = max(peak[0], controller.active)
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert peak[0] <= 3
+    assert controller.active == 0
+    assert controller.outcomes["admitted"] == 8 * 25
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="max_concurrent"):
+        AdmissionController(max_concurrent=0)
+    with pytest.raises(ValueError, match="max_queue"):
+        AdmissionController(max_queue=-1)
+    with pytest.raises(ValueError, match="headroom_floor"):
+        AdmissionController(headroom_floor=1.0)
+    with pytest.raises(ValueError, match="queue_timeout_seconds"):
+        AdmissionController(queue_timeout_seconds=-0.1)

@@ -1,0 +1,96 @@
+"""Circuit breaker state machine, on a virtual clock."""
+
+import pytest
+
+from repro.serve.circuit import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class VirtualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+def test_closed_allows_and_isolated_failures_do_not_trip(clock):
+    breaker = CircuitBreaker("apriori", failure_threshold=3, clock=clock)
+    for _ in range(10):
+        assert breaker.allow()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # resets the consecutive count
+    assert breaker.state == CLOSED
+
+
+def test_consecutive_failures_trip_open(clock):
+    breaker = CircuitBreaker(
+        "apriori", failure_threshold=3, recovery_seconds=30.0, clock=clock
+    )
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state == OPEN
+    assert not breaker.allow()
+    assert breaker.retry_after_seconds() == pytest.approx(30.0)
+
+
+def test_half_open_probe_after_recovery_then_close(clock):
+    breaker = CircuitBreaker(
+        "memprune", failure_threshold=1, recovery_seconds=10.0, clock=clock
+    )
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.advance(9.9)
+    assert not breaker.allow()
+    clock.advance(0.2)
+    assert breaker.allow()  # the probe
+    assert breaker.state == HALF_OPEN
+    assert not breaker.allow()  # only one probe at a time
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+
+
+def test_failed_probe_reopens(clock):
+    breaker = CircuitBreaker(
+        "memprune", failure_threshold=1, recovery_seconds=10.0, clock=clock
+    )
+    breaker.record_failure()
+    clock.advance(11.0)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert not breaker.allow()
+    # A fresh recovery window starts from the re-open.
+    clock.advance(11.0)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CLOSED
+
+
+def test_transition_counters(clock):
+    breaker = CircuitBreaker(
+        "apriori", failure_threshold=1, recovery_seconds=5.0, clock=clock
+    )
+    breaker.record_failure()
+    clock.advance(6.0)
+    breaker.allow()
+    breaker.record_success()
+    assert breaker.transitions == {OPEN: 1, HALF_OPEN: 1, CLOSED: 1}
+
+
+def test_validation(clock):
+    with pytest.raises(ValueError, match="failure_threshold"):
+        CircuitBreaker("x", failure_threshold=0)
+    with pytest.raises(ValueError, match="recovery_seconds"):
+        CircuitBreaker("x", recovery_seconds=-1.0)
+    with pytest.raises(ValueError, match="half_open_probes"):
+        CircuitBreaker("x", half_open_probes=0)

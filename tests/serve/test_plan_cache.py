@@ -1,0 +1,82 @@
+"""The shared plan cache: tokens, LRU, invalidation accounting."""
+
+from repro.serve.plan_cache import PlanCache
+
+import pytest
+
+MASK = frozenset({"apriori", "memprune"})
+
+
+def test_miss_store_hit():
+    cache = PlanCache(max_entries=4)
+    token = (1, 0, 0)
+    assert cache.lookup("SELECT 1", MASK, token) is None
+    entry = cache.store("SELECT 1", MASK, token, optimized="plan")
+    found = cache.lookup("SELECT 1", MASK, token)
+    assert found is entry
+    assert found.optimized == "plan"
+    assert found.hits == 1
+    assert cache.stats() == {
+        "entries": 1, "hits": 1, "misses": 1, "invalidations": 0, "evictions": 0,
+    }
+
+
+def test_stale_token_invalidates_lazily():
+    cache = PlanCache(max_entries=4)
+    cache.store("SELECT 1", MASK, (1, 5, 2), optimized="old")
+    # Data version moved (an insert happened): the entry is dropped at
+    # lookup time and the caller re-optimizes.
+    assert cache.lookup("SELECT 1", MASK, (1, 6, 2)) is None
+    assert cache.stats()["invalidations"] == 1
+    assert len(cache) == 0
+    cache.store("SELECT 1", MASK, (1, 6, 2), optimized="new")
+    assert cache.lookup("SELECT 1", MASK, (1, 6, 2)).optimized == "new"
+
+
+def test_distinct_technique_masks_are_distinct_entries():
+    cache = PlanCache(max_entries=4)
+    token = (0, 0, 0)
+    cache.store("SELECT 1", MASK, token, optimized="full")
+    cache.store("SELECT 1", frozenset({"apriori"}), token, optimized="degraded")
+    assert cache.lookup("SELECT 1", MASK, token).optimized == "full"
+    assert (
+        cache.lookup("SELECT 1", frozenset({"apriori"}), token).optimized
+        == "degraded"
+    )
+
+
+def test_lru_eviction_prefers_recently_used():
+    cache = PlanCache(max_entries=2)
+    token = (0, 0, 0)
+    cache.store("a", MASK, token, optimized=1)
+    cache.store("b", MASK, token, optimized=2)
+    cache.lookup("a", MASK, token)  # refresh "a"
+    cache.store("c", MASK, token, optimized=3)  # evicts "b"
+    assert cache.lookup("a", MASK, token) is not None
+    assert cache.lookup("b", MASK, token) is None
+    assert cache.stats()["evictions"] == 1
+
+
+def test_discard_and_invalidate_all():
+    cache = PlanCache(max_entries=4)
+    token = (0, 0, 0)
+    cache.store("a", MASK, token, optimized=1)
+    cache.store("b", MASK, token, optimized=2)
+    assert cache.discard("a", MASK)
+    assert not cache.discard("a", MASK)
+    assert cache.invalidate_all() == 1
+    assert len(cache) == 0
+    assert cache.stats()["invalidations"] == 2
+
+
+def test_entries_carry_an_execution_lock():
+    cache = PlanCache()
+    entry = cache.store("a", MASK, (0, 0, 0), optimized=1)
+    with entry.lock:  # usable as a context manager, reentrant
+        with entry.lock:
+            pass
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="max_entries"):
+        PlanCache(max_entries=0)

@@ -1,0 +1,206 @@
+"""Retry taxonomy and deterministic backoff.
+
+The taxonomy test is the satellite's contract: every error class the
+library can raise is classified exactly once, so a new error type
+added without a retryable/fatal decision fails CI here.
+"""
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    AdmissionRejectedError,
+    BudgetExceededError,
+    CircuitOpenError,
+    InjectedFaultError,
+    ParseError,
+    QueryCancelledError,
+    ReproError,
+    UnknownTableError,
+)
+from repro.serve.retry import (
+    ERROR_TAXONOMY,
+    FATAL,
+    RETRYABLE,
+    BackoffSchedule,
+    RetryPolicy,
+    classify_error,
+)
+
+
+class TestTaxonomy:
+    def test_every_error_class_classified_exactly_once(self):
+        declared = {
+            obj
+            for obj in vars(errors).values()
+            if isinstance(obj, type) and issubclass(obj, ReproError)
+        }
+        assert declared == set(ERROR_TAXONOMY)
+        # "exactly once": the mapping is by class object, so one row per
+        # class by construction; every value is a valid category.
+        assert set(ERROR_TAXONOMY.values()) == {RETRYABLE, FATAL}
+
+    def test_transient_conditions_are_retryable(self):
+        assert classify_error(InjectedFaultError("boom", site="scan")) == RETRYABLE
+        assert classify_error(AdmissionRejectedError("shed")) == RETRYABLE
+        assert classify_error(CircuitOpenError("open")) == RETRYABLE
+
+    def test_deterministic_failures_are_fatal(self):
+        assert classify_error(ParseError("bad sql")) == FATAL
+        assert classify_error(BudgetExceededError("over")) == FATAL
+        assert classify_error(QueryCancelledError("cancelled")) == FATAL
+        assert classify_error(UnknownTableError("nope")) == FATAL
+
+    def test_unknown_subclass_inherits_parent_classification(self):
+        class CustomFault(InjectedFaultError):
+            pass
+
+        class CustomPlanning(errors.PlanningError):
+            pass
+
+        assert classify_error(CustomFault("x", site="scan")) == RETRYABLE
+        assert classify_error(CustomPlanning("x")) == FATAL
+
+    def test_non_repro_errors_are_fatal(self):
+        assert classify_error(KeyError("raw")) == FATAL
+        assert classify_error(RuntimeError("raw")) == FATAL
+
+
+class TestBackoff:
+    def test_same_seed_and_key_replays_identically(self):
+        schedule = BackoffSchedule(seed=42)
+        first = [next(iter_) for iter_ in [schedule.delays("s1:1")] for _ in range(6)]
+        again = []
+        it = schedule.delays("s1:1")
+        for _ in range(6):
+            again.append(next(it))
+        assert first == again
+
+    def test_different_keys_draw_independent_jitter(self):
+        schedule = BackoffSchedule(seed=42)
+        a = [d for d, _ in zip(schedule.delays("a"), range(6))]
+        b = [d for d, _ in zip(schedule.delays("b"), range(6))]
+        assert a != b
+
+    def test_exponential_growth_and_cap(self):
+        schedule = BackoffSchedule(
+            base_seconds=1.0, multiplier=2.0, max_seconds=4.0, jitter=0.0
+        )
+        delays = [d for d, _ in zip(schedule.delays(), range(5))]
+        assert delays == [1.0, 2.0, 4.0, 4.0, 4.0]
+
+    def test_jitter_only_shrinks_delays(self):
+        schedule = BackoffSchedule(
+            base_seconds=1.0, multiplier=1.0, max_seconds=1.0, jitter=0.5, seed=3
+        )
+        for delay, _ in zip(schedule.delays("k"), range(20)):
+            assert 0.5 <= delay <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="multiplier"):
+            BackoffSchedule(multiplier=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            BackoffSchedule(jitter=1.5)
+        with pytest.raises(ValueError, match="base_seconds"):
+            BackoffSchedule(base_seconds=-1.0)
+
+
+class TestRetryPolicy:
+    def test_retryable_error_is_retried_to_success(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise InjectedFaultError("transient", site="scan")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.run(flaky) == "ok"
+        assert len(attempts) == 3
+
+    def test_fatal_error_is_not_retried(self):
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise ParseError("bad")
+
+        policy = RetryPolicy(max_attempts=5)
+        with pytest.raises(ParseError) as info:
+            policy.run(broken)
+        assert len(attempts) == 1
+        assert info.value.retry_attempts == 1
+
+    def test_exhaustion_reraises_the_typed_error_with_annotations(self):
+        def always():
+            raise InjectedFaultError("transient", site="scan")
+
+        policy = RetryPolicy(max_attempts=3)
+        with pytest.raises(InjectedFaultError) as info:
+            policy.run(always, key="k")
+        assert info.value.retry_attempts == 3
+        assert info.value.retry_backoff_seconds > 0.0
+
+    def test_backoff_is_virtual_time(self):
+        """No wall-clock sleeping: delays go to the injected callable."""
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=4,
+            schedule=BackoffSchedule(
+                base_seconds=10.0, multiplier=2.0, max_seconds=100.0,
+                jitter=0.0, seed=0,
+            ),
+            sleep=slept.append,
+        )
+
+        import time
+
+        started = time.perf_counter()
+        with pytest.raises(InjectedFaultError):
+            policy.run(
+                lambda: (_ for _ in ()).throw(
+                    InjectedFaultError("transient", site="scan")
+                )
+            )
+        assert time.perf_counter() - started < 1.0  # 70 virtual seconds
+        assert slept == [10.0, 20.0, 40.0]
+
+    def test_replay_is_deterministic_under_fixed_seed(self):
+        def episode():
+            slept = []
+            policy = RetryPolicy(
+                max_attempts=4,
+                schedule=BackoffSchedule(seed=7),
+                sleep=slept.append,
+            )
+            with pytest.raises(InjectedFaultError):
+                policy.run(
+                    lambda: (_ for _ in ()).throw(
+                        InjectedFaultError("transient", site="scan")
+                    ),
+                    key="session-1:5",
+                )
+            return slept
+
+        assert episode() == episode()
+
+    def test_on_retry_callback_sees_error_attempt_delay(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise InjectedFaultError("transient", site="scan")
+            return 1
+
+        policy = RetryPolicy(max_attempts=3)
+        policy.run(flaky, on_retry=lambda e, n, d: seen.append((type(e), n, d)))
+        assert [entry[:2] for entry in seen] == [
+            (InjectedFaultError, 1),
+            (InjectedFaultError, 2),
+        ]
+        assert all(delay > 0 for _, _, delay in seen)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)

@@ -25,7 +25,12 @@ QUERIES = {name: q.sql for name, q in figure1_queries().items()}
 #: count trigger must fire early; execution sites get a later trigger
 #: to prove mid-run aborts leave consistent partial stats.
 TRIGGER_AFTER = {"qe": 0, "reducer": 0, "scan": 20, "join-pair": 20,
-                 "cache-insert": 2, "inner-eval": 2}
+                 "cache-insert": 2, "inner-eval": 2,
+                 # Serving-layer sites: never observed by a bare
+                 # SmartIceberg, so the matrix proves the un-faulted
+                 # rows come back exactly (tests/serve exercises the
+                 # sites themselves through IcebergServer).
+                 "plan-cache": 0, "admission": 0}
 
 _baselines = {}
 
