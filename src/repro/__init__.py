@@ -50,7 +50,7 @@ from repro.core import (
 from repro.serve import IcebergServer, Session
 from repro.storage import Column, Database, SqlType, Table, TableSchema
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CancelToken",

@@ -12,7 +12,8 @@ Usage::
 Named targets resolve to (schema, SQL) pairs: ``Q1``..``Q8`` are the
 Figure 1 suite over the batting schema; ``complex``, ``market_basket``
 and ``discount`` are the paper's example queries over their own
-schemas.  Free-form targets are SQL text (or a path to a ``.sql``
+schemas; ``triangle``, ``square`` and ``triangle_hub`` are the cyclic
+WCOJ workload over the edge graph.  Free-form targets are SQL text (or a path to a ``.sql``
 file) analyzed against ``--db``.
 
 ``--trace PATH`` additionally *executes* every linted named target
@@ -80,8 +81,20 @@ def _discount_db() -> Database:
     return db
 
 
+@_builder("cyclic")
+def _cyclic_db() -> Database:
+    from repro.workloads.cyclic import CyclicConfig, make_cyclic_db
+
+    return make_cyclic_db(CyclicConfig(n_edges=60, seed=7))
+
+
 def named_targets() -> Dict[str, Tuple[str, str]]:
     """Named lint targets: target name -> (schema name, SQL text)."""
+    from repro.workloads.cyclic import (
+        square_query,
+        triangle_hub_query,
+        triangle_query,
+    )
     from repro.workloads.queries import (
         complex_query,
         discount_query,
@@ -96,6 +109,9 @@ def named_targets() -> Dict[str, Tuple[str, str]]:
     targets["complex"] = ("perf", complex_query())
     targets["market_basket"] = ("basket", market_basket_query())
     targets["discount"] = ("discount", discount_query())
+    targets["triangle"] = ("cyclic", triangle_query())
+    targets["square"] = ("cyclic", square_query())
+    targets["triangle_hub"] = ("cyclic", triangle_hub_query())
     return targets
 
 

@@ -16,6 +16,8 @@ Usage::
         --headline-rows 10000 --out BENCH_2.json # columnar headline
     python -m repro.bench.record \\
         --no-headline --concurrency --out BENCH_3.json  # serving qps
+    python -m repro.bench.record \\
+        --no-headline --wcoj --out BENCH_4.json  # trie join vs pairwise
 
 ``--check`` makes the run fail if any batch- or columnar-mode
 ``cost()`` (or any individual work counter, modulo the zone-map fold
@@ -309,6 +311,75 @@ def run_zonemap(n_rows: int) -> Dict[str, Any]:
     }
 
 
+#: Edge count for the worst-case-optimal-join section (BENCH_4.json
+#: uses 10000; the CI smoke run shrinks it).
+WCOJ_EDGES = 10_000
+
+#: Required pairwise/WCOJ ``join_pairs`` advantage on the triangle
+#: query; below this the recorded run is flagged as a problem.
+WCOJ_MIN_RATIO = 5.0
+
+
+def run_wcoj(n_edges: int) -> Dict[str, Any]:
+    """Triangle query on the cyclic graph: auto vs. forced pairwise.
+
+    Records the ``join_pairs`` both ways, the reduction ratio, the
+    planner's AGM gate line, and the bit-identity proof (``auto`` must
+    return *exactly* the pairwise rows, order included).  The square
+    (4-cycle) query rides along to record trie-subtree cache hits,
+    which the triangle can never have.
+    """
+    import dataclasses
+
+    from repro.engine.executor import execute
+    from repro.engine.planner import EngineConfig, plan_query
+    from repro.sql.parser import parse
+    from repro.workloads import (
+        CyclicConfig,
+        make_cyclic_db,
+        square_query,
+        triangle_query,
+    )
+
+    db = make_cyclic_db(CyclicConfig(n_edges=n_edges, seed=RECORD_SEED))
+    auto = EngineConfig.smart()
+    pairwise = dataclasses.replace(auto, join_algo="pairwise")
+
+    gate = None
+    for line in plan_query(db, parse(triangle_query()), auto).explain().splitlines():
+        if "[wcoj:" in line:
+            gate = line[line.index("[wcoj:") + 1 : line.rindex("]")]
+            break
+
+    start = time.perf_counter()
+    auto_result = execute(db, triangle_query(), auto)
+    auto_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    pairwise_result = execute(db, triangle_query(), pairwise)
+    pairwise_seconds = time.perf_counter() - start
+    square = execute(db, square_query(), auto)
+    square_pairwise = execute(db, square_query(), pairwise)
+
+    auto_pairs = auto_result.stats.join_pairs
+    pairwise_pairs = pairwise_result.stats.join_pairs
+    return {
+        "query": "triangle",
+        "n_edges": n_edges,
+        "seed": RECORD_SEED,
+        "gate": gate,
+        "rows": len(auto_result.rows),
+        "auto_join_pairs": auto_pairs,
+        "pairwise_join_pairs": pairwise_pairs,
+        "join_pairs_ratio": round(pairwise_pairs / max(auto_pairs, 1), 3),
+        "auto_seconds": round(auto_seconds, 6),
+        "pairwise_seconds": round(pairwise_seconds, 6),
+        "rows_identical": auto_result.rows == pairwise_result.rows,
+        "auto_chose_wcoj": auto_pairs < pairwise_pairs,
+        "square_rows_identical": square.rows == square_pairwise.rows,
+        "square_cache_hits": square.stats.cache_hits,
+    }
+
+
 #: Session counts for the serving-layer concurrency section.
 CONCURRENCY_SESSIONS = (1, 2, 4, 8)
 
@@ -432,6 +503,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"(queries/sec at N={','.join(map(str, CONCURRENCY_SESSIONS))} "
         "sessions; BENCH_3.json)",
     )
+    parser.add_argument(
+        "--wcoj",
+        action="store_true",
+        help="also run the worst-case-optimal-join section "
+        "(triangle query, auto vs. forced pairwise; BENCH_4.json)",
+    )
+    parser.add_argument(
+        "--wcoj-edges",
+        type=int,
+        default=WCOJ_EDGES,
+        metavar="N",
+        help=f"edge count for the --wcoj section (default: {WCOJ_EDGES})",
+    )
     args = parser.parse_args(argv)
 
     scale = args.scale if args.scale is not None else bench_scale()
@@ -447,6 +531,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     zonemap = None if args.no_headline else run_zonemap(args.headline_rows)
     concurrency = run_concurrency(suite_rows) if args.concurrency else None
+    wcoj = run_wcoj(args.wcoj_edges) if args.wcoj else None
     elapsed = time.perf_counter() - start
 
     if concurrency is not None:
@@ -455,6 +540,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 problems.append(
                     f"concurrency: wrong rows at {cell['sessions']} sessions"
                 )
+
+    if wcoj is not None:
+        if not wcoj["rows_identical"] or not wcoj["square_rows_identical"]:
+            problems.append("wcoj: trie join rows differ from pairwise rows")
+        if wcoj["gate"] is None or "-> wcoj" not in wcoj["gate"]:
+            problems.append(
+                f"wcoj: auto gate did not pick the trie join ({wcoj['gate']})"
+            )
+        if wcoj["join_pairs_ratio"] < WCOJ_MIN_RATIO:
+            problems.append(
+                "wcoj: join_pairs reduction "
+                f"{wcoj['join_pairs_ratio']}x below {WCOJ_MIN_RATIO}x"
+            )
 
     if zonemap is not None:
         if zonemap["chunks_skipped"] <= 0:
@@ -483,6 +581,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "headline": headline,
         "zonemap": zonemap,
         "concurrency": concurrency,
+        "wcoj": wcoj,
         "mode_parity_ok": not problems,
         "total_seconds": round(elapsed, 3),
     }
@@ -516,6 +615,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             for cell in concurrency["cells"]
         )
         print(f"concurrency (n={concurrency['n_rows']}): {summary}")
+    if wcoj is not None:
+        print(
+            f"wcoj triangle (m={wcoj['n_edges']}): auto "
+            f"{wcoj['auto_join_pairs']} pairs vs pairwise "
+            f"{wcoj['pairwise_join_pairs']} "
+            f"({wcoj['join_pairs_ratio']:.1f}x), "
+            f"identical={wcoj['rows_identical']}, "
+            f"square cache_hits={wcoj['square_cache_hits']}"
+        )
     if problems:
         for problem in problems:
             print(f"PARITY DRIFT: {problem}", file=sys.stderr)

@@ -1,9 +1,32 @@
-"""The NLJP operator's cache (Section 5.1, Section 6, Section 7).
+"""Binding-keyed caches: NLJP's memo/pruning cache and the trie-join cache.
 
-The cache maps a *binding* (the tuple of 𝕁_L values) to the memoized
-inner-query results for that binding, plus an *unpromising* flag
-(Definition 5: Φ fails for every 𝔾_R-partition of the joining
-R-tuples).  It serves two distinct reads:
+Two operators in this engine cache *sub-binding outcomes*:
+
+* :class:`NLJPCache` — the NLJP operator's cache (Section 5.1, Section
+  6, Section 7).  It maps a *binding* (the tuple of 𝕁_L values) to the
+  memoized inner-query results for that binding, plus an *unpromising*
+  flag (Definition 5: Φ fails for every 𝔾_R-partition of the joining
+  R-tuples).
+* :class:`TrieCache` — the leapfrog trie join's cache-across-bindings
+  (:mod:`repro.engine.wcoj`, after *Flexible Caching in Trie Joins*,
+  Kalinsky et al.).  It maps the *projection* of a variable-binding
+  prefix onto the variables the remaining relations still reference to
+  the set of suffix assignments enumerated below that point — two
+  prefixes that agree on the projection share one subtree.
+
+Both are policies over the same mechanism, so both derive from
+:class:`BudgetedBindingCache`: an OrderedDict of entries under a
+re-entrant lock, with replacement policies ``"none"`` (unbounded),
+``"lru"``, and ``"utility"`` (evict the entry with the fewest hits),
+incremental ``bytes_used`` accounting, and the governor's
+graceful-degradation contract (``evict_until`` under memory pressure,
+``clear`` when eviction cannot satisfy the budget).  The governor's
+``max_cache_bytes`` ceiling therefore charges and degrades trie-join
+caching exactly like NLJP caching, and either cache can be pinned
+across executions of a prepared statement (the PR 7
+``cross_query_memo`` path).
+
+The NLJP cache serves two distinct reads:
 
 * **memoization** — exact-match lookup by binding (``get``), and
 * **pruning** — search for an unpromising cached binding that
@@ -17,19 +40,15 @@ equality-constrained attributes of the derived subsumption predicate
 (CI).  ``prune_checks`` counts candidate comparisons either way, so
 benchmarks see the index's effect.
 
-Replacement policies (the paper's future work, implemented here):
-``"none"`` (unbounded), ``"lru"``, and ``"utility"`` (evict the entry
-with the fewest hits).
-
 **Concurrency.**  The serving layer (:mod:`repro.serve`) keeps one
 cache alive across the executions of a prepared statement and may be
 asked for it from many sessions, so every structural operation happens
-under an internal re-entrant lock and :meth:`prune_candidates` returns
-a *snapshot* of the qualifying entries rather than a live generator —
-an eviction racing the pruning scan can therefore never mutate a list
-mid-iteration.  Single-query executions pay one uncontended lock
-acquisition per operation, which profiles as noise next to the inner
-query evaluation each operation guards.
+under an internal re-entrant lock and :meth:`NLJPCache.prune_candidates`
+returns a *snapshot* of the qualifying entries rather than a live
+generator — an eviction racing the pruning scan can therefore never
+mutate a list mid-iteration.  Single-query executions pay one
+uncontended lock acquisition per operation, which profiles as noise
+next to the inner query evaluation each operation guards.
 """
 
 from __future__ import annotations
@@ -46,6 +65,9 @@ Binding = Tuple[Any, ...]
 #: (group_values, aggregate_values).  Empty list = binding joins nothing.
 PayloadRows = Tuple[Tuple[Binding, Tuple[Any, ...]], ...]
 
+#: Replacement policies shared by every binding cache.
+CACHE_POLICIES = ("none", "lru", "utility")
+
 
 @dataclass(slots=True)
 class CacheEntry:
@@ -55,8 +77,16 @@ class CacheEntry:
     hits: int = 0
 
 
+def _value_bytes(value: Any) -> int:
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, str):
+        return len(value)
+    return 8
+
+
 def entry_bytes(entry: CacheEntry) -> int:
-    """Measured footprint of one cache entry.
+    """Measured footprint of one NLJP cache entry.
 
     Charged like a PostgreSQL heap row (matching
     :meth:`repro.storage.table.Table.estimated_bytes`) so cache sizes
@@ -64,56 +94,46 @@ def entry_bytes(entry: CacheEntry) -> int:
     governor's ``max_cache_bytes`` ceiling has meaningful units.
     """
     per_row_overhead = 24
-
-    def value_bytes(value: Any) -> int:
-        if value is None or isinstance(value, bool):
-            return 1
-        if isinstance(value, str):
-            return len(value)
-        return 8
-
     total = per_row_overhead
-    total += sum(value_bytes(v) for v in entry.binding)
+    total += sum(_value_bytes(v) for v in entry.binding)
     total += 1  # unpromising flag
     for group_values, aggregate_values in entry.payload:
-        total += sum(value_bytes(v) for v in group_values)
+        total += sum(_value_bytes(v) for v in group_values)
         for value in aggregate_values:
             if isinstance(value, tuple):  # algebraic partial state
-                total += sum(value_bytes(v) for v in value)
+                total += sum(_value_bytes(v) for v in value)
             else:
-                total += value_bytes(value)
+                total += _value_bytes(value)
     return total
 
 
-class NLJPCache:
-    """Binding-keyed cache with optional equality-bucket index."""
+class BudgetedBindingCache:
+    """Shared policy layer for binding-keyed caches.
+
+    Provides the OrderedDict entry map, the re-entrant lock, the
+    ``lookups``/``hits``/``evictions`` counters, incremental
+    ``bytes_used`` accounting, and the replacement policies.
+    Subclasses implement :meth:`_entry_bytes` plus optional hooks for
+    side structures (:meth:`_forget`, :meth:`_reset_side_structures`)
+    and provide their own typed ``put``.
+
+    This is the surface the governor's graceful degradation drives:
+    when ``max_cache_bytes`` trips with ``degradation="fallback"`` the
+    operator calls :meth:`evict_until` (never evicting the entry just
+    inserted), and :meth:`clear` when eviction alone cannot satisfy the
+    budget — identically for NLJP and trie-join caches.
+    """
 
     def __init__(
-        self,
-        equality_positions: Sequence[int] = (),
-        use_index: bool = True,
-        max_entries: Optional[int] = None,
-        policy: str = "none",
-        order_position: Optional[int] = None,
+        self, max_entries: Optional[int] = None, policy: str = "none"
     ) -> None:
-        if policy not in ("none", "lru", "utility"):
+        if policy not in CACHE_POLICIES:
             raise ValueError(f"unknown cache policy {policy!r}")
         if policy != "none" and max_entries is None:
             raise ValueError(f"policy {policy!r} requires max_entries")
-        self.equality_positions = tuple(equality_positions)
-        self.use_index = use_index and bool(self.equality_positions)
-        self.order_position = order_position if use_index else None
         self.max_entries = max_entries
         self.policy = policy
-        self._entries: "OrderedDict[Binding, CacheEntry]" = OrderedDict()
-        self._unpromising_buckets: Dict[Binding, List[CacheEntry]] = {}
-        self._unpromising_all: List[CacheEntry] = []
-        # Unpromising entries sorted by binding[order_position]: a single
-        # insort-maintained list of (key, seq, entry) tuples.  The
-        # monotonic seq breaks ties between equal keys (preserving
-        # insertion order) so tuple comparison never reaches the entry.
-        self._order: List[Tuple[Any, int, CacheEntry]] = []
-        self._order_seq = 0
+        self._entries: "OrderedDict[Binding, Any]" = OrderedDict()
         self._lock = threading.RLock()
         self.lookups = 0
         self.hits = 0
@@ -126,11 +146,17 @@ class NLJPCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def _bucket_key(self, binding: Binding) -> Binding:
-        return tuple(binding[position] for position in self.equality_positions)
+    def _entry_bytes(self, entry: Any) -> int:
+        raise NotImplementedError
+
+    def _forget(self, binding: Binding, entry: Any) -> None:
+        """Remove an evicted entry from subclass side structures."""
+
+    def _reset_side_structures(self) -> None:
+        """Drop subclass side structures on :meth:`clear`."""
 
     # ------------------------------------------------------------------
-    def get(self, binding: Binding) -> Optional[CacheEntry]:
+    def get(self, binding: Binding) -> Optional[Any]:
         """Memoization lookup; refreshes LRU order on hit."""
         with self._lock:
             self.lookups += 1
@@ -143,33 +169,18 @@ class NLJPCache:
                 self._entries.move_to_end(binding)
             return entry
 
-    def put(
-        self, binding: Binding, payload: PayloadRows, unpromising: bool
-    ) -> CacheEntry:
-        entry = CacheEntry(binding=binding, payload=payload, unpromising=unpromising)
-        with self._lock:
-            previous = self._entries.get(binding)
-            if previous is None and self.max_entries is not None:
-                while len(self._entries) >= self.max_entries:
-                    self._evict_one()
-            elif previous is not None:
-                self.bytes_used -= entry_bytes(previous)
-            self.bytes_used += entry_bytes(entry)
-            self._entries[binding] = entry
-            if unpromising:
-                self._unpromising_all.append(entry)
-                if self.use_index:
-                    self._unpromising_buckets.setdefault(
-                        self._bucket_key(binding), []
-                    ).append(entry)
-                if self.order_position is not None:
-                    key = binding[self.order_position]
-                    if key is not None:
-                        self._order_seq += 1
-                        bisect.insort(self._order, (key, self._order_seq, entry))
-            return entry
+    def _admit(self, binding: Binding, entry: Any) -> None:
+        """Insert under the entry-count policy; caller holds the lock."""
+        previous = self._entries.get(binding)
+        if previous is None and self.max_entries is not None:
+            while len(self._entries) >= self.max_entries:
+                self._evict_one()
+        elif previous is not None:
+            self.bytes_used -= self._entry_bytes(previous)
+        self.bytes_used += self._entry_bytes(entry)
+        self._entries[binding] = entry
 
-    def _evict_one(self, keep: Optional[CacheEntry] = None) -> bool:
+    def _evict_one(self, keep: Optional[Any] = None) -> bool:
         """Evict one victim by policy; ``keep`` is never chosen.
 
         For policy ``"none"`` (no entry-count replacement configured)
@@ -190,26 +201,12 @@ class NLJPCache:
             return False
         victim = self._entries.pop(victim_binding)
         self.evictions += 1
-        self.bytes_used -= entry_bytes(victim)
-        if victim.unpromising:
-            self._unpromising_all = [
-                e for e in self._unpromising_all if e is not victim
-            ]
-            if self.use_index:
-                key = self._bucket_key(victim_binding)
-                bucket = self._unpromising_buckets.get(key, [])
-                self._unpromising_buckets[key] = [
-                    e for e in bucket if e is not victim
-                ]
-            if self.order_position is not None:
-                for position, (_, _, entry) in enumerate(self._order):
-                    if entry is victim:
-                        del self._order[position]
-                        break
+        self.bytes_used -= self._entry_bytes(victim)
+        self._forget(victim_binding, victim)
         return True
 
     def evict_until(
-        self, max_bytes: int, keep: Optional[CacheEntry] = None
+        self, max_bytes: int, keep: Optional[Any] = None
     ) -> int:
         """Evict by policy until ``bytes_used <= max_bytes``.
 
@@ -232,10 +229,98 @@ class NLJPCache:
         """Drop every entry (cache disabled under memory pressure)."""
         with self._lock:
             self._entries.clear()
-            self._unpromising_buckets.clear()
-            self._unpromising_all.clear()
-            self._order.clear()
+            self._reset_side_structures()
             self.bytes_used = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        """Number of cached bindings (the paper's Figure 3 row counts)."""
+        return len(self._entries)
+
+    def estimated_bytes(self) -> int:
+        """Footprint charged like a PostgreSQL heap table.
+
+        Matches :meth:`repro.storage.table.Table.estimated_bytes` so
+        cache sizes are comparable with input-table sizes (Figure 3).
+        Maintained incrementally on put/evict (see :func:`entry_bytes`),
+        so this is O(1) and safe to consult per insertion.
+        """
+        return self.bytes_used
+
+
+class NLJPCache(BudgetedBindingCache):
+    """Binding-keyed cache with optional equality-bucket index."""
+
+    def __init__(
+        self,
+        equality_positions: Sequence[int] = (),
+        use_index: bool = True,
+        max_entries: Optional[int] = None,
+        policy: str = "none",
+        order_position: Optional[int] = None,
+    ) -> None:
+        super().__init__(max_entries=max_entries, policy=policy)
+        self.equality_positions = tuple(equality_positions)
+        self.use_index = use_index and bool(self.equality_positions)
+        self.order_position = order_position if use_index else None
+        self._unpromising_buckets: Dict[Binding, List[CacheEntry]] = {}
+        self._unpromising_all: List[CacheEntry] = []
+        # Unpromising entries sorted by binding[order_position]: a single
+        # insort-maintained list of (key, seq, entry) tuples.  The
+        # monotonic seq breaks ties between equal keys (preserving
+        # insertion order) so tuple comparison never reaches the entry.
+        self._order: List[Tuple[Any, int, CacheEntry]] = []
+        self._order_seq = 0
+
+    def _entry_bytes(self, entry: CacheEntry) -> int:
+        return entry_bytes(entry)
+
+    def _bucket_key(self, binding: Binding) -> Binding:
+        return tuple(binding[position] for position in self.equality_positions)
+
+    # ------------------------------------------------------------------
+    def put(
+        self, binding: Binding, payload: PayloadRows, unpromising: bool
+    ) -> CacheEntry:
+        entry = CacheEntry(binding=binding, payload=payload, unpromising=unpromising)
+        with self._lock:
+            self._admit(binding, entry)
+            if unpromising:
+                self._unpromising_all.append(entry)
+                if self.use_index:
+                    self._unpromising_buckets.setdefault(
+                        self._bucket_key(binding), []
+                    ).append(entry)
+                if self.order_position is not None:
+                    key = binding[self.order_position]
+                    if key is not None:
+                        self._order_seq += 1
+                        bisect.insort(self._order, (key, self._order_seq, entry))
+            return entry
+
+    def _forget(self, victim_binding: Binding, victim: CacheEntry) -> None:
+        if not victim.unpromising:
+            return
+        self._unpromising_all = [
+            e for e in self._unpromising_all if e is not victim
+        ]
+        if self.use_index:
+            key = self._bucket_key(victim_binding)
+            bucket = self._unpromising_buckets.get(key, [])
+            self._unpromising_buckets[key] = [
+                e for e in bucket if e is not victim
+            ]
+        if self.order_position is not None:
+            for position, (_, _, entry) in enumerate(self._order):
+                if entry is victim:
+                    del self._order[position]
+                    break
+
+    def _reset_side_structures(self) -> None:
+        self._unpromising_buckets.clear()
+        self._unpromising_all.clear()
+        self._order.clear()
 
     # ------------------------------------------------------------------
     def prune_candidates(
@@ -280,18 +365,57 @@ class NLJPCache:
                 return tuple(entry for _, _, entry in order[start:stop])
             return tuple(self._unpromising_all)
 
-    # ------------------------------------------------------------------
-    @property
-    def rows(self) -> int:
-        """Number of cached bindings (the paper's Figure 3 row counts)."""
-        return len(self._entries)
 
-    def estimated_bytes(self) -> int:
-        """Footprint charged like a PostgreSQL heap table.
+# ----------------------------------------------------------------------
+# Trie-join cache (Kalinsky et al., "Flexible Caching in Trie Joins")
 
-        Matches :meth:`repro.storage.table.Table.estimated_bytes` so
-        cache sizes are comparable with input-table sizes (Figure 3).
-        Maintained incrementally on put/evict (see :func:`entry_bytes`),
-        so this is O(1) and safe to consult per insertion.
-        """
-        return self.bytes_used
+
+@dataclass(slots=True)
+class TrieEntry:
+    """One cached subtree of the leapfrog enumeration.
+
+    ``binding`` is the cache key: the enumeration level tagged with the
+    values of the already-bound variables that the relations still
+    active at or below that level reference.  ``payload`` is the tuple
+    of suffix assignments (values of the remaining variables, in
+    variable order) enumerated below the cache point — replaying them
+    reproduces the subtree without touching the tries again.
+    """
+
+    binding: Binding
+    payload: Tuple[Tuple[Any, ...], ...]
+    hits: int = 0
+
+
+def trie_entry_bytes(entry: TrieEntry) -> int:
+    """Footprint of one trie-cache entry, in :func:`entry_bytes` units."""
+    per_row_overhead = 24
+    total = per_row_overhead
+    total += sum(_value_bytes(v) for v in entry.binding)
+    for suffix in entry.payload:
+        total += sum(_value_bytes(v) for v in suffix)
+    return total
+
+
+class TrieCache(BudgetedBindingCache):
+    """Cache-across-bindings for the leapfrog trie join.
+
+    Keys are *projected* binding prefixes (see :class:`TrieEntry`), so
+    any two enumeration paths that agree on the variables the remaining
+    relations reference share one cached subtree — the Kalinsky et al.
+    observation that makes caching profitable on cycles longer than a
+    triangle.  Policy, byte accounting, governor degradation, and
+    cross-query pinning are inherited unchanged from
+    :class:`BudgetedBindingCache`, i.e. identical to the NLJP cache.
+    """
+
+    def _entry_bytes(self, entry: TrieEntry) -> int:
+        return trie_entry_bytes(entry)
+
+    def put(
+        self, binding: Binding, payload: Tuple[Tuple[Any, ...], ...]
+    ) -> TrieEntry:
+        entry = TrieEntry(binding=binding, payload=payload)
+        with self._lock:
+            self._admit(binding, entry)
+            return entry

@@ -51,6 +51,7 @@ class SmartIceberg:
         binding_order: str = "none",
         execution_mode: Optional[str] = None,
         batch_size: Optional[int] = None,
+        join_algo: Optional[str] = None,
         max_rows_scanned: Optional[int] = None,
         max_join_pairs: Optional[int] = None,
         max_cache_bytes: Optional[int] = None,
@@ -78,6 +79,10 @@ class SmartIceberg:
         if batch_size is not None:
             overrides["batch_size"] = batch_size
         for name, value in (
+            # Join algorithm per cluster: "auto" (AGM-gated), "pairwise"
+            # (always left-deep), or "wcoj" (force the leapfrog trie
+            # join when eligible); validated by EngineConfig.
+            ("join_algo", join_algo),
             ("max_rows_scanned", max_rows_scanned),
             ("max_join_pairs", max_join_pairs),
             ("max_cache_bytes", max_cache_bytes),

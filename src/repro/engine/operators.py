@@ -149,6 +149,13 @@ class PhysicalOperator:
     #: this to prove every logical conjunct is enforced exactly once.
     enforced: Tuple[Any, ...] = ()
 
+    #: AGM-bound gate note set by the planner on every multi-relation
+    #: join-cluster root: how the pairwise-vs-WCOJ choice was made
+    #: (estimated AGM candidate tuples, both plan costs, cyclicity).
+    #: Rendered by ``annotation()``/``to_dict()`` so EXPLAIN surfaces
+    #: the decision for chosen *and* rejected WCOJ candidates.
+    wcoj_gate: Optional[str] = None
+
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         raise NotImplementedError
 
@@ -203,7 +210,10 @@ class PhysicalOperator:
         q_error = self.q_error()
         if q_error is not None:
             parts.append(f"q_err={q_error:.2f}")
-        return ("  [" + " ".join(parts) + "]") if parts else ""
+        text = ("  [" + " ".join(parts) + "]") if parts else ""
+        if self.wcoj_gate is not None:
+            text += f"  [{self.wcoj_gate}]"
+        return text
 
     def describe(self) -> List[str]:
         """One line per node, children indented (EXPLAIN-style)."""
@@ -236,6 +246,8 @@ class PhysicalOperator:
         q_error = self.q_error()
         if q_error is not None:
             node["q_error"] = round(q_error, 3)
+        if self.wcoj_gate is not None:
+            node["wcoj_gate"] = self.wcoj_gate
         children = [child.to_dict() for child in self.children()]
         if children:
             node["children"] = children
@@ -293,6 +305,51 @@ def _columnar_scan(
             batch = batch.compress(kernel(batch, params))
         if batch.length:
             yield batch
+
+
+def _zone_filtered_mask(
+    np: Any,
+    store: ColumnStore,
+    raw: Any,
+    predicate: Optional[Compiled],
+    ctx: ExecutionContext,
+) -> Optional[Any]:
+    """Whole-table boolean mask for a pushed inner filter, zone-pruned.
+
+    Index joins evaluate the pushed inner filter eagerly over the full
+    table; chunks whose zone maps prove the predicate unmatchable
+    contribute all-``False`` without running the kernel.  Only
+    ``chunks_skipped`` moves (row mode charges no scan counters for
+    index-probed inner rows, so there is no ``rows_scanned`` /
+    ``rows_skipped`` budget to rebalance; the parity fold drops
+    ``chunks_skipped``).  Returns ``None`` when the kernel fails, so
+    callers fall back exactly as if no fused kernel existed — with no
+    skips charged.
+    """
+    params = ctx.params
+    pruner = zone_pruner(predicate)
+    if pruner is None:
+        try:
+            return np.asarray(raw(store.batch(), params), dtype=bool)
+        except Exception:
+            return None
+    size = ctx.batch_size or DEFAULT_COLUMNAR_BATCH_SIZE
+    zones = store.zone_maps(size)
+    length = store.length
+    parts: List[Any] = []
+    skipped = 0
+    try:
+        for chunk_index, start in enumerate(range(0, length, size)):
+            stop = min(start + size, length)
+            if pruner(zones[chunk_index], params):
+                skipped += 1
+                parts.append(np.zeros(stop - start, dtype=bool))
+                continue
+            parts.append(np.asarray(raw(store.batch(start, stop), params), dtype=bool))
+    except Exception:
+        return None
+    ctx.stats.chunks_skipped += skipped
+    return np.concatenate(parts) if parts else np.zeros(0, dtype=bool)
 
 
 def _emit_pairs(
@@ -864,17 +921,15 @@ class IndexNestedLoopJoin(PhysicalOperator):
         residual_kernel = columnar_filter(self.residual, ctx)
         inner_filter = self.inner_filter
         # Precompute the pushed inner filter over the whole table with
-        # the bare fused kernel.  No fallback here: the row closure must
-        # only ever run on rows the index actually returns, or errors
-        # could appear that row mode cannot raise.
+        # the bare fused kernel, zone-pruning chunks the filter provably
+        # cannot match.  No fallback here: the row closure must only
+        # ever run on rows the index actually returns, or errors could
+        # appear that row mode cannot raise.
         mask = None
         if inner_filter is not None:
             raw = columnar_raw_filter(inner_filter, ctx)
             if raw is not None:
-                try:
-                    mask = np.asarray(raw(store.batch(), params), dtype=bool)
-                except Exception:
-                    mask = None
+                mask = _zone_filtered_mask(np, store, raw, inner_filter, ctx)
         for outer_batch in self.outer.execute_columnar(ctx):
             if governor is not None:
                 governor.check("join-pair")
@@ -1054,22 +1109,17 @@ class SortedIndexRangeJoin(PhysicalOperator):
         inner_filter = self.inner_filter
         low_strict = self.low_strict
         high_strict = self.high_strict
-        # Pushed inner filter, evaluated once over the index-ordered
-        # store with the bare fused kernel (same caveat as the hash
-        # variant: no decode fallback on never-probed rows).
+        # Pushed inner filter, evaluated once over the table in storage
+        # order (so zone maps can skip chunks) and permuted through
+        # ``row_ids`` into index order (same caveat as the hash variant:
+        # no decode fallback on never-probed rows).
         valid_positions = None
         if inner_filter is not None:
             raw = columnar_raw_filter(inner_filter, ctx)
             if raw is not None:
-                try:
-                    filter_mask = np.asarray(
-                        raw(ColumnBatch(sorted_columns, len(row_ids)), params),
-                        dtype=bool,
-                    )
-                except Exception:
-                    pass
-                else:
-                    valid_positions = np.nonzero(filter_mask)[0]
+                table_mask = _zone_filtered_mask(np, store, raw, inner_filter, ctx)
+                if table_mask is not None:
+                    valid_positions = np.nonzero(table_mask[row_ids])[0]
         for outer_batch in self.outer.execute_columnar(ctx):
             if governor is not None:
                 governor.check("join-pair")

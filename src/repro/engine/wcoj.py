@@ -1,0 +1,457 @@
+"""Worst-case-optimal leapfrog trie join (Ngo et al. / Veldhuizen).
+
+Pairwise join plans can materialize intermediates asymptotically larger
+than the final result on *cyclic* join clusters — the triangle query's
+classic failure mode.  :class:`WCOJTrieJoin` instead enumerates the
+join *variables* one at a time: every participating relation is viewed
+as a trie over its join attributes (sorted in the global variable
+order), and at each variable the active tries are intersected with the
+leapfrog merge — repeated ``seek()``/``next()`` leaps to the largest
+current key — so total work is bounded by the AGM fractional
+edge-cover bound rather than by any pairwise intermediate.
+
+The operator is deliberately *plan-compatible* with the rest of the
+engine:
+
+* its inputs are ordinary scan plans (pushed single-table filters,
+  index point/range scans) built by the planner, so the plan verifier
+  sees every conjunct enforced exactly once — single-table conjuncts on
+  the scans, the equi-join conjuncts on this node's ``enforced``, and
+  anything else in the compiled ``residual``;
+* its rows are emitted in exactly the left-deep outer-major order the
+  pairwise plan would produce (candidates are buffered with their
+  per-relation scan ranks and sorted), so forced-pairwise and WCOJ runs
+  are bit-identical;
+* ``execute_batches``/``execute_columnar`` are inherited (chunk /
+  bridge), giving mode parity for free.
+
+Trie views are built lazily per execution: from a matching
+:class:`~repro.storage.index.SortedIndex` when the relation is an
+unfiltered base table (the already-sorted ``sorted_entries()`` arrays
+are sliced, not re-sorted), otherwise by sorting the scan output's key
+projection on the fly.
+
+**Caching across bindings** (Kalinsky et al., *Flexible Caching in
+Trie Joins*): when the variables referenced by the relations still
+active at some enumeration level are a *proper* subset of the bound
+prefix, two different prefixes can share one enumerated subtree.  The
+planner picks the shallowest such level; the operator keys a
+:class:`~repro.core.cache.TrieCache` by the projected prefix and
+replays cached suffix assignments on a hit.  The cache shares the NLJP
+cache's budget mechanism — the governor's ``max_cache_bytes`` ceiling
+evicts under pressure and disables caching when eviction cannot
+satisfy the budget, recording degradations at site ``"wcoj-cache"`` —
+and can be pinned across executions of a prepared statement with
+:meth:`WCOJTrieJoin.enable_shared_cache`, exactly like NLJP's memo.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from itertools import product
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.engine.expressions import Compiled
+from repro.engine.layout import Layout
+from repro.engine.operators import (
+    ExecutionContext,
+    PhysicalOperator,
+    Row,
+    _indent,
+)
+from repro.storage.index import SortedIndex
+from repro.storage.table import Table
+
+if TYPE_CHECKING:
+    from repro.core.cache import TrieCache
+
+
+def _trie_cache() -> "TrieCache":
+    # Imported lazily: repro.core's package __init__ pulls in the NLJP
+    # operator, which imports the planner, which imports this module.
+    from repro.core.cache import TrieCache
+
+    return TrieCache()
+
+#: Sentinel meaning "no execution has pinned parameters yet" for the
+#: shared (cross-query) trie cache; distinct from the empty params key.
+_NO_PARAMS = object()
+
+
+@dataclass
+class TrieRelationSpec:
+    """One relation's role inside a :class:`WCOJTrieJoin`.
+
+    ``var_levels`` are the global variable levels this relation binds
+    (ascending); ``key_positions[i]`` is the column position in the
+    relation's scan output holding the value of ``var_levels[i]``.
+    ``filtered`` is True when single-table conjuncts were pushed into
+    ``plan`` — which disables the sorted-index fast path, since the
+    index covers unfiltered rows.
+    """
+
+    alias: str
+    plan: PhysicalOperator
+    table: Optional[Table]
+    filtered: bool
+    var_levels: Tuple[int, ...]
+    key_positions: Tuple[int, ...]
+
+
+class TrieIterator:
+    """Leapfrog trie iterator over a sorted list of distinct key tuples.
+
+    The sorted array *is* the trie: a node at depth ``d`` is the run of
+    tuples sharing a length-``d`` prefix, tracked as a ``[lo, hi)``
+    window plus a cursor.  ``open``/``up`` descend into and return from
+    the current key's child run; ``seek``/``next`` move the cursor at
+    the current depth with ``bisect`` bounded by the parent window.
+    Every positioning bisect charges one ``index_probes`` — the
+    ``seek_probes`` term of :meth:`repro.engine.cost.CostModel.wcoj`.
+    """
+
+    __slots__ = ("keys", "stats", "depth", "lo", "hi", "pos", "_stack")
+
+    def __init__(self, keys: List[Tuple[Any, ...]], stats: Any) -> None:
+        self.keys = keys
+        self.stats = stats
+        self.depth = -1
+        self.lo = 0
+        self.hi = len(keys)
+        self.pos = 0
+        self._stack: List[Tuple[int, int, int]] = []
+
+    def at_end(self) -> bool:
+        return self.pos >= self.hi
+
+    def key(self) -> Any:
+        return self.keys[self.pos][self.depth]
+
+    def open(self) -> None:
+        """Descend into the current key's children (or the root run)."""
+        self._stack.append((self.lo, self.hi, self.pos))
+        if self.depth >= 0:
+            d = self.depth
+            value = self.keys[self.pos][d]
+            self.stats.index_probes += 1
+            self.hi = bisect.bisect_right(
+                self.keys, value, self.pos, self.hi, key=lambda k: k[d]
+            )
+            self.lo = self.pos
+        self.depth += 1
+        self.pos = self.lo
+
+    def up(self) -> None:
+        """Return to the parent depth, restoring its window and cursor."""
+        self.lo, self.hi, self.pos = self._stack.pop()
+        self.depth -= 1
+
+    def next(self) -> None:
+        """Advance past every key equal to the current one at this depth."""
+        d = self.depth
+        value = self.keys[self.pos][d]
+        self.stats.index_probes += 1
+        self.pos = bisect.bisect_right(
+            self.keys, value, self.pos, self.hi, key=lambda k: k[d]
+        )
+
+    def seek(self, value: Any) -> None:
+        """Leap to the first key ``>= value`` at this depth."""
+        d = self.depth
+        self.stats.index_probes += 1
+        self.pos = bisect.bisect_left(
+            self.keys, value, self.pos, self.hi, key=lambda k: k[d]
+        )
+
+
+def _leapfrog(iters: List[TrieIterator]) -> Iterator[Any]:
+    """Intersect the active iterators' current depths (leapfrog merge).
+
+    Yields each common key with every iterator positioned *at* that key
+    (so callers may ``open()`` into it), then advances.
+    """
+    for it in iters:
+        if it.at_end():
+            return
+    order = sorted(iters, key=lambda it: it.key())
+    k = len(order)
+    p = 0
+    max_key = order[-1].key()
+    while True:
+        it = order[p]
+        if it.key() == max_key:
+            yield max_key
+            it.next()
+        else:
+            it.seek(max_key)
+        if it.at_end():
+            return
+        max_key = it.key()
+        p = (p + 1) % k
+
+
+class WCOJTrieJoin(PhysicalOperator):
+    """Multiway leapfrog trie join over one join cluster.
+
+    ``cache_spec`` is ``(level, key_vars)`` chosen by the planner — the
+    shallowest enumeration level whose active relations reference a
+    proper subset of the bound variables — or ``None`` when no level
+    is cacheable (e.g. the triangle, where every level's key is the
+    whole prefix).
+    """
+
+    def __init__(
+        self,
+        relations: List[TrieRelationSpec],
+        var_count: int,
+        layout: Layout,
+        residual: Optional[Compiled],
+        cache_spec: Optional[Tuple[int, Tuple[int, ...]]] = None,
+    ) -> None:
+        self.relations = relations
+        self.var_count = var_count
+        self.layout = layout
+        self.residual = residual
+        self.cache_spec = cache_spec
+        self.persistent_cache: Optional[TrieCache] = None
+        self._persistent_params: Any = _NO_PARAMS
+        self._cache_evicting = False
+        self._cache_disabled = False
+
+    # ------------------------------------------------------------------
+    def enable_shared_cache(self) -> None:
+        """Pin one :class:`TrieCache` across executions of this plan.
+
+        Used by the serving layer for prepared statements, mirroring
+        :meth:`repro.core.nljp.NLJPOperator.enable_shared_cache`.  The
+        cache is cleared whenever an execution arrives with different
+        parameters, since cached subtrees may depend on them through
+        pushed filters.
+        """
+        if self.cache_spec is not None and self.persistent_cache is None:
+            self.persistent_cache = _trie_cache()
+            self._persistent_params = _NO_PARAMS
+
+    def children(self) -> List[PhysicalOperator]:
+        return [spec.plan for spec in self.relations]
+
+    def describe(self) -> List[str]:
+        cache = (
+            f" cache_level={self.cache_spec[0]}"
+            if self.cache_spec is not None
+            else ""
+        )
+        aliases = ",".join(spec.alias for spec in self.relations)
+        lines = [
+            f"WCOJTrieJoin [{aliases}] vars={self.var_count}"
+            f"{cache}{self.annotation()}"
+        ]
+        for spec in self.relations:
+            lines.extend(_indent(spec.plan.describe()))
+        return lines
+
+    # ------------------------------------------------------------------
+    def _matching_sorted_index(
+        self, spec: TrieRelationSpec
+    ) -> Optional[SortedIndex]:
+        if spec.table is None:
+            return None
+        wanted = tuple(spec.key_positions)
+        for index in spec.table.indexes.values():
+            if (
+                isinstance(index, SortedIndex)
+                and tuple(index.column_positions) == wanted
+            ):
+                return index
+        return None
+
+    def _materialize(
+        self, spec: TrieRelationSpec, ctx: ExecutionContext
+    ) -> Tuple[Any, Dict[Tuple[Any, ...], List[int]]]:
+        """The relation's rows plus its key → scan-rank position lists.
+
+        Ranks are positions in the scan's output sequence (row-id order
+        for base tables), which is what makes the final rank sort
+        reproduce the pairwise plan's row order.  Rows whose key
+        contains a NULL are dropped: SQL equality never matches NULL,
+        exactly as the hash/sorted indexes do.
+        """
+        if not spec.filtered:
+            index = self._matching_sorted_index(spec)
+            if index is not None:
+                keys, row_ids = index.sorted_entries()
+                ctx.stats.rows_scanned += len(keys)
+                if ctx.governor is not None:
+                    ctx.governor.check("scan")
+                positions: Dict[Tuple[Any, ...], List[int]] = {}
+                for key, row_id in zip(keys, row_ids):
+                    positions.setdefault(key, []).append(row_id)
+                return spec.table.rows, positions
+        rows = list(spec.plan.execute(ctx))
+        positions = {}
+        for rank, row in enumerate(rows):
+            key = tuple(row[p] for p in spec.key_positions)
+            if any(value is None for value in key):
+                continue
+            positions.setdefault(key, []).append(rank)
+        return rows, positions
+
+    def _enforce_cache_budget(self, cache: TrieCache, governor, entry) -> None:
+        """Apply ``max_cache_bytes`` after an insert (NLJP's contract)."""
+        cache_bytes = cache.estimated_bytes()
+        if not governor.cache_over_budget(cache_bytes):
+            return
+        if governor.degradation == "fail":
+            raise governor.cache_budget_exceeded(cache_bytes)
+        if not self._cache_evicting:
+            self._cache_evicting = True
+            governor.degrade(
+                "wcoj-cache",
+                f"max_cache_bytes={governor.max_cache_bytes} exceeded "
+                f"({cache_bytes} bytes); evicting under pressure",
+            )
+        cache.evict_until(governor.max_cache_bytes, keep=entry)
+        if governor.cache_over_budget(cache.estimated_bytes()):
+            self._cache_disabled = True
+            cache.clear()
+            governor.degrade(
+                "wcoj-cache",
+                "eviction cannot satisfy max_cache_bytes; "
+                "trie-cache lookups disabled",
+            )
+
+    # ------------------------------------------------------------------
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        stats = ctx.stats
+        self._cache_evicting = False
+        self._cache_disabled = False
+        cache: Optional[TrieCache] = None
+        if self.cache_spec is not None:
+            if self.persistent_cache is not None:
+                cache = self.persistent_cache
+                params_key = (
+                    tuple(sorted(ctx.params.items())) if ctx.params else ()
+                )
+                if self._persistent_params != params_key:
+                    cache.clear()
+                    self._persistent_params = params_key
+            else:
+                cache = _trie_cache()
+        base_lookups = cache.lookups if cache is not None else 0
+        base_hits = cache.hits if cache is not None else 0
+        base_evictions = cache.evictions if cache is not None else 0
+        try:
+            yield from self._run(ctx, cache)
+        finally:
+            # Charged in a finally so a governor budget trip mid-leapfrog
+            # still reports the cache work done up to the trip.
+            if cache is not None:
+                delta_hits = cache.hits - base_hits
+                stats.cache_rows += cache.rows
+                stats.cache_bytes += cache.estimated_bytes()
+                stats.cache_hits += delta_hits
+                stats.cache_misses += (cache.lookups - base_lookups) - delta_hits
+                stats.cache_evictions += cache.evictions - base_evictions
+
+    def _run(
+        self, ctx: ExecutionContext, cache: Optional[TrieCache]
+    ) -> Iterator[Row]:
+        stats = ctx.stats
+        governor = ctx.governor
+        params = ctx.params
+        residual = self.residual
+        var_count = self.var_count
+        specs = self.relations
+        k = len(specs)
+
+        rel_rows: List[Any] = []
+        emit_specs: List[Tuple[Dict[Tuple[Any, ...], List[int]], Tuple[int, ...]]] = []
+        iters_at: List[List[TrieIterator]] = [[] for _ in range(var_count)]
+        for spec in specs:
+            rows, positions = self._materialize(spec, ctx)
+            rel_rows.append(rows)
+            emit_specs.append((positions, spec.var_levels))
+            iterator = TrieIterator(sorted(positions), stats)
+            for level in spec.var_levels:
+                iters_at[level].append(iterator)
+
+        binding: List[Any] = [None] * var_count
+        buffer: List[Tuple[Tuple[int, ...], Row]] = []
+        cache_level = self.cache_spec[0] if self.cache_spec is not None else -1
+        key_vars = self.cache_spec[1] if self.cache_spec is not None else ()
+        recording: Optional[List[Tuple[Any, ...]]] = None
+
+        def emit() -> None:
+            pos_lists = [
+                positions[tuple(binding[level] for level in levels)]
+                for positions, levels in emit_specs
+            ]
+            count = 1
+            for pos_list in pos_lists:
+                count *= len(pos_list)
+            stats.join_pairs += count
+            if governor is not None:
+                governor.check("join-pair")
+            if recording is not None:
+                recording.append(tuple(binding[cache_level:]))
+            for combo in product(*pos_lists):
+                row = rel_rows[0][combo[0]]
+                for i in range(1, k):
+                    row = row + rel_rows[i][combo[i]]
+                if residual is not None and residual(row, params) is not True:
+                    continue
+                buffer.append((combo, row))
+
+        def descend(level: int) -> None:
+            active = iters_at[level]
+            for iterator in active:
+                iterator.open()
+            try:
+                for value in _leapfrog(active):
+                    binding[level] = value
+                    enum(level + 1)
+            finally:
+                for iterator in active:
+                    iterator.up()
+
+        def enum(level: int) -> None:
+            nonlocal recording
+            if level == var_count:
+                emit()
+                return
+            if (
+                level == cache_level
+                and cache is not None
+                and not self._cache_disabled
+            ):
+                key = tuple(binding[v] for v in key_vars)
+                entry = cache.get(key)
+                if entry is not None:
+                    for suffix in entry.payload:
+                        for offset, value in enumerate(suffix):
+                            binding[cache_level + offset] = value
+                        emit()
+                    return
+                recorded: List[Tuple[Any, ...]] = []
+                recording = recorded
+                try:
+                    descend(level)
+                finally:
+                    recording = None
+                if not self._cache_disabled:
+                    if governor is not None:
+                        governor.check("cache-insert")
+                    entry = cache.put(key, tuple(recorded))
+                    if governor is not None:
+                        self._enforce_cache_budget(cache, governor, entry)
+                return
+            descend(level)
+
+        if var_count:
+            enum(0)
+        # Rank-lexicographic order IS the left-deep outer-major order the
+        # pairwise plan yields, making WCOJ vs pairwise bit-identical.
+        buffer.sort(key=lambda item: item[0])
+        for _, row in buffer:
+            yield row

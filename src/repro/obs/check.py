@@ -20,6 +20,11 @@ checks, exit 1 if any fails:
 4. **Prometheus schema** — the registry render must match the text
    exposition format (HELP/TYPE headers, well-formed sample lines)
    and contain the metrics the executor promises to record.
+
+With ``--wcoj-baseline BENCH_4.json`` a fifth check validates the
+recorded worst-case-optimal-join section: the AGM gate line chose the
+trie join, the pairwise/WCOJ ``join_pairs`` ratio meets the recorded
+floor, and the bit-identity flags are true.
 """
 
 from __future__ import annotations
@@ -248,6 +253,40 @@ def check_chrome_schema(profile) -> int:
     return len(events)
 
 
+def check_wcoj_record(path: str) -> Dict[str, Any]:
+    """Schema + invariants of a recorded BENCH_4-style wcoj section."""
+    from repro.bench.record import WCOJ_MIN_RATIO
+
+    with open(path) as handle:
+        doc = json.load(handle)
+    wcoj = doc.get("wcoj")
+    if not isinstance(wcoj, dict):
+        raise CheckFailure(f"{path} has no wcoj section (run with --wcoj)")
+    required = {
+        "query", "n_edges", "seed", "gate", "rows", "auto_join_pairs",
+        "pairwise_join_pairs", "join_pairs_ratio", "rows_identical",
+        "auto_chose_wcoj", "square_rows_identical", "square_cache_hits",
+    }
+    missing = required - set(wcoj)
+    if missing:
+        raise CheckFailure(f"wcoj section missing keys: {sorted(missing)}")
+    gate = wcoj["gate"]
+    if not isinstance(gate, str) or "agm_pairs=" not in gate:
+        raise CheckFailure(f"wcoj gate line lacks the AGM bound: {gate!r}")
+    if "-> wcoj" not in gate:
+        raise CheckFailure(f"auto gate did not choose the trie join: {gate!r}")
+    if not wcoj["rows_identical"] or not wcoj["square_rows_identical"]:
+        raise CheckFailure("recorded wcoj run was not bit-identical to pairwise")
+    if wcoj["join_pairs_ratio"] < WCOJ_MIN_RATIO:
+        raise CheckFailure(
+            f"join_pairs ratio {wcoj['join_pairs_ratio']} below the "
+            f"{WCOJ_MIN_RATIO}x floor"
+        )
+    if wcoj["square_cache_hits"] <= 0:
+        raise CheckFailure("square query recorded no trie-cache hits")
+    return wcoj
+
+
 def check_prometheus_schema() -> int:
     """Golden exposition-format shape for the process registry."""
     from repro.obs.metrics import REGISTRY
@@ -287,6 +326,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=5, help="overhead-report repeats"
     )
+    parser.add_argument(
+        "--wcoj-baseline",
+        default=None,
+        metavar="PATH",
+        help="also validate a recorded wcoj section (e.g. BENCH_4.json)",
+    )
     args = parser.parse_args(argv)
 
     failures: List[str] = []
@@ -312,6 +357,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if parity is not None:
         step("chrome-schema", lambda: check_chrome_schema(parity["profile"]))
     step("prometheus-schema", check_prometheus_schema)
+    if args.wcoj_baseline:
+        step("wcoj-record", lambda: check_wcoj_record(args.wcoj_baseline))
 
     overhead = measure_overhead(db, sql, repeats=args.repeats)
     print(

@@ -21,6 +21,16 @@ plan serialize on the entry while distinct plans run fully in
 parallel.  The cross-query NLJP memo (see
 :meth:`repro.core.nljp.NLJPOperator.enable_shared_cache`) lives under
 this lock too, which is what makes sharing it safe.
+
+**Single-flight optimization.**  Concurrent first-touch misses on the
+same key used to race: every session optimized the statement and the
+last store won.  :meth:`PlanCache.claim` now hands exactly one caller
+(the *leader*) the build for a key; the others receive the leader's
+in-flight latch, wait on it, and re-run :meth:`PlanCache.lookup` once
+the leader calls :meth:`PlanCache.release` — so N concurrent misses
+cost one optimization, not N.  A leader that fails must still release
+(callers use ``try/finally``); waiters then re-claim, so a crashed
+build never wedges the key.
 """
 
 from __future__ import annotations
@@ -54,11 +64,14 @@ class PlanCache:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self._entries: "OrderedDict[CacheKey, PlanCacheEntry]" = OrderedDict()
+        self._in_flight: Dict[CacheKey, threading.Event] = {}
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
+        self.flights = 0
+        self.flight_waits = 0
 
     @staticmethod
     def key(sql: str, techniques: FrozenSet[str]) -> CacheKey:
@@ -89,6 +102,37 @@ class PlanCache:
             entry.hits += 1
             return entry
 
+    def claim(
+        self, sql: str, techniques: FrozenSet[str]
+    ) -> Tuple[bool, threading.Event]:
+        """Claim the (single-flight) build for a missed key.
+
+        Returns ``(leader, latch)``.  The leader (``True``) must
+        optimize, :meth:`store`, and then :meth:`release` — in a
+        ``finally``, so a failed build frees the key.  Followers
+        (``False``) wait on the latch and re-run :meth:`lookup`; a
+        still-missing entry (leader failed, or the token moved) means
+        they claim again.
+        """
+        cache_key = self.key(sql, techniques)
+        with self._lock:
+            latch = self._in_flight.get(cache_key)
+            if latch is None:
+                latch = threading.Event()
+                self._in_flight[cache_key] = latch
+                self.flights += 1
+                return True, latch
+            self.flight_waits += 1
+            return False, latch
+
+    def release(self, sql: str, techniques: FrozenSet[str]) -> None:
+        """End the in-flight build for a key, waking every waiter."""
+        cache_key = self.key(sql, techniques)
+        with self._lock:
+            latch = self._in_flight.pop(cache_key, None)
+        if latch is not None:
+            latch.set()
+
     def store(
         self,
         sql: str,
@@ -98,9 +142,10 @@ class PlanCache:
     ) -> PlanCacheEntry:
         """Insert (or replace) the plan for this key; LRU-evict on overflow.
 
-        Under concurrent misses for the same key, last store wins —
-        both plans are equally valid for the token, so losing the race
-        only costs the duplicated optimization work.
+        With :meth:`claim`/:meth:`release` only one builder stores per
+        in-flight window; if callers bypass single-flight, last store
+        wins — both plans are equally valid for the token, so losing
+        the race only costs the duplicated optimization work.
         """
         cache_key = self.key(sql, techniques)
         entry = PlanCacheEntry(
@@ -150,4 +195,6 @@ class PlanCache:
                 "misses": self.misses,
                 "invalidations": self.invalidations,
                 "evictions": self.evictions,
+                "flights": self.flights,
+                "flight_waits": self.flight_waits,
             }

@@ -41,6 +41,7 @@ from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.system import SmartIceberg
 from repro.engine.executor import Result
+from repro.engine.wcoj import WCOJTrieJoin
 from repro.errors import CircuitOpenError, SessionClosedError
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.serve.admission import AdmissionController
@@ -56,6 +57,15 @@ from repro.storage.catalog import Database
 TECHNIQUES = ("apriori", "memprune")
 
 FULL_MASK: FrozenSet[str] = frozenset(TECHNIQUES)
+
+
+def _walk_plan(root):
+    """Every operator in a plan tree, via ``children()`` (pre-order)."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children())
 
 
 def _breaker_for_degradation(event: str) -> Optional[str]:
@@ -402,17 +412,40 @@ class IcebergServer:
             return result
 
     def _lookup_or_build(self, sql: str, mask: FrozenSet[str]):
-        live_token = self.db.version_token()
-        entry = self.plan_cache.lookup(sql, mask, live_token)
-        if entry is None:
-            optimized = self._engine(mask).optimize(sql)
-            if optimized.nljp is not None and self.shared_nljp_cache:
-                # The NLJP memo outlives this execution: later runs of
-                # the same cached plan hit what earlier runs stored
-                # (guarded by the entry lock and the version token).
-                if optimized.nljp.enable_memo:
-                    optimized.nljp.enable_shared_cache()
-            entry = self.plan_cache.store(sql, mask, live_token, optimized)
+        # Single-flight: concurrent first-touch misses on one key used
+        # to optimize N times and race the store.  Now exactly one
+        # session (the claim leader) builds; the rest wait on the
+        # leader's latch and re-run the lookup.  A failed build still
+        # releases in the finally, so waiters re-claim rather than hang.
+        while True:
+            live_token = self.db.version_token()
+            entry = self.plan_cache.lookup(sql, mask, live_token)
+            if entry is not None:
+                break
+            leader, latch = self.plan_cache.claim(sql, mask)
+            if not leader:
+                latch.wait()
+                continue
+            try:
+                optimized = self._engine(mask).optimize(sql)
+                if optimized.nljp is not None and self.shared_nljp_cache:
+                    # The NLJP memo outlives this execution: later runs
+                    # of the same cached plan hit what earlier runs
+                    # stored (guarded by the entry lock and the version
+                    # token).
+                    if optimized.nljp.enable_memo:
+                        optimized.nljp.enable_shared_cache()
+                if self.shared_nljp_cache:
+                    # Same contract for WCOJ trie caches anywhere in the
+                    # planned tree: cached subtrees survive across
+                    # executions of this prepared statement.
+                    for node in _walk_plan(optimized.planned.root):
+                        if isinstance(node, WCOJTrieJoin):
+                            node.enable_shared_cache()
+                entry = self.plan_cache.store(sql, mask, live_token, optimized)
+            finally:
+                self.plan_cache.release(sql, mask)
+            break
         stats = self.plan_cache.stats()
         gauge = self._registry.gauge(
             "repro_server_plan_cache",

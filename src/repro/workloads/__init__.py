@@ -15,6 +15,15 @@ from repro.workloads.basket import (
     load_discount_schema,
     make_basket_db,
 )
+from repro.workloads.cyclic import (
+    CyclicConfig,
+    generate_edges,
+    load_edges,
+    make_cyclic_db,
+    square_query,
+    triangle_hub_query,
+    triangle_query,
+)
 from repro.workloads.products import ProductConfig, generate_products, load_products, make_product_db
 from repro.workloads.queries import (
     PaperQuery,
@@ -30,25 +39,32 @@ from repro.workloads.queries import (
 __all__ = [
     "BaseballConfig",
     "BasketConfig",
+    "CyclicConfig",
     "PaperQuery",
     "ProductConfig",
     "complex_query",
     "discount_query",
     "figure1_queries",
     "generate_baskets",
+    "generate_edges",
     "generate_products",
     "generate_seasons",
     "load_baskets",
     "load_batting",
     "load_discount_schema",
+    "load_edges",
     "load_products",
     "load_unpivoted",
     "make_basket_db",
     "make_batting_db",
+    "make_cyclic_db",
     "make_product_db",
     "market_basket_query",
     "pairs_query",
     "player_skyband_query",
     "skyband_query",
+    "square_query",
+    "triangle_hub_query",
+    "triangle_query",
     "unpivot_careers",
 ]

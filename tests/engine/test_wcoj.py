@@ -1,0 +1,271 @@
+"""The worst-case-optimal trie join: iterators, gate, bit-identity.
+
+The WCOJ path's contract mirrors the vectorized engine's: for every
+query it is eligible for, it must produce *exactly* the pairwise
+plan's rows (order included) — only the work counters may differ, and
+on cyclic clusters they must differ in WCOJ's favor.
+"""
+
+import dataclasses
+import itertools
+import random
+
+import pytest
+
+from repro import EngineConfig, SmartIceberg
+from repro.engine import execute
+from repro.engine.governor import BudgetExceededError
+from repro.engine.planner import plan_query
+from repro.engine.wcoj import TrieIterator, WCOJTrieJoin, _leapfrog
+from repro.sql.parser import parse
+from repro.storage import Database, SqlType, TableSchema
+from repro.workloads import (
+    BaseballConfig,
+    CyclicConfig,
+    figure1_queries,
+    make_batting_db,
+    make_cyclic_db,
+    square_query,
+    triangle_hub_query,
+    triangle_query,
+)
+
+CYCLIC = make_cyclic_db(CyclicConfig(n_edges=400, seed=7))
+BATTING = make_batting_db(BaseballConfig(n_rows=150, seed=21))
+
+ALGOS = ("auto", "pairwise", "wcoj")
+MODES = ("row", "batch", "columnar")
+
+
+def config_for(algo, mode="row"):
+    return dataclasses.replace(
+        EngineConfig.smart(), join_algo=algo, execution_mode=mode
+    )
+
+
+class _Stats:
+    index_probes = 0
+
+
+def _iter(tuples):
+    it = TrieIterator(sorted(tuples), _Stats())
+    it.open()
+    return it
+
+
+class TestTrieIterator:
+    def test_walks_sorted_runs(self):
+        it = TrieIterator(sorted([(1, 2), (1, 5), (3, 4)]), _Stats())
+        it.open()
+        assert it.key() == 1
+        it.open()  # into children of 1
+        assert it.key() == 2
+        it.next()
+        assert it.key() == 5
+        it.next()
+        assert it.at_end()
+        it.up()
+        it.next()
+        assert it.key() == 3
+        it.open()
+        assert it.key() == 4
+
+    def test_seek_past_end(self):
+        it = _iter([(1,), (4,), (9,)])
+        it.seek(10)
+        assert it.at_end()
+
+    def test_seek_lands_on_first_geq(self):
+        it = _iter([(1,), (4,), (9,)])
+        it.seek(3)
+        assert it.key() == 4
+        it.seek(4)  # seek to current key is a no-op position-wise
+        assert it.key() == 4
+
+    def test_next_skips_duplicate_prefixes(self):
+        # Two tuples share first component 2: next() at depth 0 must
+        # advance past the whole run, not one array slot.
+        it = _iter([(1, 0), (2, 0), (2, 1), (3, 0)])
+        it.seek(2)
+        assert it.key() == 2
+        it.next()
+        assert it.key() == 3
+
+    def test_probes_are_charged(self):
+        stats = _Stats()
+        it = TrieIterator(sorted([(1,), (2,)]), stats)
+        it.open()  # root open bisects nothing
+        assert stats.index_probes == 0
+        it.seek(2)
+        it.next()
+        assert stats.index_probes == 2
+
+    def test_leapfrog_intersects(self):
+        rng = random.Random(2017)
+        for _ in range(25):
+            sets = [
+                {rng.randrange(30) for _ in range(rng.randrange(1, 15))}
+                for _ in range(3)
+            ]
+            iters = [_iter([(v,) for v in s]) for s in sets]
+            assert list(_leapfrog(iters)) == sorted(set.intersection(*sets))
+
+    def test_leapfrog_empty_input(self):
+        iters = [_iter([(1,)]), _iter([])]
+        assert list(_leapfrog(iters)) == []
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize(
+        "sql",
+        [triangle_query(), square_query(), triangle_hub_query()],
+        ids=["triangle", "square", "hub"],
+    )
+    def test_cyclic_queries_all_modes_all_algos(self, sql):
+        baseline = execute(CYCLIC, sql, config_for("pairwise"))
+        for algo, mode in itertools.product(ALGOS, MODES):
+            result = execute(CYCLIC, sql, config_for(algo, mode))
+            assert result.rows == baseline.rows, (algo, mode)
+            # Within one algorithm the three modes are counter-identical
+            # (modulo the zone-map fold).
+            row_twin = execute(CYCLIC, sql, config_for(algo))
+            assert result.stats.parity_dict() == row_twin.stats.parity_dict()
+
+    def test_auto_beats_pairwise_on_the_triangle(self):
+        auto = execute(CYCLIC, triangle_query(), config_for("auto"))
+        pairwise = execute(CYCLIC, triangle_query(), config_for("pairwise"))
+        assert auto.rows == pairwise.rows
+        assert auto.stats.join_pairs * 5 <= pairwise.stats.join_pairs
+
+    @pytest.mark.parametrize("name", sorted(figure1_queries()))
+    def test_paper_queries_every_mode_every_algo(self, name):
+        sql = figure1_queries()[name].sql
+        baseline = execute(BATTING, sql, config_for("pairwise"))
+        for algo, mode in itertools.product(("auto", "wcoj"), MODES):
+            result = execute(BATTING, sql, config_for(algo, mode))
+            assert result.rows == baseline.rows, (algo, mode)
+
+    def test_null_join_keys_never_match(self):
+        db = Database()
+        schema = TableSchema.of(("src", SqlType.INTEGER), ("dst", SqlType.INTEGER))
+        table = db.create_table("edge", schema)
+        table.insert_many(
+            [(1, 2), (2, 3), (3, 1), (None, 1), (1, None), (None, None)]
+        )
+        pairwise = execute(db, triangle_query(), config_for("pairwise"))
+        forced = execute(db, triangle_query(), config_for("wcoj"))
+        assert forced.rows == pairwise.rows
+        assert len(forced.rows) == 3  # the one triangle, from each corner
+
+    def test_randomized_triangles_match_brute_force(self):
+        rng = random.Random(99)
+        edges = set()
+        while len(edges) < 120:
+            a, b = rng.randrange(18), rng.randrange(18)
+            if a != b:
+                edges.add((a, b))
+        db = Database()
+        schema = TableSchema.of(("src", SqlType.INTEGER), ("dst", SqlType.INTEGER))
+        db.create_table("edge", schema).insert_many(sorted(edges))
+        expected = sorted(
+            e1 + e2 + e3
+            for e1, e2, e3 in itertools.product(sorted(edges), repeat=3)
+            if e1[1] == e2[0] and e2[1] == e3[0] and e3[1] == e1[0]
+        )
+        result = execute(
+            db, "SELECT * FROM edge e1, edge e2, edge e3 "
+            "WHERE e1.dst = e2.src AND e2.dst = e3.src AND e3.dst = e1.src",
+            config_for("wcoj"),
+        )
+        assert sorted(result.rows) == expected
+
+
+class TestGateAndPlan:
+    def test_auto_gate_selects_wcoj_on_cyclic(self):
+        explained = plan_query(
+            CYCLIC, parse(triangle_query()), config_for("auto")
+        ).explain()
+        assert "WCOJTrieJoin" in explained
+        assert "agm_pairs=" in explained
+        assert "-> wcoj" in explained
+
+    def test_auto_gate_reports_acyclic_clusters(self):
+        sql = (
+            "SELECT L.playerid FROM batting L, batting R "
+            "WHERE L.year = R.year AND L.b_h > 100"
+        )
+        explained = plan_query(BATTING, parse(sql), config_for("auto")).explain()
+        assert "wcoj:" in explained
+        assert "-> pairwise" in explained
+        assert "WCOJTrieJoin" not in explained
+
+    def test_pairwise_algo_skips_the_gate_commit(self):
+        explained = plan_query(
+            CYCLIC, parse(triangle_query()), config_for("pairwise")
+        ).explain()
+        assert "WCOJTrieJoin" not in explained
+        assert "not considered" in explained
+
+    def test_gate_survives_to_dict(self):
+        plan = plan_query(CYCLIC, parse(triangle_query()), config_for("auto"))
+        nodes = [plan.root.to_dict()]
+        seen = []
+        while nodes:
+            node = nodes.pop()
+            if node.get("wcoj_gate"):
+                seen.append(node["wcoj_gate"])
+            nodes.extend(node.get("children", ()))
+        assert any("agm_pairs=" in gate for gate in seen)
+
+    def test_join_algo_validation(self):
+        with pytest.raises(ValueError, match="join_algo"):
+            EngineConfig(join_algo="bogus")
+        with pytest.raises(ValueError, match="join_algo"):
+            SmartIceberg(make_cyclic_db(CyclicConfig(n_edges=20)), join_algo="bogus")
+
+    def test_strict_analysis_accepts_wcoj_plans(self):
+        system = SmartIceberg(CYCLIC, join_algo="wcoj", analyze="strict")
+        result = system.execute(triangle_query())
+        assert result.rows == execute(
+            CYCLIC, triangle_query(), config_for("pairwise")
+        ).rows
+
+
+class TestTrieCache:
+    def test_square_query_hits_the_subtree_cache(self):
+        result = execute(CYCLIC, square_query(), config_for("wcoj"))
+        assert result.stats.cache_hits > 0
+        assert result.stats.cache_rows > 0
+
+    def test_triangle_never_caches(self):
+        # Every triangle level's key is the full bound prefix, so no
+        # level is cacheable and the counters must stay silent.
+        result = execute(CYCLIC, triangle_query(), config_for("wcoj"))
+        assert result.stats.cache_hits == 0
+        assert result.stats.cache_misses == 0
+
+    def test_cache_budget_fallback_degrades(self):
+        config = dataclasses.replace(
+            config_for("wcoj"), max_cache_bytes=64, degradation="fallback"
+        )
+        result = execute(CYCLIC, square_query(), config)
+        assert any("wcoj-cache" in event for event in result.stats.degradations)
+        assert result.rows == execute(
+            CYCLIC, square_query(), config_for("pairwise")
+        ).rows
+
+
+class TestGovernor:
+    def test_budget_trips_mid_leapfrog_with_partial_stats(self):
+        config = dataclasses.replace(config_for("wcoj"), max_join_pairs=10)
+        with pytest.raises(BudgetExceededError) as info:
+            execute(CYCLIC, triangle_query(), config)
+        assert info.value.stats.join_pairs >= 10
+        assert info.value.stats.rows_scanned > 0
+
+    def test_scan_budget_trips_during_trie_build(self):
+        config = dataclasses.replace(config_for("wcoj"), max_rows_scanned=100)
+        with pytest.raises(BudgetExceededError) as info:
+            execute(CYCLIC, triangle_query(), config)
+        assert info.value.stats.rows_scanned >= 100
+        assert info.value.stats.join_pairs == 0

@@ -18,6 +18,7 @@ def test_miss_store_hit():
     assert found.hits == 1
     assert cache.stats() == {
         "entries": 1, "hits": 1, "misses": 1, "invalidations": 0, "evictions": 0,
+        "flights": 0, "flight_waits": 0,
     }
 
 
