@@ -14,11 +14,23 @@ Three layers, run in front of planning:
   and that NLJP subsumption predicates survive randomized
   counterexample search.
 
+A fourth layer points inward: :mod:`repro.analysis.concurrency` is a
+whole-program lock-discipline and lock-order checker over this
+codebase itself (``guarded-by`` annotations, blocking-under-lock,
+deadlock-cycle detection), run by CI via
+``python -m repro.analysis.lint --concurrency``.
+
 ``python -m repro.analysis.lint`` is the CLI; the
 ``EngineConfig.analyze`` knob ("off" | "warn" | "strict") wires the
 analyzer into :class:`repro.core.system.SmartIceberg`.
 """
 
+from repro.analysis.concurrency import (
+    ConcurrencyFinding,
+    ConcurrencyReport,
+    check_package,
+    check_paths,
+)
 from repro.analysis.lints import LintFinding, LintRule, Severity, lint_query
 from repro.analysis.semantics import (
     BlockInfo,
@@ -35,12 +47,16 @@ from repro.analysis.verifier import (
 
 __all__ = [
     "BlockInfo",
+    "ConcurrencyFinding",
+    "ConcurrencyReport",
     "LintFinding",
     "LintRule",
     "OutputColumn",
     "QueryInfo",
     "Severity",
     "analyze_query",
+    "check_package",
+    "check_paths",
     "check_subsumption_soundness",
     "lint_query",
     "resolve_query",

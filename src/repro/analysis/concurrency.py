@@ -1,0 +1,941 @@
+"""Concurrency static analysis: lock discipline, lock order, blocking.
+
+This is the thread-safety counterpart of the plan verifier: PR 4 made
+the *logical* contract of a plan machine-checked; this pass does the
+same for the *concurrency* contract the serving layer introduced.  It
+consumes the ``# guarded-by:`` grammar of :mod:`repro.analysis.locks`
+and the call-graph/thread model of :mod:`repro.analysis.threads` and
+enforces five rules over ``src/repro``:
+
+``conc-unguarded-access`` (error)
+    A read or write of a ``guarded-by`` attribute is not dominated by a
+    ``with <lock>`` acquisition of the declared lock (and is reachable
+    from a thread entry point).  Also fired when a resolvable call site
+    does not hold a callee's ``requires-lock`` locks.
+``conc-lock-order-cycle`` (error)
+    The static lock-acquisition-order graph — edge ``A → B`` whenever
+    ``B`` is acquired (directly or through a resolvable call chain)
+    while ``A`` is held — contains a cycle, i.e. a potential deadlock.
+    Re-acquiring a held *non-reentrant* ``threading.Lock`` is reported
+    as a cycle of length one.
+``conc-blocking-under-lock`` (error)
+    A blocking call (``time.sleep``, ``.wait()``/``.wait_for()`` on
+    anything but the held condition, ``open``, ``input``,
+    ``subprocess.*``) executes while a lock is held.  ``Condition.wait``
+    on the *held* condition is exempt — it releases the lock.
+``conc-acquire-without-release`` (error)
+    A manual ``lock.acquire()`` has no matching ``lock.release()`` in a
+    ``finally`` block of the same function.  (``with`` blocks are the
+    idiom; manual pairs must be exception-safe.)
+``conc-unknown-lock`` (error)
+    A ``guarded-by``/``requires-lock`` expression does not resolve to a
+    discovered lock.
+``conc-unannotated-shared`` (warning)
+    A class that owns a lock assigns an attribute outside ``__init__``
+    with neither a ``guarded-by`` nor an ``unguarded`` annotation — the
+    coverage rule that keeps the contract honest as code grows.
+
+Static coarsenings (documented, deliberate):
+
+* Lock identity is *per declaration*, not per instance: every
+  ``PlanCache`` instance's ``_lock`` is one graph node.  Holding the
+  lock of a *different* instance of the same class therefore satisfies
+  the checker — the dynamic :class:`repro.testing.lockwatch.LockOrderWatchdog`
+  is the complementary oracle for instance-level inversions.
+* Calls resolve only when the receiver type is statically known (see
+  :mod:`repro.analysis.threads`); unresolvable calls add no order
+  edges.  The graph under-approximates, so an *empty-or-acyclic* graph
+  plus the runtime watchdog is the evidence, not the graph alone.
+* Cross-object accesses (``cache.lookups``) are checked when the
+  receiver's class is inferable; untyped receivers are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.lints import Severity
+from repro.analysis.locks import (
+    REENTRANT_KINDS,
+    ClassContract,
+    LockDecl,
+    ModuleContract,
+    build_module_contract,
+)
+from repro.analysis.threads import (
+    DEFAULT_THREAD_ROOTS,
+    ClassInfo,
+    FunctionInfo,
+    FunctionScope,
+    ProjectIndex,
+    ThreadModel,
+    build_thread_model,
+)
+
+#: Rule ids with one-line descriptions (rendered by the CLI and docs).
+RULES = {
+    "conc-unguarded-access": (
+        "guarded attribute accessed without holding its declared lock"
+    ),
+    "conc-lock-order-cycle": (
+        "cycle in the static lock-acquisition-order graph (potential deadlock)"
+    ),
+    "conc-blocking-under-lock": "blocking call while holding a lock",
+    "conc-acquire-without-release": (
+        "manual lock.acquire() without a finally-guarded release()"
+    ),
+    "conc-unknown-lock": (
+        "guarded-by/requires-lock expression is not a discovered lock"
+    ),
+    "conc-unannotated-shared": (
+        "lock-owning class mutates an attribute with no guarded-by/unguarded "
+        "annotation"
+    ),
+}
+
+_INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+#: ``<module>.<func>`` calls that block the calling thread.
+_BLOCKING_MODULE_CALLS = {("time", "sleep")}
+_BLOCKING_NAME_CALLS = frozenset({"open", "input"})
+_BLOCKING_WAIT_ATTRS = frozenset({"wait", "wait_for"})
+
+
+@dataclass(frozen=True)
+class ConcurrencyFinding:
+    """One diagnostic: rule id, severity, location, message."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.path}:{self.line}: "
+            f"{self.severity.name.lower()}[{self.rule}] {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class OrderEdge:
+    """Witness for one ``held → acquired`` ordering observation."""
+
+    held: str
+    acquired: str
+    path: str
+    line: int
+    via: Optional[str] = None  # callee qualname for interprocedural edges
+
+    def describe(self) -> str:
+        how = f" via {self.via.split(':')[-1]}()" if self.via else ""
+        return f"{_short(self.held)} -> {_short(self.acquired)}{how} at " \
+               f"{os.path.basename(self.path)}:{self.line}"
+
+
+def _short(identity: str) -> str:
+    return identity.split(":", 1)[-1]
+
+
+@dataclass
+class ConcurrencyReport:
+    """Everything one checker run learned."""
+
+    findings: List[ConcurrencyFinding] = field(default_factory=list)
+    #: (held, acquired) -> first witness.
+    lock_graph: Dict[Tuple[str, str], OrderEdge] = field(default_factory=dict)
+    locks: Dict[str, LockDecl] = field(default_factory=dict)
+    roots: Set[str] = field(default_factory=set)
+    concurrent: Set[str] = field(default_factory=set)
+    modules_checked: int = 0
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    @property
+    def worst(self) -> Optional[Severity]:
+        if not self.findings:
+            return None
+        return max(finding.severity for finding in self.findings)
+
+    def ok(self, strict: bool = False) -> bool:
+        if strict:
+            return not self.findings
+        return self.worst is None or self.worst < Severity.ERROR
+
+
+class ConcurrencyChecker:
+    """One whole-program pass; construct, then :meth:`run` once."""
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        extra_roots: Iterable[str] = DEFAULT_THREAD_ROOTS,
+    ) -> None:
+        self.index = index
+        self.contracts: Dict[str, ModuleContract] = {}
+        for name, module in index.modules.items():
+            self.contracts[name] = build_module_contract(
+                name, module.path, module.source, module.tree
+            )
+        self.report = ConcurrencyReport()
+        self._guard_lock_cache: Dict[Tuple[str, str, str], Optional[str]] = {}
+        # Thread model: methods of guard-declaring classes are roots, as
+        # are `# thread-entry` functions and Thread(target=...) captures.
+        guard_methods: List[str] = []
+        for module_name, contract in self.contracts.items():
+            module = index.modules[module_name]
+            for cls_name, cls_contract in contract.classes.items():
+                if cls_contract.has_contract() and cls_name in module.classes:
+                    guard_methods.extend(
+                        fn.qualname
+                        for fn in module.classes[cls_name].methods.values()
+                    )
+        self.threads: ThreadModel = build_thread_model(
+            index,
+            guard_class_methods=guard_methods,
+            annotated_roots=self._annotated_roots(),
+            extra_patterns=extra_roots,
+        )
+        self.report.roots = set(self.threads.roots)
+        self.report.concurrent = set(self.threads.concurrent)
+        self._register_locks()
+        self._may_acquire = self._compute_may_acquire()
+
+    # ------------------------------------------------------------------
+    # Model assembly
+    # ------------------------------------------------------------------
+    def _annotated_roots(self) -> Set[str]:
+        roots: Set[str] = set()
+        for module_name, contract in self.contracts.items():
+            for fn in self.index.functions.values():
+                if fn.module != module_name:
+                    continue
+                for anno in self._def_annotations(contract, fn):
+                    if anno.kind == "thread-entry":
+                        roots.add(fn.qualname)
+        return roots
+
+    @staticmethod
+    def _def_annotations(contract: ModuleContract, fn: FunctionInfo):
+        """Annotations on the ``def`` signature lines only (not the body)."""
+        node = fn.node
+        body_start = node.body[0].lineno if node.body else node.lineno + 1
+        found = []
+        for line in range(node.lineno, body_start):
+            found.extend(contract.annotations.get(line, ()))
+        found.extend(
+            anno
+            for anno in contract.annotations.get(node.lineno - 1, ())
+            if anno.standalone
+        )
+        return found
+
+    def _register_locks(self) -> None:
+        for contract in self.contracts.values():
+            for decl in contract.locks.values():
+                self.report.locks[decl.identity] = decl
+            for cls_contract in contract.classes.values():
+                for decl in cls_contract.locks.values():
+                    self.report.locks[decl.identity] = decl
+
+    def _class_contract(self, cls: ClassInfo) -> Optional[ClassContract]:
+        contract = self.contracts.get(cls.module)
+        if contract is None:
+            return None
+        return contract.classes.get(cls.name)
+
+    def _merged(self, cls: ClassInfo, what: str) -> Dict[str, object]:
+        """Guards/locks/unguarded maps merged over the repo-local MRO."""
+        merged: Dict[str, object] = {}
+        for candidate in self.index.class_mro(cls):
+            cls_contract = self._class_contract(candidate)
+            if cls_contract is None:
+                continue
+            for key, value in getattr(cls_contract, what).items():
+                merged.setdefault(key, value)
+        return merged
+
+    def _class_lock_decl(self, cls: ClassInfo, attr: str) -> Optional[LockDecl]:
+        decl = self._merged(cls, "locks").get(attr)
+        return decl  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Lock-expression resolution
+    # ------------------------------------------------------------------
+    def resolve_lock_node(
+        self, node: ast.AST, scope: FunctionScope
+    ) -> Optional[LockDecl]:
+        """The lock declaration an expression denotes, if any."""
+        if isinstance(node, ast.Name):
+            contract = self.contracts.get(scope.fn.module)
+            if contract is not None and node.id in contract.locks:
+                return contract.locks[node.id]
+            return None
+        if isinstance(node, ast.Attribute):
+            # ClassName.attr — a class-qualified lock reference.
+            if isinstance(node.value, ast.Name):
+                as_class = self.index.lookup_class(node.value.id, scope.fn.module)
+                if as_class is not None and node.value.id != "self":
+                    decl = self._class_lock_decl(as_class, node.attr)
+                    if decl is not None:
+                        return decl
+            base = scope.expr_class(node.value)
+            if base is not None:
+                return self._class_lock_decl(base, node.attr)
+        return None
+
+    def resolve_lock_expr(
+        self, expr: str, scope: FunctionScope
+    ) -> Optional[LockDecl]:
+        try:
+            node = ast.parse(expr, mode="eval").body
+        except SyntaxError:
+            return None
+        return self.resolve_lock_node(node, scope)
+
+    def _guard_lock_identity(
+        self, owner: ClassInfo, attr: str, lock_expr: str
+    ) -> Optional[str]:
+        """Resolve a guard's lock expression relative to its owner class."""
+        key = (owner.qualname, attr, lock_expr)
+        if key in self._guard_lock_cache:
+            return self._guard_lock_cache[key]
+        method = next(iter(owner.methods.values()), None)
+        identity: Optional[str] = None
+        if method is not None:
+            scope = FunctionScope(self.index, method, owner)
+            decl = self.resolve_lock_expr(lock_expr, scope)
+            identity = decl.identity if decl is not None else None
+        else:
+            # Classes with no methods (pure dataclasses): resolve
+            # ClassName.attr and module-level forms only.
+            try:
+                node = ast.parse(lock_expr, mode="eval").body
+            except SyntaxError:
+                node = None
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                if node.value.id == "self":
+                    decl = self._class_lock_decl(owner, node.attr)
+                else:
+                    as_class = self.index.lookup_class(node.value.id, owner.module)
+                    decl = (
+                        self._class_lock_decl(as_class, node.attr)
+                        if as_class is not None
+                        else None
+                    )
+                identity = decl.identity if decl is not None else None
+            elif isinstance(node, ast.Name):
+                contract = self.contracts.get(owner.module)
+                if contract is not None and node.id in contract.locks:
+                    identity = contract.locks[node.id].identity
+        self._guard_lock_cache[key] = identity
+        return identity
+
+    # ------------------------------------------------------------------
+    # may-acquire summaries (for interprocedural order edges)
+    # ------------------------------------------------------------------
+    def _direct_acquisitions(self, fn: FunctionInfo) -> Set[str]:
+        cls = self._owner_class(fn)
+        scope = self._scoped(fn, cls)
+        acquired: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    decl = self.resolve_lock_node(item.context_expr, scope)
+                    if decl is not None:
+                        acquired.add(decl.identity)
+        return acquired
+
+    def _compute_may_acquire(self) -> Dict[str, Set[str]]:
+        direct = {
+            name: self._direct_acquisitions(fn)
+            for name, fn in self.index.functions.items()
+        }
+        graph = self.threads.call_graph
+        may = {name: set(locks) for name, locks in direct.items()}
+        changed = True
+        while changed:
+            changed = False
+            for name, callees in graph.items():
+                bucket = may[name]
+                before = len(bucket)
+                for callee in callees:
+                    bucket.update(may.get(callee, ()))
+                if len(bucket) != before:
+                    changed = True
+        return may
+
+    def _owner_class(self, fn: FunctionInfo) -> Optional[ClassInfo]:
+        if fn.cls is None:
+            return None
+        module = self.index.modules.get(fn.module)
+        if module is None:
+            return None
+        return module.classes.get(fn.cls)
+
+    def _scoped(self, fn: FunctionInfo, cls: Optional[ClassInfo]) -> FunctionScope:
+        """A FunctionScope with locals pre-bound from simple assignments."""
+        scope = FunctionScope(self.index, fn, cls)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    inferred = scope.expr_class(node.value)
+                    if inferred is not None:
+                        scope.bind(target.id, inferred)
+            elif isinstance(node, ast.For) and isinstance(node.target, ast.Name):
+                inferred = scope.iteration_class(node.iter)
+                if inferred is not None:
+                    scope.bind(node.target.id, inferred)
+        return scope
+
+    # ------------------------------------------------------------------
+    # The run
+    # ------------------------------------------------------------------
+    def run(self) -> ConcurrencyReport:
+        self.report.modules_checked = len(self.index.modules)
+        self._validate_guard_expressions()
+        for fn in self.index.functions.values():
+            self._check_function(fn)
+        self._check_annotation_coverage()
+        self._check_lock_order_cycles()
+        self.report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return self.report
+
+    def _emit(
+        self, rule: str, severity: Severity, path: str, line: int, message: str
+    ) -> None:
+        self.report.findings.append(
+            ConcurrencyFinding(
+                rule=rule, severity=severity, path=path, line=line, message=message
+            )
+        )
+
+    def _validate_guard_expressions(self) -> None:
+        for module_name, contract in self.contracts.items():
+            module = self.index.modules[module_name]
+            for guard in contract.guards.values():
+                if guard.lock_expr not in contract.locks:
+                    self._emit(
+                        "conc-unknown-lock",
+                        Severity.ERROR,
+                        contract.path,
+                        guard.line,
+                        f"module global {guard.attr!r} is guarded-by "
+                        f"{guard.lock_expr!r}, which is not a module-level lock",
+                    )
+            for cls_name, cls_contract in contract.classes.items():
+                cls = module.classes.get(cls_name)
+                if cls is None:
+                    continue
+                for guard in cls_contract.guards.values():
+                    identity = self._guard_lock_identity(
+                        cls, guard.attr, guard.lock_expr
+                    )
+                    if identity is None:
+                        self._emit(
+                            "conc-unknown-lock",
+                            Severity.ERROR,
+                            contract.path,
+                            guard.line,
+                            f"{cls_name}.{guard.attr} is guarded-by "
+                            f"{guard.lock_expr!r}, which does not resolve to a "
+                            f"discovered lock",
+                        )
+
+    # ------------------------------------------------------------------
+    def _check_function(self, fn: FunctionInfo) -> None:
+        cls = self._owner_class(fn)
+        contract = self.contracts[fn.module]
+        scope = self._scoped(fn, cls)
+        held: FrozenSet[str] = frozenset()
+        for anno in self._def_annotations(contract, fn):
+            if anno.kind != "requires-lock":
+                continue
+            for expr in anno.value.split(","):
+                expr = expr.strip()
+                if not expr:
+                    continue
+                decl = self.resolve_lock_expr(expr, scope)
+                if decl is None:
+                    self._emit(
+                        "conc-unknown-lock",
+                        Severity.ERROR,
+                        contract.path,
+                        fn.lineno,
+                        f"{fn.name}() requires-lock {expr!r}, which does not "
+                        f"resolve to a discovered lock",
+                    )
+                else:
+                    held = held | {decl.identity}
+        walker = _FunctionWalker(self, fn, cls, scope, contract)
+        walker.walk(held)
+
+    # ------------------------------------------------------------------
+    def _check_annotation_coverage(self) -> None:
+        """``conc-unannotated-shared``: the contract-coverage rule."""
+        for module_name, contract in self.contracts.items():
+            module = self.index.modules[module_name]
+            for cls_name, cls in module.classes.items():
+                locks = self._merged(cls, "locks")
+                if not locks:
+                    continue
+                guards = self._merged(cls, "guards")
+                unguarded = self._merged(cls, "unguarded")
+                reported: Set[str] = set()
+                for method_name, method in cls.methods.items():
+                    if method_name in _INIT_METHODS:
+                        continue
+                    for node in ast.walk(method.node):
+                        targets: List[ast.expr] = []
+                        if isinstance(node, ast.Assign):
+                            targets = list(node.targets)
+                        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                            targets = [node.target]
+                        for target in targets:
+                            if not (
+                                isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"
+                            ):
+                                continue
+                            attr = target.attr
+                            if (
+                                attr in guards
+                                or attr in unguarded
+                                or attr in locks
+                                or attr in reported
+                            ):
+                                continue
+                            if any(
+                                anno.kind == "unguarded"
+                                for anno in contract.annotations.get(
+                                    target.lineno, ()
+                                )
+                            ):
+                                continue
+                            reported.add(attr)
+                            self._emit(
+                                "conc-unannotated-shared",
+                                Severity.WARNING,
+                                contract.path,
+                                target.lineno,
+                                f"{cls_name}.{attr} is mutated outside __init__ "
+                                f"in a lock-owning class but carries neither a "
+                                f"'# guarded-by:' nor an '# unguarded:' "
+                                f"annotation",
+                            )
+
+    # ------------------------------------------------------------------
+    def add_order_edge(
+        self,
+        held: str,
+        acquired: str,
+        path: str,
+        line: int,
+        via: Optional[str] = None,
+    ) -> None:
+        if held == acquired:
+            kind = self.report.locks.get(acquired)
+            if kind is not None and kind.kind not in REENTRANT_KINDS:
+                self._emit(
+                    "conc-lock-order-cycle",
+                    Severity.ERROR,
+                    path,
+                    line,
+                    f"non-reentrant lock {_short(acquired)!r} acquired while "
+                    f"already held"
+                    + (f" (via {via.split(':')[-1]}())" if via else ""),
+                )
+            return
+        self.report.lock_graph.setdefault(
+            (held, acquired),
+            OrderEdge(held=held, acquired=acquired, path=path, line=line, via=via),
+        )
+
+    def _check_lock_order_cycles(self) -> None:
+        adjacency: Dict[str, Set[str]] = {}
+        for held, acquired in self.report.lock_graph:
+            adjacency.setdefault(held, set()).add(acquired)
+            adjacency.setdefault(acquired, set())
+        # Iterative Tarjan SCC — any SCC with >1 node is a deadlock risk.
+        index_of: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        sccs: List[List[str]] = []
+        counter = [0]
+
+        def strongconnect(root: str) -> None:
+            work = [(root, iter(sorted(adjacency[root])))]
+            index_of[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in index_of:
+                        index_of[child] = low[child] = counter[0]
+                        counter[0] += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(sorted(adjacency[child]))))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index_of[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index_of[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    sccs.append(component)
+
+        for node in sorted(adjacency):
+            if node not in index_of:
+                strongconnect(node)
+        for component in sccs:
+            if len(component) < 2:
+                continue
+            members = sorted(component)
+            witnesses = [
+                edge.describe()
+                for (held, acquired), edge in sorted(self.report.lock_graph.items())
+                if held in component and acquired in component
+            ]
+            first = min(
+                (
+                    edge
+                    for (held, acquired), edge in self.report.lock_graph.items()
+                    if held in component and acquired in component
+                ),
+                key=lambda e: (e.path, e.line),
+            )
+            self._emit(
+                "conc-lock-order-cycle",
+                Severity.ERROR,
+                first.path,
+                first.line,
+                "lock-order cycle between "
+                + ", ".join(_short(m) for m in members)
+                + ": "
+                + "; ".join(witnesses),
+            )
+
+
+class _FunctionWalker:
+    """Held-lock dataflow walk over one function body."""
+
+    def __init__(
+        self,
+        checker: ConcurrencyChecker,
+        fn: FunctionInfo,
+        cls: Optional[ClassInfo],
+        scope: FunctionScope,
+        contract: ModuleContract,
+    ) -> None:
+        self.checker = checker
+        self.fn = fn
+        self.cls = cls
+        self.scope = scope
+        self.contract = contract
+        self.path = contract.path
+        self.concurrent = checker.threads.is_concurrent(fn.qualname)
+        self.in_init = fn.cls is not None and fn.name in _INIT_METHODS
+        # Bare names assigned locally (without `global`) shadow module
+        # guards; skip Name-guard checks for them.
+        self._local_names: Set[str] = set()
+        self._global_names: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                self._global_names.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                self._local_names.add(node.id)
+        self._acquire_calls: List[Tuple[str, int, str]] = []  # identity, line, text
+        self._release_in_finally: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    def walk(self, held: FrozenSet[str]) -> None:
+        for stmt in self.fn.node.body:
+            self._visit(stmt, held, in_finally=False)
+        for identity, line, text in self._acquire_calls:
+            if identity not in self._release_in_finally:
+                self.checker._emit(
+                    "conc-acquire-without-release",
+                    Severity.ERROR,
+                    self.path,
+                    line,
+                    f"{text}.acquire() has no matching release() in a finally "
+                    f"block of {self.fn.name}()",
+                )
+
+    # ------------------------------------------------------------------
+    def _visit(self, node: ast.AST, held: FrozenSet[str], in_finally: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs are deferred callbacks (retry hooks, tracer
+            # wrappers): they may run without the enclosing locks, so
+            # analyze their bodies with nothing held.
+            for child in node.body:
+                self._visit(child, frozenset(), in_finally=False)
+            return
+        if isinstance(node, ast.Lambda):
+            # Lambdas in this codebase are synchronous HOF arguments
+            # (sort/min keys, filters): they run where they appear, so
+            # the held set carries through.
+            self._visit(node.body, held, in_finally)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: List[str] = []
+            inner = set(held)
+            for item in node.items:
+                self._visit(item.context_expr, frozenset(inner), in_finally)
+                decl = self.checker.resolve_lock_node(item.context_expr, self.scope)
+                if decl is not None:
+                    for holder in sorted(inner):
+                        self.checker.add_order_edge(
+                            holder, decl.identity, self.path, item.context_expr.lineno
+                        )
+                    if decl.identity in inner and decl.kind not in REENTRANT_KINDS:
+                        self.checker.add_order_edge(
+                            decl.identity,
+                            decl.identity,
+                            self.path,
+                            item.context_expr.lineno,
+                        )
+                    inner.add(decl.identity)
+                    acquired.append(decl.identity)
+                if item.optional_vars is not None:
+                    self._visit(item.optional_vars, frozenset(inner), in_finally)
+            for stmt in node.body:
+                self._visit(stmt, frozenset(inner), in_finally)
+            return
+        if isinstance(node, ast.Try):
+            for stmt in node.body:
+                self._visit(stmt, held, in_finally)
+            for handler in node.handlers:
+                for stmt in handler.body:
+                    self._visit(stmt, held, in_finally)
+            for stmt in node.orelse:
+                self._visit(stmt, held, in_finally)
+            for stmt in node.finalbody:
+                self._visit(stmt, held, in_finally=True)
+            return
+        if isinstance(node, ast.Call):
+            self._visit_call(node, held, in_finally)
+            for child in ast.iter_child_nodes(node):
+                self._visit(child, held, in_finally)
+            return
+        if isinstance(node, ast.Attribute):
+            self._check_attribute_access(node, held)
+        elif isinstance(node, ast.Name):
+            self._check_name_access(node, held)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held, in_finally)
+
+    # ------------------------------------------------------------------
+    def _line_exempt(self, line: int) -> bool:
+        return any(
+            anno.kind == "unguarded"
+            for anno in self.contract.annotations.get(line, ())
+        )
+
+    def _check_attribute_access(self, node: ast.Attribute, held: FrozenSet[str]) -> None:
+        if not self.concurrent or self.in_init:
+            return
+        owner: Optional[ClassInfo]
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            owner = self.cls
+        else:
+            owner = self.scope.expr_class(node.value)
+        if owner is None:
+            return
+        guards = self.checker._merged(owner, "guards")
+        guard = guards.get(node.attr)
+        if guard is None:
+            return
+        if node.attr in self.checker._merged(owner, "locks"):
+            return  # reading the lock itself (to acquire it) is fine
+        unguarded = self.checker._merged(owner, "unguarded")
+        if node.attr in unguarded or self._line_exempt(node.lineno):
+            return
+        identity = self.checker._guard_lock_identity(
+            owner, node.attr, guard.lock_expr  # type: ignore[union-attr]
+        )
+        if identity is None or identity in held:
+            return
+        action = "write to" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read of"
+        decl = self.checker.report.locks.get(identity)
+        lock_name = decl.display if decl is not None else identity
+        self.checker._emit(
+            "conc-unguarded-access",
+            Severity.ERROR,
+            self.path,
+            node.lineno,
+            f"{action} guarded attribute {owner.name}.{node.attr} without "
+            f"holding {lock_name!r} (declared guarded-by at line "
+            f"{guard.line})",  # type: ignore[union-attr]
+        )
+
+    def _check_name_access(self, node: ast.Name, held: FrozenSet[str]) -> None:
+        if not self.concurrent or self.in_init:
+            return
+        guard = self.contract.guards.get(node.id)
+        if guard is None:
+            return
+        if node.id in self._local_names and node.id not in self._global_names:
+            return
+        if node.id in self.contract.unguarded or self._line_exempt(node.lineno):
+            return
+        decl = self.contract.locks.get(guard.lock_expr)
+        if decl is None or decl.identity in held:
+            return
+        action = "write to" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read of"
+        self.checker._emit(
+            "conc-unguarded-access",
+            Severity.ERROR,
+            self.path,
+            node.lineno,
+            f"{action} guarded module global {node.id!r} without holding "
+            f"{decl.display!r} (declared guarded-by at line {guard.line})",
+        )
+
+    # ------------------------------------------------------------------
+    def _visit_call(
+        self, node: ast.Call, held: FrozenSet[str], in_finally: bool
+    ) -> None:
+        func = node.func
+        # Manual acquire/release discipline.
+        if isinstance(func, ast.Attribute) and func.attr in ("acquire", "release"):
+            decl = self.checker.resolve_lock_node(func.value, self.scope)
+            if decl is not None:
+                text = ast.unparse(func.value)
+                if func.attr == "acquire":
+                    self._acquire_calls.append((decl.identity, node.lineno, text))
+                elif in_finally:
+                    self._release_in_finally.add(decl.identity)
+        if held:
+            self._check_blocking(node, held)
+            # Interprocedural order edges + requires-lock call checks.
+            for callee in self.scope.resolve_call(node):
+                for acquired in sorted(
+                    self.checker._may_acquire.get(callee.qualname, ())
+                ):
+                    for holder in sorted(held):
+                        self.checker.add_order_edge(
+                            holder,
+                            acquired,
+                            self.path,
+                            node.lineno,
+                            via=callee.qualname,
+                        )
+        for callee in self.scope.resolve_call(node):
+            callee_contract = self.checker.contracts.get(callee.module)
+            if callee_contract is None:
+                continue
+            for anno in self.checker._def_annotations(callee_contract, callee):
+                if anno.kind != "requires-lock":
+                    continue
+                callee_cls = self.checker._owner_class(callee)
+                callee_scope = FunctionScope(self.checker.index, callee, callee_cls)
+                for expr in anno.value.split(","):
+                    expr = expr.strip()
+                    if not expr:
+                        continue
+                    decl = self.checker.resolve_lock_expr(expr, callee_scope)
+                    if decl is not None and decl.identity not in held:
+                        if not self.concurrent:
+                            continue
+                        self.checker._emit(
+                            "conc-unguarded-access",
+                            Severity.ERROR,
+                            self.path,
+                            node.lineno,
+                            f"call to {callee.name}() requires "
+                            f"{decl.display!r} but the lock is not held",
+                        )
+
+    def _check_blocking(self, node: ast.Call, held: FrozenSet[str]) -> None:
+        if not self.concurrent:
+            return
+        func = node.func
+        blocking: Optional[str] = None
+        if isinstance(func, ast.Name) and func.id in _BLOCKING_NAME_CALLS:
+            blocking = f"{func.id}()"
+        elif isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and (base.id, func.attr) in (
+                _BLOCKING_MODULE_CALLS
+            ):
+                blocking = f"{base.id}.{func.attr}()"
+            elif isinstance(base, ast.Name) and base.id == "subprocess":
+                blocking = f"subprocess.{func.attr}()"
+            elif func.attr in _BLOCKING_WAIT_ATTRS:
+                decl = self.checker.resolve_lock_node(base, self.scope)
+                if decl is not None and decl.kind == "condition" and (
+                    decl.identity in held
+                ):
+                    return  # Condition.wait releases the held lock
+                blocking = f"{ast.unparse(base)}.{func.attr}()"
+        if blocking is None:
+            return
+        helds = ", ".join(sorted(_short(h) for h in held))
+        self.checker._emit(
+            "conc-blocking-under-lock",
+            Severity.ERROR,
+            self.path,
+            node.lineno,
+            f"blocking call {blocking} while holding {helds}",
+        )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+def check_package(
+    root: Optional[str] = None,
+    package: Optional[str] = None,
+    extra_roots: Iterable[str] = DEFAULT_THREAD_ROOTS,
+) -> ConcurrencyReport:
+    """Run the pass over a package tree (default: the installed repro)."""
+    if root is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        package = package or "repro"
+    index = ProjectIndex.build(root, package=package)
+    return ConcurrencyChecker(index, extra_roots=extra_roots).run()
+
+
+def check_paths(
+    paths: Iterable[str],
+    extra_roots: Iterable[str] = DEFAULT_THREAD_ROOTS,
+) -> ConcurrencyReport:
+    """Run the pass over loose files (test fixtures, ad-hoc modules)."""
+    index = ProjectIndex()
+    for path in paths:
+        name = os.path.splitext(os.path.basename(path))[0]
+        index.add_module(name, path)
+    return ConcurrencyChecker(index, extra_roots=extra_roots).run()

@@ -8,6 +8,8 @@ Usage::
     python -m repro.analysis.lint --db basket my_query.sql
     python -m repro.analysis.lint --strict all   # any finding fails
     python -m repro.analysis.lint --trace t.json all   # + Chrome trace
+    python -m repro.analysis.lint --concurrency  # lock-discipline pass
+    python -m repro.analysis.lint --concurrency path/to/module.py
 
 Named targets resolve to (schema, SQL) pairs: ``Q1``..``Q8`` are the
 Figure 1 suite over the batting schema; ``complex``, ``market_basket``
@@ -21,8 +23,14 @@ under the Smart-Iceberg optimizer with ``trace="timing"`` and writes
 the merged Chrome ``trace_event`` artifact to PATH — the lint CLI
 doubles as a workload runner for flame-graph inspection.
 
-Exit status is 1 when any query fails semantic analysis or any
-ERROR-severity finding fires; ``--strict`` fails on *any* finding.
+``--concurrency`` switches the CLI to the whole-program
+lock-discipline pass (:mod:`repro.analysis.concurrency`): with no
+targets it checks the installed ``repro`` package; with targets it
+treats each as a Python file to check in isolation (fixtures).
+
+Exit status: 0 clean, 1 when any query fails semantic analysis or any
+ERROR-severity finding fires (``--strict`` fails on *any* finding),
+2 on usage errors or analyzer crashes.
 """
 
 from __future__ import annotations
@@ -177,6 +185,33 @@ def trace_targets(
     return len(named_profiles)
 
 
+def run_concurrency(paths: List[str], strict: bool, out=None) -> int:
+    """Run the lock-discipline pass; returns the process exit code."""
+    from repro.analysis.concurrency import check_package, check_paths
+
+    out = out if out is not None else sys.stdout
+    if paths:
+        missing = [path for path in paths if not os.path.isfile(path)]
+        if missing:
+            print(f"concurrency: no such file: {', '.join(missing)}", file=out)
+            return 2
+        report = check_paths(paths)
+    else:
+        report = check_package()
+    for finding in report.findings:
+        print(finding, file=out)
+    for rule, count in sorted(report.counts_by_rule().items()):
+        print(f"concurrency: {count} x {rule}", file=out)
+    print(
+        f"concurrency: {len(report.findings)} finding(s) in "
+        f"{report.modules_checked} module(s); {len(report.locks)} lock(s), "
+        f"{len(report.lock_graph)} order edge(s), "
+        f"{len(report.concurrent)} concurrent function(s)",
+        file=out,
+    )
+    return 0 if report.ok(strict) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
@@ -184,9 +219,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "targets",
-        nargs="+",
+        nargs="*",
         help="Q1..Q8, complex, market_basket, discount, 'all', "
-        "a .sql file, or literal SQL",
+        "a .sql file, or literal SQL; with --concurrency, Python files "
+        "(default: the installed repro package)",
     )
     parser.add_argument(
         "--db",
@@ -206,7 +242,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also execute the linted named targets under trace='timing' "
         "and write a merged Chrome trace to PATH",
     )
+    parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run the lock-discipline / lock-order pass instead of "
+        "query lints",
+    )
     args = parser.parse_args(argv)
+
+    if args.concurrency:
+        if args.trace:
+            parser.error("--trace cannot be combined with --concurrency")
+        try:
+            return run_concurrency(args.targets, args.strict)
+        except Exception as error:  # noqa: BLE001 — crash contract: exit 2
+            print(
+                f"concurrency: crashed [{type(error).__name__}] {error}",
+                file=sys.stderr,
+            )
+            return 2
+
+    if not args.targets:
+        parser.error("at least one target is required (or use --concurrency)")
 
     known = named_targets()
     databases: Dict[str, Database] = {}

@@ -1,0 +1,334 @@
+"""Lock contracts: the ``# guarded-by:`` grammar and lock discovery.
+
+The serving arc made the engine concurrent — shared plan cache,
+admission slots, budgeted binding caches, a process-wide metrics
+registry — all protected by hand-maintained lock discipline.  This
+module makes that discipline *declarable* so
+:mod:`repro.analysis.concurrency` can machine-check it.
+
+Annotation grammar (line comments, parsed with :mod:`tokenize` so they
+attach to real statements)::
+
+    self._entries = {}        # guarded-by: self._lock
+    _SEEN: set = set()        # guarded-by: _SEEN_LOCK      (module global)
+    def _evict_one(self):     # requires-lock: self._lock
+    self.closed = False       # unguarded: single-writer close(); readers tolerate staleness
+    def worker(self):         # thread-entry
+
+* ``guarded-by: <lock-expr>`` — every read or write of the annotated
+  attribute (outside ``__init__``) must happen while holding the named
+  lock.  ``<lock-expr>`` is a dotted expression rooted at ``self`` or a
+  module-level name that resolves to a *discovered* lock (see below).
+* ``requires-lock: <lock-expr>[, <lock-expr>...]`` — the function's
+  callers must hold the lock(s); the body is checked as if they are
+  held, and resolvable call sites are checked to actually hold them.
+* ``unguarded: <reason>`` — documented exemption: a single-writer or
+  externally-serialized attribute (the reason is mandatory and should
+  name the serializing mechanism).  On an attribute declaration it
+  exempts every access; on an individual access line it exempts that
+  line only.
+* ``thread-entry`` — marks a function as a thread root for
+  :mod:`repro.analysis.threads` reachability (in addition to roots
+  discovered from ``threading.Thread(target=...)`` and the methods of
+  guard-declaring classes).
+
+Lock discovery is automatic, not annotated: any attribute assigned
+``threading.Lock()`` / ``threading.RLock()`` / ``threading.Condition(...)``
+in a method, any dataclass field whose annotation or ``default_factory``
+names one of those types, and any module-level name bound to one is a
+*named lock*.  A ``guarded-by``/``requires-lock`` expression that does
+not resolve to a discovered lock is itself a finding
+(``conc-unknown-lock``).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Recognized annotation markers.
+ANNOTATION_KINDS = ("guarded-by", "requires-lock", "unguarded", "thread-entry")
+
+_ANNOTATION_RE = re.compile(
+    r"#\s*(guarded-by|requires-lock|unguarded|thread-entry)\s*:?\s*(.*)$"
+)
+
+#: threading constructors that create a named lock, and the lock kind.
+LOCK_FACTORIES = {
+    "Lock": "lock",
+    "RLock": "rlock",
+    "Condition": "condition",
+}
+
+#: Lock kinds that may be re-acquired by the holding thread.
+REENTRANT_KINDS = frozenset({"rlock", "condition"})
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """One parsed contract comment."""
+
+    kind: str
+    value: str
+    line: int
+    #: True when the comment is alone on its line (attaches to the
+    #: *following* statement); False for trailing comments (attach to
+    #: their own line only).
+    standalone: bool = False
+
+
+@dataclass(frozen=True)
+class LockDecl:
+    """One discovered lock: where it lives and what flavour it is."""
+
+    module: str
+    cls: Optional[str]  # None for module-level locks
+    attr: str
+    kind: str  # "lock" | "rlock" | "condition"
+    line: int
+
+    @property
+    def identity(self) -> str:
+        """Stable graph-node id: ``module:Class.attr`` / ``module:attr``."""
+        if self.cls is not None:
+            return f"{self.module}:{self.cls}.{self.attr}"
+        return f"{self.module}:{self.attr}"
+
+    @property
+    def display(self) -> str:
+        """Short human name used in findings (``Class.attr`` / ``attr``)."""
+        if self.cls is not None:
+            return f"{self.cls}.{self.attr}"
+        return self.attr
+
+
+@dataclass(frozen=True)
+class GuardDecl:
+    """``attr`` is guarded by the lock named by ``lock_expr``."""
+
+    attr: str
+    lock_expr: str
+    line: int
+
+
+@dataclass
+class ClassContract:
+    """Per-class concurrency contract assembled from the annotations."""
+
+    name: str
+    module: str
+    locks: Dict[str, LockDecl] = field(default_factory=dict)
+    guards: Dict[str, GuardDecl] = field(default_factory=dict)
+    unguarded: Dict[str, str] = field(default_factory=dict)  # attr -> reason
+
+    def has_contract(self) -> bool:
+        return bool(self.guards)
+
+
+@dataclass
+class ModuleContract:
+    """Everything the checker needs to know about one module's locks."""
+
+    module: str
+    path: str
+    locks: Dict[str, LockDecl] = field(default_factory=dict)  # module-level
+    guards: Dict[str, GuardDecl] = field(default_factory=dict)
+    unguarded: Dict[str, str] = field(default_factory=dict)
+    classes: Dict[str, ClassContract] = field(default_factory=dict)
+    #: line -> annotations on that line (for line-level exemptions and
+    #: ``thread-entry``/``requires-lock`` lookup during the walk).
+    annotations: Dict[int, List[Annotation]] = field(default_factory=dict)
+
+    def annotations_for(self, node: ast.AST) -> List[Annotation]:
+        """Annotations attached to ``node``: any line the statement
+        spans, plus a standalone comment line directly above it."""
+        found: List[Annotation] = []
+        start = getattr(node, "lineno", None)
+        end = getattr(node, "end_lineno", start)
+        if start is None:
+            return found
+        for line in range(start, (end or start) + 1):
+            found.extend(self.annotations.get(line, ()))
+        found.extend(
+            anno
+            for anno in self.annotations.get(start - 1, ())
+            if anno.standalone
+        )
+        return found
+
+
+def parse_annotations(source: str) -> Dict[int, List[Annotation]]:
+    """All contract comments in ``source``, keyed by line number.
+
+    A standalone comment (nothing but whitespace before the ``#``) is
+    recorded at its own line; :meth:`ModuleContract.annotations_for`
+    handles attaching it to the following statement.
+    """
+    annotations: Dict[int, List[Annotation]] = {}
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    try:
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _ANNOTATION_RE.match(token.string)
+            if match is None:
+                continue
+            kind, value = match.group(1), match.group(2).strip()
+            line = token.start[0]
+            before = token.line[: token.start[1]]
+            annotations.setdefault(line, []).append(
+                Annotation(
+                    kind=kind,
+                    value=value,
+                    line=line,
+                    standalone=not before.strip(),
+                )
+            )
+    except tokenize.TokenError:  # unterminated string etc.: best effort
+        pass
+    return annotations
+
+
+def _lock_kind(node: ast.AST) -> Optional[str]:
+    """The lock kind a value expression constructs, if any.
+
+    Recognizes ``threading.Lock()``, ``RLock()`` (bare import),
+    ``threading.Condition(threading.Lock())``, and
+    ``field(default_factory=threading.RLock)``.
+    """
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name in LOCK_FACTORIES:
+            return LOCK_FACTORIES[name]
+        if name == "field":
+            for keyword in node.keywords:
+                if keyword.arg == "default_factory":
+                    factory = keyword.value
+                    fname = None
+                    if isinstance(factory, ast.Attribute):
+                        fname = factory.attr
+                    elif isinstance(factory, ast.Name):
+                        fname = factory.id
+                    if fname in LOCK_FACTORIES:
+                        return LOCK_FACTORIES[fname]
+    return None
+
+
+def _annotation_lock_kind(annotation: ast.AST) -> Optional[str]:
+    """Lock kind named by a type annotation (``threading.RLock`` etc.)."""
+    try:
+        text = ast.unparse(annotation)
+    except Exception:
+        return None
+    for name, kind in LOCK_FACTORIES.items():
+        if re.search(rf"\b(?:threading\.)?{name}\b", text):
+            return kind
+    return None
+
+
+def _guard_targets(stmt: ast.stmt) -> List[Tuple[str, bool]]:
+    """Attribute/global names a statement declares: (name, is_self_attr)."""
+    names: List[Tuple[str, bool]] = []
+    targets: List[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    for target in targets:
+        if isinstance(target, ast.Attribute) and isinstance(
+            target.value, ast.Name
+        ) and target.value.id == "self":
+            names.append((target.attr, True))
+        elif isinstance(target, ast.Name):
+            names.append((target.id, False))
+    return names
+
+
+def build_module_contract(
+    module: str, path: str, source: str, tree: ast.Module
+) -> ModuleContract:
+    """Discover locks and parse guard annotations for one module."""
+    contract = ModuleContract(
+        module=module, path=path, annotations=parse_annotations(source)
+    )
+
+    def record_decl(
+        stmt: ast.stmt,
+        cls: Optional[ClassContract],
+        attr: str,
+        is_self: bool,
+        value: Optional[ast.AST],
+        annotation: Optional[ast.AST],
+    ) -> None:
+        kind = _lock_kind(value) if value is not None else None
+        if kind is None and annotation is not None:
+            kind = _annotation_lock_kind(annotation)
+        holder_locks = cls.locks if (cls is not None and is_self) else (
+            contract.locks if cls is None else None
+        )
+        if kind is not None and holder_locks is not None and attr not in holder_locks:
+            holder_locks[attr] = LockDecl(
+                module=module,
+                cls=cls.name if (cls is not None and is_self) else None,
+                attr=attr,
+                kind=kind,
+                line=stmt.lineno,
+            )
+        for anno in contract.annotations_for(stmt):
+            if anno.kind == "guarded-by" and anno.value:
+                decl = GuardDecl(attr=attr, lock_expr=anno.value, line=stmt.lineno)
+                if cls is not None and is_self:
+                    cls.guards.setdefault(attr, decl)
+                elif cls is None:
+                    contract.guards.setdefault(attr, decl)
+            elif anno.kind == "unguarded":
+                if cls is not None and is_self:
+                    cls.unguarded.setdefault(attr, anno.value)
+                elif cls is None:
+                    contract.unguarded.setdefault(attr, anno.value)
+
+    def scan_function(fn: ast.AST, cls: Optional[ClassContract]) -> None:
+        for stmt in ast.walk(fn):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                continue
+            value = getattr(stmt, "value", None)
+            annotation = getattr(stmt, "annotation", None)
+            for attr, is_self in _guard_targets(stmt):
+                if not is_self:
+                    continue  # function locals are not shared state
+                record_decl(stmt, cls, attr, is_self, value, annotation)
+
+    def scan_class(node: ast.ClassDef) -> None:
+        cls = contract.classes.setdefault(
+            node.name, ClassContract(name=node.name, module=module)
+        )
+        for stmt in node.body:
+            # Dataclass fields / class-level declarations.
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                value = getattr(stmt, "value", None)
+                annotation = getattr(stmt, "annotation", None)
+                for attr, _ in _guard_targets(stmt):
+                    record_decl(stmt, cls, attr, True, value, annotation)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scan_function(stmt, cls)
+
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            scan_class(stmt)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scan_function(stmt, None)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            value = getattr(stmt, "value", None)
+            annotation = getattr(stmt, "annotation", None)
+            for attr, is_self in _guard_targets(stmt):
+                record_decl(stmt, None, attr, is_self, value, annotation)
+    return contract

@@ -1,0 +1,606 @@
+"""Which functions run off the main thread?  Call graph + reachability.
+
+The concurrency checker (:mod:`repro.analysis.concurrency`) needs two
+whole-program facts the per-function walk cannot see:
+
+1. **Thread roots** — the entry points other threads call into: every
+   method of a class that declares ``# guarded-by:`` contracts (a
+   lock-owning object *is* a concurrency surface — any thread holding a
+   reference may call it), every function handed to
+   ``threading.Thread(target=...)``, every function annotated
+   ``# thread-entry``, and the serving-layer surfaces listed in
+   :data:`DEFAULT_THREAD_ROOTS` (admission slots, session calls, tracer
+   wrappers, cache prune paths).
+2. **Resolvable calls** — a conservative, type-informed call graph.
+   Calls resolve only when the receiver's class is statically known:
+   ``self.method()``, ``ClassName(...)``, attributes whose type was
+   pinned in ``__init__`` (``self.plan_cache = PlanCache(...)``),
+   annotated parameters/fields, return annotations, and values of
+   ``Dict[...]``-annotated container attributes.  Unresolvable calls
+   contribute *no* edges — under-approximating reachability and lock
+   acquisition rather than inventing spurious cycles from name
+   collisions (every class has a ``get``; resolving by bare name would
+   wire the metrics registry to the binding caches and back).
+
+Reachability closure over that graph yields the *concurrent set*: the
+functions whose guarded-attribute accesses the checker enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+#: Serving-arc surfaces that are thread entry points even without a
+#: ``# thread-entry`` annotation: admission worker slots, server/session
+#: calls, tracer wrappers, and the cache prune paths (ISSUE 9).
+DEFAULT_THREAD_ROOTS = (
+    "repro.serve.admission:AdmissionController.*",
+    "repro.serve.server:IcebergServer.*",
+    "repro.serve.server:Session.*",
+    "repro.serve.plan_cache:PlanCache.*",
+    "repro.serve.circuit:CircuitBreaker.*",
+    "repro.serve.retry:RetryPolicy.run",
+    "repro.obs.tracer:Tracer.*",
+    "repro.obs.metrics:*",
+    "repro.core.cache:*",
+    "repro.core.nljp:NLJPOperator.execute",
+)
+
+_CONTAINER_VALUE_RE = re.compile(
+    r"^\"?(?:typing\.)?(?:Dict|dict|OrderedDict|DefaultDict|Mapping|MutableMapping)"
+    r"\[\s*[^,\[\]]+,\s*([A-Za-z_][\w.]*)\s*\]\"?$"
+)
+
+
+@dataclass
+class FunctionInfo:
+    """One module-level function or method."""
+
+    qualname: str  # "module:Class.name" or "module:name"
+    module: str
+    cls: Optional[str]
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    lineno: int
+    returns_class: Optional[str] = None  # resolved lazily
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, base names, and inferred attribute types."""
+
+    qualname: str  # "module:Name"
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: self.attr -> class simple/dotted name (resolved on demand).
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    #: self.attr -> element class name for Dict[...]-annotated containers.
+    attr_value_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: local name -> dotted module path it was imported from.
+    imports: Dict[str, str] = field(default_factory=dict)
+
+
+def _annotation_class_name(annotation: Optional[ast.AST]) -> Optional[str]:
+    """The plain class name an annotation pins, if it is that simple.
+
+    ``Foo``, ``"Foo"``, ``Optional[Foo]`` and ``mod.Foo`` resolve;
+    containers and unions of several classes do not (except the
+    ``Dict[k, V]`` value extraction handled separately).
+    """
+    if annotation is None:
+        return None
+    node = annotation
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        try:
+            base = ast.unparse(node.value)
+        except Exception:
+            return None
+        if base.split(".")[-1] == "Optional":
+            node = node.slice
+        else:
+            return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _container_value_class(annotation: Optional[ast.AST]) -> Optional[str]:
+    if annotation is None:
+        return None
+    try:
+        text = ast.unparse(annotation)
+    except Exception:
+        return None
+    match = _CONTAINER_VALUE_RE.match(text.strip())
+    return match.group(1).split(".")[-1] if match else None
+
+
+class ProjectIndex:
+    """AST index of a package tree: modules, classes, functions, types."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}  # by qualname
+        self.class_by_name: Dict[str, List[ClassInfo]] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, root: str, package: Optional[str] = None) -> "ProjectIndex":
+        """Index every ``.py`` file under ``root``.
+
+        ``package`` overrides the dotted prefix (defaults to the root
+        directory's basename, i.e. ``repro`` for ``src/repro``).
+        """
+        index = cls()
+        root = os.path.abspath(root)
+        if os.path.isfile(root):
+            name = os.path.splitext(os.path.basename(root))[0]
+            index.add_module(package or name, root)
+            return index
+        prefix = package if package is not None else os.path.basename(root)
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(
+                d for d in dirnames if d != "__pycache__" and not d.startswith(".")
+            )
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                relative = os.path.relpath(path, root)
+                parts = relative[:-3].replace(os.sep, ".")
+                if parts.endswith("__init__"):
+                    parts = parts[: -len("__init__")].rstrip(".")
+                name = f"{prefix}.{parts}" if parts else prefix
+                index.add_module(name, path)
+        return index
+
+    def add_module(self, name: str, path: str) -> Optional[ModuleInfo]:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            return None
+        info = ModuleInfo(name=name, path=path, source=source, tree=tree)
+        self.modules[name] = info
+        self._scan_module(info)
+        return info
+
+    # ------------------------------------------------------------------
+    def _scan_module(self, module: ModuleInfo) -> None:
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.ImportFrom) and stmt.module:
+                for alias in stmt.names:
+                    module.imports[alias.asname or alias.name] = (
+                        f"{stmt.module}.{alias.name}"
+                    )
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    module.imports[alias.asname or alias.name] = alias.name
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = FunctionInfo(
+                    qualname=f"{module.name}:{stmt.name}",
+                    module=module.name,
+                    cls=None,
+                    name=stmt.name,
+                    node=stmt,
+                    lineno=stmt.lineno,
+                )
+                module.functions[stmt.name] = fn
+                self.functions[fn.qualname] = fn
+            elif isinstance(stmt, ast.ClassDef):
+                self._scan_class(module, stmt)
+
+    def _scan_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        info = ClassInfo(
+            qualname=f"{module.name}:{node.name}",
+            module=module.name,
+            name=node.name,
+            node=node,
+        )
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                info.bases.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                info.bases.append(base.attr)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = FunctionInfo(
+                    qualname=f"{module.name}:{node.name}.{stmt.name}",
+                    module=module.name,
+                    cls=node.name,
+                    name=stmt.name,
+                    node=stmt,
+                    lineno=stmt.lineno,
+                )
+                info.methods[stmt.name] = fn
+                self.functions[fn.qualname] = fn
+                self._scan_attr_types(info, stmt)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                named = _annotation_class_name(stmt.annotation)
+                if named is not None:
+                    info.attr_types.setdefault(stmt.target.id, named)
+                value_cls = _container_value_class(stmt.annotation)
+                if value_cls is not None:
+                    info.attr_value_types.setdefault(stmt.target.id, value_cls)
+        module.classes[node.name] = info
+        self.classes[info.qualname] = info
+        self.class_by_name.setdefault(node.name, []).append(info)
+
+    def _scan_attr_types(self, cls: ClassInfo, fn: ast.AST) -> None:
+        """Pin ``self.attr`` types from ``__init__``-style assignments."""
+        for stmt in ast.walk(fn):
+            target = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+            elif isinstance(stmt, ast.AnnAssign):
+                target = stmt.target
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            annotation = getattr(stmt, "annotation", None)
+            named = _annotation_class_name(annotation)
+            if named is not None:
+                cls.attr_types.setdefault(target.attr, named)
+            value_cls = _container_value_class(annotation)
+            if value_cls is not None:
+                cls.attr_value_types.setdefault(target.attr, value_cls)
+            value = getattr(stmt, "value", None)
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and self.lookup_class(value.func.id, cls.module) is not None
+            ):
+                cls.attr_types.setdefault(target.attr, value.func.id)
+
+    # ------------------------------------------------------------------
+    # Name/type resolution
+    # ------------------------------------------------------------------
+    def lookup_class(self, name: str, module: str) -> Optional[ClassInfo]:
+        """Resolve a simple class name as seen from ``module``."""
+        info = self.modules.get(module)
+        if info is not None:
+            if name in info.classes:
+                return info.classes[name]
+            imported = info.imports.get(name)
+            if imported is not None:
+                owner, _, cls_name = imported.rpartition(".")
+                owner_info = self.modules.get(owner)
+                if owner_info is not None and cls_name in owner_info.classes:
+                    return owner_info.classes[cls_name]
+        candidates = self.class_by_name.get(name, ())
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def class_mro(self, cls: ClassInfo) -> List[ClassInfo]:
+        """The class plus its repo-local bases, nearest first."""
+        seen: List[ClassInfo] = []
+        stack = [cls]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.append(current)
+            for base in current.bases:
+                base_info = self.lookup_class(base, current.module)
+                if base_info is not None:
+                    stack.append(base_info)
+        return seen
+
+    def subclasses(self, cls: ClassInfo) -> List[ClassInfo]:
+        """Repo-local classes that (transitively) derive from ``cls``."""
+        out: List[ClassInfo] = []
+        for candidate in self.classes.values():
+            if candidate is cls:
+                continue
+            if any(base is cls for base in self.class_mro(candidate)[1:]):
+                out.append(candidate)
+        return out
+
+    def find_method(
+        self, cls: ClassInfo, name: str, include_overrides: bool = True
+    ) -> List[FunctionInfo]:
+        """Implementations a ``receiver.name()`` call may dispatch to."""
+        found: List[FunctionInfo] = []
+        for candidate in self.class_mro(cls):
+            if name in candidate.methods:
+                found.append(candidate.methods[name])
+                break
+        if include_overrides:
+            for sub in self.subclasses(cls):
+                if name in sub.methods:
+                    fn = sub.methods[name]
+                    if fn not in found:
+                        found.append(fn)
+        return found
+
+    def attr_class(self, cls: ClassInfo, attr: str) -> Optional[ClassInfo]:
+        """The class of ``self.attr`` as pinned in ``__init__``/fields."""
+        for candidate in self.class_mro(cls):
+            named = candidate.attr_types.get(attr)
+            if named is not None:
+                return self.lookup_class(named, candidate.module)
+        return None
+
+    def attr_value_class(self, cls: ClassInfo, attr: str) -> Optional[ClassInfo]:
+        for candidate in self.class_mro(cls):
+            named = candidate.attr_value_types.get(attr)
+            if named is not None:
+                return self.lookup_class(named, candidate.module)
+        return None
+
+    def function_return_class(self, fn: FunctionInfo) -> Optional[ClassInfo]:
+        returns = getattr(fn.node, "returns", None)
+        named = _annotation_class_name(returns)
+        if named is None:
+            return None
+        return self.lookup_class(named, fn.module)
+
+
+class FunctionScope:
+    """Local type environment for one function walk."""
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        fn: FunctionInfo,
+        cls: Optional[ClassInfo],
+    ) -> None:
+        self.index = index
+        self.fn = fn
+        self.cls = cls
+        self.locals: Dict[str, ClassInfo] = {}
+        args = getattr(fn.node, "args", None)
+        if args is not None:
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            ):
+                named = _annotation_class_name(arg.annotation)
+                if named is not None:
+                    resolved = index.lookup_class(named, fn.module)
+                    if resolved is not None:
+                        self.locals[arg.arg] = resolved
+
+    def bind(self, name: str, cls: Optional[ClassInfo]) -> None:
+        if cls is not None:
+            self.locals[name] = cls
+        else:
+            self.locals.pop(name, None)
+
+    # ------------------------------------------------------------------
+    def expr_class(self, node: ast.AST) -> Optional[ClassInfo]:
+        """The repo class an expression evaluates to, when inferable."""
+        index = self.index
+        if isinstance(node, ast.Name):
+            if node.id == "self":
+                return self.cls
+            return self.locals.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.expr_class(node.value)
+            if base is not None:
+                return index.attr_class(base, node.attr)
+            return None
+        if isinstance(node, ast.Subscript):
+            value = node.value
+            if isinstance(value, ast.Attribute):
+                base = self.expr_class(value.value)
+                if base is not None:
+                    return index.attr_value_class(base, value.attr)
+            return None
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                as_class = index.lookup_class(func.id, self.fn.module)
+                if as_class is not None:
+                    return as_class
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("get", "pop", "setdefault")
+                and isinstance(func.value, ast.Attribute)
+            ):
+                base = self.expr_class(func.value.value)
+                if base is not None:
+                    value_cls = index.attr_value_class(base, func.value.attr)
+                    if value_cls is not None:
+                        return value_cls
+            for callee in self.resolve_call(node):
+                returned = index.function_return_class(callee)
+                if returned is not None:
+                    return returned
+            return None
+        return None
+
+    def resolve_call(self, call: ast.Call) -> List[FunctionInfo]:
+        """Statically resolvable callees of one call expression."""
+        index = self.index
+        func = call.func
+        if isinstance(func, ast.Name):
+            as_class = index.lookup_class(func.id, self.fn.module)
+            if as_class is not None:
+                return index.find_method(as_class, "__init__", include_overrides=False)
+            module = index.modules.get(self.fn.module)
+            if module is not None:
+                if func.id in module.functions:
+                    return [module.functions[func.id]]
+                imported = module.imports.get(func.id)
+                if imported is not None:
+                    owner, _, fn_name = imported.rpartition(".")
+                    owner_info = index.modules.get(owner)
+                    if owner_info is not None and fn_name in owner_info.functions:
+                        return [owner_info.functions[fn_name]]
+            return []
+        if isinstance(func, ast.Attribute):
+            base = self.expr_class(func.value)
+            if base is not None:
+                return index.find_method(base, func.attr)
+        return []
+
+    def iteration_class(self, iter_expr: ast.AST) -> Optional[ClassInfo]:
+        """Element type of ``for x in <expr>`` for typed-dict idioms."""
+        if (
+            isinstance(iter_expr, ast.Call)
+            and isinstance(iter_expr.func, ast.Attribute)
+            and iter_expr.func.attr == "values"
+            and isinstance(iter_expr.func.value, ast.Attribute)
+        ):
+            base = self.expr_class(iter_expr.func.value.value)
+            if base is not None:
+                return self.index.attr_value_class(base, iter_expr.func.value.attr)
+        return None
+
+
+# ----------------------------------------------------------------------
+# Call graph + thread reachability
+# ----------------------------------------------------------------------
+
+
+def _function_class(index: ProjectIndex, fn: FunctionInfo) -> Optional[ClassInfo]:
+    if fn.cls is None:
+        return None
+    module = index.modules.get(fn.module)
+    if module is None:
+        return None
+    return module.classes.get(fn.cls)
+
+
+def build_call_graph(index: ProjectIndex) -> Dict[str, Set[str]]:
+    """qualname -> set of resolvable callee qualnames.
+
+    Calls inside nested functions/lambdas are charged to the enclosing
+    indexed function: a closure defined in a concurrent function may
+    run on that thread (the tracer's wrapped ``execute`` is exactly
+    this shape).
+    """
+    graph: Dict[str, Set[str]] = {}
+    for fn in index.functions.values():
+        scope = FunctionScope(index, fn, _function_class(index, fn))
+        edges: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    scope.bind(target.id, scope.expr_class(node.value))
+            elif isinstance(node, ast.For):
+                if isinstance(node.target, ast.Name):
+                    scope.bind(node.target.id, scope.iteration_class(node.iter))
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                for callee in scope.resolve_call(node):
+                    edges.add(callee.qualname)
+        graph[fn.qualname] = edges
+    return graph
+
+
+def thread_target_roots(index: ProjectIndex) -> Set[str]:
+    """Functions passed as ``target=`` to ``threading.Thread`` (et al.)."""
+    roots: Set[str] = set()
+    for fn in index.functions.values():
+        scope = FunctionScope(index, fn, _function_class(index, fn))
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if name not in ("Thread", "submit", "start_new_thread"):
+                continue
+            candidates: List[ast.expr] = [
+                kw.value for kw in node.keywords if kw.arg == "target"
+            ]
+            if name == "submit" and node.args:
+                candidates.append(node.args[0])
+            for target in candidates:
+                if isinstance(target, ast.Attribute):
+                    base = scope.expr_class(target.value)
+                    if base is not None:
+                        for method in index.find_method(base, target.attr):
+                            roots.add(method.qualname)
+                elif isinstance(target, ast.Name):
+                    module = index.modules.get(fn.module)
+                    if module is not None and target.id in module.functions:
+                        roots.add(module.functions[target.id].qualname)
+    return roots
+
+
+def match_roots(index: ProjectIndex, patterns: Iterable[str]) -> Set[str]:
+    """Expand ``module:Class.method`` fnmatch patterns to qualnames."""
+    names = list(index.functions)
+    matched: Set[str] = set()
+    for pattern in patterns:
+        matched.update(name for name in names if fnmatch.fnmatchcase(name, pattern))
+    return matched
+
+
+def reachable(graph: Dict[str, Set[str]], roots: Iterable[str]) -> Set[str]:
+    """BFS closure of ``roots`` over the call graph."""
+    seen: Set[str] = set()
+    queue = [root for root in roots if root in graph]
+    while queue:
+        current = queue.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        queue.extend(graph.get(current, ()))
+    return seen
+
+
+@dataclass
+class ThreadModel:
+    """The whole-program concurrency view the checker consumes."""
+
+    roots: Set[str]
+    concurrent: Set[str]
+    call_graph: Dict[str, Set[str]]
+
+    def is_concurrent(self, qualname: str) -> bool:
+        return qualname in self.concurrent
+
+
+def build_thread_model(
+    index: ProjectIndex,
+    guard_class_methods: Iterable[str] = (),
+    annotated_roots: Iterable[str] = (),
+    extra_patterns: Iterable[str] = DEFAULT_THREAD_ROOTS,
+) -> ThreadModel:
+    """Assemble roots from every source and close over the call graph."""
+    graph = build_call_graph(index)
+    roots: Set[str] = set(guard_class_methods)
+    roots.update(annotated_roots)
+    roots.update(thread_target_roots(index))
+    roots.update(match_roots(index, extra_patterns))
+    return ThreadModel(
+        roots=roots, concurrent=reachable(graph, roots), call_graph=graph
+    )

@@ -263,7 +263,7 @@ def _sweep(
     series: Dict[str, Dict[str, int]] = {name: {} for name in runners}
     rows = []
     for point_label, db, sql in points:
-        for system_name, runner in runners.items():
+        for runner in runners.values():
             measurement = runner(db, sql, point_label)  # type: ignore[call-arg]
             measurements.append(measurement)
             label = measurement.system

@@ -256,7 +256,7 @@ def is_non_deflationary(
             if joins(l, r):
                 groups.add((group_left(l), group_right(r)))
     for u, v in groups:
-        for index, l in enumerate(rows_left):
+        for l in rows_left:
             if group_left(l) != u:
                 continue
             if not any(

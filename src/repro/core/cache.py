@@ -74,7 +74,7 @@ class CacheEntry:
     binding: Binding
     payload: PayloadRows
     unpromising: bool
-    hits: int = 0
+    hits: int = 0  # guarded-by: BudgetedBindingCache._lock
 
 
 def _value_bytes(value: Any) -> int:
@@ -133,26 +133,27 @@ class BudgetedBindingCache:
             raise ValueError(f"policy {policy!r} requires max_entries")
         self.max_entries = max_entries
         self.policy = policy
-        self._entries: "OrderedDict[Binding, Any]" = OrderedDict()
+        self._entries: "OrderedDict[Binding, Any]" = OrderedDict()  # guarded-by: self._lock
         self._lock = threading.RLock()
-        self.lookups = 0
-        self.hits = 0
-        self.evictions = 0
+        self.lookups = 0  # guarded-by: self._lock
+        self.hits = 0  # guarded-by: self._lock
+        self.evictions = 0  # guarded-by: self._lock
         # Measured footprint, maintained incrementally on put/evict so
         # the governor can use it as a live ceiling input.
-        self.bytes_used = 0
+        self.bytes_used = 0  # guarded-by: self._lock
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def _entry_bytes(self, entry: Any) -> int:
         raise NotImplementedError
 
-    def _forget(self, binding: Binding, entry: Any) -> None:
+    def _forget(self, binding: Binding, entry: Any) -> None:  # requires-lock: self._lock
         """Remove an evicted entry from subclass side structures."""
 
-    def _reset_side_structures(self) -> None:
+    def _reset_side_structures(self) -> None:  # requires-lock: self._lock
         """Drop subclass side structures on :meth:`clear`."""
 
     # ------------------------------------------------------------------
@@ -169,7 +170,7 @@ class BudgetedBindingCache:
                 self._entries.move_to_end(binding)
             return entry
 
-    def _admit(self, binding: Binding, entry: Any) -> None:
+    def _admit(self, binding: Binding, entry: Any) -> None:  # requires-lock: self._lock
         """Insert under the entry-count policy; caller holds the lock."""
         previous = self._entries.get(binding)
         if previous is None and self.max_entries is not None:
@@ -180,7 +181,7 @@ class BudgetedBindingCache:
         self.bytes_used += self._entry_bytes(entry)
         self._entries[binding] = entry
 
-    def _evict_one(self, keep: Optional[Any] = None) -> bool:
+    def _evict_one(self, keep: Optional[Any] = None) -> bool:  # requires-lock: self._lock
         """Evict one victim by policy; ``keep`` is never chosen.
 
         For policy ``"none"`` (no entry-count replacement configured)
@@ -236,7 +237,8 @@ class BudgetedBindingCache:
     @property
     def rows(self) -> int:
         """Number of cached bindings (the paper's Figure 3 row counts)."""
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def estimated_bytes(self) -> int:
         """Footprint charged like a PostgreSQL heap table.
@@ -246,7 +248,19 @@ class BudgetedBindingCache:
         Maintained incrementally on put/evict (see :func:`entry_bytes`),
         so this is O(1) and safe to consult per insertion.
         """
-        return self.bytes_used
+        with self._lock:
+            return self.bytes_used
+
+    def counters(self) -> Tuple[int, int, int]:
+        """Consistent snapshot of ``(lookups, hits, evictions)``.
+
+        The shared-cache path charges per-execution deltas against a
+        baseline; reading the three counters individually could observe
+        a concurrent execution between reads, so baselines and final
+        readings both come from this locked snapshot.
+        """
+        with self._lock:
+            return (self.lookups, self.hits, self.evictions)
 
 
 class NLJPCache(BudgetedBindingCache):
@@ -264,14 +278,14 @@ class NLJPCache(BudgetedBindingCache):
         self.equality_positions = tuple(equality_positions)
         self.use_index = use_index and bool(self.equality_positions)
         self.order_position = order_position if use_index else None
-        self._unpromising_buckets: Dict[Binding, List[CacheEntry]] = {}
-        self._unpromising_all: List[CacheEntry] = []
+        self._unpromising_buckets: Dict[Binding, List[CacheEntry]] = {}  # guarded-by: self._lock
+        self._unpromising_all: List[CacheEntry] = []  # guarded-by: self._lock
         # Unpromising entries sorted by binding[order_position]: a single
         # insort-maintained list of (key, seq, entry) tuples.  The
         # monotonic seq breaks ties between equal keys (preserving
         # insertion order) so tuple comparison never reaches the entry.
-        self._order: List[Tuple[Any, int, CacheEntry]] = []
-        self._order_seq = 0
+        self._order: List[Tuple[Any, int, CacheEntry]] = []  # guarded-by: self._lock
+        self._order_seq = 0  # guarded-by: self._lock
 
     def _entry_bytes(self, entry: CacheEntry) -> int:
         return entry_bytes(entry)
@@ -299,7 +313,7 @@ class NLJPCache(BudgetedBindingCache):
                         bisect.insort(self._order, (key, self._order_seq, entry))
             return entry
 
-    def _forget(self, victim_binding: Binding, victim: CacheEntry) -> None:
+    def _forget(self, victim_binding: Binding, victim: CacheEntry) -> None:  # requires-lock: self._lock
         if not victim.unpromising:
             return
         self._unpromising_all = [
@@ -317,7 +331,7 @@ class NLJPCache(BudgetedBindingCache):
                     del self._order[position]
                     break
 
-    def _reset_side_structures(self) -> None:
+    def _reset_side_structures(self) -> None:  # requires-lock: self._lock
         self._unpromising_buckets.clear()
         self._unpromising_all.clear()
         self._order.clear()
@@ -384,7 +398,7 @@ class TrieEntry:
 
     binding: Binding
     payload: Tuple[Tuple[Any, ...], ...]
-    hits: int = 0
+    hits: int = 0  # guarded-by: BudgetedBindingCache._lock
 
 
 def trie_entry_bytes(entry: TrieEntry) -> int:

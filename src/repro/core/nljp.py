@@ -186,20 +186,23 @@ class NLJPOperator(ops.PhysicalOperator):
         self.cache_max_entries = cache_max_entries
         self.cache_policy = cache_policy
         self.binding_order = binding_order
-        self.cache: Optional[NLJPCache] = None  # last execution's cache
+        self.cache: Optional[NLJPCache] = None  # unguarded: serialized by the plan-cache entry lock; one execution per operator instance at a time
         # Governor degradation state, reset per execution: once the
         # cache-bytes budget cannot be met even with eviction, memo and
         # pruning lookups are disabled (correct but unassisted join).
-        self._cache_evicting = False
-        self._cache_disabled = False
+        self._cache_evicting = False  # unguarded: serialized by the plan-cache entry lock
+        self._cache_disabled = False  # unguarded: serialized by the plan-cache entry lock
         # Cross-execution cache (serving layer): when set, executions
         # reuse this cache instead of building a fresh one, so the
         # second run of a prepared statement gets memo/prune hits from
         # the first.  Sound only while the data is unchanged (the plan
         # cache invalidates on any version change) and the parameter
-        # values match (enforced below via _persistent_params).
-        self.persistent_cache: Optional[NLJPCache] = None
-        self._persistent_params: Any = _NO_PARAMS
+        # values match (enforced below via _persistent_params).  The
+        # NLJPCache itself is internally locked; these references are
+        # single-writer because PlanCacheEntry.lock serializes all
+        # executions of one cached plan (see serve/server._execute_once).
+        self.persistent_cache: Optional[NLJPCache] = None  # unguarded: serialized by the plan-cache entry lock
+        self._persistent_params: Any = _NO_PARAMS  # unguarded: serialized by the plan-cache entry lock
 
         block = view.block
         if block.having is None:
@@ -543,23 +546,25 @@ class NLJPOperator(ops.PhysicalOperator):
         # Counter baselines: a shared cache accumulates across
         # executions, but each execution's stats must charge only its
         # own lookups/hits/evictions (footprint counters stay totals —
-        # they describe the cache, not the work).
-        base_lookups = cache.lookups
-        base_hits = cache.hits
-        base_evictions = cache.evictions
+        # they describe the cache, not the work).  Baselines and final
+        # readings are locked snapshots: reading the three counters
+        # individually could interleave with a concurrent execution of
+        # another session sharing this pinned cache.
+        base_lookups, base_hits, base_evictions = cache.counters()
 
         if self.direct_mode:
             yield from self._execute_direct(ctx, cache)
         else:
             yield from self._execute_combining(ctx, cache)
 
+        end_lookups, end_hits, end_evictions = cache.counters()
         stats.cache_rows += cache.rows
         stats.cache_bytes += cache.estimated_bytes()
-        stats.cache_hits += cache.hits - base_hits
-        stats.cache_misses += (cache.lookups - base_lookups) - (
-            cache.hits - base_hits
+        stats.cache_hits += end_hits - base_hits
+        stats.cache_misses += (end_lookups - base_lookups) - (
+            end_hits - base_hits
         )
-        stats.cache_evictions += cache.evictions - base_evictions
+        stats.cache_evictions += end_evictions - base_evictions
 
     def _lookup_or_compute(self, ctx: ops.ExecutionContext, cache: NLJPCache, binding):
         """The per-binding core of Listing 6 / Section 7's pseudocode.
@@ -628,19 +633,20 @@ class NLJPOperator(ops.PhysicalOperator):
         — the join stays correct, it just loses its assist.  Both steps
         land in ``stats.degradations``.
         """
-        if not governor.cache_over_budget(cache.bytes_used):
+        footprint = cache.estimated_bytes()
+        if not governor.cache_over_budget(footprint):
             return
         if governor.degradation != "fallback":
-            raise governor.cache_budget_exceeded(cache.bytes_used)
+            raise governor.cache_budget_exceeded(footprint)
         if not self._cache_evicting:
             self._cache_evicting = True
             governor.degrade(
                 "nljp-cache",
                 f"max_cache_bytes={governor.max_cache_bytes} exceeded "
-                f"({cache.bytes_used} bytes); evicting under pressure",
+                f"({footprint} bytes); evicting under pressure",
             )
         cache.evict_until(governor.max_cache_bytes, keep=entry)
-        if governor.cache_over_budget(cache.bytes_used):
+        if governor.cache_over_budget(cache.estimated_bytes()):
             self._cache_disabled = True
             cache.clear()
             governor.degrade(

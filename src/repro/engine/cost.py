@@ -60,7 +60,7 @@ def _solve(matrix: List[List[float]], rhs: List[float]) -> List[float]:
     n = len(rhs)
     augmented = [row[:] + [rhs[i]] for i, row in enumerate(matrix)]
     for col in range(n):
-        pivot = max(range(col, n), key=lambda r: abs(augmented[r][col]))
+        pivot = max(range(col, n), key=lambda r, col=col: abs(augmented[r][col]))
         if abs(augmented[pivot][col]) < 1e-12:
             # Singular direction (counter never varies in the sample):
             # pin its coefficient to the default.

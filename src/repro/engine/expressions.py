@@ -506,7 +506,7 @@ class _KernelBuilder:
             try:
                 members = self._const(frozenset(values))
             except TypeError as error:  # unhashable literal
-                raise _Unsupported(str(error))
+                raise _Unsupported(str(error)) from error
             guards, value = self.scalar(expr.needle)
             istrue = "(" + " and ".join(guards + [f"({value} in {members})"]) + ")"
             isfalse = (
@@ -875,7 +875,7 @@ class _ColumnarBuilder:
             try:
                 members = self._const(frozenset(values))
             except TypeError as error:  # unhashable literal
-                raise _Unsupported(str(error))
+                raise _Unsupported(str(error)) from error
             pyguards, masks, value = self.scalar(expr.needle)
             istrue = self._guarded(pyguards, masks, f"ISIN({value}, {members})")
             isfalse = self._guarded(

@@ -1712,7 +1712,7 @@ class Sort(PhysicalOperator):
     def _sort_in_place(self, rows: List[Row], params: Dict[str, Any]) -> None:
         for fn, asc in reversed(list(zip(self.key_fns, self.ascending))):
             rows.sort(
-                key=lambda row: ((value := fn(row, params)) is None, value),
+                key=lambda row, fn=fn: ((value := fn(row, params)) is None, value),
                 reverse=not asc,
             )
 

@@ -88,7 +88,7 @@ class Counter(Metric):
 
     def __init__(self, name, help_text, labelnames) -> None:
         super().__init__(name, help_text, labelnames)
-        self._values: Dict[Tuple[str, ...], float] = {}
+        self._values: Dict[Tuple[str, ...], float] = {}  # guarded-by: self._lock
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
         if amount < 0:
@@ -120,7 +120,7 @@ class Gauge(Metric):
 
     def __init__(self, name, help_text, labelnames) -> None:
         super().__init__(name, help_text, labelnames)
-        self._values: Dict[Tuple[str, ...], float] = {}
+        self._values: Dict[Tuple[str, ...], float] = {}  # guarded-by: self._lock
 
     def set(self, value: float, **labels: Any) -> None:
         key = _label_key(self.labelnames, labels)
@@ -159,9 +159,9 @@ class Histogram(Metric):
     def __init__(self, name, help_text, labelnames, buckets=DEFAULT_BUCKETS) -> None:
         super().__init__(name, help_text, labelnames)
         self.buckets = tuple(sorted(buckets))
-        self._counts: Dict[Tuple[str, ...], List[int]] = {}
-        self._sums: Dict[Tuple[str, ...], float] = {}
-        self._totals: Dict[Tuple[str, ...], int] = {}
+        self._counts: Dict[Tuple[str, ...], List[int]] = {}  # guarded-by: self._lock
+        self._sums: Dict[Tuple[str, ...], float] = {}  # guarded-by: self._lock
+        self._totals: Dict[Tuple[str, ...], int] = {}  # guarded-by: self._lock
 
     def observe(self, value: float, **labels: Any) -> None:
         key = _label_key(self.labelnames, labels)
@@ -173,7 +173,7 @@ class Histogram(Metric):
             self._sums[key] = self._sums.get(key, 0.0) + float(value)
             self._totals[key] = self._totals.get(key, 0) + 1
 
-    def _render_locked(self) -> List[str]:
+    def _render_locked(self) -> List[str]:  # requires-lock: self._lock
         lines = self._header()
         for key in sorted(self._totals):
             labels = _render_labels(self.labelnames, key)
@@ -208,7 +208,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._metrics: Dict[str, Metric] = {}
+        self._metrics: Dict[str, Metric] = {}  # guarded-by: self._lock
         self._lock = threading.RLock()
 
     def _register(self, cls, name, help_text, labelnames, **kwargs) -> Metric:

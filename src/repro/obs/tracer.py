@@ -105,11 +105,15 @@ class Tracer:
         self.mode = mode
         self.timing = mode == "timing"
         self.label = label
-        self.phases: List[Span] = []
-        self.root_span: Optional[Span] = None
-        self._span_of: Dict[int, Span] = {}
-        self._cache_spans: Dict[Tuple[int, str], Span] = {}
-        self._nodes: List[PhysicalOperator] = []
+        # Tracers own no lock by design: the one-shot / exclusive-per-
+        # plan contract above means exactly one thread mutates this
+        # state for the tracer's whole life (the plan-cache entry lock
+        # is the serializing mechanism in the serving layer).
+        self.phases: List[Span] = []  # unguarded: one-shot tracer, single executing thread per plan
+        self.root_span: Optional[Span] = None  # unguarded: one-shot tracer, single executing thread per plan
+        self._span_of: Dict[int, Span] = {}  # unguarded: one-shot tracer, single executing thread per plan
+        self._cache_spans: Dict[Tuple[int, str], Span] = {}  # unguarded: one-shot tracer, single executing thread per plan
+        self._nodes: List[PhysicalOperator] = []  # unguarded: one-shot tracer, single executing thread per plan
 
     # -- phases --------------------------------------------------------
     def add_phase(self, name: str, seconds: float, **attrs: Any) -> Span:

@@ -56,11 +56,11 @@ class AdmissionController:
         self.headroom_floor = headroom_floor
         self._clock = clock
         self._condition = threading.Condition(threading.Lock())
-        self._active = 0
-        self._queued = 0
-        self._min_headroom = 1.0
+        self._active = 0  # guarded-by: self._condition
+        self._queued = 0  # guarded-by: self._condition
+        self._min_headroom = 1.0  # guarded-by: self._condition
         #: Outcome counters: admitted / rejected by reason.
-        self.outcomes: Dict[str, int] = {
+        self.outcomes: Dict[str, int] = {  # guarded-by: self._condition
             "admitted": 0,
             "queued": 0,
             "rejected-headroom": 0,

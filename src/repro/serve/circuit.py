@@ -59,11 +59,11 @@ class CircuitBreaker:
         self.half_open_probes = half_open_probes
         self._clock = clock
         self._lock = threading.RLock()
-        self._state = CLOSED
-        self._consecutive_failures = 0
-        self._opened_at = 0.0
-        self._probes_in_flight = 0
-        self.transitions: Dict[str, int] = {OPEN: 0, HALF_OPEN: 0, CLOSED: 0}
+        self._state = CLOSED  # guarded-by: self._lock
+        self._consecutive_failures = 0  # guarded-by: self._lock
+        self._opened_at = 0.0  # guarded-by: self._lock
+        self._probes_in_flight = 0  # guarded-by: self._lock
+        self.transitions: Dict[str, int] = {OPEN: 0, HALF_OPEN: 0, CLOSED: 0}  # guarded-by: self._lock
 
     @property
     def state(self) -> str:
@@ -133,12 +133,12 @@ class CircuitBreaker:
             ):
                 self._trip()
 
-    def _trip(self) -> None:
+    def _trip(self) -> None:  # requires-lock: self._lock
         self._consecutive_failures = 0
         self._opened_at = self._clock()
         self._transition(OPEN)
 
-    def _transition(self, state: str) -> None:
+    def _transition(self, state: str) -> None:  # requires-lock: self._lock
         self._state = state
         self.transitions[state] += 1
 

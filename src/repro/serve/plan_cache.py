@@ -53,25 +53,33 @@ class PlanCacheEntry:
     optimized: Any
     #: Serializes executions of this specific plan instance.
     lock: threading.RLock = field(default_factory=threading.RLock)
-    hits: int = 0
+    hits: int = 0  # guarded-by: PlanCache._lock
 
 
 class PlanCache:
     """LRU map of ``(sql, techniques)`` → :class:`PlanCacheEntry`."""
 
-    def __init__(self, max_entries: int = 64) -> None:
+    def __init__(
+        self,
+        max_entries: int = 64,
+        lock_factory: Any = threading.RLock,
+    ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
-        self._entries: "OrderedDict[CacheKey, PlanCacheEntry]" = OrderedDict()
-        self._in_flight: Dict[CacheKey, threading.Event] = {}
+        # Entry-lock factory: tests inject a wrapping factory (see
+        # repro.testing.lockwatch) so every per-plan execution lock is
+        # born instrumented — there is no store-then-wrap race window.
+        self._lock_factory = lock_factory
+        self._entries: "OrderedDict[CacheKey, PlanCacheEntry]" = OrderedDict()  # guarded-by: self._lock
+        self._in_flight: Dict[CacheKey, threading.Event] = {}  # guarded-by: self._lock
         self._lock = threading.RLock()
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-        self.evictions = 0
-        self.flights = 0
-        self.flight_waits = 0
+        self.hits = 0  # guarded-by: self._lock
+        self.misses = 0  # guarded-by: self._lock
+        self.invalidations = 0  # guarded-by: self._lock
+        self.evictions = 0  # guarded-by: self._lock
+        self.flights = 0  # guarded-by: self._lock
+        self.flight_waits = 0  # guarded-by: self._lock
 
     @staticmethod
     def key(sql: str, techniques: FrozenSet[str]) -> CacheKey:
@@ -149,7 +157,11 @@ class PlanCache:
         """
         cache_key = self.key(sql, techniques)
         entry = PlanCacheEntry(
-            sql=sql, techniques=techniques, token=token, optimized=optimized
+            sql=sql,
+            techniques=techniques,
+            token=token,
+            optimized=optimized,
+            lock=self._lock_factory(),
         )
         with self._lock:
             self._entries[cache_key] = entry

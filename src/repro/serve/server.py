@@ -46,7 +46,7 @@ from repro.errors import CircuitOpenError, SessionClosedError
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.serve.admission import AdmissionController
 from repro.serve.circuit import CircuitBreaker
-from repro.serve.plan_cache import PlanCache
+from repro.serve.plan_cache import PlanCache, PlanCacheEntry
 from repro.serve.retry import BackoffSchedule, RetryPolicy
 from repro.storage.catalog import Database
 
@@ -135,11 +135,11 @@ class Session:
         self.session_id = session_id
         self.fault_plan = fault_plan
         self.deadline_seconds = deadline_seconds
-        self.closed = False
-        self.queries = 0
-        self.retries = 0
+        self.closed = False  # unguarded: single boolean flip in close(); a racing execute may admit one final query, which a closing client tolerates
+        self.queries = 0  # guarded-by: self._lock
+        self.retries = 0  # guarded-by: self._lock
         #: ``(label, QueryProfile)`` pairs from traced executions.
-        self.profiles: List[Tuple[str, Any]] = []
+        self.profiles: List[Tuple[str, Any]] = []  # guarded-by: self._lock
         self._lock = threading.Lock()
 
     def execute(
@@ -262,10 +262,10 @@ class IcebergServer:
             self._engine_kwargs["max_join_pairs"] = self.admission.fair_share(
                 max_join_pairs
             )
-        self._engines: Dict[FrozenSet[str], SmartIceberg] = {}
+        self._engines: Dict[FrozenSet[str], SmartIceberg] = {}  # guarded-by: self._engines_lock
         self._engines_lock = threading.RLock()
         self._sessions_lock = threading.Lock()
-        self._session_counter = 0
+        self._session_counter = 0  # guarded-by: self._sessions_lock
 
     # ------------------------------------------------------------------
     def session(
@@ -345,7 +345,8 @@ class IcebergServer:
             )
 
         def on_retry(error: BaseException, attempt_no: int, delay: float) -> None:
-            session.retries += 1
+            with session._lock:
+                session.retries += 1
             self._registry.counter(
                 "repro_server_retries_total",
                 "Serving-layer retry attempts by error class",
@@ -411,7 +412,7 @@ class IcebergServer:
             self._after_execution(session, sql, mask, result)
             return result
 
-    def _lookup_or_build(self, sql: str, mask: FrozenSet[str]):
+    def _lookup_or_build(self, sql: str, mask: FrozenSet[str]) -> PlanCacheEntry:
         # Single-flight: concurrent first-touch misses on one key used
         # to optimize N times and race the store.  Now exactly one
         # session (the claim leader) builds; the rest wait on the

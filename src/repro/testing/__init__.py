@@ -1,5 +1,23 @@
-"""Testing utilities: the deterministic fault-injection harness."""
+"""Testing utilities: fault injection and the lock-order watchdog."""
 
 from repro.testing.faults import FAULT_SITES, FaultPlan, FaultSpec
+from repro.testing.lockwatch import (
+    LockOrderError,
+    LockOrderWatchdog,
+    WatchedLock,
+    watch_registry,
+    watch_server,
+    watch_session,
+)
 
-__all__ = ["FAULT_SITES", "FaultPlan", "FaultSpec"]
+__all__ = [
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "LockOrderError",
+    "LockOrderWatchdog",
+    "WatchedLock",
+    "watch_registry",
+    "watch_server",
+    "watch_session",
+]

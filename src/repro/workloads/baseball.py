@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Tuple, Optional
 
 from repro.storage.catalog import Database
 from repro.storage.schema import TableSchema
@@ -69,9 +69,10 @@ def _poisson(rng: random.Random, lam: float) -> int:
 
 
 def generate_seasons(
-    config: BaseballConfig = BaseballConfig(),
+    config: Optional[BaseballConfig] = None,
 ) -> List[Tuple[int, int, int, int, int, int, int, int, int]]:
     """Rows of (playerid, year, round, teamid, b_h, b_hr, b_rbi, b_sb, b_bb)."""
+    config = config if config is not None else BaseballConfig()
     rng = random.Random(config.seed)
     rows: List[Tuple[int, int, int, int, int, int, int, int, int]] = []
     playerid = 0
@@ -129,7 +130,7 @@ BATTING_SCHEMA = TableSchema.of(
 
 def load_batting(
     db: Database,
-    config: BaseballConfig = BaseballConfig(),
+    config: Optional[BaseballConfig] = None,
     table_name: str = "batting",
     with_indexes: bool = True,
 ) -> None:
@@ -140,6 +141,7 @@ def load_batting(
     indexes the paper's experiments assume (hash on the team/season
     join attributes, sorted "BT" indexes on stat pairs).
     """
+    config = config if config is not None else BaseballConfig()
     table = db.create_table(
         table_name, BATTING_SCHEMA, primary_key=("playerid", "year", "round")
     )
@@ -153,9 +155,10 @@ def load_batting(
 
 
 def make_batting_db(
-    config: BaseballConfig = BaseballConfig(), with_indexes: bool = True
+    config: Optional[BaseballConfig] = None, with_indexes: bool = True
 ) -> Database:
     """A fresh database holding only the batting table."""
+    config = config if config is not None else BaseballConfig()
     db = Database()
     load_batting(db, config, with_indexes=with_indexes)
     return db
@@ -201,12 +204,13 @@ def unpivot_careers(
 
 def load_unpivoted(
     db: Database,
-    config: BaseballConfig = BaseballConfig(),
+    config: Optional[BaseballConfig] = None,
     table_name: str = "perf",
     n_categories: int = 8,
     with_indexes: bool = True,
 ) -> None:
     """Create and populate the unpivoted key-value table."""
+    config = config if config is not None else BaseballConfig()
     table = db.create_table(table_name, UNPIVOT_SCHEMA, primary_key=("id", "attr"))
     db.declare_fd(table_name, ["id"], ["category"])
     table.insert_many(unpivot_careers(generate_seasons(config), n_categories))

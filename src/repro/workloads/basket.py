@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Tuple, Optional
 
 from repro.storage.catalog import Database
 from repro.storage.schema import TableSchema
@@ -32,8 +32,9 @@ def _zipf_weights(n: int, s: float) -> List[float]:
     return [1.0 / (rank**s) for rank in range(1, n + 1)]
 
 
-def generate_baskets(config: BasketConfig = BasketConfig()) -> List[Tuple[int, str]]:
+def generate_baskets(config: Optional[BasketConfig] = None) -> List[Tuple[int, str]]:
     """Rows of (bid, item)."""
+    config = config if config is not None else BasketConfig()
     rng = random.Random(config.seed)
     weights = _zipf_weights(config.n_items, config.zipf_s)
     items = [f"item{i:04d}" for i in range(config.n_items)]
@@ -83,17 +84,19 @@ BASKET_SCHEMA = TableSchema.of(("bid", SqlType.INTEGER), ("item", SqlType.TEXT))
 
 def load_baskets(
     db: Database,
-    config: BasketConfig = BasketConfig(),
+    config: Optional[BasketConfig] = None,
     table_name: str = "basket",
     with_indexes: bool = True,
 ) -> None:
+    config = config if config is not None else BasketConfig()
     table = db.create_table(table_name, BASKET_SCHEMA, primary_key=("bid", "item"))
     table.insert_many(generate_baskets(config))
     if with_indexes:
         table.create_index(f"{table_name}_bid", ["bid"], kind="hash")
 
 
-def make_basket_db(config: BasketConfig = BasketConfig()) -> Database:
+def make_basket_db(config: Optional[BasketConfig] = None) -> Database:
+    config = config if config is not None else BasketConfig()
     db = Database()
     load_baskets(db, config)
     return db

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Tuple, Optional
 
 from repro.storage.catalog import Database
 from repro.storage.schema import TableSchema
@@ -48,8 +48,9 @@ EDGE_SCHEMA = TableSchema.of(
 )
 
 
-def generate_edges(config: CyclicConfig = CyclicConfig()) -> List[Tuple[int, int, int]]:
+def generate_edges(config: Optional[CyclicConfig] = None) -> List[Tuple[int, int, int]]:
     """Distinct (src, dst, weight) edges; no self-loops."""
+    config = config if config is not None else CyclicConfig()
     rng = random.Random(config.seed)
     n_nodes = config.node_count
     seen = set()
@@ -66,7 +67,7 @@ def generate_edges(config: CyclicConfig = CyclicConfig()) -> List[Tuple[int, int
 
 def load_edges(
     db: Database,
-    config: CyclicConfig = CyclicConfig(),
+    config: Optional[CyclicConfig] = None,
     table_name: str = "edge",
     with_indexes: bool = True,
 ) -> None:
@@ -77,6 +78,7 @@ def load_edges(
     the pairwise baseline's index nested-loop probes so the two sides
     of the benchmark each get their natural access path.
     """
+    config = config if config is not None else CyclicConfig()
     table = db.create_table(table_name, EDGE_SCHEMA, primary_key=("src", "dst"))
     table.insert_many(generate_edges(config))
     if with_indexes:
@@ -86,9 +88,10 @@ def load_edges(
 
 
 def make_cyclic_db(
-    config: CyclicConfig = CyclicConfig(), with_indexes: bool = True
+    config: Optional[CyclicConfig] = None, with_indexes: bool = True
 ) -> Database:
     """A fresh database holding only the edge table."""
+    config = config if config is not None else CyclicConfig()
     db = Database()
     load_edges(db, config, with_indexes=with_indexes)
     return db

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Tuple, Optional
 
 from repro.storage.catalog import Database
 from repro.storage.schema import TableSchema
@@ -36,9 +36,10 @@ class ProductConfig:
 
 
 def generate_products(
-    config: ProductConfig = ProductConfig(),
+    config: Optional[ProductConfig] = None,
 ) -> List[Tuple[int, str, str, float]]:
     """Rows of (id, category, attr, val)."""
+    config = config if config is not None else ProductConfig()
     rng = random.Random(config.seed)
     rows: List[Tuple[int, str, str, float]] = []
     for product_id in range(config.n_products):
@@ -55,10 +56,11 @@ def generate_products(
 
 def load_products(
     db: Database,
-    config: ProductConfig = ProductConfig(),
+    config: Optional[ProductConfig] = None,
     table_name: str = "product",
     with_indexes: bool = True,
 ) -> None:
+    config = config if config is not None else ProductConfig()
     table = db.create_table(table_name, PRODUCT_SCHEMA, primary_key=("id", "attr"))
     db.declare_fd(table_name, ["id"], ["category"])
     db.declare_domain(table_name, "val", lower=0)
@@ -69,7 +71,8 @@ def load_products(
         table.create_index(f"{table_name}_val", ["val"], kind="sorted")
 
 
-def make_product_db(config: ProductConfig = ProductConfig()) -> Database:
+def make_product_db(config: Optional[ProductConfig] = None) -> Database:
+    config = config if config is not None else ProductConfig()
     db = Database()
     load_products(db, config)
     return db

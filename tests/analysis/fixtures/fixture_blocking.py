@@ -1,0 +1,20 @@
+"""Fixture: a blocking call made while holding a lock (one finding).
+
+Not collected by pytest; loaded via ``check_paths``.  Line numbers are
+asserted exactly in ``test_concurrency.py``.
+"""
+
+import threading
+import time
+
+
+class Throttle:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.waits = 0  # guarded-by: self._lock
+
+    # thread-entry
+    def pause(self) -> None:
+        with self._lock:
+            self.waits += 1
+            time.sleep(0.1)  # line 20: blocking under self._lock

@@ -1,0 +1,33 @@
+"""Fixture: a fully annotated, discipline-clean module (zero findings).
+
+Not collected by pytest; loaded via ``check_paths``.
+"""
+
+import threading
+
+
+class Ledger:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.balance = 0  # guarded-by: self._lock
+        self.entries = 0  # guarded-by: self._lock
+        self.label = "ledger"  # unguarded: immutable after construction
+
+    # thread-entry
+    def deposit(self, amount: int) -> None:
+        with self._lock:
+            self.balance += amount
+            self.entries += 1
+
+    # thread-entry
+    def snapshot(self) -> tuple:
+        with self._lock:
+            return (self.balance, self.entries)
+
+    def _apply(self, amount: int) -> None:  # requires-lock: self._lock
+        self.balance += amount
+
+    # thread-entry
+    def adjust(self, amount: int) -> None:
+        with self._lock:
+            self._apply(amount)

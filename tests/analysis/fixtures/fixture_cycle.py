@@ -1,0 +1,25 @@
+"""Fixture: two locks acquired in both orders (lock-order cycle).
+
+Not collected by pytest; loaded via ``check_paths``.  Line numbers are
+asserted exactly in ``test_concurrency.py``.
+"""
+
+import threading
+
+
+class Transfer:
+    def __init__(self) -> None:
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    # thread-entry
+    def forward(self) -> None:
+        with self._a:
+            with self._b:  # edge a -> b
+                pass
+
+    # thread-entry
+    def backward(self) -> None:
+        with self._b:
+            with self._a:  # edge b -> a: closes the cycle
+                pass

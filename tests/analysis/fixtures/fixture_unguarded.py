@@ -1,0 +1,24 @@
+"""Fixture: a guarded counter written without its lock (one finding).
+
+Not collected by pytest (no ``test_`` prefix); loaded by the
+concurrency-checker tests via ``check_paths`` and asserted against
+exact rule ids and line numbers — renumber the assertions in
+``test_concurrency.py`` if you edit this file.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: self._lock
+
+    # thread-entry
+    def increment(self) -> None:
+        with self._lock:
+            self.value += 1
+
+    # thread-entry
+    def reset(self) -> None:
+        self.value = 0  # line 24: write without self._lock

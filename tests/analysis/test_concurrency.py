@@ -1,0 +1,292 @@
+"""Tests for the concurrency checker, its fixtures, and the lint CLI.
+
+The fixture modules under ``tests/analysis/fixtures/`` are *inputs* to
+the checker (not collected by pytest); every assertion here pins the
+exact rule id, file, and line the checker must report for them, so a
+regression in annotation parsing, held-lock dataflow, or cycle
+detection fails loudly rather than silently widening or narrowing the
+rule.
+"""
+
+import io
+import os
+import textwrap
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.analysis import lint as lint_cli
+from repro.analysis.concurrency import RULES, check_package, check_paths
+from repro.analysis.lints import Severity
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, f"{name}.py")
+
+
+def run_fixture(name):
+    return check_paths([fixture(name)])
+
+
+def one_finding(report):
+    assert len(report.findings) == 1, [str(f) for f in report.findings]
+    return report.findings[0]
+
+
+class TestFixtureFindings:
+    def test_unguarded_write_exact_location(self):
+        finding = one_finding(run_fixture("fixture_unguarded"))
+        assert finding.rule == "conc-unguarded-access"
+        assert finding.severity is Severity.ERROR
+        assert finding.path.endswith("fixture_unguarded.py")
+        assert finding.line == 24
+        assert "Counter.value" in finding.message
+        assert "Counter._lock" in finding.message
+
+    def test_guarded_write_inside_with_not_flagged(self):
+        report = run_fixture("fixture_unguarded")
+        # increment() holds the lock; only reset() (line 24) fires.
+        assert [finding.line for finding in report.findings] == [24]
+
+    def test_lock_order_cycle_detected_with_witnesses(self):
+        report = run_fixture("fixture_cycle")
+        finding = one_finding(report)
+        assert finding.rule == "conc-lock-order-cycle"
+        assert finding.severity is Severity.ERROR
+        assert finding.path.endswith("fixture_cycle.py")
+        # The cycle is reported at its first witnessed edge; the
+        # message carries both witnesses with their lines.
+        assert finding.line == 18
+        assert "fixture_cycle.py:18" in finding.message
+        assert "fixture_cycle.py:24" in finding.message
+        assert "Transfer._a" in finding.message
+        assert "Transfer._b" in finding.message
+
+    def test_lock_order_graph_has_both_edges(self):
+        report = run_fixture("fixture_cycle")
+        assert sorted(report.lock_graph) == [
+            ("fixture_cycle:Transfer._a", "fixture_cycle:Transfer._b"),
+            ("fixture_cycle:Transfer._b", "fixture_cycle:Transfer._a"),
+        ]
+
+    def test_blocking_under_lock(self):
+        finding = one_finding(run_fixture("fixture_blocking"))
+        assert finding.rule == "conc-blocking-under-lock"
+        assert finding.severity is Severity.ERROR
+        assert finding.path.endswith("fixture_blocking.py")
+        assert finding.line == 20
+        assert "time.sleep" in finding.message
+        assert "Throttle._lock" in finding.message
+
+    def test_clean_fixture_is_clean(self):
+        report = run_fixture("fixture_clean")
+        assert report.findings == []
+        assert report.ok(strict=True)
+        # The module's lock and annotations were actually seen — the
+        # zero-findings result is not an analysis no-op.
+        assert "fixture_clean:Ledger._lock" in report.locks
+        assert any("deposit" in root for root in report.roots)
+
+
+class TestInlineModules:
+    """Rules exercised on synthesized modules (tmp_path)."""
+
+    def check_source(self, tmp_path, source, name="fixture_mod"):
+        path = tmp_path / f"{name}.py"
+        path.write_text(textwrap.dedent(source))
+        return check_paths([str(path)])
+
+    def test_acquire_without_release_in_finally(self, tmp_path):
+        report = self.check_source(
+            tmp_path,
+            """
+            import threading
+
+            class Holder:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+
+                # thread-entry
+                def bad(self) -> None:
+                    self._lock.acquire()
+                    self._lock.release()
+            """,
+        )
+        rules = [finding.rule for finding in report.findings]
+        assert rules == ["conc-acquire-without-release"]
+        assert report.findings[0].line == 10
+
+    def test_acquire_with_finally_release_passes(self, tmp_path):
+        report = self.check_source(
+            tmp_path,
+            """
+            import threading
+
+            class Holder:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+
+                # thread-entry
+                def good(self) -> None:
+                    self._lock.acquire()
+                    try:
+                        pass
+                    finally:
+                        self._lock.release()
+            """,
+        )
+        assert report.findings == []
+
+    def test_unknown_lock_annotation(self, tmp_path):
+        report = self.check_source(
+            tmp_path,
+            """
+            import threading
+
+            class Widget:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+                    self.count = 0  # guarded-by: self._mutex
+            """,
+        )
+        finding = one_finding(report)
+        assert finding.rule == "conc-unknown-lock"
+        assert "self._mutex" in finding.message
+
+    def test_requires_lock_callee_checked_against_caller(self, tmp_path):
+        report = self.check_source(
+            tmp_path,
+            """
+            import threading
+
+            class Ledger:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+                    self.balance = 0  # guarded-by: self._lock
+
+                def _apply(self) -> None:  # requires-lock: self._lock
+                    self.balance += 1
+
+                # thread-entry
+                def unlocked_call(self) -> None:
+                    self._apply()
+            """,
+        )
+        assert report.findings, "calling a requires-lock method unlocked must fire"
+        assert all(finding.severity is Severity.ERROR for finding in report.findings)
+
+    def test_nested_def_does_not_inherit_held_locks(self, tmp_path):
+        # A nested def is a deferred callback: the lock held at its
+        # definition site is NOT held when it runs.  This shape is the
+        # on_retry race the checker caught in serve/server.py.
+        report = self.check_source(
+            tmp_path,
+            """
+            import threading
+
+            class Session:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+                    self.retries = 0  # guarded-by: self._lock
+
+                # thread-entry
+                def execute(self) -> None:
+                    with self._lock:
+                        def on_retry() -> None:
+                            self.retries += 1
+                        self.register(on_retry)
+
+                def register(self, cb) -> None:
+                    pass
+            """,
+        )
+        rules = [finding.rule for finding in report.findings]
+        assert "conc-unguarded-access" in rules
+
+
+class TestSelfCheck:
+    def test_repro_package_is_discipline_clean(self):
+        """The acceptance bar: zero findings over src/repro itself."""
+        report = check_package()
+        assert report.findings == [], [str(f) for f in report.findings]
+        assert report.ok(strict=True)
+
+    def test_repro_lock_order_graph_is_acyclic_and_nonempty(self):
+        report = check_package()
+        assert report.lock_graph, "expected at least one witnessed order edge"
+        # Acyclicity: Kahn's algorithm consumes every node.
+        nodes = {node for edge in report.lock_graph for node in edge}
+        indegree = {node: 0 for node in nodes}
+        for _, acquired in report.lock_graph:
+            indegree[acquired] += 1
+        frontier = [node for node, degree in indegree.items() if degree == 0]
+        seen = 0
+        while frontier:
+            node = frontier.pop()
+            seen += 1
+            for held, acquired in report.lock_graph:
+                if held == node:
+                    indegree[acquired] -= 1
+                    if indegree[acquired] == 0:
+                        frontier.append(acquired)
+        assert seen == len(nodes), "lock-order graph has a cycle"
+
+    def test_rule_catalogue_is_complete(self):
+        assert set(RULES) == {
+            "conc-unguarded-access",
+            "conc-lock-order-cycle",
+            "conc-blocking-under-lock",
+            "conc-acquire-without-release",
+            "conc-unknown-lock",
+            "conc-unannotated-shared",
+        }
+
+
+class TestConcurrencyCli:
+    def run_cli(self, argv):
+        out = io.StringIO()
+        with redirect_stdout(out):
+            code = lint_cli.main(argv)
+        return code, out.getvalue()
+
+    def test_findings_exit_one_with_per_rule_counts(self):
+        code, output = self.run_cli(
+            ["--concurrency", fixture("fixture_unguarded")]
+        )
+        assert code == 1
+        assert "conc-unguarded-access" in output
+        assert "1 x conc-unguarded-access" in output
+        assert "1 finding(s)" in output
+
+    def test_clean_exit_zero(self):
+        code, output = self.run_cli(["--concurrency", fixture("fixture_clean")])
+        assert code == 0
+        assert "0 finding(s)" in output
+
+    def test_missing_file_exit_two(self):
+        code, _ = self.run_cli(["--concurrency", "/no/such/fixture.py"])
+        assert code == 2
+
+    def test_no_targets_without_concurrency_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            lint_cli.main([])
+        assert excinfo.value.code == 2
+
+    def test_trace_conflicts_with_concurrency(self):
+        with pytest.raises(SystemExit) as excinfo:
+            lint_cli.main(["--concurrency", "--trace", "/tmp/x.json"])
+        assert excinfo.value.code == 2
+
+    def test_multiple_fixtures_aggregate(self):
+        code, output = self.run_cli(
+            [
+                "--concurrency",
+                fixture("fixture_unguarded"),
+                fixture("fixture_blocking"),
+            ]
+        )
+        assert code == 1
+        assert "1 x conc-unguarded-access" in output
+        assert "1 x conc-blocking-under-lock" in output

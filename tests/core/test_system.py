@@ -41,7 +41,7 @@ class TestFigure1Configurations:
     @pytest.mark.parametrize(
         "toggles",
         [
-            dict(),
+            {},
             dict(apriori=False, memo=False),      # pruning only
             dict(apriori=False, pruning=False),   # memo only
             dict(memo=False, pruning=False),      # apriori only

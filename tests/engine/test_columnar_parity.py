@@ -51,7 +51,7 @@ BASELINE_CONFIGS = tuple(
 )
 
 SMART_CONFIGS = {
-    "all": dict(),
+    "all": {},
     "pruning": dict(apriori=False, memo=False),
     "memo": dict(apriori=False, pruning=False),
     "apriori": dict(memo=False, pruning=False),

@@ -29,7 +29,7 @@ from repro.workloads.baseball import load_unpivoted
 BATTING = make_batting_db(BaseballConfig(n_rows=600, seed=21))
 
 SMART_CONFIGS = {
-    "all": dict(),
+    "all": {},
     "pruning": dict(apriori=False, memo=False),
     "memo": dict(apriori=False, pruning=False),
     "apriori": dict(memo=False, pruning=False),

@@ -1,0 +1,173 @@
+"""Unit tests for the runtime lock-order watchdog."""
+
+import threading
+
+import pytest
+
+from repro.testing.lockwatch import LockOrderError, LockOrderWatchdog, WatchedLock
+
+
+@pytest.fixture
+def watchdog():
+    return LockOrderWatchdog()
+
+
+class TestOrderTracking:
+    def test_consistent_order_records_edge_no_inversion(self, watchdog):
+        a = watchdog.wrap(threading.Lock(), "A")
+        b = watchdog.wrap(threading.Lock(), "B")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert watchdog.inversions == []
+        assert ("A", "B") in watchdog.witnessed_edges()
+        assert ("B", "A") not in watchdog.witnessed_edges()
+        watchdog.assert_no_inversions()
+
+    def test_abba_inversion_detected(self, watchdog):
+        a = watchdog.wrap(threading.Lock(), "A")
+        b = watchdog.wrap(threading.Lock(), "B")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        assert len(watchdog.inversions) == 1
+        assert "'A'" in watchdog.inversions[0]
+        assert "'B'" in watchdog.inversions[0]
+        with pytest.raises(LockOrderError):
+            watchdog.assert_no_inversions()
+
+    def test_transitive_inversion_detected(self, watchdog):
+        # A -> B and B -> C witnessed; then C -> A closes a 3-cycle
+        # even though A and C were never directly nested before.
+        a = watchdog.wrap(threading.Lock(), "A")
+        b = watchdog.wrap(threading.Lock(), "B")
+        c = watchdog.wrap(threading.Lock(), "C")
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with a:
+                pass
+        assert len(watchdog.inversions) == 1
+
+    def test_strict_mode_raises_at_acquisition(self):
+        watchdog = LockOrderWatchdog(strict=True)
+        a = watchdog.wrap(threading.Lock(), "A")
+        b = watchdog.wrap(threading.Lock(), "B")
+        with a:
+            with b:
+                pass
+        with pytest.raises(LockOrderError):
+            with b:
+                with a:
+                    pass
+
+    def test_disjoint_locks_no_edges(self, watchdog):
+        a = watchdog.wrap(threading.Lock(), "A")
+        b = watchdog.wrap(threading.Lock(), "B")
+        with a:
+            pass
+        with b:
+            pass
+        assert watchdog.witnessed_edges() == {}
+        assert watchdog.acquisitions == 2
+
+
+class TestReentrancy:
+    def test_rlock_reacquire_is_not_an_edge(self, watchdog):
+        lock = watchdog.wrap(threading.RLock(), "R")
+        with lock:
+            with lock:
+                pass
+        assert watchdog.inversions == []
+        assert watchdog.witnessed_edges() == {}
+
+    def test_two_instances_same_name_flagged(self, watchdog):
+        first = watchdog.wrap(threading.RLock(), "Entry.lock")
+        second = watchdog.wrap(threading.RLock(), "Entry.lock")
+        with first:
+            with second:
+                pass
+        assert len(watchdog.inversions) == 1
+        assert "Entry.lock" in watchdog.inversions[0]
+
+
+class TestConditionSupport:
+    def test_wait_releases_held_stack(self, watchdog):
+        condition = watchdog.wrap(threading.Condition(), "C")
+        other = watchdog.wrap(threading.Lock(), "O")
+        started = threading.Event()
+        crossed = threading.Event()
+
+        def waiter():
+            with condition:
+                started.set()
+                condition.wait_for(crossed.is_set, timeout=5.0)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        started.wait(5.0)
+        # While the waiter sleeps inside wait_for, its condition is
+        # *released* — this acquisition must not witness C -> O.
+        with other:
+            pass
+        with condition:
+            crossed.set()
+            condition.notify_all()
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert ("C", "O") not in watchdog.witnessed_edges()
+        assert watchdog.inversions == []
+
+    def test_notify_passthrough(self, watchdog):
+        condition = watchdog.wrap(threading.Condition(), "C")
+        with condition:
+            condition.notify()
+            condition.notify_all()
+        assert watchdog.inversions == []
+
+
+class TestWrapping:
+    def test_wrap_is_idempotent(self, watchdog):
+        inner = threading.Lock()
+        once = watchdog.wrap(inner, "A")
+        twice = watchdog.wrap(once, "A")
+        assert twice is once
+
+    def test_wrap_attr_replaces_in_place(self, watchdog):
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+        box = Box()
+        wrapped = watchdog.wrap_attr(box, "_lock", "Box._lock")
+        assert box._lock is wrapped
+        assert isinstance(box._lock, WatchedLock)
+        with box._lock:
+            pass
+        assert watchdog.acquisitions == 1
+
+    def test_lock_factory_produces_watched_locks(self, watchdog):
+        factory = watchdog.lock_factory("Entry.lock")
+        lock = factory()
+        assert isinstance(lock, WatchedLock)
+        assert lock.name == "Entry.lock"
+        with lock:
+            pass
+        assert watchdog.acquisitions == 1
+
+    def test_nonblocking_failed_acquire_not_recorded(self, watchdog):
+        lock = watchdog.wrap(threading.Lock(), "A")
+        lock._inner.acquire()
+        try:
+            assert lock.acquire(blocking=False) is False
+            assert watchdog.acquisitions == 0
+        finally:
+            lock._inner.release()
