@@ -18,6 +18,8 @@ Usage::
         --no-headline --concurrency --out BENCH_3.json  # serving qps
     python -m repro.bench.record \\
         --no-headline --wcoj --out BENCH_4.json  # trie join vs pairwise
+    python -m repro.bench.record \\
+        --no-headline --feedback --out BENCH_5.json  # estimate→actual loop
 
 ``--check`` makes the run fail if any batch- or columnar-mode
 ``cost()`` (or any individual work counter, modulo the zone-map fold
@@ -380,6 +382,76 @@ def run_wcoj(n_edges: int) -> Dict[str, Any]:
     }
 
 
+#: Required max-q-error improvement of ``feedback="apply"`` over
+#: ``"off"`` on the skewed workload; below this the recorded run is
+#: flagged as a problem.
+FEEDBACK_MIN_RATIO = 5.0
+
+
+def _plan_shape(explain_text: str) -> List[str]:
+    """Structural plan lines, all bracketed annotations stripped."""
+    return [line.split("[")[0].rstrip() for line in explain_text.splitlines()]
+
+
+def run_feedback() -> Dict[str, Any]:
+    """The estimate→actual loop on the skewed workload (BENCH_5.json).
+
+    Three executions of the same query against one database: ``off``
+    (the uncorrected baseline, traced to measure its q-errors),
+    ``observe`` (harvests fingerprint→actual observations), then
+    ``apply`` (re-plans with the observations blended in, traced
+    again).  Records the max q-error before/after, whether the
+    corrected estimates changed a plan decision, the bit-identity
+    proof, and the wall-clock of the uncorrected vs. corrected plans.
+    """
+    import dataclasses
+
+    from repro.engine.executor import execute
+    from repro.engine.planner import EngineConfig, plan_query
+    from repro.sql.parser import parse
+    from repro.workloads import SkewedConfig, make_skewed_db, skewed_query
+
+    config = SkewedConfig(seed=RECORD_SEED)
+    db = make_skewed_db(config)
+    sql = skewed_query(config)
+    off = EngineConfig(join_order="dp", feedback="off")
+    observe = dataclasses.replace(off, feedback="observe")
+    apply_ = dataclasses.replace(off, feedback="apply")
+    traced_off = dataclasses.replace(off, trace="counters")
+    traced_apply = dataclasses.replace(apply_, trace="counters")
+
+    start = time.perf_counter()
+    before = execute(db, sql, traced_off)
+    before_seconds = time.perf_counter() - start
+    plan_before = plan_query(db, parse(sql), off).explain()
+    execute(db, sql, observe)
+    start = time.perf_counter()
+    after = execute(db, sql, traced_apply)
+    after_seconds = time.perf_counter() - start
+    plan_after = plan_query(db, parse(sql), apply_).explain()
+
+    q_before = before.report().to_dict()["max_q_error"]
+    q_after = after.report().to_dict()["max_q_error"]
+    return {
+        "query": "skewed-hot-kind",
+        "n_events": config.n_events,
+        "n_users": config.n_users,
+        "seed": RECORD_SEED,
+        "observations": len(db.feedback),
+        "max_q_error_before": q_before,
+        "max_q_error_after": q_after,
+        "q_error_ratio": round(q_before / max(q_after, 1.0), 3),
+        "plan_changed": _plan_shape(plan_before) != _plan_shape(plan_after),
+        "corrections_in_explain": plan_after.count("[feedback: est"),
+        "rows_identical": sorted(before.rows) == sorted(after.rows),
+        "before_seconds": round(before_seconds, 6),
+        "after_seconds": round(after_seconds, 6),
+        "speedup": round(before_seconds / max(after_seconds, 1e-9), 3),
+        "plan_before": _plan_shape(plan_before),
+        "plan_after": _plan_shape(plan_after),
+    }
+
+
 #: Session counts for the serving-layer concurrency section.
 CONCURRENCY_SESSIONS = (1, 2, 4, 8)
 
@@ -516,6 +588,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="N",
         help=f"edge count for the --wcoj section (default: {WCOJ_EDGES})",
     )
+    parser.add_argument(
+        "--feedback",
+        action="store_true",
+        help="also run the estimate→actual feedback section "
+        "(skewed workload, off vs. observe vs. apply; BENCH_5.json)",
+    )
     args = parser.parse_args(argv)
 
     scale = args.scale if args.scale is not None else bench_scale()
@@ -532,6 +610,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     zonemap = None if args.no_headline else run_zonemap(args.headline_rows)
     concurrency = run_concurrency(suite_rows) if args.concurrency else None
     wcoj = run_wcoj(args.wcoj_edges) if args.wcoj else None
+    feedback = run_feedback() if args.feedback else None
     elapsed = time.perf_counter() - start
 
     if concurrency is not None:
@@ -552,6 +631,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             problems.append(
                 "wcoj: join_pairs reduction "
                 f"{wcoj['join_pairs_ratio']}x below {WCOJ_MIN_RATIO}x"
+            )
+
+    if feedback is not None:
+        if not feedback["rows_identical"]:
+            problems.append("feedback: corrected plan rows differ from baseline")
+        if not feedback["plan_changed"]:
+            problems.append("feedback: corrections changed no plan decision")
+        if feedback["q_error_ratio"] < FEEDBACK_MIN_RATIO:
+            problems.append(
+                "feedback: max q-error improvement "
+                f"{feedback['q_error_ratio']}x below {FEEDBACK_MIN_RATIO}x"
             )
 
     if zonemap is not None:
@@ -582,6 +672,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "zonemap": zonemap,
         "concurrency": concurrency,
         "wcoj": wcoj,
+        "feedback": feedback,
         "mode_parity_ok": not problems,
         "total_seconds": round(elapsed, 3),
     }
@@ -623,6 +714,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"({wcoj['join_pairs_ratio']:.1f}x), "
             f"identical={wcoj['rows_identical']}, "
             f"square cache_hits={wcoj['square_cache_hits']}"
+        )
+    if feedback is not None:
+        print(
+            f"feedback (n={feedback['n_events']} events): max q-error "
+            f"{feedback['max_q_error_before']:.1f} -> "
+            f"{feedback['max_q_error_after']:.1f} "
+            f"({feedback['q_error_ratio']:.1f}x), "
+            f"plan_changed={feedback['plan_changed']}, "
+            f"identical={feedback['rows_identical']}"
         )
     if problems:
         for problem in problems:

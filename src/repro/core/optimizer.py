@@ -415,8 +415,11 @@ class SmartIcebergOptimizer:
 
         Base-table instances expose row counts, ANALYZE statistics, and
         index distinct counts; CTE instances fall back to the default
-        relation size.
+        relation size.  Under ``feedback="apply"`` the estimator also
+        consults the database's feedback store, and tables that were
+        never ANALYZEd fall back to online sketch statistics.
         """
+        apply_feedback = self.config.feedback == "apply"
         profiles = []
         for relation in block.relations:
             table = (
@@ -425,16 +428,23 @@ class SmartIcebergOptimizer:
                 else None
             )
             rows = float(len(table)) if table is not None else DEFAULT_RELATION_ROWS
+            stats = table.statistics if table is not None else None
+            if stats is None and apply_feedback and table is not None and rows > 0:
+                stats = table.sketch_statistics()
             profiles.append(
                 RelationProfile(
                     alias=relation.alias,
                     columns=tuple(relation.columns),
                     rows=rows,
                     table=table,
-                    stats=table.statistics if table is not None else None,
+                    stats=stats,
                 )
             )
-        return CardinalityEstimator(profiles)
+        return CardinalityEstimator(
+            profiles,
+            feedback=self.db.feedback if apply_feedback else None,
+            feedback_token=self.db.feedback_token() if apply_feedback else None,
+        )
 
     @staticmethod
     def _estimated_bindings(

@@ -61,6 +61,7 @@ class SmartIceberg:
         fault_plan: Optional[object] = None,
         analyze: Optional[str] = None,
         trace: Optional[str] = None,
+        feedback: Optional[str] = None,
         cross_query_memo: bool = False,
     ) -> None:
         self.db = db
@@ -99,6 +100,11 @@ class SmartIceberg:
             # ExecutionStats deltas), or "timing" (plus wall clock);
             # traced results carry a QueryProfile (see repro.obs).
             ("trace", trace),
+            # Estimate→actual feedback loop: "off" (exact legacy
+            # path), "observe" (record observations without changing
+            # estimates), or "apply" (blend observations into the
+            # cardinality model); validated by EngineConfig.
+            ("feedback", feedback),
         ):
             if value is not None:
                 overrides[name] = value

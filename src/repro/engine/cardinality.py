@@ -18,12 +18,19 @@ selectivities.  All estimates are deterministic, and conjunction is
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.sql import ast
-from repro.storage.statistics import ColumnStats, TableStats
+from repro.sql.render import render
+from repro.storage.statistics import (
+    ColumnStats,
+    FeedbackRecord,
+    FeedbackStatistics,
+    TableStats,
+)
 
 #: Row estimate for derived tables / CTEs whose size is unknown at
 #: planning time (they materialize lazily, after planning).
@@ -35,6 +42,35 @@ RANGE_SELECTIVITY = 1.0 / 3.0
 DEFAULT_SELECTIVITY = 1.0 / 3.0
 
 _RANGE_OPS = {"<", "<=", ">", ">="}
+
+#: Cap on the q-error-derived blending weight: even a catastrophically
+#: misestimated predicate keeps a sliver of the model estimate, so a
+#: single aberrant observation cannot pin the estimator forever.
+MAX_FEEDBACK_WEIGHT = 8.0
+
+
+def blend_estimate(base: float, record: FeedbackRecord) -> float:
+    """Q-error-weighted geometric blend of a model estimate and feedback.
+
+    The blend happens in log space (cardinalities are ratio-scaled):
+    ``exp((w·ln(actual) + ln(est)) / (w + 1))``.  The weight ``w``
+    grows with the worst q-error ever recorded for the fingerprint and
+    with the observation count — a predicate the histogram path got
+    right stays histogram-driven (w ≈ small blends barely move it),
+    while a badly misestimated one converges onto the observation.
+    """
+    est = max(float(base), 1.0)
+    actual = max(record.actual_rows, 1.0)
+    weight = min(
+        min(float(record.observations), 4.0)
+        * math.log2(1.0 + record.max_q_error),
+        MAX_FEEDBACK_WEIGHT,
+    )
+    if weight <= 0.0:
+        return base
+    return math.exp(
+        (weight * math.log(actual) + math.log(est)) / (weight + 1.0)
+    )
 
 
 @dataclass
@@ -87,12 +123,26 @@ class CardinalityEstimator:
     join cardinalities.
     """
 
-    def __init__(self, profiles: Sequence[RelationProfile]) -> None:
+    def __init__(
+        self,
+        profiles: Sequence[RelationProfile],
+        feedback: Optional[FeedbackStatistics] = None,
+        feedback_token: Optional[Tuple[int, int]] = None,
+    ) -> None:
         self.profiles: Dict[str, RelationProfile] = {p.alias: p for p in profiles}
         self._by_column: Dict[str, List[RelationProfile]] = {}
         for profile in profiles:
             for column in profile.columns:
                 self._by_column.setdefault(column, []).append(profile)
+        # Execution-feedback store (None = pure model estimates, the
+        # exact pre-feedback path).  Consulted *before* the histogram
+        # interpolation result is trusted: a matching live observation
+        # blends over whatever the model produced.
+        self.feedback = feedback
+        self.feedback_token = feedback_token or (0, 0)
+        #: fingerprint -> (model estimate, blended estimate) for every
+        #: correction applied; the planner surfaces these in explain().
+        self.corrections: Dict[str, Tuple[float, float]] = {}
 
     # ------------------------------------------------------------------
     # Reference resolution
@@ -259,28 +309,119 @@ class CardinalityEstimator:
         return RANGE_SELECTIVITY
 
     # ------------------------------------------------------------------
+    # Predicate fingerprints (feedback keys)
+    # ------------------------------------------------------------------
+    def _normalize(self, expr: ast.Expr) -> ast.Expr:
+        """Canonicalize an expression for fingerprinting.
+
+        Column references are rewritten to ``tablename.column`` when
+        the owning relation is a base table, so the same predicate
+        written under different aliases (or from different queries)
+        maps to the same feedback record.
+        """
+        if isinstance(expr, ast.ColumnRef):
+            profile = self.owner(expr)
+            table = expr.table.lower() if expr.table else None
+            if profile is not None and profile.table is not None:
+                table = profile.table.name
+            return dataclasses.replace(
+                expr, table=table, column=expr.column.lower()
+            )
+        if not dataclasses.is_dataclass(expr):
+            return expr
+        changes: Dict[str, Any] = {}
+        for field_info in dataclasses.fields(expr):
+            value = getattr(expr, field_info.name)
+            if isinstance(value, ast.Expr):
+                changes[field_info.name] = self._normalize(value)
+            elif isinstance(value, tuple):
+                changes[field_info.name] = tuple(
+                    self._normalize(item) if isinstance(item, ast.Expr) else item
+                    for item in value
+                )
+            elif isinstance(value, list):
+                changes[field_info.name] = [
+                    self._normalize(item) if isinstance(item, ast.Expr) else item
+                    for item in value
+                ]
+        return dataclasses.replace(expr, **changes) if changes else expr
+
+    def predicate_fingerprint(self, exprs: Sequence[ast.Expr]) -> str:
+        """Order-insensitive canonical rendering of a conjunct set."""
+        return ",".join(sorted(render(self._normalize(expr)) for expr in exprs))
+
+    def scan_fingerprint(
+        self, alias: str, filter_exprs: Sequence[ast.Expr]
+    ) -> str:
+        """Feedback key for one relation under its pushed-down filters."""
+        profile = self.profiles.get(alias)
+        relation = (
+            profile.table.name
+            if profile is not None and profile.table is not None
+            else alias.lower()
+        )
+        return f"scan:{relation}|{self.predicate_fingerprint(filter_exprs)}"
+
+    def join_fingerprint(
+        self,
+        scan_fingerprints: Sequence[str],
+        join_conjuncts: Sequence[ast.Expr],
+    ) -> str:
+        """Feedback key for the join of a relation set.
+
+        Composed from the member scan fingerprints (the observed join
+        size depends on the pushed-down filters too) plus the internal
+        join conjuncts; order-insensitive on both.
+        """
+        members = ";".join(sorted(scan_fingerprints))
+        return f"join:{members}|{self.predicate_fingerprint(join_conjuncts)}"
+
+    def corrected(self, fingerprint: Optional[str], base: float) -> float:
+        """Blend a model estimate with live feedback, if any exists."""
+        if self.feedback is None or fingerprint is None:
+            return base
+        record = self.feedback.lookup(fingerprint, self.feedback_token)
+        if record is None:
+            return base
+        blended = blend_estimate(base, record)
+        if abs(blended - base) > 1e-9:
+            self.corrections[fingerprint] = (base, blended)
+        return blended
+
+    # ------------------------------------------------------------------
     # Cardinalities
     # ------------------------------------------------------------------
     def scan_rows(self, alias: str, filter_exprs: Sequence[ast.Expr]) -> float:
-        """Estimated rows surviving a relation's pushed-down filters."""
+        """Estimated rows surviving a relation's pushed-down filters.
+
+        With a feedback store attached, a live observation for the
+        scan's predicate fingerprint blends over the model estimate.
+        """
         profile = self.profiles[alias]
-        return max(profile.rows * self.conjunction(filter_exprs), 0.0)
+        base = max(profile.rows * self.conjunction(filter_exprs), 0.0)
+        if self.feedback is None:
+            return base
+        return self.corrected(self.scan_fingerprint(alias, filter_exprs), base)
 
     def join_rows(
         self,
         filtered_rows: Dict[str, float],
         aliases: Sequence[str],
         join_conjuncts: Sequence[ast.Expr],
+        fingerprint: Optional[str] = None,
     ) -> float:
         """Estimated size of the join of ``aliases``.
 
         ``filtered_rows`` maps alias -> post-filter cardinality;
         ``join_conjuncts`` are the multi-relation conjuncts internal to
         the alias set.  Order-independent, so the DP enumerator can
-        memoize per subset.
+        memoize per subset.  ``fingerprint`` (when supplied by the
+        caller) keys a feedback lookup over the model estimate.
         """
         result = 1.0
         for alias in aliases:
             result *= max(filtered_rows[alias], 0.0)
         result *= self.conjunction(join_conjuncts)
-        return result
+        if self.feedback is None:
+            return result
+        return self.corrected(fingerprint, result)

@@ -59,6 +59,21 @@ class Result:
             (value is None, str(type(value)), value) for value in row
         ))
 
+    def report(self, label: str = "query") -> Any:
+        """A :class:`~repro.obs.feedback.CardinalityReport` for this result.
+
+        Populated from the executed plan's estimate→actual pairs, so
+        it is only informative after a traced run or one with
+        ``EngineConfig.feedback != "off"`` (both stamp
+        ``actual_rows``); otherwise the report is empty.
+        """
+        from repro.obs.feedback import CardinalityReport
+
+        report = CardinalityReport()
+        if self.plan is not None:
+            report.record(label, self.plan.root)
+        return report
+
     def __repr__(self) -> str:
         return f"Result({len(self.rows)} rows, cols={self.columns})"
 
@@ -181,9 +196,19 @@ def run_planned(
 
         tracer = Tracer(config.trace, label=trace_label or "query")
     profile = None
+    probes = None
     if tracer is not None:
         tracer.install(planned.root)
         ctx.tracer = tracer
+    elif config.feedback != "off":
+        # Untraced feedback run: install the lightweight row-counting
+        # probes so ``actual_rows`` still gets stamped for harvesting.
+        # A live tracer makes them redundant (it stamps actual_rows in
+        # its own finish()).
+        from repro.obs.feedback import FeedbackProbes
+
+        probes = FeedbackProbes()
+        probes.install(planned.root)
     planned.env.ctx_holder["ctx"] = ctx
     start = time.perf_counter()
     try:
@@ -211,7 +236,16 @@ def run_planned(
             # Restores the wrapped nodes even on the error paths above,
             # so a budget-tripped plan is left clean and re-runnable.
             profile = tracer.finish()
+        if probes is not None:
+            probes.finish()
     elapsed = time.perf_counter() - start
+    if config.feedback != "off":
+        # Harvest only successful executions (error paths raised out
+        # above): partial row counts from a tripped budget would
+        # poison the feedback store.
+        from repro.obs.feedback import harvest
+
+        harvest(planned.root, planned.env.db)
     result = Result(
         columns=planned.columns,
         rows=rows,

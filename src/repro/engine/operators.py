@@ -156,6 +156,17 @@ class PhysicalOperator:
     #: the decision for chosen *and* rejected WCOJ candidates.
     wcoj_gate: Optional[str] = None
 
+    #: Predicate fingerprint stamped by the planner under
+    #: ``EngineConfig.feedback != "off"``: the key under which this
+    #: node's (est_rows, actual_rows) pair is harvested into
+    #: ``Database.feedback`` after execution.  ``feedback_note`` is a
+    #: human-readable record of a feedback correction the estimator
+    #: applied to this node (``feedback="apply"`` only), rendered by
+    #: ``annotation()``/``to_dict()`` so EXPLAIN shows exactly where
+    #: observations moved an estimate.
+    feedback_fingerprint: Optional[str] = None
+    feedback_note: Optional[str] = None
+
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         raise NotImplementedError
 
@@ -213,6 +224,8 @@ class PhysicalOperator:
         text = ("  [" + " ".join(parts) + "]") if parts else ""
         if self.wcoj_gate is not None:
             text += f"  [{self.wcoj_gate}]"
+        if self.feedback_note is not None:
+            text += f"  [{self.feedback_note}]"
         return text
 
     def describe(self) -> List[str]:
@@ -248,6 +261,10 @@ class PhysicalOperator:
             node["q_error"] = round(q_error, 3)
         if self.wcoj_gate is not None:
             node["wcoj_gate"] = self.wcoj_gate
+        if self.feedback_fingerprint is not None:
+            node["feedback_fingerprint"] = self.feedback_fingerprint
+        if self.feedback_note is not None:
+            node["feedback_note"] = self.feedback_note
         children = [child.to_dict() for child in self.children()]
         if children:
             node["children"] = children

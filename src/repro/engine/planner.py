@@ -54,6 +54,9 @@ ANALYZE_MODES = ("off", "warn", "strict")
 #: Valid settings for ``EngineConfig.join_algo``.
 JOIN_ALGOS = ("auto", "pairwise", "wcoj")
 
+#: Valid settings for ``EngineConfig.feedback``.
+FEEDBACK_MODES = ("off", "observe", "apply")
+
 #: Exact DP enumeration is used up to this many FROM relations; larger
 #: queries fall back to the greedy min-cardinality heuristic.
 DP_MAX_RELATIONS = 8
@@ -143,6 +146,17 @@ class EngineConfig:
     #: span tree with per-span ExecutionStats deltas only, "timing"
     #: additionally records per-span wall clock for flame graphs.
     trace: str = "off"  # 'off' | 'counters' | 'timing'
+    #: Estimate→actual feedback loop (see :mod:`repro.obs.feedback`):
+    #: "off" (the default) is the exact pre-feedback code path —
+    #: nothing is fingerprinted, recorded, or consulted.  "observe"
+    #: harvests per-operator (predicate fingerprint, est, actual)
+    #: observations into ``Database.feedback`` after each execution but
+    #: never changes an estimate — the safe serving default.  "apply"
+    #: additionally blends live observations over the model estimates
+    #: (and falls back to online sketch statistics for never-ANALYZEd
+    #: tables), which can change join orders and the WCOJ gate; all
+    #: modes return identical result rows.
+    feedback: str = "off"  # 'off' | 'observe' | 'apply'
 
     def __post_init__(self) -> None:
         if self.join_order not in JOIN_ORDERS:
@@ -160,6 +174,10 @@ class EngineConfig:
         if self.trace not in TRACE_MODES:
             raise ValueError(
                 f"trace must be one of {TRACE_MODES}, got {self.trace!r}"
+            )
+        if self.feedback not in FEEDBACK_MODES:
+            raise ValueError(
+                f"feedback must be one of {FEEDBACK_MODES}, got {self.feedback!r}"
             )
         if self.degradation not in DEGRADATION_MODES:
             raise ValueError(
@@ -707,6 +725,7 @@ class _EstimateContext:
     output_rows: float  # estimated rows after this join (all conjuncts)
     raw_inner: float  # stored rows of the inner relation
     filtered_inner: float  # inner rows surviving pushed-down filters
+    scan_fp: Optional[str] = None  # feedback fingerprint of the inner scan
 
 
 class _JoinOrderer:
@@ -727,11 +746,20 @@ class _JoinOrderer:
         self.env = env
         self.by_alias = {r.alias: r for r in relations}
         self.position = {r.alias: i for i, r in enumerate(relations)}
+        feedback_mode = env.config.feedback
+        #: feedback != "off": fingerprints are computed and stamped on
+        #: plan nodes so the executor can harvest est/actual pairs.
+        self.capture = feedback_mode != "off"
         profiles = []
         for relation in relations:
             if relation.table is not None:
                 rows = float(len(relation.table))
                 stats = relation.table.statistics
+                if stats is None and feedback_mode == "apply" and rows > 0:
+                    # Cold table under apply: cheap sketch-backed stats
+                    # (zone-map min/max + KMV sample) replace the
+                    # sqrt(rows) NDV guess without a full ANALYZE.
+                    stats = relation.table.sketch_statistics()
             else:
                 rows = DEFAULT_RELATION_ROWS
                 stats = None
@@ -744,7 +772,15 @@ class _JoinOrderer:
                     stats=stats,
                 )
             )
-        self.estimator = CardinalityEstimator(profiles)
+        self.estimator = CardinalityEstimator(
+            profiles,
+            feedback=env.db.feedback if feedback_mode == "apply" else None,
+            feedback_token=(
+                env.db.feedback_token() if feedback_mode == "apply" else None
+            ),
+        )
+        self._scan_fp: Dict[str, str] = {}
+        self._join_fp: Dict[FrozenSet[str], str] = {}
         self.raw = {profile.alias: profile.rows for profile in profiles}
         self.filters: Dict[str, List[ast.Expr]] = {r.alias: [] for r in relations}
         self.join_conjuncts: List[_Conjunct] = []
@@ -773,9 +809,55 @@ class _JoinOrderer:
             internal = [
                 c.expr for c in self.join_conjuncts if c.aliases <= subset
             ]
-            cached = self.estimator.join_rows(self.filtered, sorted(subset), internal)
+            fingerprint = (
+                self.join_fp(subset)
+                if self.capture and len(subset) > 1
+                else None
+            )
+            cached = self.estimator.join_rows(
+                self.filtered, sorted(subset), internal, fingerprint=fingerprint
+            )
             self._rows_memo[subset] = cached
         return cached
+
+    # -- feedback fingerprints -----------------------------------------
+    def scan_fp(self, alias: str) -> str:
+        """Feedback fingerprint for one relation's filtered scan."""
+        fingerprint = self._scan_fp.get(alias)
+        if fingerprint is None:
+            fingerprint = self.estimator.scan_fingerprint(
+                alias, self.filters[alias]
+            )
+            self._scan_fp[alias] = fingerprint
+        return fingerprint
+
+    def join_fp(self, subset: FrozenSet[str]) -> str:
+        """Feedback fingerprint for the join of an alias subset."""
+        fingerprint = self._join_fp.get(subset)
+        if fingerprint is None:
+            internal = [
+                c.expr for c in self.join_conjuncts if c.aliases <= subset
+            ]
+            fingerprint = self.estimator.join_fingerprint(
+                [self.scan_fp(alias) for alias in subset], internal
+            )
+            self._join_fp[subset] = fingerprint
+        return fingerprint
+
+    def note_for(self, fingerprint: str) -> Optional[str]:
+        """Human-readable correction note for explain(), if one applied."""
+        correction = self.estimator.corrections.get(fingerprint)
+        if correction is None:
+            return None
+        base, blended = correction
+        return f"feedback: est {base:.4g}->{blended:.4g}"
+
+    def stamp(self, node: ops.PhysicalOperator, fingerprint: str) -> None:
+        """Attach a feedback fingerprint (and any correction note)."""
+        node.feedback_fingerprint = fingerprint
+        note = self.note_for(fingerprint)
+        if note is not None:
+            node.feedback_note = note
 
     def scan_cost(self, alias: str) -> float:
         return _COST.scan(self.raw[alias])
@@ -1113,6 +1195,8 @@ def _consider_wcoj(
         scan = _scan_relation(relation, exprs, env)
         scan.estimated_rows = orderer.filtered[relation.alias]
         scan.estimated_cost = orderer.scan_cost(relation.alias)
+        if orderer.capture:
+            orderer.stamp(scan, orderer.scan_fp(relation.alias))
         pairs = rel_vars[relation.alias]
         specs.append(
             TrieRelationSpec(
@@ -1163,6 +1247,8 @@ def _consider_wcoj(
     node.estimated_rows = orderer.rows(frozenset(r.alias for r in ordered))
     node.estimated_cost = wcoj_cost
     node.wcoj_gate = gate
+    if orderer.capture:
+        orderer.stamp(node, orderer.join_fp(frozenset(r.alias for r in ordered)))
     return node, gate
 
 
@@ -1211,6 +1297,8 @@ def _plan_joins(
     current = _scan_relation(first, first_exprs, env)
     current.estimated_rows = orderer.filtered[first.alias]
     current.estimated_cost = orderer.scan_cost(first.alias)
+    if orderer.capture:
+        orderer.stamp(current, orderer.scan_fp(first.alias))
     bound = frozenset([first.alias])
 
     for relation in ordered[1:]:
@@ -1226,6 +1314,7 @@ def _plan_joins(
             output_rows=orderer.rows(new_bound),
             raw_inner=orderer.raw[relation.alias],
             filtered_inner=orderer.filtered[relation.alias],
+            scan_fp=orderer.scan_fp(relation.alias) if orderer.capture else None,
         )
         current = _join_one(
             current,
@@ -1238,6 +1327,8 @@ def _plan_joins(
             inner_exprs,
             est,
         )
+        if orderer.capture:
+            orderer.stamp(current, orderer.join_fp(new_bound))
         for c in available:
             c.placed = True
         bound = new_bound
@@ -1520,6 +1611,8 @@ def _join_one(
         if est is not None:
             scan.estimated_rows = est.filtered_inner
             scan.estimated_cost = _COST.scan(est.raw_inner)
+            if est.scan_fp is not None:
+                scan.feedback_fingerprint = est.scan_fp
         return scan
 
     def try_hash() -> Optional[Tuple[ops.PhysicalOperator, float]]:

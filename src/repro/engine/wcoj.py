@@ -338,21 +338,23 @@ class WCOJTrieJoin(PhysicalOperator):
                     self._persistent_params = params_key
             else:
                 cache = _trie_cache()
-        base_lookups = cache.lookups if cache is not None else 0
-        base_hits = cache.hits if cache is not None else 0
-        base_evictions = cache.evictions if cache is not None else 0
+        if cache is not None:
+            base_lookups, base_hits, base_evictions = cache.counters()
+        else:
+            base_lookups = base_hits = base_evictions = 0
         try:
             yield from self._run(ctx, cache)
         finally:
             # Charged in a finally so a governor budget trip mid-leapfrog
             # still reports the cache work done up to the trip.
             if cache is not None:
-                delta_hits = cache.hits - base_hits
+                lookups, hits, evictions = cache.counters()
+                delta_hits = hits - base_hits
                 stats.cache_rows += cache.rows
                 stats.cache_bytes += cache.estimated_bytes()
                 stats.cache_hits += delta_hits
-                stats.cache_misses += (cache.lookups - base_lookups) - delta_hits
-                stats.cache_evictions += cache.evictions - base_evictions
+                stats.cache_misses += (lookups - base_lookups) - delta_hits
+                stats.cache_evictions += evictions - base_evictions
 
     def _run(
         self, ctx: ExecutionContext, cache: Optional[TrieCache]

@@ -8,13 +8,17 @@ Three layers, all zero-overhead when unused:
 * :mod:`repro.obs.metrics` — process-wide Prometheus-style registry
   (``python -m repro.obs.metrics``);
 * :mod:`repro.obs.feedback` — estimate-vs-actual q-error reporting
-  across workloads.
+  plus the capture half of the feedback loop (probes + harvest);
+* :mod:`repro.obs.querylog` / :mod:`repro.obs.report` — the serving
+  layer's structured query log and its fleet-health summarizer
+  (``python -m repro.obs.report``).
 
 ``python -m repro.obs.check`` is the CI gate tying it together.
 """
 
 # Import order matters: spans is the leaf (engine.stats only); tracer
 # builds on spans + engine.operators; metrics and feedback come last.
+# querylog is stdlib-only and independent of the rest.
 from repro.obs.spans import (
     STAT_FIELDS,
     TRACE_MODES,
@@ -32,7 +36,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
     record_query,
 )
-from repro.obs.feedback import CardinalityReport
+from repro.obs.feedback import CardinalityReport, FeedbackProbes, harvest
+from repro.obs.querylog import QUERY_LOG_FIELDS, QueryLog, stable_fingerprint
 
 __all__ = [
     "STAT_FIELDS",
@@ -51,4 +56,9 @@ __all__ = [
     "MetricsRegistry",
     "record_query",
     "CardinalityReport",
+    "FeedbackProbes",
+    "harvest",
+    "QUERY_LOG_FIELDS",
+    "QueryLog",
+    "stable_fingerprint",
 ]

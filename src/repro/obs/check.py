@@ -25,6 +25,14 @@ With ``--wcoj-baseline BENCH_4.json`` a fifth check validates the
 recorded worst-case-optimal-join section: the AGM gate line chose the
 trie join, the pairwise/WCOJ ``join_pairs`` ratio meets the recorded
 floor, and the bit-identity flags are true.
+
+A sixth check always runs: the **query-log golden schema** — a
+``QueryLog`` record must carry exactly the promised field set, survive
+a JSONL round trip, and aggregate cleanly through ``repro.obs.report``.
+With ``--feedback-baseline BENCH_5.json`` a seventh check validates
+the recorded feedback section: ``feedback=apply`` cut the max q-error
+by the recorded floor, flipped a plan decision, and stayed
+bit-identical to ``feedback=off``.
 """
 
 from __future__ import annotations
@@ -287,6 +295,80 @@ def check_wcoj_record(path: str) -> Dict[str, Any]:
     return wcoj
 
 
+def check_querylog_schema() -> int:
+    """Golden query-log record shape and JSONL round trip."""
+    import io
+
+    from repro.obs.querylog import (
+        QUERY_LOG_FIELDS,
+        QueryLog,
+        validate_records,
+    )
+    from repro.obs.report import aggregate
+
+    log = QueryLog(max_entries=8)
+    record = log.append(
+        session="check",
+        sql_fingerprint="deadbeefdeadbeef",
+        outcome="ok",
+        latency_seconds=0.001,
+        plan_cache_hit=False,
+        degradations=[],
+        feedback_corrections=[],
+        worst_q_errors=[],
+    )
+    if tuple(record) != QUERY_LOG_FIELDS:
+        raise CheckFailure(
+            f"query-log record fields drifted from the golden schema: "
+            f"{tuple(record)} != {QUERY_LOG_FIELDS}"
+        )
+    line = json.dumps(record)
+    parsed = json.loads(io.StringIO(line).readline())
+    problems = validate_records([parsed])
+    if problems:
+        raise CheckFailure(f"query-log JSONL round trip invalid: {problems}")
+    summary = aggregate([parsed])
+    if summary["queries"] != 1 or summary["outcomes"].get("ok") != 1:
+        raise CheckFailure(f"report aggregation mangled the record: {summary}")
+    return len(QUERY_LOG_FIELDS)
+
+
+def check_feedback_record(path: str) -> Dict[str, Any]:
+    """Schema + invariants of a recorded BENCH_5-style feedback section."""
+    from repro.bench.record import FEEDBACK_MIN_RATIO
+
+    with open(path) as handle:
+        doc = json.load(handle)
+    feedback = doc.get("feedback")
+    if not isinstance(feedback, dict):
+        raise CheckFailure(f"{path} has no feedback section (run with --feedback)")
+    required = {
+        "query", "n_events", "n_users", "seed", "observations",
+        "max_q_error_before", "max_q_error_after", "q_error_ratio",
+        "plan_changed", "corrections_in_explain", "rows_identical",
+        "plan_before", "plan_after",
+    }
+    missing = required - set(feedback)
+    if missing:
+        raise CheckFailure(f"feedback section missing keys: {sorted(missing)}")
+    if not feedback["rows_identical"]:
+        raise CheckFailure("recorded apply run was not bit-identical to off")
+    if not feedback["plan_changed"]:
+        raise CheckFailure("feedback=apply did not change any plan decision")
+    if feedback["q_error_ratio"] < FEEDBACK_MIN_RATIO:
+        raise CheckFailure(
+            f"q-error ratio {feedback['q_error_ratio']} below the "
+            f"{FEEDBACK_MIN_RATIO}x floor"
+        )
+    if feedback["observations"] <= 0:
+        raise CheckFailure("feedback run harvested no observations")
+    if feedback["corrections_in_explain"] <= 0:
+        raise CheckFailure(
+            "corrected plan shows no [feedback: est ...] annotations"
+        )
+    return feedback
+
+
 def check_prometheus_schema() -> int:
     """Golden exposition-format shape for the process registry."""
     from repro.obs.metrics import REGISTRY
@@ -332,6 +414,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="also validate a recorded wcoj section (e.g. BENCH_4.json)",
     )
+    parser.add_argument(
+        "--feedback-baseline",
+        default=None,
+        metavar="PATH",
+        help="also validate a recorded feedback section (e.g. BENCH_5.json)",
+    )
     args = parser.parse_args(argv)
 
     failures: List[str] = []
@@ -357,8 +445,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if parity is not None:
         step("chrome-schema", lambda: check_chrome_schema(parity["profile"]))
     step("prometheus-schema", check_prometheus_schema)
+    step("querylog-schema", check_querylog_schema)
     if args.wcoj_baseline:
         step("wcoj-record", lambda: check_wcoj_record(args.wcoj_baseline))
+    if args.feedback_baseline:
+        step(
+            "feedback-record",
+            lambda: check_feedback_record(args.feedback_baseline),
+        )
 
     overhead = measure_overhead(db, sql, repeats=args.repeats)
     print(

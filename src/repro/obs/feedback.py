@@ -12,6 +12,19 @@ over many queries and ranks the worst offenders, which is exactly the
 feedback loop Online Sketch-based Query Optimization builds on: the
 ranked list tells the cost model *which* operator estimates to
 recalibrate first.
+
+This module also closes the loop mechanically:
+
+* :class:`FeedbackProbes` is the lightweight capture path for
+  untraced executions under ``EngineConfig.feedback != "off"`` — it
+  shadows only the *fingerprinted* plan nodes (scans and join steps
+  the planner stamped with ``feedback_fingerprint``) with a pure
+  row counter, mirroring the tracer's instance-``__dict__`` wrapping
+  and reentrancy guard but skipping all stats snapshots and spans;
+* :func:`harvest` walks an executed plan and records every
+  ``(fingerprint, est_rows, actual_rows)`` triple into the
+  database's :class:`~repro.storage.statistics.FeedbackStatistics`,
+  where ``feedback="apply"`` planning later consults it.
 """
 
 from __future__ import annotations
@@ -22,24 +35,177 @@ from repro.engine.operators import PhysicalOperator
 from repro.obs.tracer import iter_plan_nodes
 
 
+class _Probe:
+    """Row counter for one wrapped node (active = reentrancy depth)."""
+
+    __slots__ = ("rows", "active")
+
+    def __init__(self) -> None:
+        self.rows = 0
+        self.active = 0
+
+
+class FeedbackProbes:
+    """Minimal actual-row counters over a plan's fingerprinted nodes.
+
+    Follows the tracer's one-shot, exclusive-per-plan contract (see
+    :class:`repro.obs.tracer.Tracer`): install before execution,
+    ``finish()`` in a ``finally`` to restore the nodes and stamp
+    ``actual_rows``.  When a tracer is live on the plan the probes are
+    redundant — the tracer already stamps ``actual_rows`` — so the
+    executor installs probes only for untraced feedback runs.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(self) -> None:
+        # One-shot probe set: exactly one thread executes the wrapped
+        # plan (the serving layer serializes via the plan-cache entry
+        # lock), so no synchronization is needed.
+        self._probes: Dict[int, _Probe] = {}  # unguarded: one-shot probes, single executing thread per plan
+        self._nodes: List[PhysicalOperator] = []  # unguarded: one-shot probes, single executing thread per plan
+
+    def install(self, root: PhysicalOperator) -> int:
+        """Wrap fingerprinted nodes; returns how many were wrapped."""
+        if self._nodes:
+            raise RuntimeError("probes already installed; probes are one-shot")
+        for node in iter_plan_nodes(root):
+            if node.feedback_fingerprint is None:
+                continue
+            probe = _Probe()
+            self._probes[id(node)] = probe
+            self._wrap(node, probe)
+            self._nodes.append(node)
+        return len(self._nodes)
+
+    def _wrap(self, node: PhysicalOperator, probe: _Probe) -> None:
+        original_execute = node.execute
+        original_batches = node.execute_batches
+        original_columnar = node.execute_columnar
+        probes = self
+
+        def counted_execute(ctx, _orig=original_execute, _probe=probe):
+            return probes._counted_iter(_orig, ctx, _probe, batched=False)
+
+        def counted_batches(ctx, _orig=original_batches, _probe=probe):
+            return probes._counted_iter(_orig, ctx, _probe, batched=True)
+
+        def counted_columnar(ctx, _orig=original_columnar, _probe=probe):
+            # ColumnBatch defines __len__, so the batched count works.
+            return probes._counted_iter(_orig, ctx, _probe, batched=True)
+
+        node.__dict__["execute"] = counted_execute
+        node.__dict__["execute_batches"] = counted_batches
+        node.__dict__["execute_columnar"] = counted_columnar
+
+    def _counted_iter(self, orig, ctx, probe: _Probe, batched: bool):
+        sentinel = self._SENTINEL
+        iterator = orig(ctx)
+        while True:
+            # Only the outermost activation counts rows: the default
+            # execute_batches path re-enters execute on the same node
+            # (see Tracer._traced_iter for the same guard).
+            reentrant = probe.active > 0
+            probe.active += 1
+            item: Any = sentinel
+            try:
+                try:
+                    item = next(iterator)
+                except StopIteration:
+                    item = sentinel
+            finally:
+                probe.active -= 1
+            if item is sentinel:
+                return
+            if not reentrant:
+                probe.rows += len(item) if batched else 1
+            yield item
+
+    def finish(self) -> None:
+        """Restore wrapped nodes and stamp ``actual_rows``.
+
+        Idempotent; always called from the executor's ``finally`` so
+        an error-tripped plan is left clean and re-runnable.
+        """
+        for node in self._nodes:
+            node.__dict__.pop("execute", None)
+            node.__dict__.pop("execute_batches", None)
+            node.__dict__.pop("execute_columnar", None)
+            node.actual_rows = self._probes[id(node)].rows
+        self._nodes = []
+
+
+def harvest(root: PhysicalOperator, db: Any) -> int:
+    """Record a finished plan's estimate→actual pairs into ``db.feedback``.
+
+    Walks the full plan (identity-deduped, including CTE/NLJP
+    sub-plans) and records every node carrying a planner-stamped
+    ``feedback_fingerprint`` plus both an estimate and a
+    tracer/probe-stamped actual.  Scanned base tables that were never
+    ANALYZEd additionally get their online sketch statistics warmed,
+    so the *next* ``feedback="apply"`` planning of a cold table pays
+    nothing.  Returns the number of observations recorded.
+
+    Call only after a *successful* execution: a budget-tripped or
+    cancelled run leaves partial row counts that would poison the
+    store.
+    """
+    token = db.feedback_token()
+    store = db.feedback
+    recorded = 0
+    for node in iter_plan_nodes(root):
+        fingerprint = node.feedback_fingerprint
+        if fingerprint is None:
+            continue
+        if node.estimated_rows is None or node.actual_rows is None:
+            continue
+        store.record(
+            fingerprint,
+            float(node.estimated_rows),
+            float(node.actual_rows),
+            token=token,
+        )
+        recorded += 1
+        table = getattr(node, "table", None)
+        if (
+            fingerprint.startswith("scan:")
+            and table is not None
+            and getattr(table, "statistics", None) is None
+            and len(table) > 0
+        ):
+            table.sketch_statistics()
+    return recorded
+
+
 class CardinalityReport:
     """Ranked estimate-vs-actual mis-estimates across a workload."""
 
     def __init__(self) -> None:
         self.entries: List[Dict[str, Any]] = []
+        # Nodes already recorded, by identity.  Holding the node
+        # reference (not just its id) prevents id() reuse after GC
+        # from silently suppressing a fresh node's observation.
+        self._seen: Dict[int, PhysicalOperator] = {}
 
     def record(self, query_label: str, root: PhysicalOperator) -> int:
         """Collect q-errors from an executed (analyzed/traced) plan.
 
         Nodes without both an estimate and an actual are skipped —
         a plan run without ``analyze=True``/tracing contributes
-        nothing.  Returns the number of observations added.
+        nothing.  Nodes are deduplicated by identity both within one
+        plan walk (shared CTE cells, NLJP qb/qr sub-plans) and across
+        ``record`` calls, so re-recording an already-seen (cached)
+        plan does not double-count.  Returns the number of
+        observations added.
         """
         added = 0
         for node in iter_plan_nodes(root):
+            if id(node) in self._seen:
+                continue
             q_error = node.q_error()
             if q_error is None:
                 continue
+            self._seen[id(node)] = node
             self.entries.append(
                 {
                     "query": query_label,

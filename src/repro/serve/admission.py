@@ -159,6 +159,11 @@ class AdmissionController:
             self._active = max(0, self._active - 1)
             self._condition.notify()
 
+    def snapshot_outcomes(self) -> Dict[str, int]:
+        """A consistent copy of the outcome counters (for metrics)."""
+        with self._condition:
+            return dict(self.outcomes)
+
     @contextmanager
     def admit(self) -> Iterator[float]:
         """``with controller.admit() as waited: ...`` around one query."""

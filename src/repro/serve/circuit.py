@@ -142,5 +142,10 @@ class CircuitBreaker:
         self._state = state
         self.transitions[state] += 1
 
+    def snapshot_transitions(self) -> Dict[str, int]:
+        """A consistent copy of the transition counters (for metrics)."""
+        with self._lock:
+            return dict(self.transitions)
+
     def __repr__(self) -> str:
         return f"CircuitBreaker({self.name!r}, state={self.state!r})"

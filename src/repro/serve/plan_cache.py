@@ -49,7 +49,7 @@ class PlanCacheEntry:
 
     sql: str
     techniques: FrozenSet[str]
-    token: Tuple[int, int, int]
+    token: Tuple[int, ...]
     optimized: Any
     #: Serializes executions of this specific plan instance.
     lock: threading.RLock = field(default_factory=threading.RLock)
@@ -86,7 +86,7 @@ class PlanCache:
         return (sql, techniques)
 
     def lookup(
-        self, sql: str, techniques: FrozenSet[str], live_token: Tuple[int, int, int]
+        self, sql: str, techniques: FrozenSet[str], live_token: Tuple[int, ...]
     ) -> Optional[PlanCacheEntry]:
         """A valid cached entry, or ``None`` (miss or stale).
 
@@ -145,7 +145,7 @@ class PlanCache:
         self,
         sql: str,
         techniques: FrozenSet[str],
-        token: Tuple[int, int, int],
+        token: Tuple[int, ...],
         optimized: Any,
     ) -> PlanCacheEntry:
         """Insert (or replace) the plan for this key; LRU-evict on overflow.

@@ -44,6 +44,7 @@ from repro.engine.executor import Result
 from repro.engine.wcoj import WCOJTrieJoin
 from repro.errors import CircuitOpenError, SessionClosedError
 from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.querylog import QueryLog, stable_fingerprint
 from repro.serve.admission import AdmissionController
 from repro.serve.circuit import CircuitBreaker
 from repro.serve.plan_cache import PlanCache, PlanCacheEntry
@@ -225,6 +226,9 @@ class IcebergServer:
         max_join_pairs: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
         registry: Optional[MetricsRegistry] = None,
+        query_log: Optional[QueryLog] = None,
+        query_log_entries: int = 512,
+        query_log_path: Optional[str] = None,
         **engine_kwargs: Any,
     ) -> None:
         self.db = db
@@ -252,8 +256,27 @@ class IcebergServer:
         }
         self.shared_nljp_cache = shared_nljp_cache
         self._registry = registry if registry is not None else REGISTRY
+        #: Structured flight recorder: one record per served execution
+        #: (and per serving-layer failure).  ``python -m
+        #: repro.obs.report`` summarizes it.
+        self.query_log = (
+            query_log
+            if query_log is not None
+            else QueryLog(max_entries=query_log_entries, path=query_log_path)
+        )
         # Instance-wide budget totals → per-slot fair shares.
         self._engine_kwargs = dict(engine_kwargs)
+        # Feedback default: *observe* — harvest estimate→actual pairs
+        # without letting them move plans, the safe serving posture.
+        # An explicit ``feedback=`` kwarg wins; a caller-supplied
+        # ``config=`` keeps its own setting (we never override it).
+        base_config = self._engine_kwargs.get("config")
+        if "feedback" not in self._engine_kwargs and base_config is None:
+            self._engine_kwargs["feedback"] = "observe"
+        self._feedback_mode = self._engine_kwargs.get(
+            "feedback",
+            base_config.feedback if base_config is not None else "off",
+        )
         if max_rows_scanned is not None:
             self._engine_kwargs["max_rows_scanned"] = self.admission.fair_share(
                 max_rows_scanned
@@ -361,6 +384,17 @@ class IcebergServer:
                 "Server queries by session outcome",
                 ("outcome",),
             ).inc(outcome=f"error:{type(error).__name__}")
+            self.query_log.append(
+                session=session.session_id,
+                sql_fingerprint=stable_fingerprint(sql),
+                feedback_mode=self._feedback_mode,
+                outcome=f"error:{type(error).__name__}",
+                breaker_states={
+                    technique: breaker.state
+                    for technique, breaker in self.breakers.items()
+                },
+            )
+            self._sync_serve_metrics()
             raise
         self._registry.counter(
             "repro_server_queries_total",
@@ -393,7 +427,7 @@ class IcebergServer:
                 fault_plan.observe("plan-cache")
             mask = self._technique_mask()
             try:
-                entry = self._lookup_or_build(sql, mask)
+                entry, cache_hit = self._lookup_or_build(sql, mask)
                 with entry.lock:
                     result = entry.optimized.execute(
                         params,
@@ -409,17 +443,42 @@ class IcebergServer:
                 for technique in mask:
                     self.breakers[technique].release_probe()
                 raise
-            self._after_execution(session, sql, mask, result)
+            self._after_execution(
+                session, sql, mask, result, waited=waited, cache_hit=cache_hit
+            )
             return result
 
-    def _lookup_or_build(self, sql: str, mask: FrozenSet[str]) -> PlanCacheEntry:
+    def _live_token(self) -> Tuple[int, ...]:
+        """The plan-cache validity token for the current engine setup.
+
+        Under ``feedback="apply"`` the feedback store's version joins
+        the token: a plan built from yesterday's observations is
+        re-optimized once fresh observations land, so corrections
+        actually reach the plans instead of being pinned out by the
+        cache.
+        """
+        token: Tuple[int, ...] = self.db.version_token()
+        if self._feedback_mode == "apply":
+            token = token + (self.db.feedback.version,)
+        return token
+
+    def _lookup_or_build(
+        self, sql: str, mask: FrozenSet[str]
+    ) -> Tuple[PlanCacheEntry, bool]:
+        """The cached (or freshly built) plan entry plus a hit flag.
+
+        ``hit`` is ``True`` when the entry came from the shared cache
+        (including waiting out another session's in-flight build) and
+        ``False`` when this call was the build leader.
+        """
         # Single-flight: concurrent first-touch misses on one key used
         # to optimize N times and race the store.  Now exactly one
         # session (the claim leader) builds; the rest wait on the
         # leader's latch and re-run the lookup.  A failed build still
         # releases in the finally, so waiters re-claim rather than hang.
+        hit = True
         while True:
-            live_token = self.db.version_token()
+            live_token = self._live_token()
             entry = self.plan_cache.lookup(sql, mask, live_token)
             if entry is not None:
                 break
@@ -427,6 +486,7 @@ class IcebergServer:
             if not leader:
                 latch.wait()
                 continue
+            hit = False
             try:
                 optimized = self._engine(mask).optimize(sql)
                 if optimized.nljp is not None and self.shared_nljp_cache:
@@ -455,7 +515,63 @@ class IcebergServer:
         )
         for name, value in stats.items():
             gauge.set(value, stat=name)
-        return entry
+        return entry, hit
+
+    def _sync_serve_metrics(self) -> None:
+        """Export admission/breaker counters as registry gauges.
+
+        The counters live inside their components' locks; the snapshot
+        accessors copy them consistently, and gauges (not counters)
+        carry them so re-exporting the running totals is idempotent.
+        """
+        admission = self._registry.gauge(
+            "repro_server_admission_outcomes",
+            "Admission decisions by outcome (running totals)",
+            ("outcome",),
+        )
+        for outcome, count in self.admission.snapshot_outcomes().items():
+            admission.set(count, outcome=outcome)
+        transitions = self._registry.gauge(
+            "repro_server_breaker_transitions",
+            "Per-technique breaker state transitions (running totals)",
+            ("technique", "state"),
+        )
+        for technique, breaker in self.breakers.items():
+            for state, count in breaker.snapshot_transitions().items():
+                transitions.set(count, technique=technique, state=state)
+
+    def _plan_telemetry(self, result: Result) -> Dict[str, Any]:
+        """Plan-shape and estimate-quality fields for the query log."""
+        planned = result.plan
+        if planned is None:
+            return {}
+        from repro.obs.tracer import iter_plan_nodes
+
+        config = planned.env.config
+        corrections: List[str] = []
+        mis_estimates: List[Dict[str, Any]] = []
+        for node in iter_plan_nodes(planned.root):
+            if node.feedback_note is not None:
+                corrections.append(node.feedback_note)
+            q_error = node.q_error()
+            if q_error is not None:
+                mis_estimates.append(
+                    {
+                        "operator": type(node).__name__,
+                        "fingerprint": node.feedback_fingerprint,
+                        "est": round(float(node.estimated_rows), 1),
+                        "actual": int(node.actual_rows),
+                        "q_error": round(q_error, 3),
+                    }
+                )
+        mis_estimates.sort(key=lambda entry: -entry["q_error"])
+        return {
+            "plan_fingerprint": stable_fingerprint(planned.explain()),
+            "join_algo": config.join_algo,
+            "feedback_mode": config.feedback,
+            "feedback_corrections": corrections[:5],
+            "worst_q_errors": mis_estimates[:3],
+        }
 
     def _after_execution(
         self,
@@ -463,6 +579,8 @@ class IcebergServer:
         sql: str,
         mask: FrozenSet[str],
         result: Result,
+        waited: float = 0.0,
+        cache_hit: bool = False,
     ) -> None:
         # Governor feedback → admission load shedding.
         if result.governor is not None:
@@ -497,3 +615,22 @@ class IcebergServer:
                 session.profiles.append(
                     (f"{session.session_id}:q{session.queries}", result.profile)
                 )
+        self.query_log.append(
+            session=session.session_id,
+            sql_fingerprint=stable_fingerprint(sql),
+            technique_mask=sorted(mask),
+            execution_mode=result.execution_mode,
+            outcome="ok",
+            plan_cache_hit=cache_hit,
+            admission_wait_seconds=round(waited, 6),
+            latency_seconds=round(result.elapsed_seconds, 6),
+            rows=len(result.rows),
+            rows_scanned=result.stats.rows_scanned,
+            degradations=list(result.stats.degradations),
+            breaker_states={
+                technique: breaker.state
+                for technique, breaker in self.breakers.items()
+            },
+            **self._plan_telemetry(result),
+        )
+        self._sync_serve_metrics()

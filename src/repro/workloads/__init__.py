@@ -25,6 +25,7 @@ from repro.workloads.cyclic import (
     triangle_query,
 )
 from repro.workloads.products import ProductConfig, generate_products, load_products, make_product_db
+from repro.workloads.skewed import SkewedConfig, make_skewed_db, skewed_query
 from repro.workloads.queries import (
     PaperQuery,
     complex_query,
@@ -42,6 +43,7 @@ __all__ = [
     "CyclicConfig",
     "PaperQuery",
     "ProductConfig",
+    "SkewedConfig",
     "complex_query",
     "discount_query",
     "figure1_queries",
@@ -59,9 +61,11 @@ __all__ = [
     "make_batting_db",
     "make_cyclic_db",
     "make_product_db",
+    "make_skewed_db",
     "market_basket_query",
     "pairs_query",
     "player_skyband_query",
+    "skewed_query",
     "skyband_query",
     "square_query",
     "triangle_hub_query",
